@@ -1,0 +1,200 @@
+(* Benchmark harness.
+
+   Two halves, both driven from this one executable:
+
+   1. {b Reproduction} — regenerate every table and figure of the paper
+      (the same experiment registry the CLI exposes): the §2.3 example,
+      the §4.4 toy, the §5.2 bound, Figures 7-12, the ablations and the
+      NP-hardness checks.  Each report prints the paper's claim next to
+      the measured series.
+
+   2. {b Micro-benchmarks} — one Bechamel [Test.make] per figure/table,
+      measuring the scheduling throughput of the heuristic pair that
+      produces it (HEFT and ILHA at the figure's B on a mid-size
+      instance), plus the engine-level hot path.
+
+   Usage:
+     dune exec bench/main.exe                  -- full-scale reproduction + micro
+     dune exec bench/main.exe -- --quick       -- 1/5-scale problem sizes
+     dune exec bench/main.exe -- --scale 0.4   -- custom scale
+     dune exec bench/main.exe -- --only fig8 --only e1
+     dune exec bench/main.exe -- --no-bechamel / --no-figures *)
+
+module O = Onesched
+
+type options = {
+  scale : float;
+  only : string list;
+  run_figures : bool;
+  run_bechamel : bool;
+}
+
+let parse_args () =
+  let scale = ref 1.0 in
+  let only = ref [] in
+  let run_figures = ref true in
+  let run_bechamel = ref true in
+  let rec eat = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        scale := 0.2;
+        eat rest
+    | "--scale" :: v :: rest ->
+        scale := float_of_string v;
+        eat rest
+    | "--only" :: id :: rest ->
+        only := id :: !only;
+        eat rest
+    | "--no-figures" :: rest ->
+        run_figures := false;
+        eat rest
+    | "--no-bechamel" :: rest ->
+        run_bechamel := false;
+        eat rest
+    | arg :: _ ->
+        Printf.eprintf
+          "unknown argument %s\n\
+           usage: main.exe [--quick] [--scale F] [--only ID]* [--no-figures] \
+           [--no-bechamel]\n\
+           experiment ids: %s\n"
+          arg
+          (String.concat ", " O.Figures.ids);
+        exit 2
+  in
+  eat (List.tl (Array.to_list Sys.argv));
+  {
+    scale = !scale;
+    only = List.rev !only;
+    run_figures = !run_figures;
+    run_bechamel = !run_bechamel;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: regenerate the paper's tables and figures                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_figures opts =
+  let cfg = O.Config.paper ~scale:opts.scale () in
+  let figures =
+    match opts.only with
+    | [] -> O.Figures.all
+    | ids -> List.map O.Figures.find ids
+  in
+  Printf.printf
+    "=== reproduction (scale %.2f: problem sizes %s) ===\n\n" opts.scale
+    (String.concat "," (List.map string_of_int cfg.O.Config.sizes));
+  List.iter
+    (fun f ->
+      let t0 = Sys.time () in
+      let body = f.O.Figures.render cfg in
+      Printf.printf "[%s] %s   (%.1fs)\npaper: %s\n\n%s\n%!" f.O.Figures.id
+        f.O.Figures.title (Sys.time () -. t0) f.O.Figures.paper_claim body)
+    figures
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks (one Test.make per table/figure)   *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let bench_size = 40
+let plat = O.Platform.paper_platform ()
+let one_port = O.Comm_model.one_port
+
+let schedule_test name scheduler =
+  Test.make ~name (Staged.stage (fun () -> ignore (scheduler ())))
+
+(* One benchmark per figure: scheduling the figure's testbed (HEFT and
+   ILHA at the figure's B) at a fixed mid-size instance, so the numbers
+   compare the cost of producing each figure's data points. *)
+let figure_benches =
+  List.concat_map
+    (fun (fig, testbed) ->
+      let suite = O.Suite.find testbed in
+      let g = suite.O.Suite.build ~n:bench_size ~ccr:10. in
+      let b = suite.O.Suite.paper_b in
+      [
+        schedule_test
+          (Printf.sprintf "%s/heft" fig)
+          (fun () -> O.Heft.schedule ~model:one_port plat g);
+        schedule_test
+          (Printf.sprintf "%s/ilha[b=%d]" fig b)
+          (fun () -> O.Ilha.schedule ~b ~model:one_port plat g);
+      ])
+    [
+      ("fig7", "fork-join"); ("fig8", "lu"); ("fig9", "laplace");
+      ("fig10", "ldmt"); ("fig11", "doolittle"); ("fig12", "stencil");
+    ]
+
+(* The supporting experiments: E1's exact fork solver, E3's load
+   balancing, the Theorem 1/2 decision procedures, and the PERT replay
+   behind the robustness table. *)
+let support_benches =
+  let fork_inst =
+    Option.get (O.Fork_exact.of_graph (O.Fork.example_fig1 ()))
+  in
+  let partition = O.Two_partition.create [| 3; 5; 2; 7; 1 |] in
+  let lu = O.Kernels.lu ~n:bench_size ~ccr:10. in
+  let lu_sched = O.Heft.schedule ~model:one_port plat lu in
+  let pert = O.Pert.build lu_sched in
+  [
+    schedule_test "e1/fork-exact" (fun () ->
+        O.Fork_exact.optimal_makespan ~max_procs:5 fork_inst);
+    schedule_test "e3/load-balance" (fun () ->
+        O.Load_balance.distribute plat ~n:38);
+    schedule_test "reductions/thm1-decide" (fun () ->
+        O.Fork_sched.decide (O.Fork_sched.reduce partition));
+    schedule_test "reductions/thm2-decide" (fun () ->
+        O.Comm_sched.decide (O.Comm_sched.reduce partition));
+    schedule_test "robustness/pert-retime" (fun () ->
+        O.Pert.retime pert
+          ~task_duration:(fun _ d -> d *. 1.1)
+          ~hop_duration:(fun _ d -> d));
+    schedule_test "engine/upward-rank" (fun () -> O.Ranking.upward lu plat);
+  ]
+
+let run_bechamel () =
+  Printf.printf "=== micro-benchmarks (Bechamel, n = %d per testbed) ===\n%!"
+    bench_size;
+  let test =
+    Test.make_grouped ~name:"onesched" (figure_benches @ support_benches)
+  in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns_per_run =
+          match Analyze.OLS.estimates ols with
+          | Some (est :: _) -> est
+          | Some [] | None -> nan
+        in
+        (name, ns_per_run) :: acc)
+      results []
+  in
+  let table = O.Table.create ~columns:[ "benchmark"; "time/run"; "runs/s" ] in
+  let pretty_time ns =
+    if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+    else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  List.iter
+    (fun (name, ns) ->
+      O.Table.add_row table
+        [ name; pretty_time ns; Printf.sprintf "%.1f" (1e9 /. ns) ])
+    (List.sort compare rows);
+  print_string (O.Table.to_string table)
+
+let () =
+  let opts = parse_args () in
+  if opts.run_figures then run_figures opts;
+  if opts.run_bechamel && opts.only = [] then run_bechamel ()

@@ -1,0 +1,425 @@
+(* schedcli — command-line front end for the one-port scheduling library.
+
+   Subcommands:
+     run         schedule one testbed and print metrics (optionally a Gantt)
+     figures     regenerate the paper's experiments (all or a subset)
+     analyze     print the structural summary of a testbed graph
+     dot         emit Graphviz for a testbed (optionally coloured by mapping)
+     robustness  Monte-Carlo jitter analysis of a heuristic's schedule
+     list        enumerate testbeds, heuristics, models and experiments *)
+
+open Cmdliner
+module O = Onesched
+
+let model_conv =
+  let parse s =
+    match O.Comm_model.of_name s with
+    | m -> Ok m
+    | exception Invalid_argument msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt (O.Comm_model.name m))
+
+let model_arg =
+  let doc =
+    Printf.sprintf "Communication model: %s."
+      (String.concat ", " (List.map O.Comm_model.name O.Comm_model.all))
+  in
+  Arg.(value & opt model_conv O.Comm_model.one_port & info [ "model" ] ~doc)
+
+let testbed_arg =
+  let doc =
+    Printf.sprintf "Testbed: %s." (String.concat ", " O.Suite.names)
+  in
+  Arg.(value & opt string "lu" & info [ "testbed"; "t" ] ~doc)
+
+let size_arg =
+  Arg.(value & opt int 50 & info [ "size"; "n" ] ~doc:"Problem size n.")
+
+let ccr_arg =
+  Arg.(
+    value & opt float 10.
+    & info [ "ccr"; "c" ] ~doc:"Communication-to-computation ratio (paper: 10).")
+
+let heuristic_arg =
+  let doc =
+    Printf.sprintf "Heuristic: %s." (String.concat ", " O.Registry.names)
+  in
+  Arg.(value & opt string "ilha" & info [ "heuristic"; "H" ] ~doc)
+
+let b_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "b" ] ~doc:"ILHA chunk size B (default: the platform's perfect-balance chunk).")
+
+let gantt_arg =
+  Arg.(value & flag & info [ "gantt" ] ~doc:"Also print an ASCII Gantt chart.")
+
+let homogeneous_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "homogeneous" ]
+        ~doc:"Use P same-speed processors instead of the paper's 10-processor platform.")
+
+let graph_file_arg =
+  Arg.(
+    value & opt (some file) None
+    & info [ "graph" ]
+        ~doc:"Load the task graph from a text file (see Graph_io) instead of \
+              building a testbed.")
+
+let platform_file_arg =
+  Arg.(
+    value & opt (some file) None
+    & info [ "platform" ]
+        ~doc:"Load the platform from a text description instead of the \
+              built-in ones.")
+
+let build_graph testbed n ccr =
+  let suite = O.Suite.find testbed in
+  suite.O.Suite.build ~n:(max n suite.O.Suite.min_n) ~ccr
+
+let resolve_graph graph_file testbed n ccr =
+  match graph_file with
+  | Some path -> O.Graph_io.load path
+  | None -> build_graph testbed n ccr
+
+let resolve_platform platform_file homogeneous =
+  match platform_file with
+  | Some path ->
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          O.Platform.of_description
+            (really_input_string ic (in_channel_length ic)))
+  | None -> (
+      match homogeneous with
+      | Some p -> O.Platform.homogeneous ~p ~link_cost:1.
+      | None -> O.Platform.paper_platform ())
+
+let run_cmd =
+  let refine_arg =
+    Arg.(
+      value & flag
+      & info [ "refine" ] ~doc:"Apply the allocation local-search post-pass.")
+  in
+  let util_arg =
+    Arg.(
+      value & flag
+      & info [ "utilization" ] ~doc:"Print per-resource utilization profiles.")
+  in
+  let action testbed n ccr heuristic b model homogeneous gantt refine util
+      graph_file platform_file =
+    let plat = resolve_platform platform_file homogeneous in
+    let g = resolve_graph graph_file testbed n ccr in
+    let entry =
+      match b with
+      | Some b -> O.Registry.ilha_with ~b ()
+      | None -> O.Registry.find heuristic
+    in
+    let t0 = Sys.time () in
+    let sched = entry.O.Registry.scheduler ~model plat g in
+    let sched =
+      if not refine then sched
+      else begin
+        let r = O.Refine.improve sched in
+        Printf.printf "refine: %g -> %g (%d moves, %d rebuilds)\n"
+          r.O.Refine.initial_makespan r.O.Refine.final_makespan
+          r.O.Refine.accepted_moves r.O.Refine.evaluations;
+        r.O.Refine.schedule
+      end
+    in
+    let dt = Sys.time () -. t0 in
+    let metrics = O.Metrics.compute sched in
+    Format.printf "%s on %s (%s), scheduled in %.2fs@.%a@."
+      entry.O.Registry.name (O.Graph.name g) (O.Comm_model.name model) dt
+      O.Metrics.pp metrics;
+    Printf.printf "lower-bound quality: %.3fx (1.0 = provably optimal)\n"
+      (O.Bounds.quality sched);
+    (match O.Validate.check sched with
+    | Ok () -> print_endline "schedule: VALID"
+    | Error es ->
+        Printf.printf "schedule: INVALID (%d violations)\n" (List.length es);
+        List.iteri (fun i e -> if i < 5 then print_endline ("  " ^ e)) es);
+    if gantt then print_string (O.Gantt.render sched);
+    if util then print_string (O.Utilization.render (O.Utilization.profile sched))
+  in
+  let term =
+    Term.(
+      const action $ testbed_arg $ size_arg $ ccr_arg $ heuristic_arg $ b_arg
+      $ model_arg $ homogeneous_arg $ gantt_arg $ refine_arg $ util_arg
+      $ graph_file_arg $ platform_file_arg)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Schedule a testbed (or --graph/--platform files) and print metrics.")
+    term
+
+let export_cmd =
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("chrome", `Chrome); ("csv", `Csv); ("svg", `Svg) ]) `Chrome
+      & info [ "format" ]
+          ~doc:"Output format: chrome (trace JSON), csv, or svg (Gantt).")
+  in
+  let output_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~doc:"Output file (default: stdout).")
+  in
+  let action testbed n ccr heuristic model format output =
+    let plat = O.Platform.paper_platform () in
+    let g = build_graph testbed n ccr in
+    let entry = O.Registry.find heuristic in
+    let sched = entry.O.Registry.scheduler ~model plat g in
+    let contents =
+      match format with
+      | `Chrome -> O.Export.to_chrome_trace sched
+      | `Csv -> O.Export.to_csv sched
+      | `Svg -> O.Svg.render sched
+    in
+    match output with
+    | None -> print_string contents
+    | Some path ->
+        O.Export.write_file path contents;
+        Printf.printf "wrote %s (%d bytes)\n" path (String.length contents)
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Export a schedule as a Chrome trace (chrome://tracing) or CSV.")
+    Term.(
+      const action $ testbed_arg $ size_arg $ ccr_arg $ heuristic_arg
+      $ model_arg $ format_arg $ output_arg)
+
+let autob_cmd =
+  let action testbed n ccr model =
+    let plat = O.Platform.paper_platform () in
+    let g = build_graph testbed n ccr in
+    let r = O.Auto_b.search ~model plat g in
+    print_endline "B     makespan";
+    List.iter
+      (fun (b, m) ->
+        Printf.printf "%-5d %g%s\n" b m
+          (if b = r.O.Auto_b.best_b then "   <- best" else ""))
+      r.O.Auto_b.trials
+  in
+  Cmd.v
+    (Cmd.info "auto-b" ~doc:"Search ILHA's chunk size B (the §5.3 tuning loop).")
+    Term.(const action $ testbed_arg $ size_arg $ ccr_arg $ model_arg)
+
+let figures_cmd =
+  let only =
+    Arg.(
+      value & opt_all string []
+      & info [ "only" ] ~doc:"Run only this experiment id (repeatable).")
+  in
+  let scale =
+    Arg.(
+      value & opt float 1.0
+      & info [ "scale" ]
+          ~doc:"Scale the paper's problem sizes (0.2 turns 100-500 into 20-100).")
+  in
+  let action only scale =
+    let cfg = O.Config.paper ~scale () in
+    let figs =
+      match only with [] -> O.Figures.all | ids -> List.map O.Figures.find ids
+    in
+    List.iter
+      (fun f ->
+        Printf.printf "[%s] %s\npaper: %s\n\n%s\n" f.O.Figures.id
+          f.O.Figures.title f.O.Figures.paper_claim (f.O.Figures.render cfg))
+      figs
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Regenerate the paper's tables and figures.")
+    Term.(const action $ only $ scale)
+
+let analyze_cmd =
+  let action testbed n ccr =
+    let g = build_graph testbed n ccr in
+    Format.printf "%a@.%a@." O.Graph.pp g O.Analysis.pp_summary
+      (O.Analysis.summarize g)
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Print the structural summary of a testbed graph.")
+    Term.(const action $ testbed_arg $ size_arg $ ccr_arg)
+
+let dot_cmd =
+  let mapped =
+    Arg.(
+      value & flag
+      & info [ "mapped" ] ~doc:"Colour tasks by the processor ILHA assigns them.")
+  in
+  let action testbed n ccr mapped =
+    let g = build_graph testbed n ccr in
+    if mapped then begin
+      let plat = O.Platform.paper_platform () in
+      let sched = O.Ilha.schedule ~model:O.Comm_model.one_port plat g in
+      print_string
+        (O.Dot.with_allocation g ~proc_of:(fun v ->
+             (O.Schedule.placement_exn sched v).O.Schedule.proc))
+    end
+    else print_string (O.Dot.to_string g)
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit Graphviz for a testbed graph.")
+    Term.(const action $ testbed_arg $ size_arg $ ccr_arg $ mapped)
+
+let robustness_cmd =
+  let jitter =
+    Arg.(value & opt float 0.3 & info [ "jitter" ] ~doc:"Relative duration jitter.")
+  in
+  let trials =
+    Arg.(value & opt int 100 & info [ "trials" ] ~doc:"Monte-Carlo trials.")
+  in
+  let action testbed n ccr heuristic model jitter trials =
+    let plat = O.Platform.paper_platform () in
+    let g = build_graph testbed n ccr in
+    let entry = O.Registry.find heuristic in
+    let sched = entry.O.Registry.scheduler ~model plat g in
+    let rng = O.Rng.create ~seed:42 in
+    Format.printf "%a@."
+      O.Robustness.pp_stats
+      (O.Robustness.monte_carlo sched rng ~jitter ~trials)
+  in
+  Cmd.v
+    (Cmd.info "robustness" ~doc:"Monte-Carlo jitter analysis of a schedule.")
+    Term.(
+      const action $ testbed_arg $ size_arg $ ccr_arg $ heuristic_arg
+      $ model_arg $ jitter $ trials)
+
+let compare_cmd =
+  let against_arg =
+    Arg.(
+      value & opt string "heft"
+      & info [ "against" ] ~doc:"Second heuristic to compare with.")
+  in
+  let action testbed n ccr heuristic against model =
+    let plat = O.Platform.paper_platform () in
+    let g = build_graph testbed n ccr in
+    let sched_of name =
+      (O.Registry.find name).O.Registry.scheduler ~model plat g
+    in
+    let a = sched_of heuristic and b = sched_of against in
+    Format.printf "%s (a) vs %s (b) on %s@.%a@." heuristic against
+      (O.Graph.name g) O.Compare.pp (O.Compare.diff a b);
+    let d = O.Compare.diff a b in
+    List.iteri
+      (fun i (v, pa, pb) ->
+        if i < 10 then Printf.printf "  task %d: P%d vs P%d\n" v pa pb)
+      d.O.Compare.moved_tasks
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Diff the schedules of two heuristics.")
+    Term.(
+      const action $ testbed_arg $ size_arg $ ccr_arg $ heuristic_arg
+      $ against_arg $ model_arg)
+
+let grid_cmd =
+  let scale =
+    Arg.(value & opt float 0.2 & info [ "scale" ] ~doc:"Problem-size scale.")
+  in
+  let output_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~doc:"CSV output file (default: stdout).")
+  in
+  let action scale output =
+    let cfg = O.Config.paper ~scale () in
+    let rows = O.Batch.run cfg (O.Batch.default_spec cfg) in
+    let csv = O.Batch.to_csv rows in
+    match output with
+    | None -> print_string csv
+    | Some path ->
+        O.Export.write_file path csv;
+        Printf.printf "wrote %s (%d rows)\n" path (List.length rows)
+  in
+  Cmd.v
+    (Cmd.info "grid"
+       ~doc:"Run the full heuristic x testbed x size grid and emit CSV.")
+    Term.(const action $ scale $ output_arg)
+
+let reproduce_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "reproduction"
+      & info [ "out" ] ~doc:"Output directory (created if missing).")
+  in
+  let scale =
+    Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Problem-size scale.")
+  in
+  let action out scale =
+    if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+    let cfg = O.Config.paper ~scale () in
+    let path name = Filename.concat out name in
+    (* 1. every experiment, one text report *)
+    let buf = Buffer.create (1 lsl 16) in
+    List.iter
+      (fun f ->
+        Buffer.add_string buf
+          (Printf.sprintf "[%s] %s\npaper: %s\n\n%s\n" f.O.Figures.id
+             f.O.Figures.title f.O.Figures.paper_claim (f.O.Figures.render cfg));
+        Printf.printf "rendered %s\n%!" f.O.Figures.id)
+      O.Figures.all;
+    O.Export.write_file (path "experiments.txt") (Buffer.contents buf);
+    (* 2. the raw grid as CSV *)
+    let rows = O.Batch.run cfg (O.Batch.default_spec cfg) in
+    O.Export.write_file (path "grid.csv") (O.Batch.to_csv rows);
+    (* 3. one SVG Gantt + Chrome trace per testbed (small instances) *)
+    List.iter
+      (fun suite ->
+        let n = max 20 suite.O.Suite.min_n in
+        let g = suite.O.Suite.build ~n ~ccr:cfg.O.Config.ccr in
+        let sched =
+          O.Ilha.schedule ~b:suite.O.Suite.paper_b ~model:cfg.O.Config.model
+            cfg.O.Config.platform g
+        in
+        O.Export.write_file
+          (path (Printf.sprintf "%s.svg" suite.O.Suite.name))
+          (O.Svg.render sched);
+        O.Export.write_file
+          (path (Printf.sprintf "%s.trace.json" suite.O.Suite.name))
+          (O.Export.to_chrome_trace sched))
+      O.Suite.all;
+    Printf.printf "wrote %s/{experiments.txt, grid.csv, <testbed>.svg, <testbed>.trace.json}\n"
+      out
+  in
+  Cmd.v
+    (Cmd.info "reproduce"
+       ~doc:"Regenerate every experiment and write all artifacts to a directory.")
+    Term.(const action $ out_arg $ scale)
+
+let list_cmd =
+  let action () =
+    print_endline "testbeds:";
+    List.iter (fun n -> print_endline ("  " ^ n)) O.Suite.names;
+    print_endline "heuristics:";
+    List.iter
+      (fun e ->
+        Printf.printf "  %-8s %s\n" e.O.Registry.name e.O.Registry.description)
+      O.Registry.all;
+    print_endline "models:";
+    List.iter (fun m -> print_endline ("  " ^ O.Comm_model.name m)) O.Comm_model.all;
+    print_endline "experiments:";
+    List.iter
+      (fun f -> Printf.printf "  %-11s %s\n" f.O.Figures.id f.O.Figures.title)
+      O.Figures.all
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"Enumerate testbeds, heuristics, models, experiments.")
+    Term.(const action $ const ())
+
+let () =
+  let info =
+    Cmd.info "schedcli" ~version:"1.0.0"
+      ~doc:"One-port task-graph scheduling with heterogeneous processors"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            run_cmd; figures_cmd; analyze_cmd; dot_cmd; robustness_cmd;
+            export_cmd; autob_cmd; compare_cmd; grid_cmd; reproduce_cmd;
+            list_cmd;
+          ]))

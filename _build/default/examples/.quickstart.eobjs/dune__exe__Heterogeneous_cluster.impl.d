@@ -1,0 +1,1 @@
+examples/heterogeneous_cluster.ml: Format List Onesched Printf String

@@ -1,0 +1,1 @@
+examples/pipeline_tuning.ml: Array List Onesched Printf String

@@ -1,0 +1,1 @@
+examples/robust_deployment.ml: List Onesched Printf

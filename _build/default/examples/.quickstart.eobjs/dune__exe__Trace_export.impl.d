@@ -1,0 +1,1 @@
+examples/trace_export.ml: Onesched Printf String

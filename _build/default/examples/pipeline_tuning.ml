@@ -1,0 +1,59 @@
+(* Tuning ILHA's chunk size B for a stencil workload.
+
+   §5.3 reports that the best B is workload-dependent (4 for LU, 38 for
+   LAPLACE/STENCIL, 20 for the growing-level kernels) and bounded by the
+   perfect-balance chunk M = lcm(t_i) * sum(1/t_i).  This example
+   reproduces that tuning loop on one workload: compute M, sweep B over a
+   sample of [1, M], and report the best chunk alongside the optimal
+   integer task distribution the load balancer derives.
+
+   Run with:  dune exec examples/pipeline_tuning.exe *)
+
+module O = Onesched
+
+let () =
+  let platform = O.Platform.paper_platform () in
+  let graph = O.Kernels.stencil ~n:40 ~ccr:10. in
+  let m = O.Load_balance.perfect_chunk platform in
+  Printf.printf "perfect-balance chunk M = %d\n" m;
+  let counts = O.Load_balance.distribute platform ~n:m in
+  Printf.printf "optimal distribution of %d equal tasks: %s (round time %g)\n\n"
+    m
+    (String.concat "," (Array.to_list (Array.map string_of_int counts)))
+    (O.Load_balance.round_time platform counts);
+
+  let candidates =
+    List.sort_uniq compare [ 1; 2; 4; 8; 10; m / 4; m / 2; m; 2 * m ]
+  in
+  let best = ref (0, infinity) in
+  List.iter
+    (fun b ->
+      if b >= 1 then begin
+        let sched =
+          O.Ilha.schedule ~b ~model:O.Comm_model.one_port platform graph
+        in
+        let makespan = O.Schedule.makespan sched in
+        let metrics = O.Metrics.compute sched in
+        Printf.printf "B = %3d  makespan %8.0f  speedup %.3f  comms %d\n" b
+          makespan metrics.O.Metrics.speedup metrics.O.Metrics.n_comm_events;
+        if makespan < snd !best then best := (b, makespan)
+      end)
+    candidates;
+  Printf.printf "\nbest chunk: B = %d (makespan %g)\n" (fst !best) (snd !best);
+
+  (* ILHA's variants from §4.4: accept single-communication placements in
+     the scan, or keep only the allocation and re-schedule greedily. *)
+  let b = fst !best in
+  List.iter
+    (fun (label, scan, reschedule) ->
+      let sched =
+        O.Ilha.schedule ~b ~scan ~reschedule ~model:O.Comm_model.one_port
+          platform graph
+      in
+      Printf.printf "variant %-28s makespan %8.0f\n" label
+        (O.Schedule.makespan sched))
+    [
+      ("zero-comm scan (paper)", O.Ilha.Scan_zero_comm, false);
+      ("one-comm scan", O.Ilha.Scan_one_comm, false);
+      ("zero-comm + reschedule", O.Ilha.Scan_zero_comm, true);
+    ]

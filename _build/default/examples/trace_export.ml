@@ -1,0 +1,38 @@
+(* Inspecting a one-port schedule with external tools.
+
+   Schedules are easier to debug on a real timeline viewer than in ASCII:
+   this example schedules the DOOLITTLE kernel, applies the allocation
+   local-search post-pass, prints the utilization profile, and writes a
+   Chrome-trace JSON (open chrome://tracing or https://ui.perfetto.dev and
+   load the file — each processor appears as a process with cpu / send
+   port / recv port threads, so one-port serialisation is directly
+   visible) plus a CSV for plotting scripts.
+
+   Run with:  dune exec examples/trace_export.exe *)
+
+module O = Onesched
+
+let () =
+  let platform = O.Platform.paper_platform () in
+  let graph = O.Kernels.doolittle ~n:30 ~ccr:10. in
+  let sched = O.Heft.schedule ~model:O.Comm_model.one_port platform graph in
+
+  (* Try to improve the mapping without re-running the heuristic. *)
+  let refined = O.Refine.improve sched in
+  Printf.printf "HEFT makespan %.0f; after local search %.0f (%d moves)\n"
+    refined.O.Refine.initial_makespan refined.O.Refine.final_makespan
+    refined.O.Refine.accepted_moves;
+  let sched = refined.O.Refine.schedule in
+
+  Printf.printf "bound quality: %.2fx the lower bound\n\n"
+    (O.Bounds.quality sched);
+  print_string (O.Utilization.render (O.Utilization.profile ~buckets:60 sched));
+
+  let trace = O.Export.to_chrome_trace sched in
+  let csv = O.Export.to_csv sched in
+  O.Export.write_file "doolittle_schedule.json" trace;
+  O.Export.write_file "doolittle_schedule.csv" csv;
+  Printf.printf
+    "\nwrote doolittle_schedule.json (%d bytes, chrome://tracing) and \
+     doolittle_schedule.csv (%d bytes)\n"
+    (String.length trace) (String.length csv)

@@ -1,0 +1,1 @@
+lib/commmodel/comm_model.mli: Format

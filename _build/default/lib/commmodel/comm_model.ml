@@ -1,0 +1,46 @@
+type port_discipline =
+  | Unlimited
+  | One_port_bidirectional
+  | One_port_unidirectional
+
+type t = { ports : port_discipline; overlap : bool; link_contention : bool }
+
+let macro_dataflow = { ports = Unlimited; overlap = true; link_contention = false }
+let one_port = { macro_dataflow with ports = One_port_bidirectional }
+let one_port_unidirectional = { macro_dataflow with ports = One_port_unidirectional }
+let link_contention = { macro_dataflow with link_contention = true }
+let no_overlap m = { m with overlap = false }
+let with_link_contention m = { m with link_contention = true }
+let restricts_ports m = m.ports <> Unlimited
+
+let name m =
+  let base =
+    match m.ports with
+    | Unlimited -> "macro-dataflow"
+    | One_port_bidirectional -> "one-port"
+    | One_port_unidirectional -> "one-port-unidir"
+  in
+  let base = if m.link_contention then
+      (match m.ports with Unlimited -> "link-contention" | _ -> base ^ "+links")
+    else base
+  in
+  if m.overlap then base else base ^ "-no-overlap"
+
+let pp fmt m = Format.pp_print_string fmt (name m)
+let equal a b = a = b
+
+let all =
+  [
+    macro_dataflow;
+    one_port;
+    one_port_unidirectional;
+    link_contention;
+    with_link_contention one_port;
+    no_overlap one_port;
+    no_overlap one_port_unidirectional;
+  ]
+
+let of_name s =
+  match List.find_opt (fun m -> name m = s) all with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Comm_model.of_name: unknown model %S" s)

@@ -1,0 +1,65 @@
+(** Communication-resource models.
+
+    The paper contrasts the classical {e macro-dataflow} model — where a
+    processor may exchange any number of messages simultaneously — with the
+    {e bi-directional one-port} model (§2.3): at any time-step a processor
+    sends to at most one processor and receives from at most one, with
+    sending and receiving independent of each other and overlappable with
+    computation.  §2.3 also names the variants we expose: uni-directional
+    ports (send and receive share the single port) and the removal of
+    communication/computation overlap. *)
+
+type port_discipline =
+  | Unlimited  (** macro-dataflow: no port resource is ever busy *)
+  | One_port_bidirectional
+      (** one send port and one independent receive port per processor *)
+  | One_port_unidirectional
+      (** a single port serving both directions: a processor either sends
+          or receives at any time-step *)
+
+type t = {
+  ports : port_discipline;
+  overlap : bool;
+      (** [true]: communication overlaps computation (the paper's default);
+          [false]: a communication also occupies the processor's compute
+          resource on both ends. *)
+  link_contention : bool;
+      (** [true]: each {e direct link} carries at most one message at a
+          time (half-duplex), the §2.2 Sinnen–Sousa restriction; matters
+          on sparse routed topologies where several routes share a link.
+          Orthogonal to the port discipline. *)
+}
+
+(** The standard macro-dataflow model (§2.1). *)
+val macro_dataflow : t
+
+(** The paper's model: bi-directional one-port with overlap (§2.3). *)
+val one_port : t
+
+(** Uni-directional one-port with overlap (the Hollermann/Hsu-style variant
+    discussed in §2.2). *)
+val one_port_unidirectional : t
+
+(** The §2.2 contention model of Sinnen & Sousa: unrestricted ports but
+    one message per link at a time over a statically-routed network. *)
+val link_contention : t
+
+(** [no_overlap m] switches off communication/computation overlap. *)
+val no_overlap : t -> t
+
+(** [with_link_contention m] adds the per-link restriction to any model. *)
+val with_link_contention : t -> t
+
+(** [restricts_ports m] is [false] exactly for {!Unlimited} disciplines. *)
+val restricts_ports : t -> bool
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+(** All models, for registries and sweeps. *)
+val all : t list
+
+(** [of_name s] inverts {!name}.
+    @raise Invalid_argument on an unknown name. *)
+val of_name : string -> t

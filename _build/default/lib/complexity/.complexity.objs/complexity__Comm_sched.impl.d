@@ -1,0 +1,1 @@
+lib/complexity/comm_sched.ml: Array Commmodel Fun List Platform Sched Taskgraph Two_partition

@@ -1,0 +1,1 @@
+lib/complexity/fork_sched.ml: Array Commmodel Heuristics List Platform Sched Taskgraph Testbeds Two_partition

@@ -1,0 +1,1 @@
+lib/complexity/fork_sched.mli: Platform Sched Taskgraph Two_partition

@@ -1,0 +1,1 @@
+lib/complexity/two_partition.ml: Array List Prelude

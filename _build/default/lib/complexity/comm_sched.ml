@@ -1,0 +1,108 @@
+module Graph = Taskgraph.Graph
+module Schedule = Sched.Schedule
+
+type t = {
+  instance : Two_partition.t;
+  graph : Taskgraph.Graph.t;
+  alloc : int array;
+  time_bound : float;
+}
+
+(* Task ids: v0 = 0; fork children v_i = i (1..n); receivers v_{n+i};
+   senders v_{2n+i}.  Processors: P_0..P_n host v_0, the fork children and
+   the receivers; P_{n+i} hosts sender v_{2n+i}. *)
+let reduce instance =
+  let n = Two_partition.n instance in
+  let items = Two_partition.items instance in
+  let s = Two_partition.total instance / 2 in
+  let weights = Array.make ((3 * n) + 1) 0. in
+  let fork_edges =
+    List.init n (fun i -> (0, i + 1, float_of_int items.(i)))
+  in
+  let pair_edges =
+    List.init n (fun i -> ((2 * n) + 1 + i, n + 1 + i, float_of_int s))
+  in
+  let graph =
+    Graph.create ~name:"comm-sched" ~weights ~edges:(fork_edges @ pair_edges) ()
+  in
+  let alloc =
+    Array.init ((3 * n) + 1) (fun v ->
+        if v = 0 then 0
+        else if v <= n then v (* v_i on P_i *)
+        else if v <= 2 * n then v - n (* v_{n+i} on P_i *)
+        else v - n (* v_{2n+i} on P_{n+i} *))
+  in
+  { instance; graph; alloc; time_bound = float_of_int (2 * s) }
+
+let platform t =
+  Platform.homogeneous ~p:((2 * Two_partition.n t.instance) + 1) ~link_cost:1.
+
+let schedule_of_partition t ~a1 =
+  let n = Two_partition.n t.instance in
+  let s = float_of_int (Two_partition.total t.instance / 2) in
+  let plat = platform t in
+  let sched =
+    Schedule.create ~graph:t.graph ~platform:plat
+      ~model:Commmodel.Comm_model.one_port ()
+  in
+  let in_a1 = Array.make n false in
+  List.iter (fun i -> in_a1.(i) <- true) a1;
+  Schedule.place_task sched ~task:0 ~proc:0 ~start:0.;
+  (* P0's a_i-messages: A1 back to back from 0, A2 back to back from S. *)
+  let clock_first = ref 0. and clock_second = ref s in
+  let edge_of ~src ~dst =
+    match Graph.find_edge t.graph ~src ~dst with
+    | Some e -> e.Graph.id
+    | None -> assert false
+  in
+  for i = 0 to n - 1 do
+    let child = i + 1 in
+    let clock = if in_a1.(i) then clock_first else clock_second in
+    let arrival =
+      Schedule.add_comm sched
+        ~edge:(edge_of ~src:0 ~dst:child)
+        ~src_proc:0 ~dst_proc:t.alloc.(child) ~start:!clock
+    in
+    clock := arrival;
+    Schedule.place_task sched ~task:child ~proc:t.alloc.(child) ~start:arrival;
+    (* The S-message to the same processor occupies the other half. *)
+    let sender = (2 * n) + 1 + i and receiver = n + 1 + i in
+    let s_start = if in_a1.(i) then s else 0. in
+    Schedule.place_task sched ~task:sender ~proc:t.alloc.(sender) ~start:0.;
+    let s_arrival =
+      Schedule.add_comm sched
+        ~edge:(edge_of ~src:sender ~dst:receiver)
+        ~src_proc:t.alloc.(sender) ~dst_proc:t.alloc.(receiver) ~start:s_start
+    in
+    Schedule.place_task sched ~task:receiver ~proc:t.alloc.(receiver)
+      ~start:s_arrival
+  done;
+  sched
+
+(* Feasibility given the fixed allocation: choose a back-to-back order of
+   P0's sends; processor P_i then needs room for its S-message entirely
+   before or after its a_i-message within [0, 2S]. *)
+let decide t =
+  let n = Two_partition.n t.instance in
+  if n > 8 then invalid_arg "Comm_sched.decide: n > 8";
+  let items = Two_partition.items t.instance in
+  let total = Two_partition.total t.instance in
+  if total mod 2 <> 0 then false
+  else begin
+    let s = float_of_int (total / 2) in
+    let rec feasible order_pool prefix =
+      if order_pool = [] then true
+      else
+        List.exists
+          (fun i ->
+            let start = prefix in
+            let finish = prefix +. float_of_int items.(i) in
+            (* each message must sit entirely in one half of [0, 2S] *)
+            let in_first_half = finish <= s in
+            let in_second_half = start >= s && finish <= 2. *. s in
+            (in_first_half || in_second_half)
+            && feasible (List.filter (( <> ) i) order_pool) finish)
+          order_pool
+    in
+    feasible (List.init n Fun.id) 0.
+  end

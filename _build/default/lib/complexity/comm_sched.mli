@@ -1,0 +1,42 @@
+(** The Theorem 2 reduction: 2-PARTITION → COMM-SCHED (Appendix).
+
+    COMM-SCHED fixes the allocation and asks only for a feasible ordering
+    of communications — the problem ILHA's third-step variant faces after
+    its two scans.  The construction: a fork [v_0 → v_1..v_n] (volumes
+    [a_i]) with [v_0] on [P_0] and [v_i] on [P_i], plus [n] separate pairs
+    [v_{2n+i} → v_{n+i}] of volume [S] with [v_{2n+i}] on [P_{n+i}] and
+    [v_{n+i}] on [P_i]; all execution times are zero.
+
+    Feasibility within the bound forces every [a_i]-message through
+    [P_0]'s send port with no idle and every [S]-message to fit entirely
+    before or after [P_i]'s [a_i]-message — i.e. the [a_i] split into two
+    halves of sum [S]: exactly 2-PARTITION.
+
+    {b Reproduction note.}  The paper prints the bound as [T = S], but its
+    own forward construction keeps [P_0] sending during [[0, 2S]]; the
+    consistent bound is [T = 2S], which we use (with all zero execution
+    times the makespan equals the last arrival). *)
+
+type t = {
+  instance : Two_partition.t;
+  graph : Taskgraph.Graph.t;
+  alloc : int array;  (** fixed processor of every task *)
+  time_bound : float;  (** 2S *)
+}
+
+val reduce : Two_partition.t -> t
+
+(** [2n + 1] same-speed processors, unit links. *)
+val platform : t -> Platform.t
+
+(** The proof's forward construction from a solution [a1] (0-based item
+    indices): [P_0] sends the [A_1] messages back to back in [[0, S]] and
+    the [A_2] messages in [[S, 2S]]; the [S]-messages of [A_1]-processors
+    occupy [[S, 2S]] and those of [A_2]-processors [[0, S]].  Returns a
+    complete one-port schedule honouring [alloc]. *)
+val schedule_of_partition : t -> a1:int list -> Sched.Schedule.t
+
+(** [decide t] — exhaustive over back-to-back send orders of [P_0]
+    (feasibility within [2S] forbids idling, so this is exact).  Small [n]
+    only ([n <= 8]). *)
+val decide : t -> bool

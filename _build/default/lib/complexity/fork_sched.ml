@@ -1,0 +1,100 @@
+module Schedule = Sched.Schedule
+module Fork = Testbeds.Fork
+module Fork_exact = Heuristics.Fork_exact
+
+type t = {
+  instance : Two_partition.t;
+  graph : Taskgraph.Graph.t;
+  time_bound : float;
+}
+
+(* Child weights of the constructed fork: w_i = 10 (M + a_i + 1) for the
+   original items, then three closing children of weight 10 (M + m) + 1. *)
+let child_weights instance =
+  let items = Two_partition.items instance in
+  let m_max = Array.fold_left max items.(0) items in
+  let m_min = Array.fold_left min items.(0) items in
+  let wmin = float_of_int ((10 * (m_max + m_min)) + 1) in
+  let originals =
+    Array.map (fun a -> float_of_int (10 * (m_max + a + 1))) items
+  in
+  Array.append originals [| wmin; wmin; wmin |]
+
+let reduce instance =
+  let weights = child_weights instance in
+  let n = Two_partition.n instance in
+  let wmin = weights.(n) in
+  let half_original =
+    Array.fold_left ( +. ) 0. (Array.sub weights 0 n) /. 2.
+  in
+  let time_bound = half_original +. (2. *. wmin) in
+  let graph =
+    Fork.of_weights ~parent_weight:0. ~child_weights:weights
+      ~child_data:(Array.copy weights)
+  in
+  { instance; graph; time_bound }
+
+let shifted_instance t =
+  let items = Two_partition.items t.instance in
+  let m_max = Array.fold_left max items.(0) items in
+  Two_partition.create (Array.map (fun a -> m_max + a + 1) items)
+
+let platform t =
+  Platform.homogeneous ~p:(Taskgraph.Graph.n_tasks t.graph) ~link_cost:1.
+
+(* The proof's forward construction.  Children are 1-based tasks in the
+   fork graph; [a1] holds 0-based item indices (the proof's A_1). *)
+let schedule_of_partition t ~a1 =
+  let g = t.graph in
+  let plat = platform t in
+  let n = Two_partition.n t.instance in
+  let n_children = n + 3 in
+  let sched =
+    Schedule.create ~graph:g ~platform:plat ~model:Commmodel.Comm_model.one_port ()
+  in
+  (* P0: parent (weight 0) at time 0, then the A1 children and the first
+     two closing children, back to back. *)
+  Schedule.place_task sched ~task:0 ~proc:0 ~start:0.;
+  let on_p0 =
+    List.sort compare (List.map (fun i -> i + 1) a1) @ [ n + 1; n + 2 ]
+  in
+  let clock = ref 0. in
+  List.iter
+    (fun child ->
+      Schedule.place_task sched ~task:child ~proc:0 ~start:!clock;
+      clock := Schedule.finish_of_exn sched child)
+    on_p0;
+  (* Remote children: everyone else, one processor each; messages leave P0
+     back to back by increasing index, child n+3 last. *)
+  let remote =
+    List.filter
+      (fun c -> not (List.mem c on_p0))
+      (List.init n_children (fun i -> i + 1))
+  in
+  let remote = List.sort compare remote in
+  let remote =
+    (* make sure the last closing child is sent last, as in the proof *)
+    List.filter (fun c -> c <> n + 3) remote @ [ n + 3 ]
+  in
+  let send_clock = ref 0. in
+  List.iteri
+    (fun k child ->
+      let proc = k + 1 in
+      let edge =
+        match Taskgraph.Graph.find_edge g ~src:0 ~dst:child with
+        | Some e -> e.Taskgraph.Graph.id
+        | None -> assert false
+      in
+      let arrival =
+        Schedule.add_comm sched ~edge ~src_proc:0 ~dst_proc:proc ~start:!send_clock
+      in
+      send_clock := arrival;
+      Schedule.place_task sched ~task:child ~proc ~start:arrival)
+    remote;
+  sched
+
+let decide t =
+  match Fork_exact.of_graph t.graph with
+  | None -> assert false
+  | Some inst ->
+      Fork_exact.optimal_makespan inst <= t.time_bound +. 1e-6

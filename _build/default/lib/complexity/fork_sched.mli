@@ -1,0 +1,58 @@
+(** The Theorem 1 reduction: 2-PARTITION → FORK-SCHED (§3).
+
+    From integers [a_1..a_n] build a fork graph of [N = n + 3] children on
+    unlimited same-speed processors with a fully homogeneous network:
+
+    - parent weight [w_0 = 0];
+    - [w_i = 10 (M + a_i + 1)] for the first [n] children
+      ([M = max a_i]);
+    - three closing children of weight [w_min = 10 (M + m) + 1]
+      ([m = min a_i]);
+    - message volumes [d_i = w_i];
+    - time bound [T = (1/2) sum w_i + 2 w_min] (sum over the first [n]).
+
+    {b Reproduction note.}  Taken literally, the construction encodes
+    2-PARTITION of the {e shifted} items [M + a_i + 1], not of the
+    originals: a schedule meeting [T] forces [P_0]'s load to be exactly
+    [T] with exactly two closing children (the proof's mod-10 argument),
+    i.e. [sum over A_1 of (M + a_i + 1) = (1/2) sum (M + a_i + 1)] — but
+    because each [w_i] carries the [10 (M + 1)] offset, that equation can
+    hold with [sum over A_1 of a_i <> S] when [|A_1| <> n/2] (e.g. items
+    [8 5 9 1 1]: shifted halves [18+19 = 15+11+11] yet no 2-partition).
+    A {e balanced} solution of the original instance always induces one of
+    the shifted instance, so NP-hardness survives via the balanced
+    variant.  The property tests pin the exact equivalence
+    (decide ⟺ shifted 2-PARTITION, checked with an exact fork solver) and
+    the implication (balanced original ⟹ constructive schedule in bound);
+    EXPERIMENTS.md records the finding. *)
+
+type t = {
+  instance : Two_partition.t;
+  graph : Taskgraph.Graph.t;
+  time_bound : float;
+}
+
+val reduce : Two_partition.t -> t
+
+(** The 2-PARTITION instance the construction literally encodes: items
+    [M + a_i + 1] (see the reproduction note above).  [decide] is
+    equivalent to this instance's solvability. *)
+val shifted_instance : t -> Two_partition.t
+
+(** The platform of the reduction: one same-speed processor per task, unit
+    links (that is enough — more processors never help a fork). *)
+val platform : t -> Platform.t
+
+(** [schedule_of_partition t ~a1] — the constructive schedule of the
+    proof's forward direction (valid and within the bound when [a1] is a
+    balanced solution): [P_0] runs the parent, the [a1] children and two
+    closing children; every other child gets its own processor; messages
+    leave [P_0] back to back, the third closing child last.  The result is
+    a real {!Sched.Schedule.t} under the one-port model — callers can
+    revalidate it with {!Sched.Validate}. *)
+val schedule_of_partition : t -> a1:int list -> Sched.Schedule.t
+
+(** [decide t] — is there a one-port schedule meeting the bound?  Exact
+    enumeration via {!Heuristics.Fork_exact}; use only for small [n].
+    @raise Invalid_argument beyond 8 children (i.e. [n > 5]). *)
+val decide : t -> bool

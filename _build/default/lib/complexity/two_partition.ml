@@ -1,0 +1,88 @@
+type t = { items : int array }
+
+let create items =
+  if Array.length items = 0 then invalid_arg "Two_partition.create: empty";
+  Array.iter
+    (fun a -> if a <= 0 then invalid_arg "Two_partition.create: non-positive item")
+    items;
+  { items = Array.copy items }
+
+let n t = Array.length t.items
+let total t = Array.fold_left ( + ) 0 t.items
+let items t = Array.copy t.items
+
+(* Subset-sum DP over reachable sums; [from.(s)] records the item that
+   first reached sum [s] so a witness can be rebuilt. *)
+let solve t =
+  let total = total t in
+  if total mod 2 <> 0 then None
+  else begin
+    let half = total / 2 in
+    let from = Array.make (half + 1) (-2) in
+    from.(0) <- -1;
+    Array.iteri
+      (fun i a ->
+        for s = half downto a do
+          if from.(s) = -2 && from.(s - a) <> -2 && from.(s - a) <> i then
+            from.(s) <- i
+        done)
+      t.items;
+    if from.(half) = -2 then None
+    else begin
+      (* Walk back through the DP.  Because an item can only extend sums
+         recorded before it was processed, following [from] never reuses an
+         item. *)
+      let rec walk s acc =
+        if s = 0 then acc else walk (s - t.items.(from.(s))) (from.(s) :: acc)
+      in
+      Some (walk half [])
+    end
+  end
+
+let is_solvable t = solve t <> None
+
+let solve_balanced t =
+  let total = total t in
+  let size = n t in
+  if total mod 2 <> 0 || size mod 2 <> 0 then None
+  else begin
+    let half = total / 2 and k = size / 2 in
+    (* reach.(c).(s): item index that reached (count c, sum s), or -2. *)
+    let reach = Array.make_matrix (k + 1) (half + 1) (-2) in
+    reach.(0).(0) <- -1;
+    Array.iteri
+      (fun i a ->
+        for c = min k (i + 1) downto 1 do
+          for s = half downto a do
+            if reach.(c).(s) = -2 && reach.(c - 1).(s - a) <> -2 then begin
+              (* Only extend states built from earlier items. *)
+              let prev = reach.(c - 1).(s - a) in
+              if prev < i then reach.(c).(s) <- i
+            end
+          done
+        done)
+      t.items;
+    if reach.(k).(half) = -2 then None
+    else begin
+      let rec walk c s acc =
+        if c = 0 then acc
+        else begin
+          let i = reach.(c).(s) in
+          walk (c - 1) (s - t.items.(i)) (i :: acc)
+        end
+      in
+      Some (walk k half [])
+    end
+  end
+
+let is_balanced_solvable t = solve_balanced t <> None
+
+let verify t indices =
+  let total = total t in
+  total mod 2 = 0
+  && List.sort_uniq compare indices = List.sort compare indices
+  && List.for_all (fun i -> i >= 0 && i < n t) indices
+  && 2 * List.fold_left (fun acc i -> acc + t.items.(i)) 0 indices = total
+
+let random rng ~n ~max_item =
+  create (Array.init n (fun _ -> Prelude.Rng.int_in rng 1 max_item))

@@ -1,0 +1,36 @@
+(** 2-PARTITION instances and pseudo-polynomial solvers.
+
+    The source problem of both reductions (§3 and the Appendix): given
+    positive integers [a_1..a_n], split the index set into two halves of
+    equal sum.  The {e balanced} variant additionally demands the halves
+    have equal cardinality; it is also NP-complete, and it is the variant
+    the Theorem 1 construction actually encodes (see {!Fork_sched}). *)
+
+type t = { items : int array }
+
+(** @raise Invalid_argument on non-positive items or an empty array. *)
+val create : int array -> t
+
+val n : t -> int
+val total : t -> int
+
+(** A copy of the instance's items. *)
+val items : t -> int array
+
+(** [solve t] — indices of one half summing to [total/2], if any (dynamic
+    programming over sums, with parent tracking; [O(n * total)]). *)
+val solve : t -> int list option
+
+val is_solvable : t -> bool
+
+(** [solve_balanced t] — a half of cardinality [n/2] summing to [total/2],
+    if any ([O(n^2 * total)] DP); [None] whenever [n] is odd. *)
+val solve_balanced : t -> int list option
+
+val is_balanced_solvable : t -> bool
+
+(** [verify t indices] — do these indices sum to exactly half? *)
+val verify : t -> int list -> bool
+
+(** Random instance with items in [[1, max_item]]. *)
+val random : Prelude.Rng.t -> n:int -> max_item:int -> t

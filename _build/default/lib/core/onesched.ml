@@ -1,0 +1,101 @@
+(** One-port task-graph scheduling with heterogeneous processors.
+
+    Umbrella module re-exporting the public API of the whole library —
+    the reproduction of Beaumont, Boudet & Robert, "A Realistic Model and
+    an Efficient Heuristic for Scheduling with Heterogeneous Processors"
+    (IPDPS 2002).  Typical use:
+
+    {[
+      let graph = Onesched.Kernels.lu ~n:100 ~ccr:10. in
+      let platform = Onesched.Platform.paper_platform () in
+      let sched =
+        Onesched.Ilha.schedule ~b:4 ~model:Onesched.Comm_model.one_port
+          platform graph
+      in
+      Format.printf "%a@." Onesched.Metrics.pp (Onesched.Metrics.compute sched)
+    ]}
+
+    Layers (bottom to top):
+    - application model: {!Graph}, {!Levels}, {!Analysis}, {!Generators},
+      {!Dot};
+    - target model: {!Platform}, {!Comm_model};
+    - schedules: {!Schedule}, {!Resource}, {!Validate}, {!Gantt},
+      {!Metrics}, {!Bounds}, {!Export};
+    - heuristics: {!Ranking}, {!Load_balance}, {!Engine}, {!Heft},
+      {!Ilha}, {!Cpop}, {!Pct}, {!Bil}, {!Gdl}, {!Etf}, {!Auto_b},
+      {!Refine}, {!Fork_exact}, {!Search}, {!Registry};
+    - testbeds: {!Kernels}, {!Fork}, {!Toy}, {!Suite};
+    - complexity: {!Two_partition}, {!Fork_sched}, {!Comm_sched};
+    - analysis/robustness: {!Pert}, {!Robustness}, {!Utilization};
+    - experiments: {!Config}, {!Runner}, {!Figures}. *)
+
+(* Application model *)
+module Graph = Taskgraph.Graph
+module Levels = Taskgraph.Levels
+module Analysis = Taskgraph.Analysis
+module Generators = Taskgraph.Generators
+module Dot = Taskgraph.Dot
+module Graph_io = Taskgraph.Io
+
+(* Target model *)
+module Platform = Platform
+module Comm_model = Commmodel.Comm_model
+
+(* Schedules *)
+module Schedule = Sched.Schedule
+module Resource = Sched.Resource
+module Validate = Sched.Validate
+module Gantt = Sched.Gantt
+module Metrics = Sched.Metrics
+module Bounds = Sched.Bounds
+module Compare = Sched.Compare
+module Export = Sched.Export
+module Svg = Sched.Svg
+
+(* Heuristics *)
+module Ranking = Heuristics.Ranking
+module Load_balance = Heuristics.Load_balance
+module Engine = Heuristics.Engine
+module Heft = Heuristics.Heft
+module Ilha = Heuristics.Ilha
+module Cpop = Heuristics.Cpop
+module Pct = Heuristics.Pct
+module Bil = Heuristics.Bil
+module Gdl = Heuristics.Gdl
+module Etf = Heuristics.Etf
+module Auto_b = Heuristics.Auto_b
+module Refine = Heuristics.Refine
+module Fork_exact = Heuristics.Fork_exact
+module Anneal = Heuristics.Anneal
+module Unrelated = Heuristics.Unrelated
+module Search = Heuristics.Search
+module Registry = Heuristics.Registry
+
+(* Testbeds *)
+module Kernels = Testbeds.Kernels
+module Fork = Testbeds.Fork
+module Toy = Testbeds.Toy
+module Suite = Testbeds.Suite
+
+(* Complexity *)
+module Two_partition = Complexity.Two_partition
+module Fork_sched = Complexity.Fork_sched
+module Comm_sched = Complexity.Comm_sched
+
+(* Replay and robustness *)
+module Pert = Simkit.Pert
+module Robustness = Simkit.Robustness
+module Utilization = Simkit.Utilization
+module Executor = Simkit.Executor
+
+(* Experiments *)
+module Config = Experiments.Config
+module Runner = Experiments.Runner
+module Figures = Experiments.Figures
+module Batch = Experiments.Batch
+module Plot = Experiments.Plot
+
+(* Supporting containers *)
+module Timeline = Prelude.Timeline
+module Rng = Prelude.Rng
+module Table = Prelude.Table

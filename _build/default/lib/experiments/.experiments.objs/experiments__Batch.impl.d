@@ -1,0 +1,1 @@
+lib/experiments/batch.ml: Buffer Config Heuristics List Printf Runner Testbeds

@@ -1,0 +1,1 @@
+lib/experiments/config.ml: Commmodel Float Heuristics List Platform

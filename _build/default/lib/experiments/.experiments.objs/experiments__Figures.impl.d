@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Array Buffer Commmodel Complexity Config Heuristics List Platform Plot Prelude Printf Rng Runner Sched Simkit Stats String Table Taskgraph Testbeds

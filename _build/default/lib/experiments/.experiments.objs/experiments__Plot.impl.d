@@ -1,0 +1,1 @@
+lib/experiments/plot.ml: Array Buffer Bytes List Printf String

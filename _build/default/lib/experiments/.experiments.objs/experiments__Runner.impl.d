@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Commmodel Config Heuristics List Prelude Printf Sched String Sys Taskgraph Testbeds

@@ -1,0 +1,1 @@
+lib/experiments/runner.mli: Config Heuristics Prelude Taskgraph Testbeds

@@ -1,0 +1,54 @@
+module Registry = Heuristics.Registry
+module Suite = Testbeds.Suite
+
+type spec = {
+  heuristics : Registry.entry list;
+  testbeds : Suite.t list;
+  sizes : int list;
+  use_paper_b : bool;
+}
+
+let default_spec (cfg : Config.t) =
+  {
+    heuristics = List.filter (fun e -> e.Registry.scalable) Registry.all;
+    testbeds = Suite.all;
+    sizes = cfg.sizes;
+    use_paper_b = true;
+  }
+
+(* Only the plain ILHA entry takes the per-testbed paper B; parameterised
+   variants (ilha[...]) and ilha-auto keep their own chunk logic. *)
+let is_ilha entry = entry.Registry.name = "ilha"
+
+let run cfg spec =
+  List.concat_map
+    (fun testbed ->
+      List.concat_map
+        (fun n ->
+          let n = max n testbed.Suite.min_n in
+          List.map
+            (fun entry ->
+              let b =
+                if spec.use_paper_b && is_ilha entry then
+                  Some testbed.Suite.paper_b
+                else None
+              in
+              Runner.run cfg ~testbed ~n ~heuristic:entry ?b ())
+            spec.heuristics)
+        spec.sizes)
+    spec.testbeds
+
+let to_csv rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "testbed,n,heuristic,model,b,makespan,speedup,comms,comm_time,wall_s,valid\n";
+  List.iter
+    (fun (r : Runner.row) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%s,%s,%s,%.17g,%.6f,%d,%.17g,%.4f,%b\n"
+           r.Runner.testbed r.Runner.n r.Runner.heuristic r.Runner.model
+           (match r.Runner.b with Some b -> string_of_int b | None -> "")
+           r.Runner.makespan r.Runner.speedup r.Runner.n_comms
+           r.Runner.comm_time r.Runner.wall_s r.Runner.valid))
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** Batch grids: run (heuristic × testbed × size) sweeps and collect rows
+    for CSV export — the bulk-data companion to the curated {!Figures}
+    (plotting scripts consume the CSV; the figures print curated views). *)
+
+type spec = {
+  heuristics : Heuristics.Registry.entry list;
+  testbeds : Testbeds.Suite.t list;
+  sizes : int list;
+  use_paper_b : bool;
+      (** give ILHA each testbed's §5.3 chunk size (default true) *)
+}
+
+(** Everything at the configuration's sizes. *)
+val default_spec : Config.t -> spec
+
+(** [run cfg spec] — rows in deterministic order (testbed-major, then
+    size, then heuristic). *)
+val run : Config.t -> spec -> Runner.row list
+
+(** CSV with a header row; columns match {!Runner.row}. *)
+val to_csv : Runner.row list -> string

@@ -1,0 +1,22 @@
+type t = {
+  platform : Platform.t;
+  model : Commmodel.Comm_model.t;
+  ccr : float;
+  policy : Heuristics.Engine.policy;
+  sizes : int list;
+  seed : int;
+}
+
+let paper ?(scale = 1.) () =
+  let size s = max 2 (int_of_float (Float.round (scale *. float_of_int s))) in
+  {
+    platform = Platform.paper_platform ();
+    model = Commmodel.Comm_model.one_port;
+    ccr = 10.;
+    policy = Heuristics.Engine.Insertion;
+    sizes = List.map size [ 100; 200; 300; 400; 500 ];
+    seed = 42;
+  }
+
+let with_model t model = { t with model }
+let with_sizes t sizes = { t with sizes }

@@ -1,0 +1,53 @@
+let render ?(width = 60) ?(height = 16) ?(y_from_zero = true) ~x_label ~y_label
+    series =
+  let points = List.concat_map snd series in
+  if points = [] then invalid_arg "Plot.render: no points";
+  let xs = List.map fst points and ys = List.map snd points in
+  let x_min = List.fold_left min (List.hd xs) xs in
+  let x_max = List.fold_left max (List.hd xs) xs in
+  let y_min =
+    if y_from_zero then 0. else List.fold_left min (List.hd ys) ys
+  in
+  let y_max = List.fold_left max (List.hd ys) ys in
+  let x_span = max (x_max -. x_min) 1e-9 in
+  let y_span = max (y_max -. y_min) 1e-9 in
+  let grid = Array.init height (fun _ -> Bytes.make width ' ') in
+  let plot_x x =
+    min (width - 1) (int_of_float ((x -. x_min) /. x_span *. float_of_int (width - 1)))
+  in
+  let plot_y y =
+    (* row 0 is the top of the chart *)
+    let r = int_of_float ((y -. y_min) /. y_span *. float_of_int (height - 1)) in
+    height - 1 - min (height - 1) (max 0 r)
+  in
+  List.iter
+    (fun (name, pts) ->
+      let marker = if name = "" then '?' else name.[0] in
+      List.iter
+        (fun (x, y) ->
+          let c = plot_x x and r = plot_y y in
+          let cell = Bytes.get grid.(r) c in
+          Bytes.set grid.(r) c (if cell = ' ' || cell = marker then marker else '*'))
+        pts)
+    series;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s vs %s   (markers: %s; * = overlap)\n" y_label x_label
+       (String.concat ", "
+          (List.map (fun (n, _) -> Printf.sprintf "%c=%s" n.[0] n) series)));
+  Array.iteri
+    (fun r row ->
+      let y_here =
+        y_max -. (float_of_int r /. float_of_int (height - 1) *. y_span)
+      in
+      let label =
+        if r = 0 || r = height - 1 || r = (height - 1) / 2 then
+          Printf.sprintf "%8.2f " y_here
+        else String.make 9 ' '
+      in
+      Buffer.add_string buf (label ^ "|" ^ Bytes.to_string row ^ "\n"))
+    grid;
+  Buffer.add_string buf (String.make 9 ' ' ^ "+" ^ String.make width '-' ^ "\n");
+  Buffer.add_string buf
+    (Printf.sprintf "%9s %-8.6g%*s%8.6g\n" "" x_min (width - 16) "" x_max);
+  Buffer.contents buf

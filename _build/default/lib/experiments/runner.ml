@@ -1,0 +1,75 @@
+module Registry = Heuristics.Registry
+module Schedule = Sched.Schedule
+
+type row = {
+  testbed : string;
+  n : int;
+  heuristic : string;
+  model : string;
+  b : int option;
+  makespan : float;
+  speedup : float;
+  n_comms : int;
+  comm_time : float;
+  wall_s : float;
+  valid : bool;
+}
+
+let run_graph (cfg : Config.t) ~heuristic ?b g =
+  let is_ilha =
+    String.length heuristic.Registry.name >= 4
+    && String.sub heuristic.Registry.name 0 4 = "ilha"
+  in
+  let entry =
+    match b with
+    | Some b when is_ilha -> Registry.ilha_with ~b ()
+    | Some _ | None -> heuristic
+  in
+  let t0 = Sys.time () in
+  let sched =
+    entry.Registry.scheduler ~policy:cfg.policy ~model:cfg.model cfg.platform g
+  in
+  let wall_s = Sys.time () -. t0 in
+  let metrics = Sched.Metrics.compute sched in
+  {
+    testbed = Taskgraph.Graph.name g;
+    n = Taskgraph.Graph.n_tasks g;
+    heuristic = entry.Registry.name;
+    model = Commmodel.Comm_model.name cfg.model;
+    b;
+    makespan = metrics.Sched.Metrics.makespan;
+    speedup = metrics.Sched.Metrics.speedup;
+    n_comms = metrics.Sched.Metrics.n_comm_events;
+    comm_time = metrics.Sched.Metrics.total_comm_time;
+    wall_s;
+    valid = Sched.Validate.is_valid sched;
+  }
+
+let run cfg ~testbed ~n ~heuristic ?b () =
+  let g = testbed.Testbeds.Suite.build ~n ~ccr:cfg.Config.ccr in
+  let row = run_graph cfg ~heuristic ?b g in
+  { row with testbed = testbed.Testbeds.Suite.name; n }
+
+let table rows =
+  let t =
+    Prelude.Table.create
+      ~columns:
+        [ "testbed"; "n"; "heuristic"; "model"; "B"; "makespan"; "speedup";
+          "comms"; "valid" ]
+  in
+  List.iter
+    (fun r ->
+      Prelude.Table.add_row t
+        [
+          r.testbed;
+          string_of_int r.n;
+          r.heuristic;
+          r.model;
+          (match r.b with Some b -> string_of_int b | None -> "-");
+          Printf.sprintf "%.0f" r.makespan;
+          Printf.sprintf "%.3f" r.speedup;
+          string_of_int r.n_comms;
+          (if r.valid then "yes" else "NO");
+        ])
+    rows;
+  t

@@ -1,0 +1,36 @@
+(** Running heuristics on testbeds and collecting the paper's measurements. *)
+
+type row = {
+  testbed : string;
+  n : int;
+  heuristic : string;
+  model : string;
+  b : int option;  (** chunk size, for ILHA runs *)
+  makespan : float;
+  speedup : float;  (** fastest-processor sequential time / makespan *)
+  n_comms : int;
+  comm_time : float;
+  wall_s : float;  (** CPU seconds spent scheduling *)
+  valid : bool;  (** independent {!Sched.Validate} verdict *)
+}
+
+(** [run_graph cfg ~heuristic ?b g] — schedule [g] under the
+    configuration; [b] routes to ILHA's chunk size when the entry is ILHA
+    (ignored otherwise, [None] uses the entry as registered). *)
+val run_graph :
+  Config.t -> heuristic:Heuristics.Registry.entry -> ?b:int -> Taskgraph.Graph.t -> row
+
+(** [run cfg ~testbed ~n ~heuristic ?b ()] builds the testbed at size [n]
+    with the configuration's ccr and runs it. *)
+val run :
+  Config.t ->
+  testbed:Testbeds.Suite.t ->
+  n:int ->
+  heuristic:Heuristics.Registry.entry ->
+  ?b:int ->
+  unit ->
+  row
+
+(** Render rows as an aligned table (columns: testbed, n, heuristic, model,
+    B, makespan, speedup, comms, valid). *)
+val table : row list -> Prelude.Table.t

@@ -1,0 +1,1 @@
+lib/heuristics/anneal.ml: Array Platform Prelude Refine Rng Sched Taskgraph

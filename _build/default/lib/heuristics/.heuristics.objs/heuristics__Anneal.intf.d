@@ -1,0 +1,1 @@
+lib/heuristics/anneal.mli: Engine Sched

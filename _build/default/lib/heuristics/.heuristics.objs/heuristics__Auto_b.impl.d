@@ -1,0 +1,1 @@
+lib/heuristics/auto_b.ml: Ilha List Load_balance Platform Sched

@@ -1,0 +1,1 @@
+lib/heuristics/auto_b.mli: Commmodel Engine Platform Sched Taskgraph

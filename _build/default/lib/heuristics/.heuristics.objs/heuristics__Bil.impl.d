@@ -1,0 +1,1 @@
+lib/heuristics/bil.ml: Array Engine List_loop Platform Taskgraph

@@ -1,0 +1,1 @@
+lib/heuristics/bil.mli: Commmodel Engine Platform Sched Taskgraph

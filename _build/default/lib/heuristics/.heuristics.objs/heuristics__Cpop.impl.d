@@ -1,0 +1,1 @@
+lib/heuristics/cpop.ml: Array Engine List List_loop Platform Prelude Ranking Taskgraph

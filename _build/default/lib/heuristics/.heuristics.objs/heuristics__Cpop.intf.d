@@ -1,0 +1,1 @@
+lib/heuristics/cpop.mli: Commmodel Engine Platform Sched Taskgraph

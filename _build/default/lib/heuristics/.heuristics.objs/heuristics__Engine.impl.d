@@ -1,0 +1,1 @@
+lib/heuristics/engine.ml: Fun List Option Platform Prelude Sched Taskgraph Timeline

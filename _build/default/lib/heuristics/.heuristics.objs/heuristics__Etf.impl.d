@@ -1,0 +1,1 @@
+lib/heuristics/etf.ml: Array Engine List Platform Prelude Ranking Sched Taskgraph

@@ -1,0 +1,1 @@
+lib/heuristics/etf.mli: Commmodel Engine Platform Sched Taskgraph

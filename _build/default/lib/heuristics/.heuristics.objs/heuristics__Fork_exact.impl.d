@@ -1,0 +1,1 @@
+lib/heuristics/fork_exact.ml: Array Fun Hashtbl List Taskgraph

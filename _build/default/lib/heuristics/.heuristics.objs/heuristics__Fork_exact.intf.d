@@ -1,0 +1,1 @@
+lib/heuristics/fork_exact.mli: Taskgraph

@@ -1,0 +1,1 @@
+lib/heuristics/gdl.ml: Array Engine List Platform Ranking Sched Taskgraph

@@ -1,0 +1,1 @@
+lib/heuristics/gdl.mli: Commmodel Engine Platform Sched Taskgraph

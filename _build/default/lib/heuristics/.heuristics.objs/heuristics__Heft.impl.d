@@ -1,0 +1,1 @@
+lib/heuristics/heft.ml: List_loop Ranking

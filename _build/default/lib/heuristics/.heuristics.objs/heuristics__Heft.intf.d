@@ -1,0 +1,1 @@
+lib/heuristics/heft.mli: Commmodel Engine Platform Ranking Sched Taskgraph

@@ -1,0 +1,1 @@
+lib/heuristics/ilha.ml: Array Engine List Load_balance Platform Prelude Ranking Sched Taskgraph

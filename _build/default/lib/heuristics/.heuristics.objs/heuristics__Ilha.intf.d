@@ -1,0 +1,1 @@
+lib/heuristics/ilha.mli: Commmodel Engine Platform Sched Taskgraph

@@ -1,0 +1,1 @@
+lib/heuristics/list_loop.ml: Array Engine Prelude Ranking Sched Taskgraph

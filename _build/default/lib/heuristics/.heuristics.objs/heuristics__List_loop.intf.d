@@ -1,0 +1,1 @@
+lib/heuristics/list_loop.mli: Commmodel Engine Platform Sched Taskgraph

@@ -1,0 +1,1 @@
+lib/heuristics/load_balance.ml: Array Float List Platform Prelude Stats

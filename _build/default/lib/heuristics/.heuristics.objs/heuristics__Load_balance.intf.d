@@ -1,0 +1,1 @@
+lib/heuristics/load_balance.mli: Platform

@@ -1,0 +1,1 @@
+lib/heuristics/pct.ml: List_loop Ranking

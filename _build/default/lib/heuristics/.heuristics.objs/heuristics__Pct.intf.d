@@ -1,0 +1,1 @@
+lib/heuristics/pct.mli: Commmodel Engine Platform Sched Taskgraph

@@ -1,0 +1,1 @@
+lib/heuristics/ranking.ml: Array Platform Prelude Taskgraph

@@ -1,0 +1,1 @@
+lib/heuristics/ranking.mli: Platform Taskgraph

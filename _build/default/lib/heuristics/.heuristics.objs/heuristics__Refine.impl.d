@@ -1,0 +1,1 @@
+lib/heuristics/refine.ml: Array Engine Fun Hashtbl List List_loop Platform Prelude Ranking Sched Taskgraph

@@ -1,0 +1,1 @@
+lib/heuristics/refine.mli: Commmodel Engine Platform Sched Taskgraph

@@ -1,0 +1,1 @@
+lib/heuristics/registry.ml: Auto_b Bil Commmodel Cpop Engine Etf Gdl Heft Ilha List Pct Platform Printf Sched String Taskgraph

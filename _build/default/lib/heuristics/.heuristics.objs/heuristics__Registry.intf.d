@@ -1,0 +1,1 @@
+lib/heuristics/registry.mli: Commmodel Engine Ilha Platform Sched Taskgraph

@@ -1,0 +1,1 @@
+lib/heuristics/search.ml: Engine Heft List Platform Sched Taskgraph

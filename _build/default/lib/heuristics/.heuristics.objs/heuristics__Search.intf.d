@@ -1,0 +1,1 @@
+lib/heuristics/search.mli: Commmodel Engine Platform Sched Taskgraph

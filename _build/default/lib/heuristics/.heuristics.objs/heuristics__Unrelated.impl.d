@@ -1,0 +1,1 @@
+lib/heuristics/unrelated.ml: Array Engine Platform Prelude Ranking Sched Taskgraph

@@ -1,0 +1,1 @@
+lib/heuristics/unrelated.mli: Commmodel Engine Platform Sched Taskgraph

@@ -1,0 +1,76 @@
+open Prelude
+module Graph = Taskgraph.Graph
+module Schedule = Sched.Schedule
+
+type params = {
+  steps : int;
+  initial_temperature : float;
+  cooling : float;
+  seed : int;
+}
+
+let default_params =
+  { steps = 400; initial_temperature = 0.05; cooling = 0.99; seed = 2002 }
+
+type result = {
+  schedule : Sched.Schedule.t;
+  initial_makespan : float;
+  final_makespan : float;
+  accepted : int;
+  improved : int;
+}
+
+let improve ?policy ?(params = default_params) sched0 =
+  if params.steps < 0 then invalid_arg "Anneal.improve: negative steps";
+  let g = Schedule.graph sched0 in
+  let plat = Schedule.platform sched0 in
+  let model = Schedule.model sched0 in
+  let n = Graph.n_tasks g in
+  let p = Platform.p plat in
+  let rng = Rng.create ~seed:params.seed in
+  let alloc = Array.init n (fun v -> Schedule.proc_of_exn sched0 v) in
+  let rebuild () = Refine.rebuild ?policy ~alloc:(fun v -> alloc.(v)) ~model plat g in
+  let initial_makespan = Schedule.makespan sched0 in
+  let current_sched = ref (rebuild ()) in
+  let current = ref (Schedule.makespan !current_sched) in
+  let best_sched = ref !current_sched in
+  let best = ref !current in
+  if initial_makespan < !best then begin
+    best_sched := sched0;
+    best := initial_makespan
+  end;
+  let temperature = ref (params.initial_temperature *. initial_makespan) in
+  let accepted = ref 0 and improved = ref 0 in
+  if n > 0 && p > 1 then
+    for _ = 1 to params.steps do
+      let v = Rng.int rng n in
+      let old_proc = alloc.(v) in
+      let new_proc = (old_proc + 1 + Rng.int rng (p - 1)) mod p in
+      alloc.(v) <- new_proc;
+      let sched = rebuild () in
+      let m = Schedule.makespan sched in
+      let delta = m -. !current in
+      let accept =
+        delta <= 0.
+        || (!temperature > 0. && Rng.float rng 1. < exp (-.delta /. !temperature))
+      in
+      if accept then begin
+        incr accepted;
+        current := m;
+        current_sched := sched;
+        if m < !best -. 1e-9 then begin
+          best := m;
+          best_sched := sched;
+          incr improved
+        end
+      end
+      else alloc.(v) <- old_proc;
+      temperature := !temperature *. params.cooling
+    done;
+  {
+    schedule = !best_sched;
+    initial_makespan;
+    final_makespan = !best;
+    accepted = !accepted;
+    improved = !improved;
+  }

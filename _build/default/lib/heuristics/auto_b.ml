@@ -1,0 +1,40 @@
+module Schedule = Sched.Schedule
+
+type result = {
+  best_b : int;
+  best_makespan : float;
+  trials : (int * float) list;
+}
+
+let candidates plat =
+  let p = Platform.p plat in
+  let m =
+    match Load_balance.perfect_chunk plat with
+    | m -> m
+    | exception Invalid_argument _ -> 4 * p
+  in
+  let top = max m p in
+  (* geometric ladder 1, 2, 4, ... plus the landmarks *)
+  let rec ladder b acc = if b > top then acc else ladder (2 * b) (b :: acc) in
+  List.sort_uniq compare (ladder 1 [ p; m; top; (m / 2) + 1 ] |> List.filter (fun b -> b >= 1))
+
+let search ?policy ?candidates:cands ~model plat g =
+  let cands = match cands with Some c -> List.sort_uniq compare c | None -> candidates plat in
+  if cands = [] then invalid_arg "Auto_b.search: no candidates";
+  let trials =
+    List.map
+      (fun b ->
+        let sched = Ilha.schedule ?policy ~b ~model plat g in
+        (b, Schedule.makespan sched))
+      cands
+  in
+  let best_b, best_makespan =
+    List.fold_left
+      (fun (bb, bm) (b, m) -> if m < bm -. 1e-12 then (b, m) else (bb, bm))
+      (List.hd trials) (List.tl trials)
+  in
+  { best_b; best_makespan; trials }
+
+let schedule ?policy ?candidates ~model plat g =
+  let r = search ?policy ?candidates ~model plat g in
+  Ilha.schedule ?policy ~b:r.best_b ~model plat g

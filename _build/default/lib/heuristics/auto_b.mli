@@ -1,0 +1,40 @@
+(** Automated chunk-size selection for ILHA.
+
+    §5.3: "the best results for ILHA have been obtained by trying several
+    values for B.  Unfortunately, we have not found any systematic
+    technique to predict the optimal value" — but the search space is
+    bounded: [1 .. M] where [M] is the perfect-balance chunk.  This module
+    packages that tuning loop: sample candidate chunk sizes (geometric
+    ladder over [1, max(M, p)], always including [p], [M] and the paper's
+    well-performing middle ground), schedule with each, keep the best
+    makespan.  Deterministic; cost is one full schedule per candidate. *)
+
+type result = {
+  best_b : int;
+  best_makespan : float;
+  trials : (int * float) list;  (** every (B, makespan) tried, ascending B *)
+}
+
+(** [candidates plat] — the sampled ladder (sorted, duplicate-free). *)
+val candidates : Platform.t -> int list
+
+(** [search ?policy ?candidates ~model plat g] — run ILHA once per
+    candidate.  Ties prefer the smaller B (cheaper critical-path
+    reactivity, per §5.3's trade-off discussion). *)
+val search :
+  ?policy:Engine.policy ->
+  ?candidates:int list ->
+  model:Commmodel.Comm_model.t ->
+  Platform.t ->
+  Taskgraph.Graph.t ->
+  result
+
+(** [schedule ?policy ?candidates ~model plat g] — the winning schedule
+    (re-runs ILHA at [best_b]). *)
+val schedule :
+  ?policy:Engine.policy ->
+  ?candidates:int list ->
+  model:Commmodel.Comm_model.t ->
+  Platform.t ->
+  Taskgraph.Graph.t ->
+  Sched.Schedule.t

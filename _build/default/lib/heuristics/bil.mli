@@ -1,0 +1,23 @@
+(** BIL — Best Imaginary Level (Oh & Ha).
+
+    Baseline from the paper's comparison set (§4.2).  The best imaginary
+    level of a task on a processor is the optimistic time to finish the
+    whole downstream graph when the task runs there:
+
+    [BIL(v,q) = w(v) t_q + max over children s of
+       min(BIL(s,q), min over r<>q of BIL(s,r) + c̄(v,s))]
+
+    Tasks are ranked by their best (minimum over processors) imaginary
+    level; the mapping picks the processor minimising [EST + BIL].
+    Reimplemented from the original description and adapted to the one-port
+    model via the shared engine. *)
+
+val schedule :
+  ?policy:Engine.policy ->
+  model:Commmodel.Comm_model.t ->
+  Platform.t ->
+  Taskgraph.Graph.t ->
+  Sched.Schedule.t
+
+(** The BIL matrix [bil.(v).(q)], exposed for tests. *)
+val levels : Taskgraph.Graph.t -> Platform.t -> float array array

@@ -1,0 +1,18 @@
+(** CPOP — Critical Path On a Processor (Topcuoglu, Hariri, Wu).
+
+    One of the macro-dataflow baselines the paper's ILHA was compared
+    against (§4.2, via its reference [3]); reimplemented from the original
+    description and additionally usable under the one-port model through
+    the shared engine.
+
+    Priority of a task is [upward + downward] rank; the tasks of maximal
+    priority form a critical path, which is pinned in its entirety to the
+    single processor minimising the path's execution time.  Non-critical
+    tasks follow HEFT's earliest-finish-time rule. *)
+
+val schedule :
+  ?policy:Engine.policy ->
+  model:Commmodel.Comm_model.t ->
+  Platform.t ->
+  Taskgraph.Graph.t ->
+  Sched.Schedule.t

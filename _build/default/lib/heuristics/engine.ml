@@ -1,0 +1,138 @@
+open Prelude
+module Graph = Taskgraph.Graph
+module Schedule = Sched.Schedule
+module Resource = Sched.Resource
+
+type policy = Insertion | Append
+type hop = { edge : int; src_proc : int; dst_proc : int; start : float }
+type eval = { proc : int; est : float; eft : float; hops : hop list }
+
+type t = { sched : Schedule.t; policy : policy }
+
+let create ?(policy = Insertion) sched = { sched; policy }
+let schedule t = t.sched
+let policy t = t.policy
+
+(* Tentative busy intervals per physical timeline (physical equality:
+   distinct resources are distinct Timeline.t values). *)
+type scratch = (Timeline.t * (float * float) list) list
+
+let scratch_for (scratch : scratch) tls =
+  List.concat_map
+    (fun tl ->
+      match List.find_opt (fun (tl', _) -> tl' == tl) scratch with
+      | Some (_, ivs) -> ivs
+      | None -> [])
+    tls
+
+let scratch_add (scratch : scratch) tls iv : scratch =
+  List.fold_left
+    (fun acc tl ->
+      let rec update = function
+        | [] -> [ (tl, [ iv ]) ]
+        | (tl', ivs) :: rest when tl' == tl -> (tl', iv :: ivs) :: rest
+        | entry :: rest -> entry :: update rest
+      in
+      update acc)
+    scratch tls
+
+(* Earliest slot of [duration] on the joint busy set of [tls] plus the
+   tentative intervals, at or after [after], honouring the policy. *)
+let slot t ~tls ~scratch ~after ~duration =
+  let extra = scratch_for scratch tls in
+  let after =
+    match t.policy with
+    | Insertion -> after
+    | Append ->
+        let last =
+          List.fold_left (fun acc tl -> max acc (Timeline.last_finish tl)) after tls
+        in
+        List.fold_left (fun acc (_, f) -> max acc f) last extra
+  in
+  Timeline.earliest_gap_joint ~extra tls ~after ~duration
+
+(* Incoming edges of [task], ordered by (source finish, source id): the
+   greedy order in which §4.3 serialises incoming communications. *)
+let incoming t task =
+  let g = Schedule.graph t.sched in
+  let edges =
+    Graph.fold_pred_edges g task ~init:[] ~f:(fun acc e ->
+        let src = Graph.edge_src g e in
+        let fin = Schedule.finish_of_exn t.sched src in
+        (fin, src, e) :: acc)
+  in
+  List.sort compare edges
+
+let evaluate t ~task ~proc =
+  let g = Schedule.graph t.sched in
+  let plat = Schedule.platform t.sched in
+  let res = Schedule.resource t.sched in
+  let hops = ref [] in
+  let scratch = ref ([] : scratch) in
+  let ready =
+    List.fold_left
+      (fun ready (fin, _src, e) ->
+        let q = Schedule.proc_of_exn t.sched (Graph.edge_src g e) in
+        let data = Graph.edge_data g e in
+        if q = proc || data = 0. then max ready fin
+        else begin
+          let arrival =
+            List.fold_left
+              (fun data_ready (a, b) ->
+                let duration = data *. Platform.hop_cost plat ~src:a ~dst:b in
+                let tls = Resource.comm_busy res ~src:a ~dst:b in
+                let start =
+                  slot t ~tls ~scratch:!scratch ~after:data_ready ~duration
+                in
+                hops := { edge = e; src_proc = a; dst_proc = b; start } :: !hops;
+                scratch := scratch_add !scratch tls (start, start +. duration);
+                start +. duration)
+              fin
+              (Platform.route plat ~src:q ~dst:proc)
+          in
+          max ready arrival
+        end)
+      0. (incoming t task)
+  in
+  let duration = Schedule.exec_duration t.sched ~task ~proc in
+  let compute = Resource.compute res proc in
+  let est = slot t ~tls:[ compute ] ~scratch:!scratch ~after:ready ~duration in
+  { proc; est; eft = est +. duration; hops = List.rev !hops }
+
+let best_proc_among t ~task procs =
+  match procs with
+  | [] -> invalid_arg "Engine.best_proc_among: no candidates"
+  | procs ->
+      let best = ref None in
+      List.iter
+        (fun proc ->
+          let ev = evaluate t ~task ~proc in
+          match !best with
+          | Some b when b.eft <= ev.eft -> ()
+          | _ -> best := Some ev)
+        (List.sort_uniq compare procs);
+      Option.get !best
+
+let best_proc t ~task =
+  let p = Platform.p (Schedule.platform t.sched) in
+  best_proc_among t ~task (List.init p Fun.id)
+
+let commit t ~task ev =
+  List.iter
+    (fun h ->
+      let (_ : float) =
+        Schedule.add_comm t.sched ~edge:h.edge ~src_proc:h.src_proc
+          ~dst_proc:h.dst_proc ~start:h.start
+      in
+      ())
+    ev.hops;
+  Schedule.place_task t.sched ~task ~proc:ev.proc ~start:ev.est
+
+let schedule_on t ~task ~proc =
+  let ev = evaluate t ~task ~proc in
+  commit t ~task ev
+
+let schedule_best t ~task =
+  let ev = best_proc t ~task in
+  commit t ~task ev;
+  ev

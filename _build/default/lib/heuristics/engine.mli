@@ -1,0 +1,58 @@
+(** Shared earliest-finish-time machinery for all list heuristics.
+
+    The one-port adaptation of §4.3 in executable form: to evaluate placing
+    a ready task on a candidate processor, the engine greedily schedules
+    every incoming communication into the earliest joint free interval of
+    the involved ports (hop by hop along the platform route), derives the
+    earliest execution start on the candidate's compute timeline, and
+    reports the finish time.  Evaluation never mutates committed state —
+    tentative slots ride along as "extra busy" intervals — so a heuristic
+    can compare all processors and commit only the winner.
+
+    Under the macro-dataflow model the very same code runs with empty port
+    busy-sets, reproducing the classical unrestricted behaviour. *)
+
+(** Slot-search policy: [Insertion] may fill idle gaps between committed
+    work (classical insertion-based HEFT); [Append] only considers slots
+    after the last committed event of each involved timeline. *)
+type policy = Insertion | Append
+
+type t
+
+(** One planned hop of an incoming communication. *)
+type hop = { edge : int; src_proc : int; dst_proc : int; start : float }
+
+(** The outcome of evaluating a candidate processor. *)
+type eval = {
+  proc : int;
+  est : float;  (** execution start *)
+  eft : float;  (** execution finish *)
+  hops : hop list;  (** communications to commit, in order *)
+}
+
+val create : ?policy:policy -> Sched.Schedule.t -> t
+val schedule : t -> Sched.Schedule.t
+val policy : t -> policy
+
+(** [evaluate t ~task ~proc] — all predecessors of [task] must already be
+    placed.  Incoming communications are considered in increasing order of
+    predecessor finish time (ties by task id) and placed greedily. *)
+val evaluate : t -> task:int -> proc:int -> eval
+
+(** [best_proc t ~task] — minimum [eft] over all processors, ties to the
+    lowest processor index (the paper's tie-break in §4.4's toy example). *)
+val best_proc : t -> task:int -> eval
+
+(** [best_proc_among t ~task procs] — same restricted to a candidate list.
+    @raise Invalid_argument on an empty list. *)
+val best_proc_among : t -> task:int -> int list -> eval
+
+(** [commit t ~task ev] places the task and its communications. *)
+val commit : t -> task:int -> eval -> unit
+
+(** [schedule_on t ~task ~proc] = evaluate + commit on a forced processor. *)
+val schedule_on : t -> task:int -> proc:int -> unit
+
+(** [schedule_best t ~task] = {!best_proc} + commit; returns the chosen
+    evaluation. *)
+val schedule_best : t -> task:int -> eval

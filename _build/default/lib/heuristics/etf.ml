@@ -1,0 +1,42 @@
+module Graph = Taskgraph.Graph
+module Schedule = Sched.Schedule
+
+let schedule ?policy ~model plat g =
+  let sl = Ranking.static_level g plat in
+  let p = Platform.p plat in
+  let sched = Schedule.create ~graph:g ~platform:plat ~model () in
+  let engine = Engine.create ?policy sched in
+  let remaining = Array.init (Graph.n_tasks g) (Graph.in_degree g) in
+  let ready = ref [] in
+  for v = Graph.n_tasks g - 1 downto 0 do
+    if remaining.(v) = 0 then ready := v :: !ready
+  done;
+  while !ready <> [] do
+    (* Globally earliest start; ties by higher static level, then scan
+       order (ascending task id, processor index). *)
+    let best = ref None in
+    List.iter
+      (fun v ->
+        for q = 0 to p - 1 do
+          let ev = Engine.evaluate engine ~task:v ~proc:q in
+          let better =
+            match !best with
+            | None -> true
+            | Some (est', sl', _, _) ->
+                ev.Engine.est < est' -. 1e-12
+                || (Prelude.Stats.fequal ev.Engine.est est' && sl.(v) > sl' +. 1e-12)
+          in
+          if better then best := Some (ev.Engine.est, sl.(v), v, ev)
+        done)
+      (List.sort compare !ready);
+    match !best with
+    | None -> assert false
+    | Some (_, _, v, ev) ->
+        Engine.commit engine ~task:v ev;
+        ready := List.filter (( <> ) v) !ready;
+        Graph.iter_succ_edges g v ~f:(fun e ->
+            let u = Graph.edge_dst g e in
+            remaining.(u) <- remaining.(u) - 1;
+            if remaining.(u) = 0 then ready := u :: !ready)
+  done;
+  sched

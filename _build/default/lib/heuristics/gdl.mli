@@ -1,0 +1,22 @@
+(** GDL — Generalized Dynamic Level (Sih & Lee).
+
+    Baseline from the paper's comparison set (§4.2).  At every step the
+    scheduler examines {e all} (ready task, processor) pairs and picks the
+    one maximising the dynamic level
+
+    [DL(v,q) = SL(v) - max(DA(v,q), TF(q)) + Δ(v,q)]
+
+    where [SL] is the communication-free static level, [max(DA, TF)] is
+    the earliest execution start (data availability vs. processor ready
+    time — under one-port models this includes port contention), and
+    [Δ(v,q) = w̄(v) - w(v) t_q] rewards faster-than-average processors.
+    Quadratic in the ready-set size; intended for moderate graphs.
+    Reimplemented from the original description and adapted to the
+    one-port model via the shared engine. *)
+
+val schedule :
+  ?policy:Engine.policy ->
+  model:Commmodel.Comm_model.t ->
+  Platform.t ->
+  Taskgraph.Graph.t ->
+  Sched.Schedule.t

@@ -1,0 +1,2 @@
+let schedule ?policy ?averaging ~model plat g =
+  List_loop.run ?policy ~model ~priority:(Ranking.upward ?averaging g plat) plat g

@@ -1,0 +1,23 @@
+(** HEFT — Heterogeneous Earliest Finish Time (Topcuoglu et al.), under any
+    communication model.
+
+    The classical algorithm (§4.1): rank tasks by bottom level computed
+    with averaged execution and communication costs, then repeatedly take
+    the highest-priority ready task and place it on the processor giving
+    the earliest finish time.  Under the one-port model (§4.3) the finish
+    time accounts for serialising the incoming communications through the
+    senders' and receiver's ports — {!Engine} does that uniformly, so this
+    module is the paper's one-port HEFT when given
+    {!Commmodel.Comm_model.one_port} and the classical HEFT when given
+    [macro_dataflow]. *)
+
+(** [schedule ?policy ?averaging ~model plat g] builds a complete valid
+    schedule.  [averaging] selects the rank-averaging rule
+    ({!Ranking.averaging}; default the paper's balanced rule). *)
+val schedule :
+  ?policy:Engine.policy ->
+  ?averaging:Ranking.averaging ->
+  model:Commmodel.Comm_model.t ->
+  Platform.t ->
+  Taskgraph.Graph.t ->
+  Sched.Schedule.t

@@ -1,0 +1,150 @@
+module Graph = Taskgraph.Graph
+module Schedule = Sched.Schedule
+
+type scan = Scan_zero_comm | Scan_one_comm
+
+let default_b plat =
+  match Load_balance.perfect_chunk plat with
+  | b -> b
+  | exception Invalid_argument _ -> Platform.p plat
+
+let quota_eps = 1e-9
+
+(* The processor hosting every parent of [task], when unique; [None] for
+   entry tasks or scattered parents. *)
+let common_parent_proc sched g task =
+  match Graph.preds g task with
+  | [] -> None
+  | first :: rest ->
+      let q = Schedule.proc_of_exn sched first in
+      if List.for_all (fun u -> Schedule.proc_of_exn sched u = q) rest then Some q
+      else None
+
+(* Processors [q] reachable at the price of exactly one communication:
+   parents span several processors but only one parent edge crosses when
+   the task runs on [q]. *)
+let one_comm_procs sched g task =
+  match Graph.preds g task with
+  | [] | [ _ ] -> []
+  | parents ->
+      let procs = List.sort_uniq compare (List.map (Schedule.proc_of_exn sched) parents) in
+      List.filter
+        (fun q ->
+          let crossing =
+            Graph.fold_pred_edges g task ~init:0 ~f:(fun acc e ->
+                if Schedule.proc_of_exn sched (Graph.edge_src g e) <> q then acc + 1
+                else acc)
+          in
+          crossing = 1)
+        procs
+
+(* Map one chunk of independent ready tasks (already in priority order)
+   onto [engine], honouring per-processor weight quotas in the scans. *)
+let map_chunk ~scan engine g plat chunk =
+  let sched = Engine.schedule engine in
+  let p = Platform.p plat in
+  let total = List.fold_left (fun acc v -> acc +. Graph.weight g v) 0. chunk in
+  let quota = Array.init p (fun i -> Platform.balanced_fraction plat i *. total) in
+  let load = Array.make p 0. in
+  let fits q w = load.(q) +. w <= quota.(q) +. quota_eps in
+  let place v q =
+    Engine.schedule_on engine ~task:v ~proc:q;
+    load.(q) <- load.(q) +. Graph.weight g v
+  in
+  (* [sieve f l] keeps the elements [f] declines, applying [f] strictly
+     left to right (placements mutate state, so order matters). *)
+  let sieve f l =
+    List.rev (List.fold_left (fun acc v -> if f v then acc else v :: acc) [] l)
+  in
+  (* Step 1: zero-communication placements under quota. *)
+  let rest =
+    let placeable v =
+      match common_parent_proc sched g v with
+      | Some q when fits q (Graph.weight g v) ->
+          place v q;
+          true
+      | Some _ | None -> false
+    in
+    sieve placeable chunk
+  in
+  (* Optional scan: single-communication placements under quota. *)
+  let rest =
+    match scan with
+    | Scan_zero_comm -> rest
+    | Scan_one_comm ->
+        let placeable v =
+          let candidates =
+            List.filter (fun q -> fits q (Graph.weight g v)) (one_comm_procs sched g v)
+          in
+          match candidates with
+          | [] -> false
+          | cs ->
+              let ev = Engine.best_proc_among engine ~task:v cs in
+              Engine.commit engine ~task:v ev;
+              load.(ev.proc) <- load.(ev.proc) +. Graph.weight g v;
+              true
+        in
+        sieve placeable rest
+  in
+  (* Step 2: HEFT rule for whatever remains. *)
+  List.iter
+    (fun v ->
+      let (_ : Engine.eval) = Engine.schedule_best engine ~task:v in
+      ())
+    rest
+
+(* Reschedule variant: run the two scans on a scratch copy to learn the
+   allocation, then commit chunk tasks for real in order of globally
+   smallest finish time on their allocated processor. *)
+let map_chunk_reschedule ~scan ~policy engine g plat chunk =
+  let scratch_sched = Schedule.copy (Engine.schedule engine) in
+  let scratch = Engine.create ?policy scratch_sched in
+  map_chunk ~scan scratch g plat chunk;
+  let alloc v = Schedule.proc_of_exn scratch_sched v in
+  let pending = ref chunk in
+  while !pending <> [] do
+    let best = ref None in
+    List.iter
+      (fun v ->
+        let ev = Engine.evaluate engine ~task:v ~proc:(alloc v) in
+        match !best with
+        | Some (_, b) when b.Engine.eft <= ev.Engine.eft -> ()
+        | _ -> best := Some (v, ev))
+      !pending;
+    match !best with
+    | None -> ()
+    | Some (v, ev) ->
+        Engine.commit engine ~task:v ev;
+        pending := List.filter (fun u -> u <> v) !pending
+  done
+
+let schedule ?policy ?b ?(scan = Scan_zero_comm) ?(reschedule = false) ~model
+    plat g =
+  let b = match b with Some b -> b | None -> default_b plat in
+  if b < 1 then invalid_arg "Ilha.schedule: b < 1";
+  let sched = Schedule.create ~graph:g ~platform:plat ~model () in
+  let engine = Engine.create ?policy sched in
+  let rank = Ranking.upward g plat in
+  let ready = Prelude.Pqueue.create ~compare:(Ranking.compare_priority rank) in
+  let remaining = Array.init (Graph.n_tasks g) (Graph.in_degree g) in
+  for v = 0 to Graph.n_tasks g - 1 do
+    if remaining.(v) = 0 then Prelude.Pqueue.add ready v
+  done;
+  while not (Prelude.Pqueue.is_empty ready) do
+    let chunk = ref [] in
+    while List.length !chunk < b && not (Prelude.Pqueue.is_empty ready) do
+      chunk := Prelude.Pqueue.pop_exn ready :: !chunk
+    done;
+    let chunk = List.rev !chunk in
+    if reschedule then map_chunk_reschedule ~scan ~policy engine g plat chunk
+    else map_chunk ~scan engine g plat chunk;
+    (* Newly ready tasks join the pool for the next chunk. *)
+    List.iter
+      (fun v ->
+        Graph.iter_succ_edges g v ~f:(fun e ->
+            let u = Graph.edge_dst g e in
+            remaining.(u) <- remaining.(u) - 1;
+            if remaining.(u) = 0 then Prelude.Pqueue.add ready u))
+      chunk
+  done;
+  sched

@@ -1,0 +1,28 @@
+module Graph = Taskgraph.Graph
+module Schedule = Sched.Schedule
+
+let default_handle engine v =
+  let (_ : Engine.eval) = Engine.schedule_best engine ~task:v in
+  ()
+
+let run ?policy ~model ~priority ?(handle = default_handle) plat g =
+  let sched = Schedule.create ~graph:g ~platform:plat ~model () in
+  let engine = Engine.create ?policy sched in
+  let ready = Prelude.Pqueue.create ~compare:(Ranking.compare_priority priority) in
+  let remaining = Array.init (Graph.n_tasks g) (Graph.in_degree g) in
+  for v = 0 to Graph.n_tasks g - 1 do
+    if remaining.(v) = 0 then Prelude.Pqueue.add ready v
+  done;
+  let rec drain () =
+    match Prelude.Pqueue.pop ready with
+    | None -> ()
+    | Some v ->
+        handle engine v;
+        Graph.iter_succ_edges g v ~f:(fun e ->
+            let u = Graph.edge_dst g e in
+            remaining.(u) <- remaining.(u) - 1;
+            if remaining.(u) = 0 then Prelude.Pqueue.add ready u);
+        drain ()
+  in
+  drain ();
+  sched

@@ -1,0 +1,17 @@
+(** The generic list-scheduling loop shared by the one-task-at-a-time
+    heuristics (HEFT, PCT, CPOP, BIL): pop the highest-priority ready task,
+    let the heuristic's [handle] place it, release newly ready successors.
+    Priorities are static; ties break on task id ({!Ranking.compare_priority}),
+    keeping every heuristic deterministic. *)
+
+(** [run ?policy ~model ~priority ?handle plat g] — [handle] places one
+    ready task (default: {!Engine.schedule_best}'s earliest-finish-time
+    rule).  Returns the completed schedule. *)
+val run :
+  ?policy:Engine.policy ->
+  model:Commmodel.Comm_model.t ->
+  priority:float array ->
+  ?handle:(Engine.t -> int -> unit) ->
+  Platform.t ->
+  Taskgraph.Graph.t ->
+  Sched.Schedule.t

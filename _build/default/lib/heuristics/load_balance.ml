@@ -1,0 +1,53 @@
+open Prelude
+
+let fractions plat =
+  Array.init (Platform.p plat) (fun i -> Platform.balanced_fraction plat i)
+
+let distribute plat ~n =
+  if n < 0 then invalid_arg "Load_balance.distribute: n < 0";
+  let p = Platform.p plat in
+  let fracs = fractions plat in
+  let counts =
+    Array.init p (fun i -> int_of_float (floor (fracs.(i) *. float_of_int n)))
+  in
+  let assigned = Array.fold_left ( + ) 0 counts in
+  (* Hand out the remaining tasks greedily: the processor whose finish time
+     after one more task is smallest (ties to the lower index). *)
+  for _ = assigned + 1 to n do
+    let best = ref 0 in
+    let best_time = ref infinity in
+    for k = 0 to p - 1 do
+      let time = Platform.cycle_time plat k *. float_of_int (counts.(k) + 1) in
+      if time < !best_time then begin
+        best := k;
+        best_time := time
+      end
+    done;
+    counts.(!best) <- counts.(!best) + 1
+  done;
+  counts
+
+let round_time plat counts =
+  let time = ref 0. in
+  Array.iteri
+    (fun i c ->
+      time := max !time (Platform.cycle_time plat i *. float_of_int c))
+    counts;
+  !time
+
+let is_optimal plat counts =
+  let n = Array.fold_left ( + ) 0 counts in
+  Stats.fequal (round_time plat counts) (round_time plat (distribute plat ~n))
+
+let perfect_chunk plat =
+  let cts =
+    Array.to_list (Platform.cycle_times plat)
+    |> List.map (fun ct ->
+           if Float.is_integer ct && ct > 0. then int_of_float ct
+           else
+             invalid_arg
+               "Load_balance.perfect_chunk: cycle-times must be positive \
+                integers")
+  in
+  let l = Stats.lcm_list cts in
+  List.fold_left (fun acc t -> acc + (l / t)) 0 cts

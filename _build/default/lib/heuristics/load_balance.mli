@@ -1,0 +1,30 @@
+(** The paper's optimal load-balancing distribution (§4.2).
+
+    Distributing [n] equal-size tasks over processors of cycle-times
+    [t_1..t_p] so the maximum finish time [max_i (c_i * t_i)] is minimal:
+    start from [c_i = floor(n * (1/t_i) / sum(1/t_j))] and hand out the
+    remaining tasks one by one to the processor minimising [t_k (c_k + 1)]
+    — proved optimal in the paper's reference [2]. *)
+
+(** [fractions plat] — the ideal real-valued shares [c_i] of §4.1 (sum to 1). *)
+val fractions : Platform.t -> float array
+
+(** [distribute plat ~n] — optimal integer counts summing to [n].
+    @raise Invalid_argument if [n < 0]. *)
+val distribute : Platform.t -> n:int -> int array
+
+(** [round_time plat counts] is [max_i t_i * counts.(i)] — the time to
+    process one round of that distribution. *)
+val round_time : Platform.t -> int array -> float
+
+(** [is_optimal plat counts] checks optimality of a distribution of
+    [sum counts] tasks by comparing against {!distribute} (used by property
+    tests; optimal distributions need not be unique but optimal round times
+    are). *)
+val is_optimal : Platform.t -> int array -> bool
+
+(** [perfect_chunk plat] — the smallest chunk size B achieving perfect
+    balance, [M = lcm(t_1..t_p) * sum(1/t_i)] (§5.3; 38 on the paper
+    platform).
+    @raise Invalid_argument unless every cycle-time is a positive integer. *)
+val perfect_chunk : Platform.t -> int

@@ -1,0 +1,2 @@
+let schedule ?policy ~model plat g =
+  List_loop.run ?policy ~model ~priority:(Ranking.upward_min g plat) plat g

@@ -1,0 +1,15 @@
+(** PCT — minimum Partial Completion Time static priority (Maheswaran &
+    Siegel).
+
+    Baseline from the paper's comparison set (§4.2).  Static priorities are
+    bottom levels charged at the {e fastest} processor's cycle-time (the
+    optimistic partial completion time to an exit); mapping follows the
+    earliest-finish-time rule.  Reimplemented from the original description
+    and adapted to the one-port model via the shared engine. *)
+
+val schedule :
+  ?policy:Engine.policy ->
+  model:Commmodel.Comm_model.t ->
+  Platform.t ->
+  Taskgraph.Graph.t ->
+  Sched.Schedule.t

@@ -1,0 +1,67 @@
+module Graph = Taskgraph.Graph
+
+let bottom_up g ~task_cost ~edge_cost =
+  let n = Graph.n_tasks g in
+  let rank = Array.make n 0. in
+  let order = Graph.topological_order g in
+  for i = n - 1 downto 0 do
+    let v = order.(i) in
+    let best = ref 0. in
+    Graph.iter_succ_edges g v ~f:(fun e ->
+        let u = Graph.edge_dst g e in
+        let c = edge_cost e +. rank.(u) in
+        if c > !best then best := c);
+    rank.(v) <- task_cost v +. !best
+  done;
+  rank
+
+type averaging = Balanced | Arithmetic | Optimistic
+
+let upward ?(averaging = Balanced) g plat =
+  let avg_link = Platform.avg_link_cost plat in
+  let task_cost =
+    match averaging with
+    | Balanced -> fun v -> Platform.avg_execution_time plat (Graph.weight g v)
+    | Arithmetic ->
+        let mean_ct =
+          Prelude.Stats.mean (Array.to_list (Platform.cycle_times plat))
+        in
+        fun v -> Graph.weight g v *. mean_ct
+    | Optimistic ->
+        let tmin = Platform.min_cycle_time plat in
+        fun v -> Graph.weight g v *. tmin
+  in
+  bottom_up g ~task_cost ~edge_cost:(fun e -> Graph.edge_data g e *. avg_link)
+
+let downward g plat =
+  let avg_link = Platform.avg_link_cost plat in
+  let n = Graph.n_tasks g in
+  let rank = Array.make n 0. in
+  let order = Graph.topological_order g in
+  Array.iter
+    (fun v ->
+      Graph.iter_pred_edges g v ~f:(fun e ->
+          let u = Graph.edge_src g e in
+          let c =
+            rank.(u)
+            +. Platform.avg_execution_time plat (Graph.weight g u)
+            +. (Graph.edge_data g e *. avg_link)
+          in
+          if c > rank.(v) then rank.(v) <- c))
+    order;
+  rank
+
+let upward_min g plat =
+  let avg_link = Platform.avg_link_cost plat in
+  let tmin = Platform.min_cycle_time plat in
+  bottom_up g
+    ~task_cost:(fun v -> Graph.weight g v *. tmin)
+    ~edge_cost:(fun e -> Graph.edge_data g e *. avg_link)
+
+let static_level g plat =
+  bottom_up g
+    ~task_cost:(fun v -> Platform.avg_execution_time plat (Graph.weight g v))
+    ~edge_cost:(fun _ -> 0.)
+
+let compare_priority ranks a b =
+  match compare ranks.(b) ranks.(a) with 0 -> compare a b | c -> c

@@ -1,0 +1,43 @@
+(** Task ranks over heterogeneous resources (§4.1).
+
+    Path lengths mix computation and communication, so the paper averages
+    both: a task of weight [w] counts as [p * w / sum(1/t_i)] (the time the
+    whole platform needs per unit of balanced work) and an edge of volume
+    [d] counts as [d * H] where [H] is the harmonic-average link cost.
+    Communication costs are {e always} charged — the paper deliberately
+    assumes communications cannot be avoided when ranking. *)
+
+(** How to average a task's execution time over heterogeneous processors
+    when computing ranks.  The paper (§4.1) derives {!Balanced} — the time
+    per unit of perfectly balanced work, [p * w / Σ(1/t_i)], equivalent to
+    the harmonic-mean cycle-time; the original HEFT paper uses the
+    {!Arithmetic} mean; {!Optimistic} prices every task at the fastest
+    processor.  The [ranking] experiment measures the difference. *)
+type averaging =
+  | Balanced  (** the paper's §4.1 rule (default) *)
+  | Arithmetic  (** mean of [w * t_i] — classic HEFT *)
+  | Optimistic  (** [w * min t_i] *)
+
+(** [upward ?averaging g plat] — bottom levels: [bl(v) = w̄(v) + max over
+    (v,u) of (c̄(v,u) + bl(u))], 0-based at exit tasks' own weight.  The
+    HEFT/ILHA priority. *)
+val upward : ?averaging:averaging -> Taskgraph.Graph.t -> Platform.t -> float array
+
+(** [downward g plat] — top levels: longest averaged path ending strictly
+    before [v]; entry tasks have 0.  Used by CPOP. *)
+val downward : Taskgraph.Graph.t -> Platform.t -> float array
+
+(** [upward_min g plat] — bottom levels charging computation at the fastest
+    processor's cycle-time and no averaging on edges beyond [avg_link_cost];
+    the "minimum partial completion time" static priority used by the PCT
+    baseline. *)
+val upward_min : Taskgraph.Graph.t -> Platform.t -> float array
+
+(** [static_level g plat] — bottom levels ignoring communication costs
+    entirely (GDL's static level). *)
+val static_level : Taskgraph.Graph.t -> Platform.t -> float array
+
+(** [compare_priority ranks a b] orders by decreasing rank, breaking ties by
+    increasing task id — the deterministic order every list heuristic in
+    this library uses. *)
+val compare_priority : float array -> int -> int -> int

@@ -1,0 +1,108 @@
+module Graph = Taskgraph.Graph
+module Schedule = Sched.Schedule
+
+type result = {
+  schedule : Sched.Schedule.t;
+  initial_makespan : float;
+  final_makespan : float;
+  accepted_moves : int;
+  evaluations : int;
+}
+
+let rebuild ?policy ~alloc ~model plat g =
+  let handle engine v = Engine.schedule_on engine ~task:v ~proc:(alloc v) in
+  List_loop.run ?policy ~model ~priority:(Ranking.upward g plat) ~handle plat g
+
+(* The tasks defining the makespan: those finishing within epsilon of the
+   last finish time (usually one exit task, possibly several). *)
+let bottleneck_tasks sched =
+  let g = Schedule.graph sched in
+  let makespan = Schedule.makespan sched in
+  List.filter
+    (fun v ->
+      Prelude.Stats.fequal (Schedule.finish_of_exn sched v) makespan)
+    (List.init (Graph.n_tasks g) Fun.id)
+
+(* Moving only the final task rarely helps (its predecessors are the real
+   constraint), so the candidate set is the bottleneck tasks plus
+   everything on a backward critical chain from them: repeatedly step to
+   the predecessor (or same-processor forerunner) whose finish equals the
+   task's start. *)
+let candidate_tasks sched =
+  let g = Schedule.graph sched in
+  let seen = Hashtbl.create 32 in
+  let rec chase v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      let start = (Schedule.placement_exn sched v).Schedule.start in
+      Graph.iter_pred_edges g v ~f:(fun e ->
+          let u = Graph.edge_src g e in
+          (* a predecessor is binding if the task starts right after the
+             edge's data becomes available *)
+          if Prelude.Stats.fequal (Schedule.edge_available_at sched ~edge:e) start
+          then chase u)
+    end
+  in
+  List.iter chase (bottleneck_tasks sched);
+  Hashtbl.fold (fun v () acc -> v :: acc) seen [] |> List.sort compare
+
+let improve ?policy ?(max_rounds = 3) ?(max_moves = 25) sched0 =
+  let g = Schedule.graph sched0 in
+  let plat = Schedule.platform sched0 in
+  let model = Schedule.model sched0 in
+  let p = Platform.p plat in
+  let alloc = Array.init (Graph.n_tasks g) (fun v -> Schedule.proc_of_exn sched0 v) in
+  let evaluations = ref 0 in
+  let run () =
+    incr evaluations;
+    rebuild ?policy ~alloc:(fun v -> alloc.(v)) ~model plat g
+  in
+  let initial_makespan = Schedule.makespan sched0 in
+  let best_sched = ref (run ()) in
+  let best = ref (Schedule.makespan !best_sched) in
+  if initial_makespan < !best then begin
+    best_sched := sched0;
+    best := initial_makespan
+  end;
+  let accepted = ref 0 in
+  let rounds_left = ref max_rounds in
+  while !rounds_left > 0 && !accepted < max_moves do
+    let improved_this_round = ref false in
+    let candidates = candidate_tasks !best_sched in
+    List.iter
+      (fun v ->
+        if !accepted < max_moves then begin
+          let home = alloc.(v) in
+          let best_move = ref None in
+          for q = 0 to p - 1 do
+            if q <> home then begin
+              alloc.(v) <- q;
+              let sched = run () in
+              let m = Schedule.makespan sched in
+              let better =
+                match !best_move with
+                | None -> m < !best -. 1e-9
+                | Some (m', _, _) -> m < m' -. 1e-9
+              in
+              if better then best_move := Some (m, q, sched)
+            end
+          done;
+          match !best_move with
+          | Some (m, q, sched) ->
+              alloc.(v) <- q;
+              best := m;
+              best_sched := sched;
+              incr accepted;
+              improved_this_round := true
+          | None -> alloc.(v) <- home
+        end)
+      candidates;
+    if not !improved_this_round then decr rounds_left
+  done;
+  {
+    schedule = !best_sched;
+    initial_makespan;
+    final_makespan = !best;
+    accepted_moves = !accepted;
+    evaluations = !evaluations;
+  }

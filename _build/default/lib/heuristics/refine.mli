@@ -1,0 +1,38 @@
+(** Post-pass allocation refinement (the improvement direction §6 leaves
+    open).
+
+    A complete schedule fixes an allocation [task -> processor].  This
+    module hill-climbs on that allocation: rebuild the schedule by list
+    scheduling in bottom-level priority order with the allocation {e
+    forced} (communications still placed greedily under the model), then
+    repeatedly try moving one task — chosen from the tasks that finish
+    last, the bottleneck — to each other processor, keeping any move that
+    shrinks the rebuilt makespan.  Deterministic; stops after
+    [max_rounds] rounds without improvement or [max_moves] accepted
+    moves. *)
+
+type result = {
+  schedule : Sched.Schedule.t;
+  initial_makespan : float;  (** of the input schedule *)
+  final_makespan : float;
+  accepted_moves : int;
+  evaluations : int;  (** schedule rebuilds performed *)
+}
+
+(** [rebuild ?policy ~alloc ~model plat g] — list-schedule with the given
+    forced allocation (priority = upward rank).  The building block for
+    refinement, exposed for tests and for evaluating externally-computed
+    allocations. *)
+val rebuild :
+  ?policy:Engine.policy ->
+  alloc:(int -> int) ->
+  model:Commmodel.Comm_model.t ->
+  Platform.t ->
+  Taskgraph.Graph.t ->
+  Sched.Schedule.t
+
+(** [improve ?policy ?max_rounds ?max_moves sched] — refine the schedule's
+    allocation.  The result's schedule is never worse than the better of
+    the input and its rebuild. *)
+val improve :
+  ?policy:Engine.policy -> ?max_rounds:int -> ?max_moves:int -> Sched.Schedule.t -> result

@@ -1,0 +1,31 @@
+(** Name-indexed scheduler registry used by the CLI, the experiment harness
+    and the tournament bench. *)
+
+type scheduler =
+  ?policy:Engine.policy ->
+  model:Commmodel.Comm_model.t ->
+  Platform.t ->
+  Taskgraph.Graph.t ->
+  Sched.Schedule.t
+
+type entry = {
+  name : string;
+  description : string;
+  scheduler : scheduler;
+  scalable : bool;
+      (** [false] for quadratic-in-ready-set heuristics (GDL) that should
+          be skipped on very large graphs *)
+}
+
+(** All registered heuristics.  ILHA appears with its default B; use
+    {!ilha_with} for explicit chunk sizes. *)
+val all : entry list
+
+val names : string list
+
+(** @raise Invalid_argument on an unknown name. *)
+val find : string -> entry
+
+(** [ilha_with ?b ?scan ?reschedule ()] — a parameterised ILHA entry
+    (name encodes the parameters, e.g. ["ilha[b=4]"]). *)
+val ilha_with : ?b:int -> ?scan:Ilha.scan -> ?reschedule:bool -> unit -> entry

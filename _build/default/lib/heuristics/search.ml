@@ -1,0 +1,48 @@
+module Graph = Taskgraph.Graph
+module Schedule = Sched.Schedule
+
+let best_schedule ?policy ~model plat g =
+  let n = Graph.n_tasks g in
+  if n > 8 then invalid_arg "Search.best_schedule: more than 8 tasks";
+  let p = Platform.p plat in
+  (* Start from HEFT so pruning has a good incumbent. *)
+  let incumbent = ref (Heft.schedule ?policy ~model plat g) in
+  let incumbent_makespan = ref (Schedule.makespan !incumbent) in
+  let rec explore sched remaining ready current_max =
+    if ready = [] then begin
+      if remaining = 0 && current_max < !incumbent_makespan then begin
+        incumbent := sched;
+        incumbent_makespan := current_max
+      end
+    end
+    else
+      List.iter
+        (fun v ->
+          for q = 0 to p - 1 do
+            let sched' = Schedule.copy sched in
+            let engine = Engine.create ?policy sched' in
+            let ev = Engine.evaluate engine ~task:v ~proc:q in
+            let current_max' = max current_max ev.Engine.eft in
+            if current_max' < !incumbent_makespan then begin
+              Engine.commit engine ~task:v ev;
+              let ready' =
+                List.filter (( <> ) v) ready
+                @ List.filter
+                    (fun u ->
+                      (not (Schedule.is_placed sched' u))
+                      && Graph.fold_pred_edges g u ~init:true ~f:(fun ok e ->
+                             ok && Schedule.is_placed sched' (Graph.edge_src g e)))
+                    (Graph.succs g v)
+              in
+              explore sched' (remaining - 1) ready' current_max'
+            end
+          done)
+        ready
+  in
+  let sched0 = Schedule.create ~graph:g ~platform:plat ~model () in
+  let ready0 = Graph.entry_tasks g in
+  explore sched0 n ready0 0.;
+  !incumbent
+
+let best_makespan ?policy ~model plat g =
+  Schedule.makespan (best_schedule ?policy ~model plat g)

@@ -1,0 +1,29 @@
+(** Exhaustive branch-and-bound scheduling for tiny instances.
+
+    Searches every interleaving of (ready-task choice × processor choice),
+    placing communications with the same greedy earliest-slot rule as
+    {!Engine}.  Every list heuristic in this library makes exactly one
+    sequence of such choices, so the returned makespan is a valid lower
+    bound for all of them — the property tests rely on this.  (It is not
+    always the true optimum under one-port models: Theorem 2 shows even
+    fixing the allocation leaves an NP-complete communication-ordering
+    problem, and the greedy comm rule is one fixed policy.  For fork graphs
+    use {!Fork_exact}, which is exact.)
+
+    Guarded to at most 8 tasks; the search space is [O(n! p^n)]. *)
+
+(** [best_schedule ?policy ~model plat g] — the best schedule found.
+    @raise Invalid_argument beyond 8 tasks. *)
+val best_schedule :
+  ?policy:Engine.policy ->
+  model:Commmodel.Comm_model.t ->
+  Platform.t ->
+  Taskgraph.Graph.t ->
+  Sched.Schedule.t
+
+val best_makespan :
+  ?policy:Engine.policy ->
+  model:Commmodel.Comm_model.t ->
+  Platform.t ->
+  Taskgraph.Graph.t ->
+  float

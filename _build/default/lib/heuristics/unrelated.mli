@@ -1,0 +1,38 @@
+(** Unrelated-machines scheduling — the original HEFT setting.
+
+    The paper's model is {e related} machines (execution time
+    [w(v) * t_i]); the HEFT paper it builds on uses a fully general cost
+    matrix [w(v, P_i)].  Supplying {!Sched.Schedule.create}'s [exec_time]
+    override runs the entire engine under unrelated costs; this module
+    packages the matching rank computation (mean cost over processors, as
+    in the HEFT paper) and a ready-made HEFT, plus the paper's canonical
+    10-task example as executable data — our regression test against the
+    original publication (schedule length 80).
+
+    The platform's cycle-times are ignored for execution (the matrix
+    rules) but its link structure still prices communications. *)
+
+(** [ranks costs g plat] — upward ranks with task cost = mean over
+    processors of [costs.(v).(q)] and the usual averaged communication
+    term.
+    @raise Invalid_argument if the matrix shape does not match. *)
+val ranks : float array array -> Taskgraph.Graph.t -> Platform.t -> float array
+
+(** [heft ?policy ~costs ~model plat g] — HEFT over the cost matrix
+    [costs.(task).(proc)]. *)
+val heft :
+  ?policy:Engine.policy ->
+  costs:float array array ->
+  model:Commmodel.Comm_model.t ->
+  Platform.t ->
+  Taskgraph.Graph.t ->
+  Sched.Schedule.t
+
+(** The worked example of the HEFT paper (Topcuoglu, Hariri, Wu; Fig. 2
+    there): 10 tasks, 3 processors, the published cost matrix and
+    communication volumes.  Returns [(graph, platform, costs)].  Task ids
+    are the paper's minus one; the platform is fully connected with unit
+    links, so edge volumes equal the published communication costs.
+    Weights are set to each task's mean cost so weight-based metrics stay
+    meaningful. *)
+val topcuoglu_example : unit -> Taskgraph.Graph.t * Platform.t * float array array

@@ -1,0 +1,1 @@
+lib/prelude/timeline.ml: Array List

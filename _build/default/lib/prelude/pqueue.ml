@@ -1,0 +1,62 @@
+type 'a t = { compare : 'a -> 'a -> int; heap : 'a Vec.t }
+
+let create ~compare = { compare; heap = Vec.create () }
+let length q = Vec.length q.heap
+let is_empty q = Vec.is_empty q.heap
+
+let swap h i j =
+  let tmp = Vec.get h i in
+  Vec.set h i (Vec.get h j);
+  Vec.set h j tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if q.compare (Vec.get q.heap i) (Vec.get q.heap parent) < 0 then begin
+      swap q.heap i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let n = Vec.length q.heap in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < n && q.compare (Vec.get q.heap l) (Vec.get q.heap !smallest) < 0 then
+    smallest := l;
+  if r < n && q.compare (Vec.get q.heap r) (Vec.get q.heap !smallest) < 0 then
+    smallest := r;
+  if !smallest <> i then begin
+    swap q.heap i !smallest;
+    sift_down q !smallest
+  end
+
+let add q x =
+  Vec.push q.heap x;
+  sift_up q (Vec.length q.heap - 1)
+
+let peek q = if is_empty q then None else Some (Vec.get q.heap 0)
+
+let pop_exn q =
+  if is_empty q then invalid_arg "Pqueue.pop_exn: empty";
+  let top = Vec.get q.heap 0 in
+  let tail = Vec.pop q.heap in
+  if not (is_empty q) then begin
+    Vec.set q.heap 0 tail;
+    sift_down q 0
+  end;
+  top
+
+let pop q = if is_empty q then None else Some (pop_exn q)
+
+let of_list ~compare l =
+  let q = create ~compare in
+  List.iter (add q) l;
+  q
+
+let to_sorted_list q =
+  let q' = { compare = q.compare; heap = Vec.copy q.heap } in
+  let rec drain acc =
+    match pop q' with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  drain []

@@ -1,0 +1,32 @@
+(** Binary-heap priority queue (min-heap under a user ordering).
+
+    Used by the list schedulers for the ready set and by the event
+    simulator for its event queue.  Ties are resolved by the comparison
+    function itself, so callers embed their tie-breaking rule in [compare]
+    (the schedulers compare [(priority, task id)] pairs to stay
+    deterministic). *)
+
+type 'a t
+
+(** [create ~compare] is an empty queue; the minimum element according to
+    [compare] is served first. *)
+val create : compare:('a -> 'a -> int) -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val add : 'a t -> 'a -> unit
+
+(** [peek q] returns the minimum without removing it. *)
+val peek : 'a t -> 'a option
+
+(** [pop q] removes and returns the minimum. *)
+val pop : 'a t -> 'a option
+
+(** [pop_exn q]
+    @raise Invalid_argument on an empty queue. *)
+val pop_exn : 'a t -> 'a
+
+val of_list : compare:('a -> 'a -> int) -> 'a list -> 'a t
+
+(** [to_sorted_list q] drains a copy of [q] in priority order. *)
+val to_sorted_list : 'a t -> 'a list

@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    The experiment harness must be reproducible run to run, so all
+    randomness flows through explicitly-seeded generators; [split] derives
+    an independent stream, letting parallel experiment legs stay
+    deterministic regardless of evaluation order. *)
+
+type t
+
+val create : seed:int -> t
+
+(** [int t bound] is uniform in [[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] is uniform in [[lo, hi]] (inclusive). *)
+val int_in : t -> int -> int -> int
+
+(** [float t bound] is uniform in [[0, bound)]. *)
+val float : t -> float -> float
+
+val bool : t -> bool
+
+(** [split t] is a generator statistically independent of [t]'s future
+    output; both remain deterministic. *)
+val split : t -> t
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit
+
+(** [pick t a]
+    @raise Invalid_argument on an empty array. *)
+val pick : t -> 'a array -> 'a

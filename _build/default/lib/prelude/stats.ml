@@ -1,0 +1,55 @@
+let sum = List.fold_left ( +. ) 0.
+
+let mean = function
+  | [] -> invalid_arg "Stats.mean: empty"
+  | xs -> sum xs /. float_of_int (List.length xs)
+
+let stdev = function
+  | [] | [ _ ] -> 0.
+  | xs ->
+      let m = mean xs in
+      let var =
+        sum (List.map (fun x -> (x -. m) ** 2.) xs)
+        /. float_of_int (List.length xs - 1)
+      in
+      sqrt var
+
+let harmonic_mean = function
+  | [] -> invalid_arg "Stats.harmonic_mean: empty"
+  | xs ->
+      if List.exists (fun x -> x <= 0.) xs then
+        invalid_arg "Stats.harmonic_mean: non-positive element";
+      float_of_int (List.length xs) /. sum (List.map (fun x -> 1. /. x) xs)
+
+let minimum = function
+  | [] -> invalid_arg "Stats.minimum: empty"
+  | x :: xs -> List.fold_left min x xs
+
+let maximum = function
+  | [] -> invalid_arg "Stats.maximum: empty"
+  | x :: xs -> List.fold_left max x xs
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let lcm a b =
+  if a = 0 || b = 0 then 0 else abs (a / gcd a b * b)
+
+let lcm_list = function
+  | [] -> invalid_arg "Stats.lcm_list: empty"
+  | x :: xs -> List.fold_left lcm x xs
+
+let fequal ?(eps = 1e-9) a b =
+  let scale = max 1. (max (abs_float a) (abs_float b)) in
+  abs_float (a -. b) <= eps *. scale
+
+let percentile p = function
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | xs ->
+      if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      let rank = p /. 100. *. float_of_int (n - 1) in
+      let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+      let frac = rank -. floor rank in
+      ((1. -. frac) *. a.(lo)) +. (frac *. a.(hi))

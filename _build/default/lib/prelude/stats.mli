@@ -1,0 +1,28 @@
+(** Small numeric helpers shared by ranking, load balancing and reporting. *)
+
+val mean : float list -> float
+val stdev : float list -> float
+
+(** [harmonic_mean xs] — all elements must be positive.
+    The paper's rank averaging (§4.1) uses the harmonic mean of cycle-times
+    and of link costs. *)
+val harmonic_mean : float list -> float
+
+val minimum : float list -> float
+val maximum : float list -> float
+val sum : float list -> float
+
+(** Greatest common divisor / least common multiple over positive ints;
+    [lcm_list] is used for the paper's perfect-balance chunk size
+    M = lcm(t_1..t_p) * sum(1/t_i) (§5.3). *)
+val gcd : int -> int -> int
+
+val lcm : int -> int -> int
+val lcm_list : int list -> int
+
+(** [fequal ?eps a b] — absolute/relative float comparison for tests and
+    validation (default [eps = 1e-9]). *)
+val fequal : ?eps:float -> float -> float -> bool
+
+(** [percentile p xs] with [p] in [0, 100], linear interpolation. *)
+val percentile : float -> float list -> float

@@ -1,0 +1,47 @@
+type t = { columns : string list; rows : string list Vec.t }
+
+let create ~columns =
+  if columns = [] then invalid_arg "Table.create: no columns";
+  { columns; rows = Vec.create () }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: arity mismatch";
+  Vec.push t.rows row
+
+let n_rows t = Vec.length t.rows
+
+let looks_numeric s =
+  s <> "" && (match float_of_string_opt s with Some _ -> true | None -> false)
+
+let to_string t =
+  let all = t.columns :: Vec.to_list t.rows in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let pad i cell =
+    let w = widths.(i) in
+    let fill = String.make (w - String.length cell) ' ' in
+    if looks_numeric cell then fill ^ cell else cell ^ fill
+  in
+  let render_row row = String.concat "  " (List.mapi pad row) in
+  let sep =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let body = List.map render_row (Vec.to_list t.rows) in
+  String.concat "\n" ((render_row t.columns :: sep :: body) @ [ "" ])
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let row r = String.concat "," (List.map csv_escape r) in
+  String.concat "\n" (row t.columns :: List.map row (Vec.to_list t.rows)) ^ "\n"
+
+let print t = print_string (to_string t)

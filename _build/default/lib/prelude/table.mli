@@ -1,0 +1,20 @@
+(** Aligned ASCII tables and CSV output for the experiment reports. *)
+
+type t
+
+(** [create ~columns] — column headers fix the column count; subsequent
+    rows must have the same arity.
+    @raise Invalid_argument on an empty header list. *)
+val create : columns:string list -> t
+
+(** @raise Invalid_argument if the row arity differs from the header's. *)
+val add_row : t -> string list -> unit
+
+val n_rows : t -> int
+
+(** Render with aligned columns, a header separator, and right-aligned
+    numeric-looking cells. *)
+val to_string : t -> string
+
+val to_csv : t -> string
+val print : t -> unit

@@ -1,0 +1,162 @@
+(* Flat growable float arrays keep intervals unboxed; [starts] and
+   [finishes] are parallel and sorted (disjointness makes both sorted). *)
+type t = {
+  mutable starts : float array;
+  mutable finishes : float array;
+  mutable len : int;
+}
+
+let create () = { starts = [||]; finishes = [||]; len = 0 }
+let n_intervals t = t.len
+
+let intervals t =
+  let rec loop i acc =
+    if i < 0 then acc else loop (i - 1) ((t.starts.(i), t.finishes.(i)) :: acc)
+  in
+  loop (t.len - 1) []
+
+let last_finish t = if t.len = 0 then 0. else t.finishes.(t.len - 1)
+
+let total_busy t =
+  let acc = ref 0. in
+  for i = 0 to t.len - 1 do
+    acc := !acc +. (t.finishes.(i) -. t.starts.(i))
+  done;
+  !acc
+
+let grow t =
+  let cap = Array.length t.starts in
+  let cap' = if cap = 0 then 16 else 2 * cap in
+  let starts = Array.make cap' 0. and finishes = Array.make cap' 0. in
+  Array.blit t.starts 0 starts 0 t.len;
+  Array.blit t.finishes 0 finishes 0 t.len;
+  t.starts <- starts;
+  t.finishes <- finishes
+
+(* Smallest index whose finish is strictly greater than [x]: the first
+   interval that can constrain a gap starting at [x]. *)
+let first_relevant t x =
+  let lo = ref 0 and hi = ref t.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.finishes.(mid) <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let add t ~start ~finish =
+  if finish < start then invalid_arg "Timeline.add: finish < start";
+  if finish > start then begin
+    if t.len = Array.length t.starts then grow t;
+    let i = first_relevant t start in
+    if i < t.len && t.starts.(i) < finish then
+      invalid_arg "Timeline.add: overlapping busy interval";
+    Array.blit t.starts i t.starts (i + 1) (t.len - i);
+    Array.blit t.finishes i t.finishes (i + 1) (t.len - i);
+    t.starts.(i) <- start;
+    t.finishes.(i) <- finish;
+    t.len <- t.len + 1
+  end
+
+let sort_extra extra =
+  match extra with
+  | [] | [ _ ] -> extra
+  | l -> List.sort (fun (s1, _) (s2, _) -> compare s1 s2) l
+
+let earliest_gap ?(extra = []) t ~after ~duration =
+  if duration <= 0. then after
+  else begin
+    let extra = sort_extra extra in
+    let candidate = ref after in
+    let i = ref (first_relevant t after) in
+    let ex = ref extra in
+    let progress = ref true in
+    (* Advance over blocking intervals from both sources in start order. *)
+    while !progress do
+      progress := false;
+      (* Committed intervals blocking [candidate, candidate+duration). *)
+      while
+        !i < t.len
+        && t.starts.(!i) < !candidate +. duration
+        && t.finishes.(!i) > !candidate
+      do
+        if t.finishes.(!i) > !candidate then candidate := t.finishes.(!i);
+        incr i;
+        progress := true
+      done;
+      (* Skip committed intervals now entirely before the candidate. *)
+      while !i < t.len && t.finishes.(!i) <= !candidate do
+        incr i
+      done;
+      (match !ex with
+      | (s, f) :: rest when s < !candidate +. duration ->
+          if f > !candidate then begin
+            candidate := f;
+            progress := true
+          end;
+          ex := rest;
+          progress := true
+      | _ -> ())
+    done;
+    !candidate
+  end
+
+let earliest_gap_joint ?(extra = []) ts ~after ~duration =
+  if duration <= 0. then after
+  else begin
+    let ts = Array.of_list ts in
+    let k = Array.length ts in
+    let idx = Array.make k 0 in
+    for j = 0 to k - 1 do
+      idx.(j) <- first_relevant ts.(j) after
+    done;
+    let ex = ref (sort_extra extra) in
+    let candidate = ref after in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      for j = 0 to k - 1 do
+        let t = ts.(j) in
+        (* Skip intervals that end at or before the candidate. *)
+        while idx.(j) < t.len && t.finishes.(idx.(j)) <= !candidate do
+          idx.(j) <- idx.(j) + 1
+        done;
+        if
+          idx.(j) < t.len
+          && t.starts.(idx.(j)) < !candidate +. duration
+          && t.finishes.(idx.(j)) > !candidate
+        then begin
+          candidate := t.finishes.(idx.(j));
+          idx.(j) <- idx.(j) + 1;
+          progress := true
+        end
+      done;
+      let rec eat () =
+        match !ex with
+        | (_, f) :: rest when f <= !candidate ->
+            ex := rest;
+            eat ()
+        | (s, f) :: rest when s < !candidate +. duration ->
+            candidate := f;
+            ex := rest;
+            progress := true;
+            eat ()
+        | _ -> ()
+      in
+      eat ()
+    done;
+    !candidate
+  end
+
+let free_at t ~start ~finish =
+  if finish <= start then true
+  else begin
+    let i = first_relevant t start in
+    i >= t.len || t.starts.(i) >= finish
+  end
+
+let copy t =
+  {
+    starts = Array.copy t.starts;
+    finishes = Array.copy t.finishes;
+    len = t.len;
+  }

@@ -1,0 +1,64 @@
+(** Busy-interval timelines with earliest-gap search.
+
+    A timeline records the busy intervals of one resource (a processor's
+    compute unit, its send port, or its receive port) as a sorted sequence
+    of disjoint half-open intervals [[start, finish)].  Two queries drive
+    all scheduling decisions in this library:
+
+    - {!earliest_gap}: the earliest start time [>= after] at which the
+      resource is continuously free for [duration] time units — the
+      insertion-based slot search used by HEFT-style list scheduling;
+    - {!earliest_gap_joint}: the same over the {e union} of several
+      timelines, which is exactly the one-port constraint of the paper
+      (§4.3): a message from [Pq] to [Pr] needs a common free interval of
+      [Pq]'s send port and [Pr]'s receive port.
+
+    Both queries accept [extra] busy intervals so that a heuristic can
+    evaluate a candidate placement (including the communications it would
+    trigger) without mutating any committed state. *)
+
+type t
+
+val create : unit -> t
+
+(** [add t ~start ~finish] marks [[start, finish)] busy.
+    @raise Invalid_argument if [finish < start] or the interval overlaps an
+    existing busy interval (touching endpoints are allowed).  Zero-length
+    intervals are accepted and ignored. *)
+val add : t -> start:float -> finish:float -> unit
+
+val n_intervals : t -> int
+
+(** Sorted busy intervals as [(start, finish)] pairs. *)
+val intervals : t -> (float * float) list
+
+(** [last_finish t] is the finish time of the last busy interval, or [0.]
+    for an empty timeline. *)
+val last_finish : t -> float
+
+(** Total busy time. *)
+val total_busy : t -> float
+
+(** [earliest_gap t ~after ~duration] is the earliest [s >= after] such
+    that [[s, s + duration)] intersects no busy interval.  [extra] adds
+    tentative busy intervals (in any order) to the busy set.  A
+    non-positive [duration] yields [after]. *)
+val earliest_gap :
+  ?extra:(float * float) list -> t -> after:float -> duration:float -> float
+
+(** [earliest_gap_joint ts ~after ~duration] is the earliest gap in the
+    union of the busy sets of all timelines in [ts] plus [extra].  Used for
+    one-port communication slots (sender send-port + receiver recv-port,
+    plus compute timelines under no-overlap variants). *)
+val earliest_gap_joint :
+  ?extra:(float * float) list ->
+  t list ->
+  after:float ->
+  duration:float ->
+  float
+
+(** [free_at t ~start ~finish] is [true] when [[start, finish)] intersects
+    no busy interval — an independent check used by the validator. *)
+val free_at : t -> start:float -> finish:float -> bool
+
+val copy : t -> t

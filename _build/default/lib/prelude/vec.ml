@@ -1,0 +1,103 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create ?capacity:_ () = { data = [||]; len = 0 }
+
+let make n x = { data = Array.make (max n 1) x; len = n }
+let length v = v.len
+let is_empty v = v.len = 0
+
+let check v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec: index out of bounds"
+
+let get v i =
+  check v i;
+  Array.unsafe_get v.data i
+
+let set v i x =
+  check v i;
+  Array.unsafe_set v.data i x
+
+let grow v x =
+  let cap = Array.length v.data in
+  if cap = 0 then v.data <- Array.make 8 x
+  else begin
+    let data = Array.make (2 * cap) x in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end
+
+let push v x =
+  if v.len = Array.length v.data then grow v x;
+  Array.unsafe_set v.data v.len x;
+  v.len <- v.len + 1
+
+let pop v =
+  if v.len = 0 then invalid_arg "Vec.pop: empty";
+  v.len <- v.len - 1;
+  Array.unsafe_get v.data v.len
+
+let last v =
+  if v.len = 0 then invalid_arg "Vec.last: empty";
+  Array.unsafe_get v.data (v.len - 1)
+
+let insert v i x =
+  if i < 0 || i > v.len then invalid_arg "Vec.insert: index out of bounds";
+  if v.len = Array.length v.data then grow v x;
+  Array.blit v.data i v.data (i + 1) (v.len - i);
+  v.data.(i) <- x;
+  v.len <- v.len + 1
+
+let remove v i =
+  check v i;
+  Array.blit v.data (i + 1) v.data i (v.len - i - 1);
+  v.len <- v.len - 1
+
+let clear v = v.len <- 0
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f (Array.unsafe_get v.data i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i (Array.unsafe_get v.data i)
+  done
+
+let fold f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc (Array.unsafe_get v.data i)
+  done;
+  !acc
+
+let exists p v =
+  let rec loop i = i < v.len && (p v.data.(i) || loop (i + 1)) in
+  loop 0
+
+let for_all p v = not (exists (fun x -> not (p x)) v)
+
+let to_list v =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (v.data.(i) :: acc) in
+  loop (v.len - 1) []
+
+let to_array v = Array.sub v.data 0 v.len
+let of_array a = { data = Array.copy a; len = Array.length a }
+let of_list l = of_array (Array.of_list l)
+
+let sort cmp v =
+  let a = to_array v in
+  Array.sort cmp a;
+  Array.blit a 0 v.data 0 v.len
+
+let copy v = { data = Array.copy v.data; len = v.len }
+
+let lower_bound v ~compare x =
+  (* Smallest index whose element is >= x; standard binary search. *)
+  let lo = ref 0 and hi = ref v.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if compare (Array.unsafe_get v.data mid) x < 0 then lo := mid + 1
+    else hi := mid
+  done;
+  !lo

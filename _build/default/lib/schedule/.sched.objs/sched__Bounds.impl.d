@@ -1,0 +1,1 @@
+lib/schedule/bounds.ml: Array Commmodel List Platform Schedule Taskgraph

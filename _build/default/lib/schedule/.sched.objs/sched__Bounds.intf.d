@@ -1,0 +1,1 @@
+lib/schedule/bounds.mli: Platform Schedule Taskgraph

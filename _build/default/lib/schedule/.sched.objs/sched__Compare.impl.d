@@ -1,0 +1,1 @@
+lib/schedule/compare.ml: Format List Platform Schedule Taskgraph

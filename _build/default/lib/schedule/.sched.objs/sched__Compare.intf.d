@@ -1,0 +1,1 @@
+lib/schedule/compare.mli: Format Schedule

@@ -1,0 +1,1 @@
+lib/schedule/export.ml: Buffer Char Fun List Platform Printf Schedule String Taskgraph

@@ -1,0 +1,1 @@
+lib/schedule/export.mli: Schedule

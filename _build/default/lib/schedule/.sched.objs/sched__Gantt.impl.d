@@ -1,0 +1,1 @@
+lib/schedule/gantt.ml: Buffer Bytes Commmodel List Platform Printf Schedule String Taskgraph

@@ -1,0 +1,1 @@
+lib/schedule/gantt.mli: Schedule

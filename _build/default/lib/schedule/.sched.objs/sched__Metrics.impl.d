@@ -1,0 +1,1 @@
+lib/schedule/metrics.ml: Array Format Platform Printf Schedule Taskgraph

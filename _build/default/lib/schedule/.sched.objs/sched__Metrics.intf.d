@@ -1,0 +1,1 @@
+lib/schedule/metrics.mli: Format Schedule

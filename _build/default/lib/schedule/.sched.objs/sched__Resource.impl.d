@@ -1,0 +1,1 @@
+lib/schedule/resource.ml: Array Commmodel Hashtbl List Prelude Timeline

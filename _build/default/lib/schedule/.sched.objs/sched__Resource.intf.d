@@ -1,0 +1,1 @@
+lib/schedule/resource.mli: Commmodel Prelude

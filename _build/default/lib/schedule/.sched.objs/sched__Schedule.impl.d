@@ -1,0 +1,1 @@
+lib/schedule/schedule.ml: Array Commmodel Float Format List Platform Prelude Printf Resource Taskgraph Vec

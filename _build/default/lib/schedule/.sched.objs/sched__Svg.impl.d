@@ -1,0 +1,1 @@
+lib/schedule/svg.ml: Array Buffer Commmodel Export Float List Platform Printf Schedule String Taskgraph

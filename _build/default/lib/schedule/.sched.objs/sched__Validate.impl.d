@@ -1,0 +1,1 @@
+lib/schedule/validate.ml: Array Commmodel Hashtbl List Option Platform Prelude Printf Schedule String Taskgraph

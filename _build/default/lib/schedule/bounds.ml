@@ -1,0 +1,67 @@
+module Graph = Taskgraph.Graph
+
+let critical_path g plat =
+  Taskgraph.Analysis.critical_path_weight g *. Platform.min_cycle_time plat
+
+let total_work g plat = Graph.total_weight g /. Platform.aggregate_speed plat
+
+let combined g plat = max (critical_path g plat) (total_work g plat)
+
+(* Smallest positive link cost — the cheapest any message can travel. *)
+let min_link plat =
+  let p = Platform.p plat in
+  let best = ref infinity in
+  for q = 0 to p - 1 do
+    for r = 0 to p - 1 do
+      if q <> r then best := min !best (Platform.link plat ~src:q ~dst:r)
+    done
+  done;
+  if !best = infinity then 0. else !best
+
+let one_port_fork g plat =
+  let base = combined g plat in
+  match Graph.entry_tasks g with
+  | [ v0 ] when Graph.out_degree g v0 >= 2 ->
+      let tmin = Platform.min_cycle_time plat in
+      let lmin = min_link plat in
+      let children =
+        List.rev
+          (Graph.fold_succ_edges g v0 ~init:[] ~f:(fun acc e ->
+               (Graph.weight g (Graph.edge_dst g e), Graph.edge_data g e) :: acc))
+      in
+      let k = List.length children in
+      let weights = List.sort compare (List.map fst children) in
+      let datas = List.sort compare (List.map snd children) in
+      let min_w = List.hd weights in
+      let prefix l =
+        (* prefix.(i) = sum of the i smallest elements *)
+        let a = Array.make (k + 1) 0. in
+        List.iteri (fun i x -> a.(i + 1) <- a.(i) +. x) l;
+        a
+      in
+      let wsum = prefix weights and dsum = prefix datas in
+      (* Any schedule co-locates some c children with the parent: those
+         execute serially after it (>= the c smallest weights at the
+         fastest speed); the k - c others receive through the parent's
+         send port serially (>= the k - c smallest volumes at the cheapest
+         link), the last followed by one execution. *)
+      let best_case = ref infinity in
+      for c = 0 to k do
+        let local = wsum.(c) *. tmin in
+        let remote =
+          if c = k then 0. else (dsum.(k - c) *. lmin) +. (min_w *. tmin)
+        in
+        best_case := min !best_case (max local remote)
+      done;
+      max base ((Graph.weight g v0 *. tmin) +. !best_case)
+  | [] | [ _ ] | _ :: _ :: _ -> base
+
+let quality sched =
+  let g = Schedule.graph sched in
+  let plat = Schedule.platform sched in
+  let bound =
+    if Commmodel.Comm_model.restricts_ports (Schedule.model sched) then
+      one_port_fork g plat
+    else combined g plat
+  in
+  if bound <= 0. then 1. else Schedule.makespan sched /. bound

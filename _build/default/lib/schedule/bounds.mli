@@ -1,0 +1,37 @@
+(** Lower bounds on the makespan of any valid schedule.
+
+    Used to report schedule quality in absolute terms (the paper only
+    compares heuristics to each other and to the §5.2 perfect-balance
+    bound; these bounds certify how much headroom remains):
+
+    - {e critical path}: the heaviest weight-path executed at the fastest
+      cycle-time — no schedule can beat the chain even with free
+      communication;
+    - {e total work}: all weight spread over the aggregate speed
+      [sum(1/t_i)] — perfect balance, free communication;
+    - {e fan-out}: for each task, its finish plus the time to push its
+      outgoing volumes through one send port — meaningful under one-port
+      models when a task must feed many remote successors (at least
+      [out-degree - something] messages serialise; we use the
+      conservative version that assumes all but the co-located heaviest
+      successor communicate). *)
+
+(** [critical_path g plat] *)
+val critical_path : Taskgraph.Graph.t -> Platform.t -> float
+
+(** [total_work g plat] *)
+val total_work : Taskgraph.Graph.t -> Platform.t -> float
+
+(** [combined g plat] — the max of the above two (model-independent). *)
+val combined : Taskgraph.Graph.t -> Platform.t -> float
+
+(** [one_port_fork g plat] — additionally valid under one-port models
+    only: [min_v (start-bound of v + serialized cheapest-send tail)]
+    specialised to entry tasks feeding many successors; returns
+    [combined]'s value when it does not apply. *)
+val one_port_fork : Taskgraph.Graph.t -> Platform.t -> float
+
+(** [quality sched] — [makespan / relevant lower bound] ([>= 1]; closer to
+    1 is better).  Uses {!one_port_fork} when the schedule's model
+    restricts ports, {!combined} otherwise. *)
+val quality : Schedule.t -> float

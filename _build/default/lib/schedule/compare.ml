@@ -1,0 +1,52 @@
+module Graph = Taskgraph.Graph
+
+type t = {
+  makespan_a : float;
+  makespan_b : float;
+  makespan_ratio : float;
+  same_allocation : int;
+  n_tasks : int;
+  allocation_agreement : float;
+  comms_a : int;
+  comms_b : int;
+  comm_time_a : float;
+  comm_time_b : float;
+  moved_tasks : (int * int * int) list;
+}
+
+let diff a b =
+  let ga = Schedule.graph a and gb = Schedule.graph b in
+  if Graph.n_tasks ga <> Graph.n_tasks gb then
+    invalid_arg "Compare.diff: different graphs";
+  if Platform.p (Schedule.platform a) <> Platform.p (Schedule.platform b) then
+    invalid_arg "Compare.diff: different platforms";
+  let n = Graph.n_tasks ga in
+  let same = ref 0 in
+  let moved = ref [] in
+  for v = n - 1 downto 0 do
+    let pa = Schedule.proc_of_exn a v and pb = Schedule.proc_of_exn b v in
+    if pa = pb then incr same else moved := (v, pa, pb) :: !moved
+  done;
+  let cap l = List.filteri (fun i _ -> i < 50) l in
+  let makespan_a = Schedule.makespan a and makespan_b = Schedule.makespan b in
+  {
+    makespan_a;
+    makespan_b;
+    makespan_ratio = (if makespan_b > 0. then makespan_a /. makespan_b else 1.);
+    same_allocation = !same;
+    n_tasks = n;
+    allocation_agreement = (if n > 0 then float_of_int !same /. float_of_int n else 1.);
+    comms_a = Schedule.n_comm_events a;
+    comms_b = Schedule.n_comm_events b;
+    comm_time_a = Schedule.total_comm_time a;
+    comm_time_b = Schedule.total_comm_time b;
+    moved_tasks = cap !moved;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>makespans: %g vs %g (ratio %.3f)@ allocation agreement: %d/%d \
+     (%.0f%%)@ communications: %d (%g time) vs %d (%g time)@]"
+    t.makespan_a t.makespan_b t.makespan_ratio t.same_allocation t.n_tasks
+    (100. *. t.allocation_agreement)
+    t.comms_a t.comm_time_a t.comms_b t.comm_time_b

@@ -1,0 +1,24 @@
+(** Structural comparison of two schedules for the same graph and
+    platform — what actually differs when one heuristic beats another:
+    the mapping, the communication volume, or just the packing. *)
+
+type t = {
+  makespan_a : float;
+  makespan_b : float;
+  makespan_ratio : float;  (** a / b; < 1 means a is faster *)
+  same_allocation : int;  (** tasks mapped to the same processor *)
+  n_tasks : int;
+  allocation_agreement : float;  (** same_allocation / n_tasks *)
+  comms_a : int;
+  comms_b : int;
+  comm_time_a : float;
+  comm_time_b : float;
+  moved_tasks : (int * int * int) list;
+      (** (task, proc in a, proc in b), capped at 50 entries *)
+}
+
+(** @raise Invalid_argument when the schedules disagree on graph size or
+    processor count. *)
+val diff : Schedule.t -> Schedule.t -> t
+
+val pp : Format.formatter -> t -> unit

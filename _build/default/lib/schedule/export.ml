@@ -1,0 +1,101 @@
+module Graph = Taskgraph.Graph
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Chrome trace "complete" event. *)
+let complete_event ~name ~pid ~tid ~ts ~dur ~args =
+  Printf.sprintf
+    {|{"name":"%s","ph":"X","ts":%g,"dur":%g,"pid":%d,"tid":%d,"args":{%s}}|}
+    (json_escape name) ts dur pid tid args
+
+(* Thread ids inside a processor's trace group. *)
+let tid_cpu = 0
+let tid_send = 1
+let tid_recv = 2
+
+let to_chrome_trace ?(time_unit = 1.0) s =
+  let g = Schedule.graph s in
+  let events = ref [] in
+  let emit ts line = events := (ts, line) :: !events in
+  for v = 0 to Graph.n_tasks g - 1 do
+    let pl = Schedule.placement_exn s v in
+    emit pl.Schedule.start
+      (complete_event
+         ~name:(Printf.sprintf "v%d" v)
+         ~pid:pl.Schedule.proc ~tid:tid_cpu
+         ~ts:(time_unit *. pl.Schedule.start)
+         ~dur:(time_unit *. (pl.Schedule.finish -. pl.Schedule.start))
+         ~args:(Printf.sprintf {|"task":%d,"weight":%g|} v (Graph.weight g v)))
+  done;
+  List.iter
+    (fun (c : Schedule.comm) ->
+      let dur = time_unit *. (c.finish -. c.start) in
+      let args =
+        Printf.sprintf {|"edge":%d,"src":%d,"dst":%d|} c.edge c.src_proc
+          c.dst_proc
+      in
+      let name = Printf.sprintf "e%d:%d->%d" c.edge c.src_proc c.dst_proc in
+      emit c.start
+        (complete_event ~name ~pid:c.src_proc ~tid:tid_send
+           ~ts:(time_unit *. c.start) ~dur ~args);
+      emit c.start
+        (complete_event ~name ~pid:c.dst_proc ~tid:tid_recv
+           ~ts:(time_unit *. c.start) ~dur ~args))
+    (Schedule.comms s);
+  (* Thread name metadata makes the ports readable in the viewer. *)
+  let p = Platform.p (Schedule.platform s) in
+  let metadata =
+    List.concat_map
+      (fun q ->
+        List.map
+          (fun (tid, label) ->
+            Printf.sprintf
+              {|{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"%s"}}|}
+              q tid label)
+          [ (tid_cpu, "cpu"); (tid_send, "send port"); (tid_recv, "recv port") ])
+      (List.init p Fun.id)
+  in
+  let body =
+    List.map snd (List.sort (fun (a, _) (b, _) -> compare a b) !events)
+  in
+  "[" ^ String.concat ",\n" (metadata @ body) ^ "]\n"
+
+let to_csv s =
+  let g = Schedule.graph s in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "kind,name,processor,resource,start,finish,duration\n";
+  let row kind name proc resource start finish =
+    Buffer.add_string buf
+      (Printf.sprintf "%s,%s,%d,%s,%g,%g,%g\n" kind name proc resource start
+         finish (finish -. start))
+  in
+  for v = 0 to Graph.n_tasks g - 1 do
+    let pl = Schedule.placement_exn s v in
+    row "task" (Printf.sprintf "v%d" v) pl.Schedule.proc "cpu" pl.Schedule.start
+      pl.Schedule.finish
+  done;
+  List.iter
+    (fun (c : Schedule.comm) ->
+      let name = Printf.sprintf "e%d" c.edge in
+      row "comm" name c.src_proc "send" c.start c.finish;
+      row "comm" name c.dst_proc "recv" c.start c.finish)
+    (Schedule.comms s);
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

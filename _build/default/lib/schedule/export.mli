@@ -1,0 +1,23 @@
+(** Schedule export for external tooling.
+
+    Two formats:
+
+    - {e Chrome trace} (the [chrome://tracing] / Perfetto JSON array
+      format): each task execution and each communication hop becomes a
+      complete event ([ph = "X"]), with one trace process per processor
+      and threads for compute / send port / receive port, so the one-port
+      serialisation is directly visible on the timeline;
+    - {e CSV}: one row per event, for spreadsheets and plotting scripts. *)
+
+(** [to_chrome_trace ?time_unit s] — JSON string.  Events are emitted in
+    chronological order; [time_unit] scales schedule time to microseconds
+    (default 1.0, i.e. one schedule time unit = 1 µs). *)
+val to_chrome_trace : ?time_unit:float -> Schedule.t -> string
+
+(** Columns: [kind,name,processor,resource,start,finish,duration] where
+    [kind] is [task] or [comm] and [resource] is [cpu], [send] or [recv]
+    (communications appear twice: once per endpoint port). *)
+val to_csv : Schedule.t -> string
+
+(** [write_file path contents] — tiny convenience used by the CLI. *)
+val write_file : string -> string -> unit

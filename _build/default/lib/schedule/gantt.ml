@@ -1,0 +1,86 @@
+module Graph = Taskgraph.Graph
+
+module Comm_model = Commmodel.Comm_model
+
+(* Paint [label] over columns [c0, c1) of [row], clipping to length. *)
+let paint row c0 c1 label =
+  let len = Bytes.length row in
+  let c0 = max 0 c0 and c1 = min len c1 in
+  for c = c0 to c1 - 1 do
+    Bytes.set row c '#'
+  done;
+  let lbl = label in
+  let avail = c1 - c0 in
+  if avail >= String.length lbl && avail > 0 then
+    Bytes.blit_string lbl 0 row (c0 + ((avail - String.length lbl) / 2))
+      (String.length lbl)
+
+let render ?(width = 72) ?show_ports s =
+  let plat = Schedule.platform s in
+  let model = Schedule.model s in
+  let show_ports =
+    match show_ports with
+    | Some b -> b
+    | None -> Comm_model.restricts_ports model
+  in
+  let span = max (Schedule.makespan s) 1e-9 in
+  let col t = int_of_float (float_of_int width *. t /. span) in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "makespan = %g   (one column = %g time units)\n" span
+       (span /. float_of_int width));
+  let p = Platform.p plat in
+  for q = 0 to p - 1 do
+    let row = Bytes.make width '.' in
+    for v = 0 to Graph.n_tasks (Schedule.graph s) - 1 do
+      match Schedule.placement s v with
+      | Some pl when pl.proc = q && pl.finish > pl.start ->
+          paint row (col pl.start) (max (col pl.finish) (col pl.start + 1))
+            (string_of_int v)
+      | Some _ | None -> ()
+    done;
+    Buffer.add_string buf (Printf.sprintf "P%-2d cpu  |%s|\n" q (Bytes.to_string row));
+    if show_ports then begin
+      let send_row = Bytes.make width '.' in
+      let recv_row = Bytes.make width '.' in
+      List.iter
+        (fun (c : Schedule.comm) ->
+          if c.finish > c.start then begin
+            if c.src_proc = q then
+              paint send_row (col c.start)
+                (max (col c.finish) (col c.start + 1))
+                (Printf.sprintf ">%d" c.dst_proc);
+            if c.dst_proc = q then
+              paint recv_row (col c.start)
+                (max (col c.finish) (col c.start + 1))
+                (Printf.sprintf "<%d" c.src_proc)
+          end)
+        (Schedule.comms s);
+      Buffer.add_string buf (Printf.sprintf "    send |%s|\n" (Bytes.to_string send_row));
+      Buffer.add_string buf (Printf.sprintf "    recv |%s|\n" (Bytes.to_string recv_row))
+    end
+  done;
+  Buffer.contents buf
+
+let listing s =
+  let buf = Buffer.create 1024 in
+  let events = ref [] in
+  for v = 0 to Graph.n_tasks (Schedule.graph s) - 1 do
+    match Schedule.placement s v with
+    | Some pl ->
+        events :=
+          (pl.start, Printf.sprintf "[%10.3f, %10.3f) P%d  exec v%d" pl.start pl.finish pl.proc v)
+          :: !events
+    | None -> events := (infinity, Printf.sprintf "unplaced v%d" v) :: !events
+  done;
+  List.iter
+    (fun (c : Schedule.comm) ->
+      events :=
+        ( c.start,
+          Printf.sprintf "[%10.3f, %10.3f) P%d->P%d  comm e%d" c.start c.finish
+            c.src_proc c.dst_proc c.edge )
+        :: !events)
+    (Schedule.comms s);
+  let sorted = List.sort compare !events in
+  List.iter (fun (_, line) -> Buffer.add_string buf (line ^ "\n")) sorted;
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** ASCII Gantt charts and chronological listings of schedules.
+
+    [render] draws one row per processor (plus send/receive port rows under
+    one-port models, mirroring Figure 4 of the paper); [listing] prints
+    every event with exact times, for regression tests and debugging. *)
+
+(** [render ?width ?show_ports s] — [width] is the number of character
+    columns for the time axis (default 72); [show_ports] adds the port
+    rows (default: true exactly when the model restricts ports). *)
+val render : ?width:int -> ?show_ports:bool -> Schedule.t -> string
+
+(** Exact chronological event listing: one line per task placement and per
+    communication hop. *)
+val listing : Schedule.t -> string

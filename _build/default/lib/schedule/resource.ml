@@ -1,0 +1,83 @@
+open Prelude
+module Comm_model = Commmodel.Comm_model
+
+type proc_state = {
+  compute : Timeline.t;
+  send : Timeline.t;
+  recv : Timeline.t;
+      (* Physically equal to [send] under the uni-directional discipline. *)
+}
+
+type t = {
+  model : Comm_model.t;
+  procs : proc_state array;
+  (* Undirected-link timelines keyed by (min, max) processor pair; lazily
+     created, only populated under link-contention models. *)
+  links : (int * int, Timeline.t) Hashtbl.t;
+}
+
+let create ~model ~p =
+  let make_proc _ =
+    let compute = Timeline.create () in
+    let send = Timeline.create () in
+    let recv =
+      match model.Comm_model.ports with
+      | Comm_model.One_port_unidirectional -> send
+      | Comm_model.Unlimited | Comm_model.One_port_bidirectional ->
+          Timeline.create ()
+    in
+    { compute; send; recv }
+  in
+  { model; procs = Array.init p make_proc; links = Hashtbl.create 16 }
+
+let model t = t.model
+let p t = Array.length t.procs
+let compute t i = t.procs.(i).compute
+
+let with_compute_if_no_overlap t i rest =
+  if t.model.Comm_model.overlap then rest else t.procs.(i).compute :: rest
+
+let send_busy t i =
+  match t.model.Comm_model.ports with
+  | Comm_model.Unlimited -> with_compute_if_no_overlap t i []
+  | Comm_model.One_port_bidirectional | Comm_model.One_port_unidirectional ->
+      with_compute_if_no_overlap t i [ t.procs.(i).send ]
+
+let recv_busy t i =
+  match t.model.Comm_model.ports with
+  | Comm_model.Unlimited -> with_compute_if_no_overlap t i []
+  | Comm_model.One_port_bidirectional -> with_compute_if_no_overlap t i [ t.procs.(i).recv ]
+  | Comm_model.One_port_unidirectional ->
+      (* recv is physically the send port *)
+      with_compute_if_no_overlap t i [ t.procs.(i).recv ]
+
+let link t ~src ~dst =
+  let key = (min src dst, max src dst) in
+  match Hashtbl.find_opt t.links key with
+  | Some tl -> tl
+  | None ->
+      let tl = Timeline.create () in
+      Hashtbl.add t.links key tl;
+      tl
+
+let comm_busy t ~src ~dst =
+  let base = send_busy t src @ recv_busy t dst in
+  if t.model.Comm_model.link_contention then link t ~src ~dst :: base else base
+
+let commit_comm t ~src ~dst ~start ~finish =
+  List.iter
+    (fun tl -> Timeline.add tl ~start ~finish)
+    (comm_busy t ~src ~dst)
+
+let commit_task t ~proc ~start ~finish =
+  Timeline.add t.procs.(proc).compute ~start ~finish
+
+let copy t =
+  let copy_proc ps =
+    let send = Timeline.copy ps.send in
+    let recv = if ps.recv == ps.send then send else Timeline.copy ps.recv in
+    { compute = Timeline.copy ps.compute; send; recv }
+  in
+  let links = Hashtbl.create (Hashtbl.length t.links) in
+  Hashtbl.iter (fun key tl -> Hashtbl.add links key (Timeline.copy tl)) t.links;
+  { model = t.model; procs = Array.map copy_proc t.procs; links }

@@ -1,0 +1,59 @@
+(** Per-processor resource state under a communication model.
+
+    Each processor owns a compute timeline plus port timelines whose
+    meaning depends on the model's port discipline:
+
+    - {e macro-dataflow}: ports are never busy — a message occupies no
+      resource;
+    - {e bi-directional one-port}: a send port and an independent receive
+      port;
+    - {e uni-directional one-port}: one physical port serves both
+      directions.
+
+    The [*_busy] functions return exactly the set of distinct timelines a
+    message must find jointly free (and that a commit must mark busy), so
+    heuristics and the schedule builder share one source of truth for the
+    port rules — including the no-overlap variants, where the compute
+    timeline joins the set. *)
+
+type t
+
+val create : model:Commmodel.Comm_model.t -> p:int -> t
+val model : t -> Commmodel.Comm_model.t
+val p : t -> int
+
+(** The compute timeline of processor [i] (tasks, plus communications under
+    no-overlap models). *)
+val compute : t -> int -> Prelude.Timeline.t
+
+(** Distinct timelines the {e sending} side of a message out of processor
+    [i] occupies (possibly empty under macro-dataflow). *)
+val send_busy : t -> int -> Prelude.Timeline.t list
+
+(** Distinct timelines the {e receiving} side of a message into processor
+    [i] occupies. *)
+val recv_busy : t -> int -> Prelude.Timeline.t list
+
+(** [link t ~src ~dst] — the shared timeline of the {e undirected direct
+    link} between [src] and [dst], lazily created; only meaningful (and
+    only occupied) under link-contention models, where a link carries one
+    message at a time regardless of direction. *)
+val link : t -> src:int -> dst:int -> Prelude.Timeline.t
+
+(** [comm_busy t ~src ~dst] is the union of {!send_busy} on [src] and
+    {!recv_busy} on [dst] — plus the {!link} timeline under
+    link-contention models — the joint busy set of a direct hop. *)
+val comm_busy : t -> src:int -> dst:int -> Prelude.Timeline.t list
+
+(** [commit_comm t ~src ~dst ~start ~finish] marks a hop busy on every
+    timeline of [comm_busy].
+    @raise Invalid_argument if any timeline already overlaps (a scheduling
+    bug — slots must come from gap search over the same busy set). *)
+val commit_comm : t -> src:int -> dst:int -> start:float -> finish:float -> unit
+
+(** [commit_task t ~proc ~start ~finish] marks the compute timeline busy. *)
+val commit_task : t -> proc:int -> start:float -> finish:float -> unit
+
+(** Deep copy (preserving the send/recv port sharing of uni-directional
+    models); mutating the copy leaves the original untouched. *)
+val copy : t -> t

@@ -1,0 +1,134 @@
+open Prelude
+module Graph = Taskgraph.Graph
+
+module Comm_model = Commmodel.Comm_model
+
+type placement = { task : int; proc : int; start : float; finish : float }
+
+type comm = {
+  edge : int;
+  src_proc : int;
+  dst_proc : int;
+  start : float;
+  finish : float;
+}
+
+type t = {
+  graph : Graph.t;
+  platform : Platform.t;
+  model : Comm_model.t;
+  exec_time : (int -> int -> float) option;
+  resource : Resource.t;
+  procs : int array; (* -1 = unplaced *)
+  starts : float array;
+  finishes : float array;
+  comms : comm Vec.t;
+  edge_comms : int list array; (* comm indices per edge, reverse order *)
+  mutable n_placed : int;
+}
+
+let create ?exec_time ~graph ~platform ~model () =
+  let n = Graph.n_tasks graph in
+  {
+    graph;
+    platform;
+    model;
+    exec_time;
+    resource = Resource.create ~model ~p:(Platform.p platform);
+    procs = Array.make n (-1);
+    starts = Array.make n 0.;
+    finishes = Array.make n 0.;
+    comms = Vec.create ();
+    edge_comms = Array.make (max (Graph.n_edges graph) 1) [];
+    n_placed = 0;
+  }
+
+let exec_duration t ~task ~proc =
+  match t.exec_time with
+  | Some f ->
+      let d = f task proc in
+      if d < 0. || Float.is_nan d then
+        invalid_arg "Schedule.exec_duration: negative execution time";
+      d
+  | None -> Graph.weight t.graph task *. Platform.cycle_time t.platform proc
+
+let graph t = t.graph
+let platform t = t.platform
+let model t = t.model
+let resource t = t.resource
+
+let place_task t ~task ~proc ~start =
+  if task < 0 || task >= Graph.n_tasks t.graph then
+    invalid_arg "Schedule.place_task: bad task";
+  if proc < 0 || proc >= Platform.p t.platform then
+    invalid_arg "Schedule.place_task: bad processor";
+  if t.procs.(task) >= 0 then invalid_arg "Schedule.place_task: already placed";
+  if start < 0. then invalid_arg "Schedule.place_task: negative start";
+  let finish = start +. exec_duration t ~task ~proc in
+  Resource.commit_task t.resource ~proc ~start ~finish;
+  t.procs.(task) <- proc;
+  t.starts.(task) <- start;
+  t.finishes.(task) <- finish;
+  t.n_placed <- t.n_placed + 1
+
+let add_comm t ~edge ~src_proc ~dst_proc ~start =
+  if src_proc = dst_proc then invalid_arg "Schedule.add_comm: src = dst";
+  let data = Graph.edge_data t.graph edge in
+  let duration = data *. Platform.hop_cost t.platform ~src:src_proc ~dst:dst_proc in
+  let finish = start +. duration in
+  Resource.commit_comm t.resource ~src:src_proc ~dst:dst_proc ~start ~finish;
+  Vec.push t.comms { edge; src_proc; dst_proc; start; finish };
+  t.edge_comms.(edge) <- (Vec.length t.comms - 1) :: t.edge_comms.(edge);
+  finish
+
+let is_placed t task = t.procs.(task) >= 0
+
+let placement t task =
+  if is_placed t task then
+    Some { task; proc = t.procs.(task); start = t.starts.(task); finish = t.finishes.(task) }
+  else None
+
+let placement_exn t task =
+  match placement t task with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Schedule: task %d not placed" task)
+
+let proc_of_exn t task = (placement_exn t task).proc
+let finish_of_exn t task = (placement_exn t task).finish
+let n_placed t = t.n_placed
+let all_placed t = t.n_placed = Graph.n_tasks t.graph
+let comms t = Vec.to_list t.comms
+
+let comms_of_edge t edge =
+  List.rev_map (fun i -> Vec.get t.comms i) t.edge_comms.(edge)
+
+let n_comm_events t = Vec.length t.comms
+
+let total_comm_time t =
+  Vec.fold (fun acc (c : comm) -> acc +. (c.finish -. c.start)) 0. t.comms
+
+let makespan t =
+  if not (all_placed t) then invalid_arg "Schedule.makespan: unplaced tasks";
+  Array.fold_left max 0. t.finishes
+
+let edge_available_at t ~edge =
+  let src = Graph.edge_src t.graph edge in
+  match comms_of_edge t edge with
+  | [] -> finish_of_exn t src
+  | hops -> (List.nth hops (List.length hops - 1)).finish
+
+let copy t =
+  {
+    t with
+    resource = Resource.copy t.resource;
+    procs = Array.copy t.procs;
+    starts = Array.copy t.starts;
+    finishes = Array.copy t.finishes;
+    comms = Vec.copy t.comms;
+    edge_comms = Array.copy t.edge_comms;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>schedule of %s on %s (%s): %d/%d tasks placed, %d comms@]"
+    (Graph.name t.graph) (Platform.name t.platform) (Comm_model.name t.model)
+    t.n_placed (Graph.n_tasks t.graph) (Vec.length t.comms)

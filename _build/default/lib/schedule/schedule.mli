@@ -1,0 +1,92 @@
+(** Schedules: task placements plus per-hop communication events.
+
+    A [Schedule.t] is the mutable object a heuristic builds and the
+    immutable-once-finished result the evaluator consumes.  It records, for
+    every task, the processor and start time chosen ([σ] and [alloc] of
+    §2.1), and, for every remote edge, the communication events hop by hop.
+    Commits keep the underlying {!Resource} timelines in sync, so builders
+    can keep querying gap searches as they go. *)
+
+type placement = { task : int; proc : int; start : float; finish : float }
+
+type comm = {
+  edge : int;  (** edge id in the task graph *)
+  src_proc : int;
+  dst_proc : int;
+  start : float;
+  finish : float;
+}
+
+type t
+
+(** [create ?exec_time ~graph ~platform ~model] — [exec_time task proc]
+    overrides the execution-time rule: by default a task runs for
+    [w(task) * cycle_time(proc)] (the paper's related-machines model);
+    supplying a matrix-backed function yields the {e unrelated} model of
+    the original HEFT paper.  The override must be total and
+    non-negative. *)
+val create :
+  ?exec_time:(int -> int -> float) ->
+  graph:Taskgraph.Graph.t ->
+  platform:Platform.t ->
+  model:Commmodel.Comm_model.t ->
+  unit ->
+  t
+
+(** The effective execution-time rule of this schedule. *)
+val exec_duration : t -> task:int -> proc:int -> float
+
+val graph : t -> Taskgraph.Graph.t
+val platform : t -> Platform.t
+val model : t -> Commmodel.Comm_model.t
+val resource : t -> Resource.t
+
+(** [place_task t ~task ~proc ~start] — the finish time is
+    [start + w(task) * cycle_time(proc)]; marks the compute timeline busy.
+    @raise Invalid_argument if the task is already placed or the slot
+    overlaps committed work. *)
+val place_task : t -> task:int -> proc:int -> start:float -> unit
+
+(** [add_comm t ~edge ~src_proc ~dst_proc ~start] appends one hop of the
+    edge's route; duration is [data(edge) * hop_cost(src_proc, dst_proc)].
+    Hops must be added in route order.  Marks port timelines busy per the
+    model.  Returns the hop finish time. *)
+val add_comm : t -> edge:int -> src_proc:int -> dst_proc:int -> start:float -> float
+
+val is_placed : t -> int -> bool
+val placement : t -> int -> placement option
+
+(** @raise Invalid_argument when the task is not placed. *)
+val placement_exn : t -> int -> placement
+
+val proc_of_exn : t -> int -> int
+val finish_of_exn : t -> int -> float
+val n_placed : t -> int
+val all_placed : t -> bool
+
+(** All communication events in commit order. *)
+val comms : t -> comm list
+
+(** Hops recorded for one edge, in route order. *)
+val comms_of_edge : t -> int -> comm list
+
+val n_comm_events : t -> int
+
+(** Total time during which at least the given edge hop occupies a port
+    (sum of hop durations over all events). *)
+val total_comm_time : t -> float
+
+(** Completion time of the last task (0 for an empty schedule).
+    @raise Invalid_argument if some task is unplaced. *)
+val makespan : t -> float
+
+(** Ready time of edge data on a processor, i.e. when the dst may start as
+    far as this edge is concerned: source finish for local edges, last hop
+    arrival for remote ones. *)
+val edge_available_at : t -> edge:int -> float
+
+(** Deep copy: committing to the copy leaves the original untouched (the
+    immutable graph and platform are shared). *)
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit

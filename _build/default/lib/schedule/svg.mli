@@ -1,0 +1,17 @@
+(** Standalone SVG rendering of schedules (no external dependencies).
+
+    One horizontal lane group per processor — a wide compute lane plus
+    thin send/receive port lanes under port-restricted models — with tasks
+    as labelled boxes coloured by task id and communications as boxes
+    coloured by edge id, so a message can be traced from the sender's send
+    lane to the receiver's recv lane.  A time axis with tick marks runs
+    along the bottom.  The output opens directly in any browser. *)
+
+(** [render ?width ?lane_height ?show_ports s] — [width] is the drawing
+    width in pixels (default 1000); port lanes default to the model's
+    {!Commmodel.Comm_model.restricts_ports}. *)
+val render :
+  ?width:int -> ?lane_height:int -> ?show_ports:bool -> Schedule.t -> string
+
+(** [save s path] — write {!render} output to a file. *)
+val save : Schedule.t -> string -> unit

@@ -1,0 +1,175 @@
+module Graph = Taskgraph.Graph
+
+module Comm_model = Commmodel.Comm_model
+
+let eps = 1e-9
+
+let feq a b = Prelude.Stats.fequal ~eps a b
+let fle a b = a <= b +. (eps *. max 1. (max (abs_float a) (abs_float b)))
+
+(* Check that sorted-by-start intervals are pairwise disjoint; report via
+   [on_overlap a b]. *)
+let check_disjoint intervals ~on_overlap =
+  let sorted =
+    List.sort (fun (s1, _, _) (s2, _, _) -> compare s1 s2) intervals
+  in
+  let rec walk = function
+    | (s1, f1, l1) :: ((s2, _, l2) :: _ as rest) ->
+        if s2 < f1 -. eps then on_overlap (s1, f1, l1) (s2, l2);
+        walk rest
+    | [ _ ] | [] -> ()
+  in
+  walk sorted
+
+let check s =
+  let g = Schedule.graph s in
+  let plat = Schedule.platform s in
+  let model = Schedule.model s in
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let n = Graph.n_tasks g in
+  (* 1. placements and durations *)
+  for v = 0 to n - 1 do
+    match Schedule.placement s v with
+    | None -> err "task %d is not placed" v
+    | Some p ->
+        if p.start < -.eps then err "task %d starts at negative time %g" v p.start;
+        let expect = Schedule.exec_duration s ~task:v ~proc:p.proc in
+        if not (feq (p.finish -. p.start) expect) then
+          err "task %d has duration %g, expected %g" v (p.finish -. p.start) expect
+  done;
+  if !errors <> [] then Error (List.rev !errors)
+  else begin
+    (* 2. processor exclusivity (tasks; comms join under no-overlap) *)
+    let p_count = Platform.p plat in
+    let compute_intervals = Array.make p_count [] in
+    for v = 0 to n - 1 do
+      let pl = Schedule.placement_exn s v in
+      if pl.finish > pl.start then
+        compute_intervals.(pl.proc) <-
+          (pl.start, pl.finish, Printf.sprintf "task %d" v)
+          :: compute_intervals.(pl.proc)
+    done;
+    let all_comms = Schedule.comms s in
+    if not model.Comm_model.overlap then
+      List.iter
+        (fun (c : Schedule.comm) ->
+          if c.finish > c.start then begin
+            let label = Printf.sprintf "comm e%d" c.edge in
+            compute_intervals.(c.src_proc) <-
+              (c.start, c.finish, label) :: compute_intervals.(c.src_proc);
+            compute_intervals.(c.dst_proc) <-
+              (c.start, c.finish, label) :: compute_intervals.(c.dst_proc)
+          end)
+        all_comms;
+    Array.iteri
+      (fun q intervals ->
+        check_disjoint intervals ~on_overlap:(fun (s1, f1, l1) (s2, l2) ->
+            err "processor %d: %s [%g,%g) overlaps %s starting at %g" q l1 s1 f1
+              l2 s2))
+      compute_intervals;
+    (* 3. precedence and communication chains *)
+    List.iter
+      (fun (e : Graph.edge) ->
+        let src = Schedule.placement_exn s e.src in
+        let dst = Schedule.placement_exn s e.dst in
+        let hops = Schedule.comms_of_edge s e.id in
+        if src.proc = dst.proc then begin
+          if hops <> [] then
+            err "edge %d: local edge carries communication events" e.id;
+          if not (fle src.finish dst.start) then
+            err "edge %d: task %d starts at %g before its local predecessor %d \
+                 finishes at %g"
+              e.id e.dst dst.start e.src src.finish
+        end
+        else begin
+          let route = Platform.route plat ~src:src.proc ~dst:dst.proc in
+          if e.data = 0. && hops = [] then begin
+            (* zero-volume edges may omit events but still wait for source *)
+            if not (fle src.finish dst.start) then
+              err "edge %d: zero-data edge violates precedence" e.id
+          end
+          else begin
+            let hop_pairs = List.map (fun (c : Schedule.comm) -> (c.src_proc, c.dst_proc)) hops in
+            if hop_pairs <> route then
+              err "edge %d: communication hops do not follow the platform route" e.id;
+            let arrival =
+              List.fold_left
+                (fun prev (c : Schedule.comm) ->
+                  let expect =
+                    e.data *. Platform.hop_cost plat ~src:c.src_proc ~dst:c.dst_proc
+                  in
+                  if not (feq (c.finish -. c.start) expect) then
+                    err "edge %d: hop %d->%d has duration %g, expected %g" e.id
+                      c.src_proc c.dst_proc (c.finish -. c.start) expect;
+                  if not (fle prev c.start) then
+                    err "edge %d: hop %d->%d starts at %g before data is ready at %g"
+                      e.id c.src_proc c.dst_proc c.start prev;
+                  c.finish)
+                src.finish hops
+            in
+            if not (fle arrival dst.start) then
+              err "edge %d: task %d starts at %g before data arrives at %g" e.id
+                e.dst dst.start arrival
+          end
+        end)
+      (Graph.edges g);
+    (* 4b. link contention: one message per undirected direct link *)
+    if model.Comm_model.link_contention then begin
+      let by_link = Hashtbl.create 16 in
+      List.iter
+        (fun (c : Schedule.comm) ->
+          if c.finish > c.start then begin
+            let key = (min c.src_proc c.dst_proc, max c.src_proc c.dst_proc) in
+            let label = Printf.sprintf "e%d %d->%d" c.edge c.src_proc c.dst_proc in
+            let old = Option.value ~default:[] (Hashtbl.find_opt by_link key) in
+            Hashtbl.replace by_link key ((c.start, c.finish, label) :: old)
+          end)
+        all_comms;
+      Hashtbl.iter
+        (fun (a, b) intervals ->
+          check_disjoint intervals ~on_overlap:(fun (s1, f1, l1) (s2, l2) ->
+              err "link %d-%d: %s [%g,%g) overlaps %s at %g" a b l1 s1 f1 l2 s2))
+        by_link
+    end;
+    (* 4. port discipline *)
+    (match model.Comm_model.ports with
+    | Comm_model.Unlimited -> ()
+    | Comm_model.One_port_bidirectional | Comm_model.One_port_unidirectional ->
+        let sends = Array.make p_count [] in
+        let recvs = Array.make p_count [] in
+        List.iter
+          (fun (c : Schedule.comm) ->
+            if c.finish > c.start then begin
+              let label =
+                Printf.sprintf "e%d %d->%d" c.edge c.src_proc c.dst_proc
+              in
+              sends.(c.src_proc) <- (c.start, c.finish, label) :: sends.(c.src_proc);
+              recvs.(c.dst_proc) <- (c.start, c.finish, label) :: recvs.(c.dst_proc)
+            end)
+          all_comms;
+        let report kind q (s1, f1, l1) (s2, l2) =
+          err "processor %d: %s port conflict: %s [%g,%g) overlaps %s at %g" q
+            kind l1 s1 f1 l2 s2
+        in
+        for q = 0 to p_count - 1 do
+          match model.Comm_model.ports with
+          | Comm_model.One_port_bidirectional ->
+              check_disjoint sends.(q) ~on_overlap:(report "send" q);
+              check_disjoint recvs.(q) ~on_overlap:(report "recv" q)
+          | Comm_model.One_port_unidirectional ->
+              check_disjoint (sends.(q) @ recvs.(q)) ~on_overlap:(report "uni" q)
+          | Comm_model.Unlimited -> ()
+        done);
+    match List.rev !errors with [] -> Ok () | es -> Error es
+  end
+
+let check_exn s =
+  match check s with
+  | Ok () -> ()
+  | Error es ->
+      failwith
+        (Printf.sprintf "invalid schedule: %s"
+           (String.concat "; " (List.filteri (fun i _ -> i < 5) es)))
+
+let is_valid s = match check s with Ok () -> true | Error _ -> false

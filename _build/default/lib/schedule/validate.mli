@@ -1,0 +1,29 @@
+(** Independent schedule validity checking.
+
+    Re-derives every constraint of §2.1 and §2.3 directly from the recorded
+    events — never from the builder's internal timelines — so that a bug in
+    the gap-search machinery cannot hide a bug in a heuristic:
+
+    - every task placed exactly once, with the correct duration
+      [w(v) * t_alloc(v)];
+    - processor exclusivity: one task at a time per processor;
+    - precedence: local edges wait for the source's finish; remote edges
+      carry a complete chain of hop events following the platform route,
+      each hop starting no earlier than the previous one ends, with the
+      correct duration [data * hop_cost], and the destination task starts
+      no earlier than the final arrival (zero-volume edges may omit
+      events);
+    - port discipline: under one-port models, the send (resp. receive)
+      events of a processor are pairwise disjoint — bi-directional keeps
+      the two directions independent, uni-directional pools them;
+    - no-overlap variants: communication events are also disjoint from
+      task executions on both endpoint processors. *)
+
+(** [check s] is [Ok ()] or [Error messages] listing every violation found
+    (human-readable, deterministic order). *)
+val check : Schedule.t -> (unit, string list) result
+
+(** @raise Failure with the first violations when invalid. *)
+val check_exn : Schedule.t -> unit
+
+val is_valid : Schedule.t -> bool

@@ -1,0 +1,1 @@
+lib/simkit/executor.ml: Array Commmodel Hashtbl List Prelude Printf Sched Taskgraph

@@ -1,0 +1,1 @@
+lib/simkit/executor.mli: Sched

@@ -1,0 +1,1 @@
+lib/simkit/pert.ml: Array Commmodel Hashtbl List Queue Sched Taskgraph

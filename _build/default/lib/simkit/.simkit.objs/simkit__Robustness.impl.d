@@ -1,0 +1,1 @@
+lib/simkit/robustness.ml: Format List Pert Prelude Rng Stats

@@ -1,0 +1,1 @@
+lib/simkit/robustness.mli: Format Pert Prelude Sched

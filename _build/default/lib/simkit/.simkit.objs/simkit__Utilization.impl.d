@@ -1,0 +1,1 @@
+lib/simkit/utilization.ml: Array Buffer List Platform Printf Sched String Taskgraph

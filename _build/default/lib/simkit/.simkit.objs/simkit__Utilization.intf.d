@@ -1,0 +1,1 @@
+lib/simkit/utilization.mli: Sched

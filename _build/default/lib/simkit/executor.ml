@@ -1,0 +1,177 @@
+module Graph = Taskgraph.Graph
+module Schedule = Sched.Schedule
+module Comm_model = Commmodel.Comm_model
+
+type trace = {
+  makespan : float;
+  task_starts : float array;
+  events_fired : int;
+}
+
+type resource = Compute of int | Send of int | Recv of int | Link of int * int
+
+(* Event nodes: tasks are [0, n); hops follow in commit order. *)
+let run s =
+  let g = Schedule.graph s in
+  let model = Schedule.model s in
+  let n = Graph.n_tasks g in
+  let comms = Array.of_list (Schedule.comms s) in
+  let k = Array.length comms in
+  let total = n + k in
+  let duration = Array.make total 0. in
+  for v = 0 to n - 1 do
+    let pl = Schedule.placement_exn s v in
+    duration.(v) <- pl.Schedule.finish -. pl.Schedule.start
+  done;
+  Array.iteri (fun i (c : Schedule.comm) -> duration.(n + i) <- c.finish -. c.start) comms;
+  (* --- data dependencies (same wiring as the PERT view) --- *)
+  let dependents = Array.make total [] in
+  let deps_remaining = Array.make total 0 in
+  let add_dep a b =
+    if a <> b then begin
+      dependents.(a) <- b :: dependents.(a);
+      deps_remaining.(b) <- deps_remaining.(b) + 1
+    end
+  in
+  let per_edge = Array.make (max (Graph.n_edges g) 1) [] in
+  Array.iteri (fun i (c : Schedule.comm) -> per_edge.(c.edge) <- (n + i) :: per_edge.(c.edge)) comms;
+  List.iter
+    (fun (e : Graph.edge) ->
+      match List.rev per_edge.(e.id) with
+      | [] -> add_dep e.src e.dst
+      | hops ->
+          let last =
+            List.fold_left
+              (fun prev hop ->
+                add_dep prev hop;
+                hop)
+              e.src hops
+          in
+          add_dep last e.dst)
+    (Graph.edges g);
+  (* --- resource FIFOs in recorded start order --- *)
+  let streams : (resource, (float * int) list ref) Hashtbl.t = Hashtbl.create 64 in
+  let occupy resource node start =
+    let q =
+      match Hashtbl.find_opt streams resource with
+      | Some q -> q
+      | None ->
+          let q = ref [] in
+          Hashtbl.add streams resource q;
+          q
+    in
+    q := (start, node) :: !q
+  in
+  for v = 0 to n - 1 do
+    let pl = Schedule.placement_exn s v in
+    occupy (Compute pl.Schedule.proc) v pl.Schedule.start
+  done;
+  Array.iteri
+    (fun i (c : Schedule.comm) ->
+      let node = n + i in
+      (match model.Comm_model.ports with
+      | Comm_model.Unlimited -> ()
+      | Comm_model.One_port_bidirectional ->
+          occupy (Send c.src_proc) node c.start;
+          occupy (Recv c.dst_proc) node c.start
+      | Comm_model.One_port_unidirectional ->
+          occupy (Send c.src_proc) node c.start;
+          occupy (Send c.dst_proc) node c.start);
+      if model.Comm_model.link_contention then
+        occupy (Link (min c.src_proc c.dst_proc, max c.src_proc c.dst_proc)) node c.start;
+      if not model.Comm_model.overlap then begin
+        occupy (Compute c.src_proc) node c.start;
+        occupy (Compute c.dst_proc) node c.start
+      end)
+    comms;
+  (* per-node resource list + per-resource FIFO (sorted by recorded start,
+     ties by node id) and a cursor *)
+  let node_resources = Array.make total [] in
+  let fifo : (resource, int array) Hashtbl.t = Hashtbl.create 64 in
+  let cursor : (resource, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let free_at : (resource, float ref) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun resource q ->
+      let arr = Array.of_list (List.sort compare !q) in
+      let order = Array.map snd arr in
+      Array.iter
+        (fun node -> node_resources.(node) <- resource :: node_resources.(node))
+        order;
+      Hashtbl.add fifo resource order;
+      Hashtbl.add cursor resource (ref 0);
+      Hashtbl.add free_at resource (ref 0.))
+    streams;
+  (* --- simulation --- *)
+  let ready_time = Array.make total 0. in
+  let fired = Array.make total false in
+  (* running events ordered by completion time (ties by node) *)
+  let running =
+    Prelude.Pqueue.create ~compare:(fun (t1, n1) (t2, n2) ->
+        match compare (t1 : float) t2 with 0 -> compare n1 n2 | c -> c)
+  in
+  let events_fired = ref 0 in
+  let task_starts = Array.make n 0. in
+  let makespan = ref 0. in
+  let can_fire node =
+    (not fired.(node))
+    && deps_remaining.(node) = 0
+    && List.for_all
+         (fun r ->
+           let cur = !(Hashtbl.find cursor r) in
+           let order = Hashtbl.find fifo r in
+           cur < Array.length order && order.(cur) = node)
+         node_resources.(node)
+  in
+  (* Firing a node frees the head position of each of its FIFOs, so only
+     its resource-successors and (on completion) its data dependents can
+     become enabled: a worklist keeps the simulation near-linear. *)
+  let rec try_fire node =
+    if can_fire node then begin
+      fired.(node) <- true;
+      incr events_fired;
+      let start =
+        List.fold_left
+          (fun acc r -> max acc !(Hashtbl.find free_at r))
+          ready_time.(node) node_resources.(node)
+      in
+      let finish = start +. duration.(node) in
+      if node < n then begin
+        task_starts.(node) <- start;
+        if finish > !makespan then makespan := finish
+      end;
+      List.iter
+        (fun r ->
+          Hashtbl.find free_at r := finish;
+          incr (Hashtbl.find cursor r))
+        node_resources.(node);
+      Prelude.Pqueue.add running (finish, node);
+      (* the new heads of this node's FIFOs are now candidates *)
+      List.iter
+        (fun r ->
+          let cur = !(Hashtbl.find cursor r) in
+          let order = Hashtbl.find fifo r in
+          if cur < Array.length order then try_fire order.(cur))
+        node_resources.(node)
+    end
+  in
+  for node = 0 to total - 1 do
+    try_fire node
+  done;
+  let rec step () =
+    match Prelude.Pqueue.pop running with
+    | None -> ()
+    | Some (finish, node) ->
+        List.iter
+          (fun b ->
+            deps_remaining.(b) <- deps_remaining.(b) - 1;
+            if ready_time.(b) < finish then ready_time.(b) <- finish)
+          dependents.(node);
+        List.iter try_fire dependents.(node);
+        step ()
+  in
+  step ();
+  if !events_fired <> total then
+    failwith
+      (Printf.sprintf "Executor.run: deadlock after %d/%d events" !events_fired
+         total);
+  { makespan = !makespan; task_starts; events_fired = !events_fired }

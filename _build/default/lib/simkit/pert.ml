@@ -1,0 +1,136 @@
+module Graph = Taskgraph.Graph
+module Schedule = Sched.Schedule
+module Comm_model = Commmodel.Comm_model
+
+type event = Task of int | Hop of Schedule.comm
+
+type t = {
+  events : event array; (* tasks 0..n-1, then hops in commit order *)
+  succs : int list array; (* dependency edges between event nodes *)
+  durations : float array; (* original event durations *)
+  n_tasks : int;
+  original_makespan : float;
+}
+
+(* Resources an event occupies, as comparable keys. *)
+type resource = Compute of int | Send of int | Recv of int | Link of int * int
+
+let build sched =
+  let g = Schedule.graph sched in
+  let model = Schedule.model sched in
+  let n = Graph.n_tasks g in
+  let comms = Array.of_list (Schedule.comms sched) in
+  let k = Array.length comms in
+  let events =
+    Array.init (n + k) (fun i -> if i < n then Task i else Hop comms.(i - n))
+  in
+  let succs = Array.make (n + k) [] in
+  let add_edge a b = if a <> b then succs.(a) <- b :: succs.(a) in
+  (* Data dependencies. *)
+  let per_edge = Array.make (max (Graph.n_edges g) 1) [] in
+  Array.iteri
+    (fun i (c : Schedule.comm) -> per_edge.(c.edge) <- (n + i) :: per_edge.(c.edge))
+    comms;
+  List.iter
+    (fun (e : Graph.edge) ->
+      match List.rev per_edge.(e.id) with
+      | [] -> add_edge e.src e.dst
+      | hops ->
+          let last =
+            List.fold_left
+              (fun prev hop ->
+                add_edge prev hop;
+                hop)
+              e.src hops
+          in
+          add_edge last e.dst)
+    (Graph.edges g);
+  (* Resource streams: every event occupying one resource is ordered by its
+     recorded start (ties by node id — only zero-duration events can tie). *)
+  let streams = Hashtbl.create 64 in
+  let occupy resource node start =
+    let key = resource in
+    let old = try Hashtbl.find streams key with Not_found -> [] in
+    Hashtbl.replace streams key ((start, node) :: old)
+  in
+  for v = 0 to n - 1 do
+    let pl = Schedule.placement_exn sched v in
+    occupy (Compute pl.proc) v pl.start
+  done;
+  Array.iteri
+    (fun i (c : Schedule.comm) ->
+      let node = n + i in
+      (match model.Comm_model.ports with
+      | Comm_model.Unlimited -> ()
+      | Comm_model.One_port_bidirectional ->
+          occupy (Send c.src_proc) node c.start;
+          occupy (Recv c.dst_proc) node c.start
+      | Comm_model.One_port_unidirectional ->
+          (* one physical port per processor: pool both directions *)
+          occupy (Send c.src_proc) node c.start;
+          occupy (Send c.dst_proc) node c.start);
+      if model.Comm_model.link_contention then
+        occupy
+          (Link (min c.src_proc c.dst_proc, max c.src_proc c.dst_proc))
+          node c.start;
+      if not model.Comm_model.overlap then begin
+        occupy (Compute c.src_proc) node c.start;
+        occupy (Compute c.dst_proc) node c.start
+      end)
+    comms;
+  Hashtbl.iter
+    (fun _ stream ->
+      let sorted = List.sort compare stream in
+      let rec chain = function
+        | (_, a) :: ((_, b) :: _ as rest) ->
+            add_edge a b;
+            chain rest
+        | [ _ ] | [] -> ()
+      in
+      chain sorted)
+    streams;
+  let durations =
+    Array.init (n + k) (fun i ->
+        if i < n then
+          let pl = Schedule.placement_exn sched i in
+          pl.finish -. pl.start
+        else comms.(i - n).finish -. comms.(i - n).start)
+  in
+  { events; succs; durations; n_tasks = n; original_makespan = Schedule.makespan sched }
+
+let n_events t = Array.length t.events
+
+let retime t ~task_duration ~hop_duration =
+  let m = Array.length t.events in
+  let duration node =
+    match t.events.(node) with
+    | Task v -> task_duration v t.durations.(node)
+    | Hop c -> hop_duration c t.durations.(node)
+  in
+  let indeg = Array.make m 0 in
+  Array.iter (List.iter (fun b -> indeg.(b) <- indeg.(b) + 1)) t.succs;
+  let start = Array.make m 0. in
+  let queue = Queue.create () in
+  Array.iteri (fun node d -> if d = 0 then Queue.add node queue) indeg;
+  let processed = ref 0 in
+  let makespan = ref 0. in
+  while not (Queue.is_empty queue) do
+    let node = Queue.pop queue in
+    incr processed;
+    let finish = start.(node) +. duration node in
+    (match t.events.(node) with
+    | Task _ -> if finish > !makespan then makespan := finish
+    | Hop _ -> ());
+    List.iter
+      (fun b ->
+        if finish > start.(b) then start.(b) <- finish;
+        indeg.(b) <- indeg.(b) - 1;
+        if indeg.(b) = 0 then Queue.add b queue)
+      t.succs.(node)
+  done;
+  if !processed <> m then
+    invalid_arg "Pert.retime: cyclic event order (corrupt schedule)";
+  !makespan
+
+let compacted_makespan t =
+  retime t ~task_duration:(fun _ d -> d) ~hop_duration:(fun _ d -> d)

@@ -1,0 +1,36 @@
+open Prelude
+
+type stats = {
+  nominal : float;
+  mean : float;
+  worst : float;
+  p95 : float;
+  trials : int;
+  jitter : float;
+}
+
+let degraded_makespan pert rng ~task_jitter ~comm_jitter =
+  Pert.retime pert
+    ~task_duration:(fun _ d -> d *. (1. +. Rng.float rng task_jitter))
+    ~hop_duration:(fun _ d -> d *. (1. +. Rng.float rng comm_jitter))
+
+let monte_carlo sched rng ~jitter ~trials =
+  if trials < 1 then invalid_arg "Robustness.monte_carlo: trials < 1";
+  let pert = Pert.build sched in
+  let draws =
+    List.init trials (fun _ ->
+        degraded_makespan pert rng ~task_jitter:jitter ~comm_jitter:jitter)
+  in
+  {
+    nominal = Pert.compacted_makespan pert;
+    mean = Stats.mean draws;
+    worst = Stats.maximum draws;
+    p95 = Stats.percentile 95. draws;
+    trials;
+    jitter;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "@[<v>nominal: %g@ mean: %g@ p95: %g@ worst: %g@ (%d trials, jitter %.0f%%)@]"
+    s.nominal s.mean s.p95 s.worst s.trials (100. *. s.jitter)

@@ -1,0 +1,31 @@
+(** Robustness of a static schedule to execution-time noise (failure
+    injection).
+
+    Static schedules are computed from nominal costs; at run time tasks
+    and transfers slip.  Keeping every decision of the schedule (mapping,
+    per-processor order, per-port order) and re-timing the event DAG with
+    inflated durations measures how gracefully a heuristic's output
+    degrades — a cheap stand-in for executing on a real contended
+    network. *)
+
+type stats = {
+  nominal : float;  (** compacted makespan with original durations *)
+  mean : float;
+  worst : float;
+  p95 : float;
+  trials : int;
+  jitter : float;
+}
+
+(** [degraded_makespan pert rng ~task_jitter ~comm_jitter] — one draw:
+    every duration is scaled by an independent uniform factor in
+    [[1, 1 + jitter]]. *)
+val degraded_makespan :
+  Pert.t -> Prelude.Rng.t -> task_jitter:float -> comm_jitter:float -> float
+
+(** [monte_carlo sched rng ~jitter ~trials] — summary over [trials]
+    independent draws with [task_jitter = comm_jitter = jitter]. *)
+val monte_carlo :
+  Sched.Schedule.t -> Prelude.Rng.t -> jitter:float -> trials:int -> stats
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,31 @@
+(** Resource-utilisation profiles of a schedule.
+
+    The §5 discussion reasons about why speedups saturate ("communications
+    become the bottleneck", "one processor is left useless"); these
+    profiles make those claims measurable: per-processor busy fractions
+    over the whole run, time-bucketed occupancy for compute and ports, and
+    an ASCII rendering with one sparkline per resource. *)
+
+type profile = {
+  makespan : float;
+  buckets : int;
+  (* each array is [p][buckets] with values in [0, 1] *)
+  compute : float array array;
+  send : float array array;
+  recv : float array array;
+}
+
+(** [profile ?buckets s] (default 40 buckets). *)
+val profile : ?buckets:int -> Sched.Schedule.t -> profile
+
+(** Overall busy fraction of each processor's compute resource. *)
+val compute_fractions : Sched.Schedule.t -> float array
+
+(** Fraction of the makespan during which {e at least one} port of each
+    processor is busy — the communication pressure the one-port model
+    meters. *)
+val port_fractions : Sched.Schedule.t -> float array
+
+(** ASCII rendering: one line per processor and resource, using
+    ' .:-=+*#%@' as a ten-level density scale. *)
+val render : profile -> string

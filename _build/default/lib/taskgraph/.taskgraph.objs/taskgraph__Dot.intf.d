@@ -1,0 +1,1 @@
+lib/taskgraph/dot.mli: Graph

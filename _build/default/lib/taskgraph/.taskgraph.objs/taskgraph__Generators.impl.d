@@ -1,0 +1,1 @@
+lib/taskgraph/generators.ml: Array Fun Graph List Prelude Rng Vec

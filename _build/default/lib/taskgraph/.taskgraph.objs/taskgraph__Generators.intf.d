@@ -1,0 +1,1 @@
+lib/taskgraph/generators.mli: Graph Prelude

@@ -1,0 +1,1 @@
+lib/taskgraph/graph.ml: Array Float Format Int List Prelude Printf String

@@ -1,0 +1,1 @@
+lib/taskgraph/io.ml: Array Buffer Fun Graph Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/taskgraph/io.mli: Graph

@@ -1,0 +1,93 @@
+type summary = {
+  n_tasks : int;
+  n_edges : int;
+  total_weight : float;
+  total_data : float;
+  depth : int;
+  width : int;
+  max_in_degree : int;
+  max_out_degree : int;
+  critical_path_weight : float;
+  ccr : float;
+}
+
+(* Longest weight-to-exit per task; shared by the two critical-path
+   functions.  [comm_scale] charges edges at [comm_scale * data]. *)
+let downward_cost g ~comm_scale =
+  let n = Graph.n_tasks g in
+  let cost = Array.make n 0. in
+  let order = Graph.topological_order g in
+  for i = n - 1 downto 0 do
+    let v = order.(i) in
+    let best = ref 0. in
+    Graph.iter_succ_edges g v ~f:(fun e ->
+        let u = Graph.edge_dst g e in
+        let c = (comm_scale *. Graph.edge_data g e) +. cost.(u) in
+        if c > !best then best := c);
+    cost.(v) <- Graph.weight g v +. !best
+  done;
+  cost
+
+let critical_path_weight g =
+  if Graph.n_tasks g = 0 then 0.
+  else Array.fold_left max 0. (downward_cost g ~comm_scale:0.)
+
+let critical_path ?(comm_scale = 0.) g =
+  if Graph.n_tasks g = 0 then []
+  else begin
+    let cost = downward_cost g ~comm_scale in
+    let start = ref 0 in
+    Array.iteri (fun v _ -> if cost.(v) > cost.(!start) then start := v) cost;
+    let rec follow v acc =
+      let next = ref None in
+      Graph.iter_succ_edges g v ~f:(fun e ->
+          let u = Graph.edge_dst g e in
+          let c = (comm_scale *. Graph.edge_data g e) +. cost.(u) in
+          let better =
+            match !next with
+            | None -> true
+            | Some (_, best) -> c > best
+          in
+          if better then next := Some (u, c));
+      match !next with
+      | None -> List.rev (v :: acc)
+      | Some (u, _) -> follow u (v :: acc)
+    in
+    follow !start []
+  end
+
+let summarize g =
+  let n = Graph.n_tasks g in
+  let total_data =
+    List.fold_left (fun acc (e : Graph.edge) -> acc +. e.data) 0. (Graph.edges g)
+  in
+  let max_deg f =
+    let best = ref 0 in
+    for v = 0 to n - 1 do
+      if f g v > !best then best := f g v
+    done;
+    !best
+  in
+  let total_weight = Graph.total_weight g in
+  {
+    n_tasks = n;
+    n_edges = Graph.n_edges g;
+    total_weight;
+    total_data;
+    depth = Levels.depth g;
+    width = Levels.width g;
+    max_in_degree = max_deg Graph.in_degree;
+    max_out_degree = max_deg Graph.out_degree;
+    critical_path_weight = critical_path_weight g;
+    ccr = (if total_weight > 0. then total_data /. total_weight else 0.);
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "@[<v>tasks: %d@ edges: %d@ total weight: %g@ total data: %g@ depth: %d@ \
+     width: %d@ max in-degree: %d@ max out-degree: %d@ critical path weight: \
+     %g@ ccr: %.3f@]"
+    s.n_tasks s.n_edges s.total_weight s.total_data s.depth s.width
+    s.max_in_degree s.max_out_degree s.critical_path_weight s.ccr
+
+let sequential_time g ~cycle_time = Graph.total_weight g *. cycle_time

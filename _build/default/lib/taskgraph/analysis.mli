@@ -1,0 +1,37 @@
+(** Structural analysis of task graphs: critical paths and summary shape
+    statistics used by the experiment reports and by DESIGN.md's testbed
+    characterisation. *)
+
+type summary = {
+  n_tasks : int;
+  n_edges : int;
+  total_weight : float;
+  total_data : float;
+  depth : int;  (** number of precedence levels *)
+  width : int;  (** widest level *)
+  max_in_degree : int;
+  max_out_degree : int;
+  critical_path_weight : float;
+      (** longest path counting task weights only (communication-free lower
+          bound on any makespan at unit speed) *)
+  ccr : float;
+      (** communication-to-computation ratio: total_data / total_weight
+          (0 when there is no work) *)
+}
+
+val summarize : Graph.t -> summary
+val pp_summary : Format.formatter -> summary -> unit
+
+(** [critical_path_weight g] — maximum over paths of the sum of task
+    weights (no communication). *)
+val critical_path_weight : Graph.t -> float
+
+(** [critical_path ?comm_scale g] returns one longest path (task list from
+    an entry to an exit task) where edge [e] additionally costs
+    [comm_scale * data e] (default 0). *)
+val critical_path : ?comm_scale:float -> Graph.t -> int list
+
+(** [sequential_time g ~cycle_time] — time for one processor of the given
+    cycle-time to run every task (the paper's baseline uses the fastest
+    processor, §5.2). *)
+val sequential_time : Graph.t -> cycle_time:float -> float

@@ -1,0 +1,101 @@
+open Prelude
+
+let rand_weight rng max_weight = float_of_int (Rng.int_in rng 1 (max max_weight 1))
+let rand_data rng max_data = float_of_int (Rng.int_in rng 0 (max max_data 0))
+
+let layered rng ~layers ~width ~edge_prob ~max_weight ~max_data =
+  if layers < 1 || width < 1 then invalid_arg "Generators.layered";
+  let layer_sizes = Array.init layers (fun _ -> Rng.int_in rng 1 width) in
+  let offsets = Array.make (layers + 1) 0 in
+  for l = 0 to layers - 1 do
+    offsets.(l + 1) <- offsets.(l) + layer_sizes.(l)
+  done;
+  let n = offsets.(layers) in
+  let weights = Array.init n (fun _ -> rand_weight rng max_weight) in
+  let edges = ref [] in
+  for l = 1 to layers - 1 do
+    for j = offsets.(l) to offsets.(l + 1) - 1 do
+      let linked = ref false in
+      for i = offsets.(l - 1) to offsets.(l) - 1 do
+        if Rng.float rng 1. < edge_prob then begin
+          edges := (i, j, rand_data rng max_data) :: !edges;
+          linked := true
+        end
+      done;
+      if not !linked then begin
+        let i = Rng.int_in rng offsets.(l - 1) (offsets.(l) - 1) in
+        edges := (i, j, rand_data rng max_data) :: !edges
+      end
+    done
+  done;
+  Graph.create ~name:"random-layered" ~weights ~edges:(List.rev !edges) ()
+
+let erdos_renyi rng ~n ~edge_prob ~max_weight ~max_data =
+  if n < 1 then invalid_arg "Generators.erdos_renyi";
+  let weights = Array.init n (fun _ -> rand_weight rng max_weight) in
+  let edges = ref [] in
+  for i = 0 to n - 2 do
+    for j = i + 1 to n - 1 do
+      if Rng.float rng 1. < edge_prob then
+        edges := (i, j, rand_data rng max_data) :: !edges
+    done
+  done;
+  Graph.create ~name:"random-dag" ~weights ~edges:(List.rev !edges) ()
+
+let out_tree rng ~n ~max_arity ~max_weight ~max_data =
+  if n < 1 || max_arity < 1 then invalid_arg "Generators.out_tree";
+  let weights = Array.init n (fun _ -> rand_weight rng max_weight) in
+  let arity = Array.make n 0 in
+  let edges = ref [] in
+  for j = 1 to n - 1 do
+    let candidates =
+      List.filter (fun i -> arity.(i) < max_arity) (List.init j Fun.id)
+    in
+    let parent =
+      match candidates with
+      | [] -> j - 1 (* all saturated: chain off the previous task *)
+      | l -> List.nth l (Rng.int rng (List.length l))
+    in
+    arity.(parent) <- arity.(parent) + 1;
+    edges := (parent, j, rand_data rng max_data) :: !edges
+  done;
+  Graph.create ~name:"random-out-tree" ~weights ~edges:(List.rev !edges) ()
+
+(* Series-parallel: build recursively as nested compositions, returning the
+   number of tasks and the edges over a local id space. *)
+let series_parallel rng ~depth ~max_weight ~max_data =
+  let tasks = Vec.create () in
+  let edges = ref [] in
+  let new_task () =
+    Vec.push tasks (rand_weight rng max_weight);
+    Vec.length tasks - 1
+  in
+  let connect a b = edges := (a, b, rand_data rng max_data) :: !edges in
+  (* Returns (source, sink) of the generated component. *)
+  let rec build d =
+    if d <= 0 then begin
+      let v = new_task () in
+      (v, v)
+    end
+    else if Rng.bool rng then begin
+      (* series composition *)
+      let s1, t1 = build (d - 1) in
+      let s2, t2 = build (d - 1) in
+      connect t1 s2;
+      (s1, t2)
+    end
+    else begin
+      (* parallel composition between fresh terminals *)
+      let src = new_task () and branches = Rng.int_in rng 2 3 in
+      let snk = new_task () in
+      for _ = 1 to branches do
+        let s, t = build (d - 1) in
+        connect src s;
+        connect t snk
+      done;
+      (src, snk)
+    end
+  in
+  let _ = build depth in
+  Graph.create ~name:"random-series-parallel" ~weights:(Vec.to_array tasks)
+    ~edges:(List.rev !edges) ()

@@ -1,0 +1,80 @@
+let fail line_no fmt =
+  Printf.ksprintf
+    (fun msg -> invalid_arg (Printf.sprintf "Io.of_string: line %d: %s" line_no msg))
+    fmt
+
+let tokens line =
+  (* strip comments, split on whitespace *)
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let parse_float line_no what s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> fail line_no "bad %s %S" what s
+
+let parse_int line_no what s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> fail line_no "bad %s %S" what s
+
+let of_string text =
+  let name = ref "graph" in
+  let tasks = Hashtbl.create 16 in
+  let edges = ref [] in
+  List.iteri
+    (fun i line ->
+      let line_no = i + 1 in
+      match tokens line with
+      | [] -> ()
+      | [ "graph"; n ] -> name := n
+      | [ "task"; id; weight ] ->
+          let id = parse_int line_no "task id" id in
+          if Hashtbl.mem tasks id then fail line_no "duplicate task %d" id;
+          Hashtbl.add tasks id (parse_float line_no "weight" weight)
+      | [ "edge"; src; dst; data ] ->
+          edges :=
+            ( parse_int line_no "edge source" src,
+              parse_int line_no "edge destination" dst,
+              parse_float line_no "edge data" data )
+            :: !edges
+      | tok :: _ -> fail line_no "unknown directive %S" tok)
+    (String.split_on_char '\n' text);
+  let n = Hashtbl.length tasks in
+  let weights =
+    Array.init n (fun id ->
+        match Hashtbl.find_opt tasks id with
+        | Some w -> w
+        | None -> invalid_arg (Printf.sprintf "Io.of_string: missing task %d (ids must be 0..%d)" id (n - 1)))
+  in
+  Graph.create ~name:!name ~weights ~edges:(List.rev !edges) ()
+
+let to_string g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph %s\n" (Graph.name g));
+  for v = 0 to Graph.n_tasks g - 1 do
+    Buffer.add_string buf (Printf.sprintf "task %d %.17g\n" v (Graph.weight g v))
+  done;
+  List.iter
+    (fun (e : Graph.edge) ->
+      Buffer.add_string buf (Printf.sprintf "edge %d %d %.17g\n" e.src e.dst e.data))
+    (Graph.edges g);
+  Buffer.contents buf
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let save g path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))

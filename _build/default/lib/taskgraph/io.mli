@@ -1,0 +1,28 @@
+(** Plain-text task-graph format (load/save), so the CLI can schedule
+    user-supplied applications.
+
+    Line-oriented; [#] starts a comment; blank lines are ignored:
+
+    {v
+    # my application
+    graph my-app
+    task 0 2.5
+    task 1 4
+    edge 0 1 10
+    v}
+
+    Task ids must form [0 .. n-1] (any order, each exactly once); edges
+    reference declared tasks.  {!to_string} followed by {!of_string} is the
+    identity on any graph (property-tested). *)
+
+(** [of_string text] parses a graph.
+    @raise Invalid_argument with a line-numbered message on malformed
+    input. *)
+val of_string : string -> Graph.t
+
+val to_string : Graph.t -> string
+
+(** [load path] / [save g path] — file wrappers around the above. *)
+val load : string -> Graph.t
+
+val save : Graph.t -> string -> unit

@@ -1,0 +1,39 @@
+let top g =
+  let n = Graph.n_tasks g in
+  let level = Array.make n 0 in
+  let order = Graph.topological_order g in
+  Array.iter
+    (fun v ->
+      Graph.iter_pred_edges g v ~f:(fun e ->
+          let u = Graph.edge_src g e in
+          if level.(u) + 1 > level.(v) then level.(v) <- level.(u) + 1))
+    order;
+  level
+
+let bottom g =
+  let n = Graph.n_tasks g in
+  let level = Array.make n 0 in
+  let order = Graph.topological_order g in
+  for i = n - 1 downto 0 do
+    let v = order.(i) in
+    Graph.iter_succ_edges g v ~f:(fun e ->
+        let u = Graph.edge_dst g e in
+        if level.(u) + 1 > level.(v) then level.(v) <- level.(u) + 1)
+  done;
+  level
+
+let depth g =
+  if Graph.n_tasks g = 0 then 0
+  else 1 + Array.fold_left max 0 (top g)
+
+let groups g =
+  let levels = top g in
+  let d = if Graph.n_tasks g = 0 then 0 else 1 + Array.fold_left max 0 levels in
+  let acc = Array.make d [] in
+  for v = Graph.n_tasks g - 1 downto 0 do
+    acc.(levels.(v)) <- v :: acc.(levels.(v))
+  done;
+  acc
+
+let width g =
+  Array.fold_left (fun m l -> max m (List.length l)) 0 (groups g)

@@ -1,0 +1,26 @@
+(** Precedence levels of a DAG (unit-cost top/bottom levels).
+
+    ILHA groups tasks "that will be ready at the same time-step" (§4.2):
+    the 0-level holds the entry tasks and level [i+1] the tasks whose last
+    predecessor sits in level [i] — i.e. the hop-count top level.  These
+    functions work on the bare graph; the time-weighted ranks that account
+    for heterogeneous speeds live in {!Heuristics.Ranking}. *)
+
+(** [top g] — [top.(v)] is the length (in hops) of the longest path from an
+    entry task to [v]; entry tasks have level 0. *)
+val top : Graph.t -> int array
+
+(** [bottom g] — [bottom.(v)] is the length (in hops) of the longest path
+    from [v] to an exit task; exit tasks have level 0. *)
+val bottom : Graph.t -> int array
+
+(** [depth g] is [1 + max top] — the number of precedence levels. *)
+val depth : Graph.t -> int
+
+(** [groups g] lists the tasks of each top level, level 0 first, ascending
+    task ids inside a level. *)
+val groups : Graph.t -> int list array
+
+(** [width g] is the size of the largest level — an upper bound on useful
+    parallelism. *)
+val width : Graph.t -> int

@@ -1,0 +1,1 @@
+lib/testbeds/fork.mli: Taskgraph

@@ -1,0 +1,1 @@
+lib/testbeds/kernels.ml: Array List Printf Taskgraph

@@ -1,0 +1,1 @@
+lib/testbeds/kernels.mli: Taskgraph

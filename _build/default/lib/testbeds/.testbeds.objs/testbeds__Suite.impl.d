@@ -1,0 +1,1 @@
+lib/testbeds/suite.ml: Kernels List Printf String Taskgraph

@@ -1,0 +1,1 @@
+lib/testbeds/suite.mli: Taskgraph

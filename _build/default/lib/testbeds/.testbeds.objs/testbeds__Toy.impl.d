@@ -1,0 +1,1 @@
+lib/testbeds/toy.ml: Array List Taskgraph

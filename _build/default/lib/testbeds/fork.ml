@@ -1,0 +1,17 @@
+module Graph = Taskgraph.Graph
+
+let of_weights ~parent_weight ~child_weights ~child_data =
+  let n = Array.length child_weights in
+  if Array.length child_data <> n then
+    invalid_arg "Fork.of_weights: child arrays differ in length";
+  let weights = Array.append [| parent_weight |] child_weights in
+  let edges = List.init n (fun i -> (0, i + 1, child_data.(i))) in
+  Graph.create ~name:"fork" ~weights ~edges ()
+
+let uniform ~children ~weight ~data =
+  if children < 0 then invalid_arg "Fork.uniform: negative children";
+  of_weights ~parent_weight:weight
+    ~child_weights:(Array.make children weight)
+    ~child_data:(Array.make children data)
+
+let example_fig1 () = uniform ~children:6 ~weight:1. ~data:1.

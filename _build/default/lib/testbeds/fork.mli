@@ -1,0 +1,21 @@
+(** Fork graphs: one parent [v_0] with an edge to each of [N] children
+    (Figure 2).  The graph family of the §2.3 motivating example and the
+    §3 NP-completeness proof. *)
+
+(** [uniform ~children ~weight ~data] — all children share [weight]; every
+    message carries [data]; the parent also has weight [weight].  Task 0
+    is the parent, task [i] is child [i]. *)
+val uniform : children:int -> weight:float -> data:float -> Taskgraph.Graph.t
+
+(** [of_weights ~parent_weight ~child_weights ~child_data] — fully general
+    fork (used by the Theorem 1 reduction, where [d_i = w_i]).
+    @raise Invalid_argument if the arrays differ in length. *)
+val of_weights :
+  parent_weight:float ->
+  child_weights:float array ->
+  child_data:float array ->
+  Taskgraph.Graph.t
+
+(** The §2.3 example: 6 unit-weight children, unit messages — makespan 3
+    under macro-dataflow with 5 processors, 5 under one-port. *)
+val example_fig1 : unit -> Taskgraph.Graph.t

@@ -1,0 +1,37 @@
+(** The six simulation testbeds of §5 (Figures 5–6), parameterised by the
+    problem size [n] and the communication-to-computation ratio [c] of
+    §5.2: every edge leaving a task [v] carries volume [c * w(v)] ("we
+    always communicate the data that has just been updated").
+
+    Exact DAG shapes are rebuilt from the literature the paper cites (see
+    DESIGN.md "Substitutions"):
+
+    - {b FORK-JOIN}: source → [n] unit-weight intermediate tasks → sink.
+    - {b LAPLACE}: the [n×n] wavefront grid — task [(i,j)] depends on its
+      west and north neighbours; all weights 1.
+    - {b STENCIL}: the [n×n] grid where task [(i,j)] of row [i] depends on
+      the SW/S/SE neighbours of row [i-1]; all weights 1.
+    - {b LU}: Gaussian-elimination column updates (Cosnard et al.): tasks
+      [(k,j)], [1 ≤ k < j ≤ n], weight [n - k]; task [(k,j)] depends on
+      the pivot [(k-1,k)] and on its own column [(k-1,j)].
+    - {b DOOLITTLE}: same triangular update structure but the work grows
+      with the level — task [(k,j)] has weight [k] (§5.2).
+    - {b LDMt}: triangular with a per-level hub: a diagonal task [D_k]
+      (weight [k]) gated by [(k-1,k)] fans out to the level's updates
+      [(k,j)] (weight [k]), which also depend on [(k-1,j)]. *)
+
+val fork_join : n:int -> ccr:float -> Taskgraph.Graph.t
+val laplace : n:int -> ccr:float -> Taskgraph.Graph.t
+val stencil : n:int -> ccr:float -> Taskgraph.Graph.t
+val lu : n:int -> ccr:float -> Taskgraph.Graph.t
+val doolittle : n:int -> ccr:float -> Taskgraph.Graph.t
+val ldmt : n:int -> ccr:float -> Taskgraph.Graph.t
+
+(** {2 Extension kernel} (not part of the paper's six; used for broader
+    validation)
+
+    {b CHOLESKY}: the same pipelined triangle as LU but with weight
+    [j - k] — the work grows away from the diagonal instead of shrinking
+    with the level, exercising the schedulers on a third weight profile
+    over an identical precedence shape. *)
+val cholesky : n:int -> ccr:float -> Taskgraph.Graph.t

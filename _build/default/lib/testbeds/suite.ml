@@ -1,0 +1,52 @@
+type t = {
+  name : string;
+  build : n:int -> ccr:float -> Taskgraph.Graph.t;
+  paper_b : int;
+  min_n : int;
+}
+
+let all =
+  [
+    { name = "lu"; build = (fun ~n ~ccr -> Kernels.lu ~n ~ccr); paper_b = 4; min_n = 2 };
+    {
+      name = "laplace";
+      build = (fun ~n ~ccr -> Kernels.laplace ~n ~ccr);
+      paper_b = 38;
+      min_n = 1;
+    };
+    {
+      name = "stencil";
+      build = (fun ~n ~ccr -> Kernels.stencil ~n ~ccr);
+      paper_b = 38;
+      min_n = 1;
+    };
+    {
+      name = "fork-join";
+      build = (fun ~n ~ccr -> Kernels.fork_join ~n ~ccr);
+      paper_b = 38;
+      min_n = 1;
+    };
+    {
+      name = "doolittle";
+      build = (fun ~n ~ccr -> Kernels.doolittle ~n ~ccr);
+      paper_b = 20;
+      min_n = 2;
+    };
+    {
+      name = "ldmt";
+      build = (fun ~n ~ccr -> Kernels.ldmt ~n ~ccr);
+      paper_b = 20;
+      min_n = 2;
+    };
+  ]
+
+let names = List.map (fun t -> t.name) all
+
+let find name =
+  let lower = String.lowercase_ascii name in
+  match List.find_opt (fun t -> t.name = lower) all with
+  | Some t -> t
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Suite.find: unknown testbed %S (known: %s)" name
+           (String.concat ", " names))

@@ -1,0 +1,19 @@
+(** Registry of the §5 testbeds, keyed by the names used in the paper. *)
+
+type t = {
+  name : string;
+  build : n:int -> ccr:float -> Taskgraph.Graph.t;
+  paper_b : int;
+      (** the experimentally best chunk size B reported in §5.3 *)
+  min_n : int;  (** smallest meaningful problem size *)
+}
+
+(** The six testbeds in the paper's presentation order:
+    LU (B=4), LAPLACE (B=38), STENCIL (B=38), FORK-JOIN (B=38),
+    DOOLITTLE (B=20), LDMt (B=20). *)
+val all : t list
+
+val names : string list
+
+(** @raise Invalid_argument on an unknown name (case-insensitive lookup). *)
+val find : string -> t

@@ -1,0 +1,11 @@
+let task_names = [| "a0"; "b0"; "a1"; "a2"; "a3"; "ab1"; "ab2"; "b3"; "b2"; "b1" |]
+
+let graph () =
+  let a0 = 0 and b0 = 1 in
+  let a_children = [ 2; 3; 4; 5; 6 ] (* a1 a2 a3 ab1 ab2 *) in
+  let b_children = [ 5; 6; 7; 8; 9 ] (* ab1 ab2 b3 b2 b1 *) in
+  let edges =
+    List.map (fun c -> (a0, c, 1.)) a_children
+    @ List.map (fun c -> (b0, c, 1.)) b_children
+  in
+  Taskgraph.Graph.create ~name:"toy-fig3" ~weights:(Array.make 10 1.) ~edges ()

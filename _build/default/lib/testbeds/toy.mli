@@ -1,0 +1,12 @@
+(** The §4.4 toy example (Figure 3): two parents [a0] and [b0]; [a0] feeds
+    [a1 a2 a3 ab1 ab2], [b0] feeds [ab1 ab2 b3 b2 b1]; all computation and
+    communication costs are 1.
+
+    Task ids follow the paper's assumed priority order (ids break rank
+    ties): [a0=0, b0=1, a1=2, a2=3, a3=4, ab1=5, ab2=6, b3=7, b2=8, b1=9],
+    so HEFT and ILHA reproduce Figure 4's schedules exactly. *)
+
+val graph : unit -> Taskgraph.Graph.t
+
+(** Human-readable task names, indexed by task id. *)
+val task_names : string array

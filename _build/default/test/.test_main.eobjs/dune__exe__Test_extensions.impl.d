@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array List Onesched Prelude QCheck2 String Util

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Fun List Onesched Printf QCheck2 Util

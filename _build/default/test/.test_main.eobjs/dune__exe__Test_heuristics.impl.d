@@ -1,0 +1,1 @@
+test/test_heuristics.ml: Alcotest Array Fun List Onesched Option Prelude Printf QCheck2 Util

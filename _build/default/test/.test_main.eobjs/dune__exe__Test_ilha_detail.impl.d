@@ -1,0 +1,1 @@
+test/test_ilha_detail.ml: Alcotest Array List Onesched QCheck2 Util

@@ -1,0 +1,1 @@
+test/test_improvers.ml: Alcotest Array List Onesched Prelude QCheck2 String Util

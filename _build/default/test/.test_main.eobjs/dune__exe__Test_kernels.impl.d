@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Array Fun Hashtbl List Onesched Option Prelude Printf Util

@@ -1,0 +1,1 @@
+test/test_link_contention.ml: Alcotest Array List Onesched QCheck2 Util

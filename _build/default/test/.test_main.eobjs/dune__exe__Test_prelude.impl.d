@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Int List Onesched Option Prelude QCheck2 String Util

@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Onesched String Util

@@ -1,0 +1,1 @@
+test/test_simkit.ml: Alcotest Onesched Prelude QCheck2 Util

@@ -1,0 +1,1 @@
+test/test_simkit2.ml: Alcotest Array Filename Fun List Onesched Prelude Printf QCheck2 Sys Util

@@ -1,0 +1,1 @@
+test/test_svg.ml: Alcotest List Onesched Printf QCheck2 String Util

@@ -1,0 +1,1 @@
+test/test_timeline.ml: Alcotest Array List Onesched QCheck2 Util

@@ -1,0 +1,1 @@
+test/test_unrelated.ml: Alcotest Array List Onesched Printf QCheck2 Util

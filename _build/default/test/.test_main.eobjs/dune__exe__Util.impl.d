@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Lazy List Onesched Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,18 @@
+  $ ../../bin/schedcli.exe list | head -8
+  $ ../../bin/schedcli.exe analyze -t lu -n 10
+  $ ../../bin/schedcli.exe figures --only e3
+  $ cat > app.tg <<'TG'
+  > graph demo
+  > task 0 1
+  > task 1 2
+  > task 2 2
+  > edge 0 1 3
+  > edge 0 2 3
+  > TG
+  $ cat > duo.plat <<'PLAT'
+  > platform duo
+  > cycle-times 1 1
+  > link-cost 1
+  > PLAT
+  $ ../../bin/schedcli.exe run --graph app.tg --platform duo.plat -H heft 2>&1 | grep -v "scheduled in"
+  $ ../../bin/schedcli.exe export -t fork-join -n 3 --format csv | head -3

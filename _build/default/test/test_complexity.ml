@@ -1,0 +1,172 @@
+(* The NP-hardness machinery: 2-PARTITION solvers against brute force and
+   both reductions' equivalences + constructive directions. *)
+
+module O = Onesched
+open Util
+
+let brute_force_solvable items =
+  let n = Array.length items in
+  let total = Array.fold_left ( + ) 0 items in
+  total mod 2 = 0
+  && begin
+       let found = ref false in
+       for mask = 1 to (1 lsl n) - 2 do
+         let s = ref 0 in
+         for i = 0 to n - 1 do
+           if mask land (1 lsl i) <> 0 then s := !s + items.(i)
+         done;
+         if 2 * !s = total then found := true
+       done;
+       n >= 2 && !found
+     end
+
+let brute_force_balanced items =
+  let n = Array.length items in
+  let total = Array.fold_left ( + ) 0 items in
+  total mod 2 = 0 && n mod 2 = 0
+  && begin
+       let found = ref false in
+       for mask = 0 to (1 lsl n) - 1 do
+         let s = ref 0 and c = ref 0 in
+         for i = 0 to n - 1 do
+           if mask land (1 lsl i) <> 0 then begin
+             s := !s + items.(i);
+             incr c
+           end
+         done;
+         if 2 * !s = total && 2 * !c = n then found := true
+       done;
+       !found
+     end
+
+let items_gen =
+  QCheck2.Gen.(list_size (int_range 1 9) (int_range 1 12))
+
+let partition_tests =
+  [
+    qtest ~count:300 "solve agrees with brute force" items_gen (fun items ->
+        let items = Array.of_list items in
+        let inst = O.Two_partition.create items in
+        O.Two_partition.is_solvable inst = brute_force_solvable items
+        ||
+        (* singleton sets: DP finds the empty/full split only when sum is
+           0, never for positive items; brute force above excludes the
+           trivial masks, so align on n >= 2 *)
+        Array.length items < 2);
+    qtest ~count:300 "solve returns real witnesses" items_gen (fun items ->
+        let inst = O.Two_partition.create (Array.of_list items) in
+        match O.Two_partition.solve inst with
+        | None -> true
+        | Some a1 -> O.Two_partition.verify inst a1);
+    qtest ~count:300 "balanced solve agrees with brute force" items_gen
+      (fun items ->
+        let items = Array.of_list items in
+        let inst = O.Two_partition.create items in
+        O.Two_partition.is_balanced_solvable inst = brute_force_balanced items);
+    qtest ~count:300 "balanced witnesses have the right cardinality" items_gen
+      (fun items ->
+        let items = Array.of_list items in
+        let inst = O.Two_partition.create items in
+        match O.Two_partition.solve_balanced inst with
+        | None -> true
+        | Some a1 ->
+            O.Two_partition.verify inst a1
+            && 2 * List.length a1 = Array.length items);
+    Alcotest.test_case "rejects bad instances" `Quick (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Two_partition.create: empty")
+          (fun () -> ignore (O.Two_partition.create [||]));
+        Alcotest.check_raises "non-positive"
+          (Invalid_argument "Two_partition.create: non-positive item") (fun () ->
+            ignore (O.Two_partition.create [| 3; 0 |])));
+  ]
+
+let small_items_gen = QCheck2.Gen.(list_size (int_range 2 5) (int_range 1 9))
+
+let fork_sched_tests =
+  [
+    qtest ~count:40 "Thm 1: decide iff SHIFTED 2-PARTITION" small_items_gen
+      (fun items ->
+        (* The reduction literally encodes 2-PARTITION of M + a_i + 1
+           (see Fork_sched's reproduction note). *)
+        let inst = O.Two_partition.create (Array.of_list items) in
+        let red = O.Fork_sched.reduce inst in
+        O.Fork_sched.decide red
+        = O.Two_partition.is_solvable (O.Fork_sched.shifted_instance red));
+    qtest ~count:40 "Thm 1: balanced original implies schedulable"
+      small_items_gen
+      (fun items ->
+        let inst = O.Two_partition.create (Array.of_list items) in
+        (not (O.Two_partition.is_balanced_solvable inst))
+        || O.Fork_sched.decide (O.Fork_sched.reduce inst));
+    Alcotest.test_case "Thm 1: the paper's literal claim has a counterexample"
+      `Quick (fun () ->
+        (* [8;5;9;1;1] admits no 2-partition (balanced or not: sum is even
+           but no subset hits 12 with the cardinality the offsets force),
+           yet the shifted items 18+19 = 15+11+11 split evenly, so the
+           constructed FORK-SCHED instance IS schedulable within T. *)
+        let inst = O.Two_partition.create [| 8; 5; 9; 1; 1 |] in
+        let red = O.Fork_sched.reduce inst in
+        check_bool "schedulable" true (O.Fork_sched.decide red);
+        check_bool "no balanced partition" false
+          (O.Two_partition.is_balanced_solvable inst));
+    qtest ~count:40 "Thm 1: constructive schedule is valid and in bound"
+      small_items_gen
+      (fun items ->
+        let inst = O.Two_partition.create (Array.of_list items) in
+        match O.Two_partition.solve_balanced inst with
+        | None -> true
+        | Some a1 ->
+            let red = O.Fork_sched.reduce inst in
+            let sched = O.Fork_sched.schedule_of_partition red ~a1 in
+            O.Validate.is_valid sched
+            && O.Schedule.makespan sched
+               <= red.O.Fork_sched.time_bound +. 1e-6);
+    Alcotest.test_case "Thm 1: weights have the wmin <= w <= 2 wmin shape"
+      `Quick (fun () ->
+        let inst = O.Two_partition.create [| 2; 5; 3; 4 |] in
+        let red = O.Fork_sched.reduce inst in
+        let g = red.O.Fork_sched.graph in
+        (* children 1..n: w_i = 10 (M + a_i + 1); closers: 10 (M + m) + 1 *)
+        check_float "w1" 80. (O.Graph.weight g 1);
+        check_float "closers" 71. (O.Graph.weight g 5);
+        check_float "parent weight 0" 0. (O.Graph.weight g 0);
+        let wmin = O.Graph.weight g 5 in
+        List.iter
+          (fun i ->
+            let w = O.Graph.weight g i in
+            check_bool "range" true (w >= wmin && w <= 2. *. wmin))
+          [ 1; 2; 3; 4 ];
+        (* T = half the original weights + 2 wmin *)
+        check_float "bound" ((80. +. 110. +. 90. +. 100.) /. 2. +. 142.)
+          red.O.Fork_sched.time_bound);
+  ]
+
+let comm_sched_tests =
+  [
+    qtest ~count:40 "Thm 2: decide iff 2-PARTITION" small_items_gen
+      (fun items ->
+        let inst = O.Two_partition.create (Array.of_list items) in
+        let red = O.Comm_sched.reduce inst in
+        O.Comm_sched.decide red = O.Two_partition.is_solvable inst);
+    qtest ~count:40 "Thm 2: constructive schedule is valid and in bound"
+      small_items_gen
+      (fun items ->
+        let inst = O.Two_partition.create (Array.of_list items) in
+        match O.Two_partition.solve inst with
+        | None -> true
+        | Some a1 ->
+            let red = O.Comm_sched.reduce inst in
+            let sched = O.Comm_sched.schedule_of_partition red ~a1 in
+            O.Validate.is_valid sched
+            && O.Schedule.makespan sched <= red.O.Comm_sched.time_bound +. 1e-6);
+    Alcotest.test_case "Thm 2: instance shape" `Quick (fun () ->
+        let inst = O.Two_partition.create [| 1; 2; 3 |] in
+        let red = O.Comm_sched.reduce inst in
+        let g = red.O.Comm_sched.graph in
+        check_int "3n+1 tasks" 10 (O.Graph.n_tasks g);
+        check_int "2n edges" 6 (O.Graph.n_edges g);
+        check_float "bound 2S" 6. red.O.Comm_sched.time_bound;
+        check_float "all zero weights" 0. (O.Graph.total_weight g));
+  ]
+
+let suite = partition_tests @ fork_sched_tests @ comm_sched_tests

@@ -1,0 +1,124 @@
+(* The shared EFT engine: slot choices, tie-breaking, tentative evaluation
+   purity, policies, and routed communications. *)
+
+module O = Onesched
+open Util
+
+let chain_graph () =
+  O.Graph.create ~name:"chain" ~weights:[| 1.; 2. |] ~edges:[ (0, 1, 3.) ] ()
+
+let engine_for ?(model = O.Comm_model.one_port) ?policy ?(p = 2) g =
+  let plat = O.Platform.homogeneous ~p ~link_cost:1. in
+  let sched = O.Schedule.create ~graph:g ~platform:plat ~model () in
+  O.Engine.create ?policy sched
+
+let basic_tests =
+  [
+    Alcotest.test_case "local placement has no comms" `Quick (fun () ->
+        let engine = engine_for (chain_graph ()) in
+        O.Engine.schedule_on engine ~task:0 ~proc:0;
+        let ev = O.Engine.evaluate engine ~task:1 ~proc:0 in
+        check_float "est" 1. ev.O.Engine.est;
+        check_float "eft" 3. ev.O.Engine.eft;
+        check_bool "no hops" true (ev.O.Engine.hops = []));
+    Alcotest.test_case "remote placement schedules the message" `Quick (fun () ->
+        let engine = engine_for (chain_graph ()) in
+        O.Engine.schedule_on engine ~task:0 ~proc:0;
+        let ev = O.Engine.evaluate engine ~task:1 ~proc:1 in
+        check_float "est = finish + comm" 4. ev.O.Engine.est;
+        check_int "one hop" 1 (List.length ev.O.Engine.hops);
+        let hop = List.hd ev.O.Engine.hops in
+        check_float "hop starts when data ready" 1. hop.O.Engine.start);
+    Alcotest.test_case "evaluation does not mutate state" `Quick (fun () ->
+        let engine = engine_for (chain_graph ()) in
+        O.Engine.schedule_on engine ~task:0 ~proc:0;
+        let ev1 = O.Engine.evaluate engine ~task:1 ~proc:1 in
+        let ev2 = O.Engine.evaluate engine ~task:1 ~proc:1 in
+        check_float "same est twice" ev1.O.Engine.est ev2.O.Engine.est;
+        check_int "no comm committed" 0
+          (O.Schedule.n_comm_events (O.Engine.schedule engine)));
+    Alcotest.test_case "best_proc prefers local, ties to lowest index" `Quick
+      (fun () ->
+        let engine = engine_for (chain_graph ()) in
+        O.Engine.schedule_on engine ~task:0 ~proc:0;
+        let ev = O.Engine.best_proc engine ~task:1 in
+        check_int "local wins (eft 3 vs 6)" 0 ev.O.Engine.proc;
+        (* On a fresh engine, every processor gives the same EFT for the
+           entry task: the tie must go to processor 0. *)
+        let engine2 = engine_for ~p:4 (chain_graph ()) in
+        let ev2 = O.Engine.best_proc engine2 ~task:0 in
+        check_int "tie to lowest" 0 ev2.O.Engine.proc);
+    Alcotest.test_case "best_proc_among respects the candidate list" `Quick
+      (fun () ->
+        let engine = engine_for ~p:4 (chain_graph ()) in
+        let ev = O.Engine.best_proc_among engine ~task:0 [ 2; 3 ] in
+        check_int "restricted" 2 ev.O.Engine.proc);
+  ]
+
+(* Two tasks feeding one sink from different processors: the sink's
+   incoming messages must serialise on its receive port under one-port but
+   not under macro-dataflow. *)
+let join_graph () =
+  O.Graph.create ~name:"join" ~weights:[| 1.; 1.; 1. |]
+    ~edges:[ (0, 2, 2.); (1, 2, 2.) ]
+    ()
+
+let serialization_tests =
+  [
+    Alcotest.test_case "incoming messages serialise at the receiver" `Quick
+      (fun () ->
+        let engine = engine_for ~p:3 (join_graph ()) in
+        O.Engine.schedule_on engine ~task:0 ~proc:0;
+        O.Engine.schedule_on engine ~task:1 ~proc:1;
+        let ev = O.Engine.evaluate engine ~task:2 ~proc:2 in
+        (* both messages ready at t=1, each lasting 2: arrivals 3 and 5 *)
+        check_float "est after both arrivals" 5. ev.O.Engine.est);
+    Alcotest.test_case "macro-dataflow lets them overlap" `Quick (fun () ->
+        let engine =
+          engine_for ~model:O.Comm_model.macro_dataflow ~p:3 (join_graph ())
+        in
+        O.Engine.schedule_on engine ~task:0 ~proc:0;
+        O.Engine.schedule_on engine ~task:1 ~proc:1;
+        let ev = O.Engine.evaluate engine ~task:2 ~proc:2 in
+        check_float "est after parallel arrivals" 3. ev.O.Engine.est);
+    Alcotest.test_case "append policy never uses gaps" `Quick (fun () ->
+        (* Occupy [0,1) and [5,6) on P0's compute; a 2-long task fits in
+           the gap under Insertion but must go after 6 under Append. *)
+        let g =
+          O.Graph.create ~name:"three"
+            ~weights:[| 1.; 1.; 2. |]
+            ~edges:[]
+            ()
+        in
+        let probe policy =
+          let engine = engine_for ~policy ~p:1 g in
+          let sched = O.Engine.schedule engine in
+          O.Schedule.place_task sched ~task:0 ~proc:0 ~start:0.;
+          O.Schedule.place_task sched ~task:1 ~proc:0 ~start:5.;
+          (O.Engine.evaluate engine ~task:2 ~proc:0).O.Engine.est
+        in
+        check_float "insertion fills the gap" 1. (probe O.Engine.Insertion);
+        check_float "append goes last" 6. (probe O.Engine.Append));
+  ]
+
+let routing_tests =
+  [
+    Alcotest.test_case "messages are routed hop by hop" `Quick (fun () ->
+        let plat =
+          O.Platform.with_topology ~cycle_times:[| 1.; 1.; 1. |]
+            ~links:[ (0, 1, 1.); (1, 2, 1.) ]
+            ()
+        in
+        let g = chain_graph () in
+        let sched = O.Schedule.create ~graph:g ~platform:plat ~model:O.Comm_model.one_port () in
+        let engine = O.Engine.create sched in
+        O.Engine.schedule_on engine ~task:0 ~proc:0;
+        let ev = O.Engine.evaluate engine ~task:1 ~proc:2 in
+        check_int "two hops" 2 (List.length ev.O.Engine.hops);
+        (* data volume 3, unit hops: leave at 1, relay arrives 4, final 7 *)
+        check_float "est after relay" 7. ev.O.Engine.est;
+        O.Engine.commit engine ~task:1 ev;
+        O.Validate.check_exn sched);
+  ]
+
+let suite = basic_tests @ serialization_tests @ routing_tests

@@ -1,0 +1,108 @@
+(* Experiment harness: configs, runner rows, and the paper-number anchors
+   that must hold exactly (E1/E3) or qualitatively (toy, figure shapes). *)
+
+module O = Onesched
+open Util
+
+let tiny_cfg () = O.Config.with_sizes (O.Config.paper ()) [ 10 ]
+
+let runner_tests =
+  [
+    Alcotest.test_case "runner rows are self-consistent" `Quick (fun () ->
+        let cfg = tiny_cfg () in
+        let row =
+          O.Runner.run cfg ~testbed:(O.Suite.find "laplace") ~n:10
+            ~heuristic:(O.Registry.find "heft") ()
+        in
+        check_bool "valid" true row.O.Runner.valid;
+        check_bool "speedup sane" true
+          (row.O.Runner.speedup > 0. && row.O.Runner.speedup <= 7.6);
+        check_int "n recorded" 10 row.O.Runner.n;
+        check_bool "makespan * speedup = sequential" true
+          (Prelude.Stats.fequal
+             (row.O.Runner.makespan *. row.O.Runner.speedup)
+             (60000. /. 100.)));
+    Alcotest.test_case "runner honours ILHA's b" `Quick (fun () ->
+        let cfg = tiny_cfg () in
+        let row =
+          O.Runner.run cfg ~testbed:(O.Suite.find "lu") ~n:10
+            ~heuristic:(O.Registry.find "ilha") ~b:4 ()
+        in
+        check_bool "b recorded" true (row.O.Runner.b = Some 4);
+        check_bool "named" true (contains row.O.Runner.heuristic "b=4"));
+    Alcotest.test_case "table renders every row" `Quick (fun () ->
+        let cfg = tiny_cfg () in
+        let rows =
+          List.map
+            (fun name ->
+              O.Runner.run cfg ~testbed:(O.Suite.find "stencil") ~n:6
+                ~heuristic:(O.Registry.find name) ())
+            [ "heft"; "ilha"; "cpop" ]
+        in
+        let t = O.Runner.table rows in
+        check_int "3 rows" 3 (O.Table.n_rows t));
+  ]
+
+let figure_tests =
+  [
+    Alcotest.test_case "experiment registry is closed" `Quick (fun () ->
+        check_int "19 experiments" 19 (List.length O.Figures.all);
+        List.iter
+          (fun id ->
+            check_bool id true ((O.Figures.find id).O.Figures.id = id))
+          O.Figures.ids;
+        check_bool "unknown id rejected" true
+          (try
+             ignore (O.Figures.find "fig99");
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "E1 renders the paper's numbers" `Quick (fun () ->
+        let out = (O.Figures.find "e1").O.Figures.render (tiny_cfg ()) in
+        check_bool "macro 3" true (contains out "macro-dataflow, HEFT");
+        check_bool "optimum 5" true (contains out "one-port, exact optimum");
+        (* exact cell values *)
+        check_bool "value 3" true (contains out "3");
+        check_bool "value 5" true (contains out "5");
+        check_bool "value 6" true (contains out "6"));
+    Alcotest.test_case "E3 reproduces M = 38 and the 7.6 bound" `Quick
+      (fun () ->
+        let out = (O.Figures.find "e3").O.Figures.render (tiny_cfg ()) in
+        check_bool "38" true (contains out "38");
+        check_bool "distribution" true (contains out "5,5,5,5,5,3,3,3,2,2");
+        check_bool "7.60" true (contains out "7.60"));
+    Alcotest.test_case "E2 shows ILHA sending fewer messages" `Quick (fun () ->
+        let out = (O.Figures.find "e2").O.Figures.render (tiny_cfg ()) in
+        check_bool "HEFT 4 comms" true (contains out "makespan 5, 4 communications");
+        check_bool "ILHA 2 comms" true (contains out "makespan 5, 2 communications"));
+    Alcotest.test_case "figure series render a row per size" `Quick (fun () ->
+        let cfg = O.Config.with_sizes (O.Config.paper ()) [ 6; 8 ] in
+        let out = (O.Figures.find "fig7").O.Figures.render cfg in
+        check_bool "has gain column" true (contains out "gain %");
+        (* one data line per configured size *)
+        let lines = String.split_on_char '\n' out in
+        let data_lines =
+          List.filter
+            (fun l ->
+              String.length l > 0 && (l.[0] = '6' || l.[0] = '8'))
+            lines
+        in
+        check_int "two rows" 2 (List.length data_lines));
+  ]
+
+let config_tests =
+  [
+    Alcotest.test_case "paper config matches §5.2" `Quick (fun () ->
+        let cfg = O.Config.paper () in
+        check_float "ccr 10" 10. cfg.O.Config.ccr;
+        check_int "10 processors" 10 (O.Platform.p cfg.O.Config.platform);
+        Alcotest.(check (list int)) "sizes" [ 100; 200; 300; 400; 500 ]
+          cfg.O.Config.sizes;
+        check_bool "one-port" true
+          (O.Comm_model.equal cfg.O.Config.model O.Comm_model.one_port));
+    Alcotest.test_case "scaling shrinks sizes" `Quick (fun () ->
+        let cfg = O.Config.paper ~scale:0.2 () in
+        Alcotest.(check (list int)) "scaled" [ 20; 40; 60; 80; 100 ]
+          cfg.O.Config.sizes);
+  ]
+
+let suite = runner_tests @ figure_tests @ config_tests

@@ -1,0 +1,258 @@
+(* The schedulers: paper regressions (Fig. 1 example, Fig. 4 toy), ranking
+   and load-balance algebra, and the central integration property — every
+   heuristic produces an independently-valid schedule on random graphs ×
+   platforms × models. *)
+
+module O = Onesched
+open Util
+
+let one_port = O.Comm_model.one_port
+let macro = O.Comm_model.macro_dataflow
+
+(* ---------------- paper regressions ---------------- *)
+
+let fig1_tests =
+  [
+    Alcotest.test_case "Fig 1: macro-dataflow reaches makespan 3" `Quick
+      (fun () ->
+        let g = O.Fork.example_fig1 () in
+        let plat = O.Platform.homogeneous ~p:5 ~link_cost:1. in
+        let sched = O.Heft.schedule ~model:macro plat g in
+        O.Validate.check_exn sched;
+        check_float "makespan" 3. (O.Schedule.makespan sched));
+    Alcotest.test_case "Fig 1: one-port optimum is 5" `Quick (fun () ->
+        let g = O.Fork.example_fig1 () in
+        match O.Fork_exact.of_graph g with
+        | None -> Alcotest.fail "not recognised as a fork"
+        | Some inst ->
+            check_float "exact" 5. (O.Fork_exact.optimal_makespan ~max_procs:5 inst));
+    Alcotest.test_case "Fig 1: one-port HEFT achieves the optimum" `Quick
+      (fun () ->
+        let g = O.Fork.example_fig1 () in
+        let plat = O.Platform.homogeneous ~p:5 ~link_cost:1. in
+        let sched = O.Heft.schedule ~model:one_port plat g in
+        O.Validate.check_exn sched;
+        check_float "makespan" 5. (O.Schedule.makespan sched));
+    Alcotest.test_case "Fig 1: macro allocation costs >= 6 under one-port"
+      `Quick (fun () ->
+        let g = O.Fork.example_fig1 () in
+        let plat = O.Platform.homogeneous ~p:5 ~link_cost:1. in
+        let sched = O.Schedule.create ~graph:g ~platform:plat ~model:one_port () in
+        let engine = O.Engine.create sched in
+        List.iter
+          (fun (task, proc) -> O.Engine.schedule_on engine ~task ~proc)
+          [ (0, 0); (1, 0); (2, 0); (3, 1); (4, 2); (5, 3); (6, 4) ];
+        O.Validate.check_exn sched;
+        check_bool "at least 6" true (O.Schedule.makespan sched >= 6.));
+  ]
+
+let toy_tests =
+  [
+    Alcotest.test_case "Fig 4: HEFT mapping matches the paper" `Quick (fun () ->
+        let g = O.Toy.graph () in
+        let plat = O.Platform.homogeneous ~p:2 ~link_cost:1. in
+        let sched = O.Heft.schedule ~model:one_port plat g in
+        O.Validate.check_exn sched;
+        (* a0 -> P0, b0 -> P1, then a1 a2 on P0, a3 on P1, ... (Fig. 4) *)
+        let proc v = (O.Schedule.placement_exn sched v).O.Schedule.proc in
+        check_int "a0 on P0" 0 (proc 0);
+        check_int "b0 on P1" 1 (proc 1);
+        check_int "a1 on P0" 0 (proc 2);
+        check_int "a2 on P0" 0 (proc 3);
+        check_int "a3 on P1" 1 (proc 4);
+        check_float "HEFT makespan 5" 5. (O.Schedule.makespan sched);
+        check_int "HEFT sends 4 messages" 4 (O.Schedule.n_comm_events sched));
+    Alcotest.test_case "Fig 4: ILHA halves the communications" `Quick (fun () ->
+        let g = O.Toy.graph () in
+        let plat = O.Platform.homogeneous ~p:2 ~link_cost:1. in
+        let sched = O.Ilha.schedule ~b:8 ~model:one_port plat g in
+        O.Validate.check_exn sched;
+        let proc v = (O.Schedule.placement_exn sched v).O.Schedule.proc in
+        (* zero-comm scan: a1 a2 a3 with P0, b3 b2 b1 with P1 *)
+        List.iter (fun v -> check_int "a-child on P0" 0 (proc v)) [ 2; 3; 4 ];
+        List.iter (fun v -> check_int "b-child on P1" 1 (proc v)) [ 7; 8; 9 ];
+        check_int "ILHA sends 2 messages" 2 (O.Schedule.n_comm_events sched);
+        check_bool "no worse than HEFT" true (O.Schedule.makespan sched <= 5.));
+  ]
+
+(* ---------------- ranking and load balance ---------------- *)
+
+let ranking_tests =
+  [
+    qtest ~count:100 "upward rank decreases along edges" graph_gen (fun params ->
+        let g = build_graph params in
+        let plat = O.Platform.paper_platform () in
+        let rank = O.Ranking.upward g plat in
+        List.for_all
+          (fun (e : O.Graph.edge) -> rank.(e.src) > rank.(e.dst) -. 1e-9)
+          (O.Graph.edges g));
+    qtest ~count:100 "downward rank increases along edges" graph_gen
+      (fun params ->
+        let g = build_graph params in
+        let plat = O.Platform.paper_platform () in
+        let rank = O.Ranking.downward g plat in
+        List.for_all
+          (fun (e : O.Graph.edge) -> rank.(e.dst) > rank.(e.src) -. 1e-9)
+          (O.Graph.edges g));
+    Alcotest.test_case "upward rank of a unit task on the paper platform"
+      `Quick (fun () ->
+        let g = O.Graph.create ~weights:[| 1. |] ~edges:[] () in
+        let plat = O.Platform.paper_platform () in
+        check_float "avg execution" (150. /. 19.)
+          (O.Ranking.upward g plat).(0));
+  ]
+
+let load_balance_tests =
+  [
+    Alcotest.test_case "paper chunk size and distribution" `Quick (fun () ->
+        let plat = O.Platform.paper_platform () in
+        check_int "M = 38" 38 (O.Load_balance.perfect_chunk plat);
+        let counts = O.Load_balance.distribute plat ~n:38 in
+        Alcotest.(check (array int))
+          "5,5,5,5,5,3,3,3,2,2"
+          [| 5; 5; 5; 5; 5; 3; 3; 3; 2; 2 |]
+          counts;
+        check_float "round time 30" 30. (O.Load_balance.round_time plat counts));
+    Alcotest.test_case "fractions sum to one" `Quick (fun () ->
+        let plat = O.Platform.paper_platform () in
+        check_float "sum" 1.
+          (Array.fold_left ( +. ) 0. (O.Load_balance.fractions plat)));
+    qtest ~count:200 "distribution is optimal vs brute force"
+      QCheck2.Gen.(tup2 (int_range 0 12) (int_bound 3))
+      (fun (n, which) ->
+        let plat =
+          match which with
+          | 0 -> O.Platform.homogeneous ~p:3 ~link_cost:1.
+          | 1 -> O.Platform.fully_connected ~cycle_times:[| 1.; 2. |] ~link_cost:1. ()
+          | 2 -> O.Platform.fully_connected ~cycle_times:[| 2.; 3.; 5. |] ~link_cost:1. ()
+          | _ -> O.Platform.fully_connected ~cycle_times:[| 1.; 1.; 4. |] ~link_cost:1. ()
+        in
+        let p = O.Platform.p plat in
+        let counts = O.Load_balance.distribute plat ~n in
+        (* brute force: all compositions of n over p processors *)
+        let best = ref infinity in
+        let rec go i remaining acc =
+          if i = p - 1 then begin
+            let counts = Array.of_list (List.rev (remaining :: acc)) in
+            best := min !best (O.Load_balance.round_time plat counts)
+          end
+          else
+            for c = 0 to remaining do
+              go (i + 1) (remaining - c) (c :: acc)
+            done
+        in
+        go 0 n [];
+        Array.fold_left ( + ) 0 counts = n
+        && Prelude.Stats.fequal (O.Load_balance.round_time plat counts) !best);
+    qtest ~count:100 "is_optimal accepts its own output" QCheck2.Gen.(int_bound 50)
+      (fun n ->
+        let plat = O.Platform.paper_platform () in
+        O.Load_balance.is_optimal plat (O.Load_balance.distribute plat ~n));
+  ]
+
+(* ---------------- the central integration property ---------------- *)
+
+let all_schedulers =
+  List.map
+    (fun e -> (e.O.Registry.name, e.O.Registry.scheduler))
+    O.Registry.all
+  @ [
+      ("ilha[scan=1comm]",
+       fun ?policy ~model plat g ->
+         O.Ilha.schedule ?policy ~scan:O.Ilha.Scan_one_comm ~model plat g);
+      ("ilha[resched]",
+       fun ?policy ~model plat g ->
+         O.Ilha.schedule ?policy ~reschedule:true ~model plat g);
+      ("heft[append]",
+       fun ?policy:_ ~model plat g ->
+         O.Heft.schedule ~policy:O.Engine.Append ~model plat g);
+    ]
+
+let validity_tests =
+  List.map
+    (fun (name, scheduler) ->
+      qtest ~count:60
+        (Printf.sprintf "%s always yields a valid schedule" name)
+        QCheck2.Gen.(tup3 graph_gen platform_gen model_gen)
+        (fun (params, plat, model) ->
+          let g = build_graph params in
+          scheduler_checks_out ~model plat g scheduler))
+    all_schedulers
+
+let determinism_tests =
+  [
+    qtest ~count:30 "HEFT and ILHA are deterministic"
+      QCheck2.Gen.(tup2 graph_gen platform_gen)
+      (fun (params, plat) ->
+        let g = build_graph params in
+        let once () =
+          let s = O.Ilha.schedule ~model:one_port plat g in
+          ( O.Schedule.makespan s,
+            List.map
+              (fun v -> (O.Schedule.placement_exn s v).O.Schedule.proc)
+              (List.init (O.Graph.n_tasks g) Fun.id) )
+        in
+        once () = once ());
+  ]
+
+(* ---------------- optimality cross-checks on tiny instances ----------- *)
+
+let tiny_graph_gen =
+  QCheck2.Gen.(
+    let* seed = int_bound 100_000 in
+    let* size = int_range 2 6 in
+    return (seed, size))
+
+let optimality_tests =
+  [
+    qtest ~count:25 "exhaustive search never beats the validator"
+      tiny_graph_gen
+      (fun (seed, size) ->
+        let rng = O.Rng.create ~seed in
+        let g =
+          O.Generators.erdos_renyi rng ~n:size ~edge_prob:0.4 ~max_weight:3
+            ~max_data:3
+        in
+        let plat = O.Platform.homogeneous ~p:2 ~link_cost:1. in
+        let best = O.Search.best_schedule ~model:one_port plat g in
+        O.Validate.check_exn best;
+        true);
+    qtest ~count:25 "search lower-bounds every list heuristic" tiny_graph_gen
+      (fun (seed, size) ->
+        let rng = O.Rng.create ~seed in
+        let g =
+          O.Generators.erdos_renyi rng ~n:size ~edge_prob:0.4 ~max_weight:3
+            ~max_data:3
+        in
+        let plat = O.Platform.fully_connected ~cycle_times:[| 1.; 2. |] ~link_cost:1. () in
+        let bound = O.Search.best_makespan ~model:one_port plat g in
+        List.for_all
+          (fun ((_, scheduler) : string * O.Registry.scheduler) ->
+            let s = scheduler ~model:one_port plat g in
+            O.Schedule.makespan s >= bound -. 1e-9)
+          all_schedulers);
+    qtest ~count:40 "Fork_exact agrees with exhaustive search on forks"
+      QCheck2.Gen.(tup2 (int_bound 100_000) (int_range 1 4))
+      (fun (seed, children) ->
+        let rng = O.Rng.create ~seed in
+        let child_weights =
+          Array.init children (fun _ -> float_of_int (O.Rng.int_in rng 1 4))
+        in
+        let child_data =
+          Array.init children (fun _ -> float_of_int (O.Rng.int_in rng 0 4))
+        in
+        let g =
+          O.Fork.of_weights ~parent_weight:(float_of_int (O.Rng.int_in rng 0 3))
+            ~child_weights ~child_data
+        in
+        let p = children + 1 in
+        let plat = O.Platform.homogeneous ~p ~link_cost:1. in
+        let inst = Option.get (O.Fork_exact.of_graph g) in
+        let exact = O.Fork_exact.optimal_makespan ~max_procs:p inst in
+        let search = O.Search.best_makespan ~model:one_port plat g in
+        Prelude.Stats.fequal exact search);
+  ]
+
+let suite =
+  fig1_tests @ toy_tests @ ranking_tests @ load_balance_tests @ validity_tests
+  @ determinism_tests @ optimality_tests

@@ -1,0 +1,119 @@
+(* Anneal, Compare, Batch. *)
+
+module O = Onesched
+open Util
+
+let one_port = O.Comm_model.one_port
+
+let anneal_tests =
+  [
+    qtest ~count:15 "annealing stays valid and never regresses"
+      QCheck2.Gen.(tup2 graph_gen platform_gen)
+      (fun (params, plat) ->
+        let g = build_graph params in
+        let sched = O.Heft.schedule ~model:one_port plat g in
+        let r =
+          O.Anneal.improve
+            ~params:{ O.Anneal.default_params with O.Anneal.steps = 60 }
+            sched
+        in
+        O.Validate.is_valid r.O.Anneal.schedule
+        && r.O.Anneal.final_makespan <= r.O.Anneal.initial_makespan +. 1e-9
+        && Prelude.Stats.fequal
+             (O.Schedule.makespan r.O.Anneal.schedule)
+             r.O.Anneal.final_makespan);
+    Alcotest.test_case "annealing is deterministic per seed" `Quick (fun () ->
+        let g = O.Kernels.doolittle ~n:10 ~ccr:10. in
+        let plat = O.Platform.paper_platform () in
+        let sched = O.Heft.schedule ~model:one_port plat g in
+        let run () =
+          (O.Anneal.improve
+             ~params:{ O.Anneal.default_params with O.Anneal.steps = 100 }
+             sched)
+            .O.Anneal.final_makespan
+        in
+        check_float "same outcome" (run ()) (run ()));
+    Alcotest.test_case "annealing escapes a pathological allocation" `Quick
+      (fun () ->
+        (* independent equal tasks all on one processor *)
+        let g = O.Graph.create ~weights:(Array.make 8 4.) ~edges:[] () in
+        let plat = O.Platform.homogeneous ~p:4 ~link_cost:1. in
+        let sched = O.Refine.rebuild ~alloc:(fun _ -> 0) ~model:one_port plat g in
+        let r = O.Anneal.improve sched in
+        check_bool "improved substantially" true
+          (r.O.Anneal.final_makespan < r.O.Anneal.initial_makespan /. 2.));
+    Alcotest.test_case "zero steps keeps the incumbent" `Quick (fun () ->
+        let g = O.Kernels.fork_join ~n:5 ~ccr:2. in
+        let plat = O.Platform.homogeneous ~p:2 ~link_cost:1. in
+        let sched = O.Heft.schedule ~model:one_port plat g in
+        let r =
+          O.Anneal.improve
+            ~params:{ O.Anneal.default_params with O.Anneal.steps = 0 }
+            sched
+        in
+        check_bool "no worse" true
+          (r.O.Anneal.final_makespan <= O.Schedule.makespan sched +. 1e-9));
+  ]
+
+let compare_tests =
+  [
+    Alcotest.test_case "self-diff is the identity" `Quick (fun () ->
+        let g = O.Kernels.laplace ~n:6 ~ccr:5. in
+        let plat = O.Platform.paper_platform () in
+        let sched = O.Heft.schedule ~model:one_port plat g in
+        let d = O.Compare.diff sched sched in
+        check_float "ratio 1" 1. d.O.Compare.makespan_ratio;
+        check_float "agreement 1" 1. d.O.Compare.allocation_agreement;
+        check_bool "no moves" true (d.O.Compare.moved_tasks = []));
+    Alcotest.test_case "diff counts moved tasks" `Quick (fun () ->
+        let g = O.Graph.create ~weights:[| 1.; 1. |] ~edges:[] () in
+        let plat = O.Platform.homogeneous ~p:2 ~link_cost:1. in
+        let a = O.Refine.rebuild ~alloc:(fun _ -> 0) ~model:one_port plat g in
+        let b = O.Refine.rebuild ~alloc:(fun v -> v) ~model:one_port plat g in
+        let d = O.Compare.diff a b in
+        check_int "one moved" 1 (List.length d.O.Compare.moved_tasks);
+        check_int "one same" 1 d.O.Compare.same_allocation);
+    Alcotest.test_case "rejects mismatched inputs" `Quick (fun () ->
+        let plat = O.Platform.homogeneous ~p:2 ~link_cost:1. in
+        let s1 =
+          O.Heft.schedule ~model:one_port plat (O.Kernels.fork_join ~n:3 ~ccr:1.)
+        in
+        let s2 =
+          O.Heft.schedule ~model:one_port plat (O.Kernels.fork_join ~n:4 ~ccr:1.)
+        in
+        check_bool "raises" true
+          (try
+             ignore (O.Compare.diff s1 s2);
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let batch_tests =
+  [
+    Alcotest.test_case "grid covers the full cross product" `Quick (fun () ->
+        let cfg = O.Config.with_sizes (O.Config.paper ()) [ 6; 8 ] in
+        let spec = O.Batch.default_spec cfg in
+        let rows = O.Batch.run cfg spec in
+        check_int "rows"
+          (List.length spec.O.Batch.heuristics
+          * List.length spec.O.Batch.testbeds
+          * List.length spec.O.Batch.sizes)
+          (List.length rows);
+        check_bool "all valid" true
+          (List.for_all (fun r -> r.O.Runner.valid) rows));
+    Alcotest.test_case "csv shape" `Quick (fun () ->
+        let cfg = O.Config.with_sizes (O.Config.paper ()) [ 6 ] in
+        let spec =
+          { (O.Batch.default_spec cfg) with
+            O.Batch.testbeds = [ O.Suite.find "lu" ];
+            O.Batch.heuristics = [ O.Registry.find "heft" ];
+          }
+        in
+        let csv = O.Batch.to_csv (O.Batch.run cfg spec) in
+        let lines = List.filter (( <> ) "") (String.split_on_char '\n' csv) in
+        check_int "header + 1 row" 2 (List.length lines);
+        check_bool "header" true
+          (contains (List.hd lines) "testbed,n,heuristic"));
+  ]
+
+let suite = anneal_tests @ compare_tests @ batch_tests

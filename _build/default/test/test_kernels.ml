@@ -1,0 +1,152 @@
+(* The §5 testbeds: exact shapes, weights, and the ccr rule
+   data(e) = c * w(src). *)
+
+module O = Onesched
+open Util
+
+let ccr_holds g ccr =
+  List.for_all
+    (fun (e : O.Graph.edge) ->
+      Prelude.Stats.fequal e.data (ccr *. O.Graph.weight g e.src))
+    (O.Graph.edges g)
+
+let size_tests =
+  [
+    Alcotest.test_case "task and edge counts" `Quick (fun () ->
+        let n = 10 in
+        let count build = O.Graph.n_tasks (build ~n ~ccr:1.) in
+        check_int "fork-join" (n + 2) (count O.Kernels.fork_join);
+        check_int "laplace" (n * n) (count O.Kernels.laplace);
+        check_int "stencil" (n * n) (count O.Kernels.stencil);
+        check_int "lu" (n * (n - 1) / 2) (count O.Kernels.lu);
+        check_int "doolittle" (n * (n - 1) / 2) (count O.Kernels.doolittle);
+        check_int "ldmt" ((n - 1) * (n + 2) / 2) (count O.Kernels.ldmt));
+    Alcotest.test_case "all kernels satisfy data = ccr * w(src)" `Quick
+      (fun () ->
+        List.iter
+          (fun suite ->
+            let g = suite.O.Suite.build ~n:8 ~ccr:10. in
+            check_bool suite.O.Suite.name true (ccr_holds g 10.))
+          O.Suite.all);
+    Alcotest.test_case "invariants hold on every kernel" `Quick (fun () ->
+        List.iter
+          (fun suite ->
+            O.Graph.check_invariants (suite.O.Suite.build ~n:9 ~ccr:3.))
+          O.Suite.all);
+  ]
+
+let weight_tests =
+  [
+    Alcotest.test_case "LU weights fall with the level (N - k)" `Quick (fun () ->
+        let n = 8 in
+        let g = O.Kernels.lu ~n ~ccr:1. in
+        (* elimination level k has n - k tasks of weight n - k *)
+        let histogram = Hashtbl.create 8 in
+        for v = 0 to O.Graph.n_tasks g - 1 do
+          let w = int_of_float (O.Graph.weight g v) in
+          Hashtbl.replace histogram w
+            (1 + Option.value ~default:0 (Hashtbl.find_opt histogram w))
+        done;
+        for k = 1 to n - 1 do
+          check_int
+            (Printf.sprintf "weight %d multiplicity" (n - k))
+            (n - k)
+            (Option.value ~default:0 (Hashtbl.find_opt histogram (n - k)))
+        done;
+        (* first task (1,2) has weight n-1 *)
+        check_float "level 1" (float_of_int (n - 1)) (O.Graph.weight g 0));
+    Alcotest.test_case "DOOLITTLE/LDMt weights grow with the level" `Quick
+      (fun () ->
+        List.iter
+          (fun build ->
+            let g = build ~n:8 ~ccr:1. in
+            (* some task has weight 1 (level 1) and some has weight 7 *)
+            let weights =
+              List.init (O.Graph.n_tasks g) (fun v -> O.Graph.weight g v)
+            in
+            check_float "min weight 1" 1. (List.fold_left min infinity weights);
+            check_float "max weight n-1" 7. (List.fold_left max 0. weights))
+          [ O.Kernels.doolittle; O.Kernels.ldmt ]);
+    Alcotest.test_case "unit-weight kernels" `Quick (fun () ->
+        List.iter
+          (fun build ->
+            let g = build ~n:6 ~ccr:1. in
+            for v = 0 to O.Graph.n_tasks g - 1 do
+              check_float "w = 1" 1. (O.Graph.weight g v)
+            done)
+          [ O.Kernels.fork_join; O.Kernels.laplace; O.Kernels.stencil ]);
+  ]
+
+let shape_tests =
+  [
+    Alcotest.test_case "fork-join is source -> n -> sink" `Quick (fun () ->
+        let g = O.Kernels.fork_join ~n:5 ~ccr:1. in
+        Alcotest.(check (list int)) "entry" [ 0 ] (O.Graph.entry_tasks g);
+        Alcotest.(check (list int)) "exit" [ 6 ] (O.Graph.exit_tasks g);
+        check_int "source degree" 5 (O.Graph.out_degree g 0);
+        check_int "sink degree" 5 (O.Graph.in_degree g 6);
+        check_int "depth" 3 (O.Levels.depth g));
+    Alcotest.test_case "laplace grid has the wavefront shape" `Quick (fun () ->
+        let n = 5 in
+        let g = O.Kernels.laplace ~n ~ccr:1. in
+        Alcotest.(check (list int)) "single entry" [ 0 ] (O.Graph.entry_tasks g);
+        Alcotest.(check (list int))
+          "single exit"
+          [ (n * n) - 1 ]
+          (O.Graph.exit_tasks g);
+        check_int "depth = 2n-1" ((2 * n) - 1) (O.Levels.depth g);
+        check_int "width = n" n (O.Levels.width g);
+        check_int "interior in-degree" 2 (O.Graph.in_degree g ((n * 1) + 1)));
+    Alcotest.test_case "stencil rows depend on three neighbours" `Quick
+      (fun () ->
+        let n = 5 in
+        let g = O.Kernels.stencil ~n ~ccr:1. in
+        check_int "interior in-degree 3" 3 (O.Graph.in_degree g (n + 2));
+        check_int "border in-degree 2" 2 (O.Graph.in_degree g n);
+        check_int "depth = n" n (O.Levels.depth g);
+        check_int "row width" n (O.Levels.width g));
+    Alcotest.test_case "lu is a pipelined triangle" `Quick (fun () ->
+        let g = O.Kernels.lu ~n:6 ~ccr:1. in
+        Alcotest.(check (list int)) "single entry (1,2)" [ 0 ] (O.Graph.entry_tasks g);
+        let max_out =
+          List.fold_left
+            (fun acc v -> max acc (O.Graph.out_degree g v))
+            0
+            (List.init (O.Graph.n_tasks g) Fun.id)
+        in
+        check_bool "bounded out-degree" true (max_out <= 2));
+    Alcotest.test_case "minimum sizes are enforced" `Quick (fun () ->
+        check_bool "lu n=1 rejected" true
+          (try
+             ignore (O.Kernels.lu ~n:1 ~ccr:1.);
+             false
+           with Invalid_argument _ -> true);
+        check_bool "fork-join n=0 rejected" true
+          (try
+             ignore (O.Kernels.fork_join ~n:0 ~ccr:1.);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "suite lookup" `Quick (fun () ->
+        check_int "six testbeds" 6 (List.length O.Suite.all);
+        check_bool "case-insensitive" true
+          ((O.Suite.find "LU").O.Suite.name = "lu");
+        check_bool "unknown rejected" true
+          (try
+             ignore (O.Suite.find "qr");
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "toy graph matches Figure 3" `Quick (fun () ->
+        let g = O.Toy.graph () in
+        check_int "10 tasks" 10 (O.Graph.n_tasks g);
+        check_int "10 edges" 10 (O.Graph.n_edges g);
+        Alcotest.(check (list int)) "a0 children" [ 2; 3; 4; 5; 6 ] (O.Graph.succs g 0);
+        Alcotest.(check (list int)) "b0 children" [ 5; 6; 7; 8; 9 ] (O.Graph.succs g 1);
+        check_int "names align" 10 (Array.length O.Toy.task_names));
+    Alcotest.test_case "fork recogniser" `Quick (fun () ->
+        check_bool "fork recognised" true
+          (O.Fork_exact.of_graph (O.Fork.example_fig1 ()) <> None);
+        check_bool "non-fork rejected" true
+          (O.Fork_exact.of_graph (O.Kernels.laplace ~n:3 ~ccr:1.) = None));
+  ]
+
+let suite = size_tests @ weight_tests @ shape_tests

@@ -1,0 +1,211 @@
+(* Schedule builder, resource state, metrics, Gantt, and — crucially — the
+   independent validator: every violation class must be detected. *)
+
+module O = Onesched
+open Util
+
+let chain_graph () =
+  O.Graph.create ~name:"chain" ~weights:[| 1.; 2. |] ~edges:[ (0, 1, 3.) ] ()
+
+let plat2 () = O.Platform.homogeneous ~p:2 ~link_cost:1.
+
+let make_sched ?(model = O.Comm_model.one_port) g =
+  O.Schedule.create ~graph:g ~platform:(plat2 ()) ~model ()
+
+let builder_tests =
+  [
+    Alcotest.test_case "placement bookkeeping" `Quick (fun () ->
+        let g = chain_graph () in
+        let s = make_sched g in
+        check_bool "not placed" false (O.Schedule.is_placed s 0);
+        O.Schedule.place_task s ~task:0 ~proc:0 ~start:0.;
+        check_bool "placed" true (O.Schedule.is_placed s 0);
+        let p = O.Schedule.placement_exn s 0 in
+        check_float "finish = start + w*t" 1. p.O.Schedule.finish;
+        check_int "n_placed" 1 (O.Schedule.n_placed s);
+        check_bool "all placed" false (O.Schedule.all_placed s));
+    Alcotest.test_case "double placement rejected" `Quick (fun () ->
+        let s = make_sched (chain_graph ()) in
+        O.Schedule.place_task s ~task:0 ~proc:0 ~start:0.;
+        Alcotest.check_raises "double"
+          (Invalid_argument "Schedule.place_task: already placed") (fun () ->
+            O.Schedule.place_task s ~task:0 ~proc:1 ~start:5.));
+    Alcotest.test_case "comm recording and availability" `Quick (fun () ->
+        let g = chain_graph () in
+        let s = make_sched g in
+        O.Schedule.place_task s ~task:0 ~proc:0 ~start:0.;
+        let arrival = O.Schedule.add_comm s ~edge:0 ~src_proc:0 ~dst_proc:1 ~start:1. in
+        check_float "arrival = start + data*link" 4. arrival;
+        check_float "edge availability" 4. (O.Schedule.edge_available_at s ~edge:0);
+        check_int "events" 1 (O.Schedule.n_comm_events s);
+        check_float "comm time" 3. (O.Schedule.total_comm_time s);
+        O.Schedule.place_task s ~task:1 ~proc:1 ~start:4.;
+        check_float "makespan" 6. (O.Schedule.makespan s));
+    Alcotest.test_case "copy is independent" `Quick (fun () ->
+        let g = chain_graph () in
+        let s = make_sched g in
+        O.Schedule.place_task s ~task:0 ~proc:0 ~start:0.;
+        let c = O.Schedule.copy s in
+        O.Schedule.place_task c ~task:1 ~proc:0 ~start:1.;
+        check_int "copy advanced" 2 (O.Schedule.n_placed c);
+        check_int "original untouched" 1 (O.Schedule.n_placed s));
+    Alcotest.test_case "makespan demands completeness" `Quick (fun () ->
+        let s = make_sched (chain_graph ()) in
+        Alcotest.check_raises "incomplete"
+          (Invalid_argument "Schedule.makespan: unplaced tasks") (fun () ->
+            ignore (O.Schedule.makespan s)));
+  ]
+
+(* Build a correct two-processor schedule for the chain, then break it in
+   every way the validator must catch. *)
+let valid_chain () =
+  let g = chain_graph () in
+  let s = make_sched g in
+  O.Schedule.place_task s ~task:0 ~proc:0 ~start:0.;
+  let arrival = O.Schedule.add_comm s ~edge:0 ~src_proc:0 ~dst_proc:1 ~start:1. in
+  O.Schedule.place_task s ~task:1 ~proc:1 ~start:arrival;
+  s
+
+let expect_violation name build =
+  Alcotest.test_case name `Quick (fun () ->
+      let s = build () in
+      match O.Validate.check s with
+      | Ok () -> Alcotest.fail "validator accepted a broken schedule"
+      | Error _ -> ())
+
+let validator_tests =
+  [
+    Alcotest.test_case "accepts a correct schedule" `Quick (fun () ->
+        match O.Validate.check (valid_chain ()) with
+        | Ok () -> ()
+        | Error es -> Alcotest.fail (String.concat "; " es));
+    expect_violation "catches unplaced tasks" (fun () ->
+        let s = make_sched (chain_graph ()) in
+        O.Schedule.place_task s ~task:0 ~proc:0 ~start:0.;
+        s);
+    expect_violation "catches precedence violation (local)" (fun () ->
+        let g = chain_graph () in
+        let s = make_sched g in
+        (* disjoint slots, but the successor runs first *)
+        O.Schedule.place_task s ~task:1 ~proc:0 ~start:0.;
+        O.Schedule.place_task s ~task:0 ~proc:0 ~start:3.;
+        s);
+    expect_violation "catches missing communication" (fun () ->
+        let g = chain_graph () in
+        let s = make_sched g in
+        O.Schedule.place_task s ~task:0 ~proc:0 ~start:0.;
+        O.Schedule.place_task s ~task:1 ~proc:1 ~start:1.;
+        s);
+    expect_violation "catches start before arrival" (fun () ->
+        let g = chain_graph () in
+        let s = make_sched g in
+        O.Schedule.place_task s ~task:0 ~proc:0 ~start:0.;
+        let _ = O.Schedule.add_comm s ~edge:0 ~src_proc:0 ~dst_proc:1 ~start:1. in
+        O.Schedule.place_task s ~task:1 ~proc:1 ~start:2.;
+        s);
+    expect_violation "catches comm before data ready" (fun () ->
+        let g = chain_graph () in
+        let s = make_sched g in
+        O.Schedule.place_task s ~task:0 ~proc:0 ~start:0.;
+        (* task 0 finishes at 1 but the message leaves at 0.5 *)
+        let a = O.Schedule.add_comm s ~edge:0 ~src_proc:0 ~dst_proc:1 ~start:0.5 in
+        O.Schedule.place_task s ~task:1 ~proc:1 ~start:a;
+        s);
+  ]
+
+(* Port conflicts cannot reach the validator through the public API: the
+   builder itself rejects them when committing to the port timelines.
+   These tests pin down that enforcement for each discipline. *)
+let fork2 () =
+  O.Graph.create ~name:"fork2" ~weights:[| 1.; 1.; 1. |]
+    ~edges:[ (0, 1, 4.); (0, 2, 4.) ]
+    ()
+
+let chain3 () =
+  O.Graph.create ~name:"chain3" ~weights:[| 1.; 1.; 1. |]
+    ~edges:[ (0, 1, 4.); (1, 2, 4.) ]
+    ()
+
+let port_tests =
+  [
+    Alcotest.test_case "one-port rejects overlapping sends" `Quick (fun () ->
+        let plat = O.Platform.homogeneous ~p:3 ~link_cost:1. in
+        let s =
+          O.Schedule.create ~graph:(fork2 ()) ~platform:plat
+            ~model:O.Comm_model.one_port ()
+        in
+        O.Schedule.place_task s ~task:0 ~proc:0 ~start:0.;
+        let _ = O.Schedule.add_comm s ~edge:0 ~src_proc:0 ~dst_proc:1 ~start:1. in
+        check_bool "second simultaneous send rejected" true
+          (try
+             ignore (O.Schedule.add_comm s ~edge:1 ~src_proc:0 ~dst_proc:2 ~start:2.);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "macro-dataflow allows overlapping sends" `Quick (fun () ->
+        let plat = O.Platform.homogeneous ~p:3 ~link_cost:1. in
+        let s =
+          O.Schedule.create ~graph:(fork2 ()) ~platform:plat
+            ~model:O.Comm_model.macro_dataflow ()
+        in
+        O.Schedule.place_task s ~task:0 ~proc:0 ~start:0.;
+        let _ = O.Schedule.add_comm s ~edge:0 ~src_proc:0 ~dst_proc:1 ~start:1. in
+        let _ = O.Schedule.add_comm s ~edge:1 ~src_proc:0 ~dst_proc:2 ~start:1. in
+        check_int "both committed" 2 (O.Schedule.n_comm_events s));
+    Alcotest.test_case "bidirectional allows send during receive" `Quick (fun () ->
+        let plat = O.Platform.homogeneous ~p:3 ~link_cost:1. in
+        let s =
+          O.Schedule.create ~graph:(chain3 ()) ~platform:plat
+            ~model:O.Comm_model.one_port ()
+        in
+        (* P1 receives e0 during [1,5) and sends e1 during [2,6):
+           legal under the bi-directional discipline. *)
+        let _ = O.Schedule.add_comm s ~edge:0 ~src_proc:0 ~dst_proc:1 ~start:1. in
+        let _ = O.Schedule.add_comm s ~edge:1 ~src_proc:1 ~dst_proc:2 ~start:2. in
+        check_int "both committed" 2 (O.Schedule.n_comm_events s));
+    Alcotest.test_case "unidirectional pools send and receive" `Quick (fun () ->
+        let plat = O.Platform.homogeneous ~p:3 ~link_cost:1. in
+        let s =
+          O.Schedule.create ~graph:(chain3 ()) ~platform:plat
+            ~model:O.Comm_model.one_port_unidirectional ()
+        in
+        let _ = O.Schedule.add_comm s ~edge:0 ~src_proc:0 ~dst_proc:1 ~start:1. in
+        check_bool "send during receive rejected" true
+          (try
+             ignore (O.Schedule.add_comm s ~edge:1 ~src_proc:1 ~dst_proc:2 ~start:2.);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "no-overlap couples comm and compute" `Quick (fun () ->
+        let plat = O.Platform.homogeneous ~p:3 ~link_cost:1. in
+        let s =
+          O.Schedule.create ~graph:(fork2 ()) ~platform:plat
+            ~model:(O.Comm_model.no_overlap O.Comm_model.one_port) ()
+        in
+        O.Schedule.place_task s ~task:0 ~proc:0 ~start:0.;
+        check_bool "comm during execution rejected" true
+          (try
+             ignore (O.Schedule.add_comm s ~edge:0 ~src_proc:0 ~dst_proc:1 ~start:0.5);
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let metrics_tests =
+  [
+    Alcotest.test_case "metrics of the chain schedule" `Quick (fun () ->
+        let s = valid_chain () in
+        let m = O.Metrics.compute s in
+        check_float "makespan" 6. m.O.Metrics.makespan;
+        check_float "sequential" 3. m.O.Metrics.sequential_time;
+        check_float "speedup" 0.5 m.O.Metrics.speedup;
+        check_int "comms" 1 m.O.Metrics.n_comm_events;
+        check_float "busy" 3. m.O.Metrics.total_busy_time);
+    Alcotest.test_case "gantt and listing mention every task" `Quick (fun () ->
+        let s = valid_chain () in
+        let gantt = O.Gantt.render s in
+        let listing = O.Gantt.listing s in
+        check_bool "gantt rows" true (contains gantt "P0" && contains gantt "P1");
+        check_bool "listing execs" true
+          (contains listing "exec v0" && contains listing "exec v1");
+        check_bool "listing comm" true (contains listing "comm e0"));
+  ]
+
+let suite = builder_tests @ validator_tests @ port_tests @ metrics_tests

@@ -1,0 +1,94 @@
+(* PERT replay and robustness: compaction never worsens a schedule,
+   zero jitter is exact, inflation is monotone. *)
+
+module O = Onesched
+open Util
+
+let schedule_of params plat model =
+  let g = build_graph params in
+  O.Ilha.schedule ~model plat g
+
+let pert_tests =
+  [
+    qtest ~count:60 "compacted makespan never exceeds the original"
+      QCheck2.Gen.(tup3 graph_gen platform_gen model_gen)
+      (fun (params, plat, model) ->
+        let sched = schedule_of params plat model in
+        let pert = O.Pert.build sched in
+        O.Pert.compacted_makespan pert <= O.Schedule.makespan sched +. 1e-9);
+    qtest ~count:60 "identity retime equals compaction"
+      QCheck2.Gen.(tup2 graph_gen platform_gen)
+      (fun (params, plat) ->
+        let sched = schedule_of params plat O.Comm_model.one_port in
+        let pert = O.Pert.build sched in
+        Prelude.Stats.fequal
+          (O.Pert.retime pert
+             ~task_duration:(fun _ d -> d)
+             ~hop_duration:(fun _ d -> d))
+          (O.Pert.compacted_makespan pert));
+    qtest ~count:40 "uniform inflation scales at most linearly"
+      QCheck2.Gen.(tup2 graph_gen platform_gen)
+      (fun (params, plat) ->
+        let sched = schedule_of params plat O.Comm_model.one_port in
+        let pert = O.Pert.build sched in
+        let nominal = O.Pert.compacted_makespan pert in
+        let doubled =
+          O.Pert.retime pert
+            ~task_duration:(fun _ d -> 2. *. d)
+            ~hop_duration:(fun _ d -> 2. *. d)
+        in
+        (* uniform doubling doubles every path exactly *)
+        Prelude.Stats.fequal doubled (2. *. nominal));
+    qtest ~count:40 "inflation is monotone"
+      QCheck2.Gen.(tup2 graph_gen platform_gen)
+      (fun (params, plat) ->
+        let sched = schedule_of params plat O.Comm_model.one_port in
+        let pert = O.Pert.build sched in
+        let at factor =
+          O.Pert.retime pert
+            ~task_duration:(fun _ d -> factor *. d)
+            ~hop_duration:(fun _ d -> d)
+        in
+        at 1.3 <= at 1.7 +. 1e-9);
+    Alcotest.test_case "event count is tasks + hops" `Quick (fun () ->
+        let g = O.Kernels.fork_join ~n:6 ~ccr:2. in
+        let plat = O.Platform.homogeneous ~p:3 ~link_cost:1. in
+        let sched = O.Heft.schedule ~model:O.Comm_model.one_port plat g in
+        let pert = O.Pert.build sched in
+        check_int "events" (O.Graph.n_tasks g + O.Schedule.n_comm_events sched)
+          (O.Pert.n_events pert));
+  ]
+
+let robustness_tests =
+  [
+    Alcotest.test_case "monte carlo stats are ordered" `Quick (fun () ->
+        let g = O.Kernels.laplace ~n:8 ~ccr:5. in
+        let plat = O.Platform.paper_platform () in
+        let sched = O.Heft.schedule ~model:O.Comm_model.one_port plat g in
+        let rng = O.Rng.create ~seed:1 in
+        let s = O.Robustness.monte_carlo sched rng ~jitter:0.4 ~trials:50 in
+        check_bool "nominal <= mean" true (s.O.Robustness.nominal <= s.O.Robustness.mean);
+        check_bool "mean <= worst" true (s.O.Robustness.mean <= s.O.Robustness.worst);
+        check_bool "p95 <= worst" true (s.O.Robustness.p95 <= s.O.Robustness.worst);
+        check_int "trials recorded" 50 s.O.Robustness.trials);
+    Alcotest.test_case "zero jitter reproduces the compacted makespan" `Quick
+      (fun () ->
+        let g = O.Kernels.stencil ~n:6 ~ccr:3. in
+        let plat = O.Platform.homogeneous ~p:4 ~link_cost:1. in
+        let sched = O.Ilha.schedule ~model:O.Comm_model.one_port plat g in
+        let rng = O.Rng.create ~seed:3 in
+        let s = O.Robustness.monte_carlo sched rng ~jitter:0. ~trials:5 in
+        check_float "mean = nominal" s.O.Robustness.nominal s.O.Robustness.mean);
+    Alcotest.test_case "degradation is deterministic per seed" `Quick (fun () ->
+        let g = O.Kernels.ldmt ~n:6 ~ccr:3. in
+        let plat = O.Platform.paper_platform () in
+        let sched = O.Heft.schedule ~model:O.Comm_model.one_port plat g in
+        let pert = O.Pert.build sched in
+        let draw () =
+          O.Robustness.degraded_makespan pert (O.Rng.create ~seed:9)
+            ~task_jitter:0.3 ~comm_jitter:0.2
+        in
+        check_float "same draw" (draw ()) (draw ()));
+  ]
+
+let suite = pert_tests @ robustness_tests

@@ -1,0 +1,155 @@
+(* Timeline: unit tests on hand cases plus property tests against a naive
+   reference implementation of earliest-gap search. *)
+
+module O = Onesched
+open Util
+
+(* Naive reference: scan candidate starts; candidates are [after] and every
+   busy-interval finish. *)
+let ref_earliest_gap busy ~after ~duration =
+  if duration <= 0. then after
+  else begin
+    let blocks s =
+      List.exists (fun (b0, b1) -> b0 < s +. duration && b1 > s) busy
+    in
+    let candidates =
+      after :: List.filter_map (fun (_, f) -> if f >= after then Some f else None) busy
+    in
+    List.fold_left
+      (fun best c -> if c >= after && (not (blocks c)) && c < best then c else best)
+      infinity candidates
+  end
+
+let timeline_of intervals =
+  let t = O.Timeline.create () in
+  List.iter (fun (s, f) -> O.Timeline.add t ~start:s ~finish:f) intervals;
+  t
+
+(* Generate disjoint intervals by splitting a walk. *)
+let intervals_gen =
+  QCheck2.Gen.(
+    let* n = int_bound 12 in
+    let* gaps = list_size (return (2 * n)) (int_bound 5) in
+    let rec build at acc = function
+      | len :: gap :: rest ->
+          let s = at and f = at +. float_of_int (1 + len) in
+          build (f +. float_of_int gap) ((s, f) :: acc) rest
+      | _ -> List.rev acc
+    in
+    return (build 0. [] gaps))
+
+let unit_tests =
+  [
+    Alcotest.test_case "empty timeline" `Quick (fun () ->
+        let t = O.Timeline.create () in
+        check_float "gap at after" 3.
+          (O.Timeline.earliest_gap t ~after:3. ~duration:5.);
+        check_float "last finish" 0. (O.Timeline.last_finish t);
+        check_int "intervals" 0 (O.Timeline.n_intervals t));
+    Alcotest.test_case "fills gaps in order" `Quick (fun () ->
+        let t = timeline_of [ (0., 2.); (4., 6.); (10., 12.) ] in
+        check_float "fits in first hole" 2.
+          (O.Timeline.earliest_gap t ~after:0. ~duration:2.);
+        check_float "skips small hole" 6.
+          (O.Timeline.earliest_gap t ~after:0. ~duration:3.);
+        check_float "after everything" 12.
+          (O.Timeline.earliest_gap t ~after:0. ~duration:10.);
+        check_float "respects after inside busy" 6.
+          (O.Timeline.earliest_gap t ~after:5. ~duration:2.));
+    Alcotest.test_case "touching intervals allowed" `Quick (fun () ->
+        let t = timeline_of [ (0., 2.) ] in
+        O.Timeline.add t ~start:2. ~finish:4.;
+        check_int "two intervals" 2 (O.Timeline.n_intervals t);
+        check_float "busy" 4. (O.Timeline.total_busy t));
+    Alcotest.test_case "overlap rejected" `Quick (fun () ->
+        let t = timeline_of [ (0., 4.) ] in
+        Alcotest.check_raises "overlap"
+          (Invalid_argument "Timeline.add: overlapping busy interval")
+          (fun () -> O.Timeline.add t ~start:3. ~finish:5.));
+    Alcotest.test_case "zero-length add ignored" `Quick (fun () ->
+        let t = O.Timeline.create () in
+        O.Timeline.add t ~start:5. ~finish:5.;
+        check_int "no interval" 0 (O.Timeline.n_intervals t));
+    Alcotest.test_case "extra intervals constrain" `Quick (fun () ->
+        let t = timeline_of [ (0., 2.) ] in
+        check_float "without extra" 2.
+          (O.Timeline.earliest_gap t ~after:0. ~duration:2.);
+        check_float "with extra" 6.
+          (O.Timeline.earliest_gap ~extra:[ (2., 6.) ] t ~after:0. ~duration:2.));
+    Alcotest.test_case "joint gap over two timelines" `Quick (fun () ->
+        let a = timeline_of [ (0., 3.) ] and b = timeline_of [ (4., 6.) ] in
+        check_float "must avoid both" 6.
+          (O.Timeline.earliest_gap_joint [ a; b ] ~after:0. ~duration:2.);
+        check_float "fits between" 3.
+          (O.Timeline.earliest_gap_joint [ a; b ] ~after:0. ~duration:1.));
+    Alcotest.test_case "free_at" `Quick (fun () ->
+        let t = timeline_of [ (2., 4.) ] in
+        check_bool "before" true (O.Timeline.free_at t ~start:0. ~finish:2.);
+        check_bool "inside" false (O.Timeline.free_at t ~start:3. ~finish:3.5);
+        check_bool "straddle" false (O.Timeline.free_at t ~start:1. ~finish:3.);
+        check_bool "after" true (O.Timeline.free_at t ~start:4. ~finish:9.));
+    Alcotest.test_case "copy is independent" `Quick (fun () ->
+        let t = timeline_of [ (0., 1.) ] in
+        let c = O.Timeline.copy t in
+        O.Timeline.add c ~start:5. ~finish:6.;
+        check_int "original untouched" 1 (O.Timeline.n_intervals t);
+        check_int "copy grew" 2 (O.Timeline.n_intervals c));
+  ]
+
+let property_tests =
+  [
+    qtest ~count:500 "earliest_gap matches naive reference"
+      QCheck2.Gen.(tup3 intervals_gen (int_bound 20) (int_range 1 8))
+      (fun (busy, after, duration) ->
+        let t = timeline_of busy in
+        let after = float_of_int after and duration = float_of_int duration in
+        let got = O.Timeline.earliest_gap t ~after ~duration in
+        let expect = ref_earliest_gap busy ~after ~duration in
+        got = expect);
+    qtest ~count:500 "earliest_gap with extra = gap of union"
+      QCheck2.Gen.(tup3 intervals_gen (int_bound 20) (int_range 1 8))
+      (fun (busy, after, duration) ->
+        (* Split the busy set arbitrarily: half committed, half extra. *)
+        let committed, extra =
+          List.partition (fun (s, _) -> int_of_float s mod 2 = 0) busy
+        in
+        let t = timeline_of committed in
+        let after = float_of_int after and duration = float_of_int duration in
+        O.Timeline.earliest_gap ~extra t ~after ~duration
+        = ref_earliest_gap busy ~after ~duration);
+    qtest ~count:500 "joint gap = gap of merged busy sets"
+      QCheck2.Gen.(tup3 intervals_gen (int_bound 20) (int_range 1 8))
+      (fun (busy, after, duration) ->
+        let evens, odds =
+          List.partition (fun (s, _) -> int_of_float s mod 2 = 0) busy
+        in
+        let after = float_of_int after and duration = float_of_int duration in
+        O.Timeline.earliest_gap_joint
+          [ timeline_of evens; timeline_of odds ]
+          ~after ~duration
+        = ref_earliest_gap busy ~after ~duration);
+    qtest ~count:300 "three-way joint gap = gap of merged busy sets"
+      QCheck2.Gen.(tup3 intervals_gen (int_bound 20) (int_range 1 8))
+      (fun (busy, after, duration) ->
+        (* deal intervals round-robin over three timelines *)
+        let parts = [| []; []; [] |] in
+        List.iteri (fun i iv -> parts.(i mod 3) <- iv :: parts.(i mod 3)) busy;
+        let after = float_of_int after and duration = float_of_int duration in
+        O.Timeline.earliest_gap_joint
+          (List.map timeline_of (Array.to_list parts))
+          ~after ~duration
+        = ref_earliest_gap busy ~after ~duration);
+    qtest ~count:300 "returned gap is actually free and minimal"
+      QCheck2.Gen.(tup3 intervals_gen (int_bound 20) (int_range 1 8))
+      (fun (busy, after, duration) ->
+        let t = timeline_of busy in
+        let after = float_of_int after and duration = float_of_int duration in
+        let s = O.Timeline.earliest_gap t ~after ~duration in
+        s >= after
+        && O.Timeline.free_at t ~start:s ~finish:(s +. duration)
+        && (s = after
+           || not (O.Timeline.free_at t ~start:(s -. 0.5) ~finish:(s -. 0.5 +. duration))
+           ));
+  ]
+
+let suite = unit_tests @ property_tests

@@ -1,0 +1,81 @@
+(* Unrelated-machines layer, anchored to the original HEFT paper's
+   published worked example (Topcuoglu, Hariri, Wu — Fig. 2 and Table 2
+   there): the upward ranks and the schedule length 80 are documented
+   values, so this is a regression test against the literature itself. *)
+
+module O = Onesched
+open Util
+
+let unrelated_tests =
+  [
+    Alcotest.test_case "Topcuoglu ranks match the published table" `Quick
+      (fun () ->
+        let g, plat, costs = O.Unrelated.topcuoglu_example () in
+        let ranks = O.Unrelated.ranks costs g plat in
+        List.iteri
+          (fun v expected ->
+            Alcotest.(check (float 0.05))
+              (Printf.sprintf "rank of task %d" (v + 1))
+              expected ranks.(v))
+          [ 108.; 77.; 80.; 80.; 69.; 63.33; 42.67; 35.67; 44.33; 14.67 ]);
+    Alcotest.test_case "Topcuoglu HEFT schedule length is 80" `Quick (fun () ->
+        let g, plat, costs = O.Unrelated.topcuoglu_example () in
+        let sched =
+          O.Unrelated.heft ~costs ~model:O.Comm_model.macro_dataflow plat g
+        in
+        O.Validate.check_exn sched;
+        check_float "published makespan" 80. (O.Schedule.makespan sched));
+    Alcotest.test_case "one-port can only lengthen the example" `Quick
+      (fun () ->
+        let g, plat, costs = O.Unrelated.topcuoglu_example () in
+        let one_port =
+          O.Schedule.makespan
+            (O.Unrelated.heft ~costs ~model:O.Comm_model.one_port plat g)
+        in
+        check_bool "80 <= one-port result" true (one_port >= 80. -. 1e-9));
+    Alcotest.test_case "cost matrix shape is checked" `Quick (fun () ->
+        let g, plat, _ = O.Unrelated.topcuoglu_example () in
+        check_bool "bad shape rejected" true
+          (try
+             ignore (O.Unrelated.ranks [| [| 1. |] |] g plat);
+             false
+           with Invalid_argument _ -> true));
+    qtest ~count:40 "matrix-backed schedules validate on random graphs"
+      QCheck2.Gen.(tup2 graph_gen (int_bound 10_000))
+      (fun (params, seed) ->
+        let g = build_graph params in
+        let plat = O.Platform.homogeneous ~p:3 ~link_cost:1. in
+        let rng = O.Rng.create ~seed in
+        let costs =
+          Array.init (O.Graph.n_tasks g) (fun _ ->
+              Array.init 3 (fun _ -> float_of_int (O.Rng.int_in rng 1 20)))
+        in
+        let sched = O.Unrelated.heft ~costs ~model:O.Comm_model.one_port plat g in
+        O.Validate.is_valid sched);
+    Alcotest.test_case "related machines are the degenerate matrix" `Quick
+      (fun () ->
+        (* exec_time w*t as an explicit matrix must reproduce plain HEFT *)
+        let g = O.Kernels.doolittle ~n:10 ~ccr:10. in
+        let plat = O.Platform.paper_platform () in
+        let costs =
+          Array.init (O.Graph.n_tasks g) (fun v ->
+              Array.init 10 (fun q ->
+                  O.Graph.weight g v *. O.Platform.cycle_time plat q))
+        in
+        let plain = O.Heft.schedule ~model:O.Comm_model.one_port plat g in
+        let matrix =
+          O.Unrelated.heft ~costs ~model:O.Comm_model.one_port plat g
+        in
+        (* ranks differ (arithmetic vs harmonic averaging), so schedules
+           may differ; but the degenerate matrix through the SAME rank
+           function as plain HEFT must agree exactly.  Check the weaker,
+           exact invariant: per-(task, proc) durations agree. *)
+        for v = 0 to O.Graph.n_tasks g - 1 do
+          let p1 = O.Schedule.placement_exn plain v in
+          check_float "duration rule agrees"
+            (O.Schedule.exec_duration matrix ~task:v ~proc:p1.O.Schedule.proc)
+            (p1.O.Schedule.finish -. p1.O.Schedule.start)
+        done);
+  ]
+
+let suite = unrelated_tests

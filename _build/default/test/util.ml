@@ -1,0 +1,69 @@
+(* Shared helpers for the test suites. *)
+
+module O = Onesched
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
+
+(* Deterministic random graphs: generate a seed and shape parameters, build
+   with the library's own generators. *)
+let graph_gen =
+  QCheck2.Gen.(
+    let* seed = int_bound 1_000_000 in
+    let* shape = int_bound 3 in
+    let* size = int_range 2 18 in
+    return (seed, shape, size))
+
+let build_graph (seed, shape, size) =
+  let rng = O.Rng.create ~seed in
+  match shape with
+  | 0 ->
+      O.Generators.erdos_renyi rng ~n:size ~edge_prob:0.3 ~max_weight:5
+        ~max_data:6
+  | 1 ->
+      O.Generators.layered rng ~layers:(1 + (size / 4)) ~width:4 ~edge_prob:0.4
+        ~max_weight:5 ~max_data:6
+  | 2 -> O.Generators.out_tree rng ~n:size ~max_arity:3 ~max_weight:5 ~max_data:6
+  | _ -> O.Generators.series_parallel rng ~depth:3 ~max_weight:5 ~max_data:6
+
+let print_graph (seed, shape, size) =
+  Printf.sprintf "graph(seed=%d,shape=%d,size=%d)" seed shape size
+
+(* A pool of small platforms exercising hetero/homo and odd link costs. *)
+let platforms =
+  lazy
+    [
+      O.Platform.homogeneous ~p:2 ~link_cost:1.;
+      O.Platform.homogeneous ~p:4 ~link_cost:3.;
+      O.Platform.fully_connected ~cycle_times:[| 1.; 2.; 5. |] ~link_cost:2. ();
+      O.Platform.paper_platform ();
+      O.Platform.with_topology ~cycle_times:[| 1.; 1.; 2.; 3. |]
+        ~links:[ (0, 1, 1.); (1, 2, 2.); (2, 3, 1.) ]
+        ();
+    ]
+
+let platform_gen =
+  QCheck2.Gen.(map (fun i -> List.nth (Lazy.force platforms) i) (int_bound 4))
+
+let model_gen =
+  QCheck2.Gen.(
+    map (fun i -> List.nth O.Comm_model.all i)
+      (int_bound (List.length O.Comm_model.all - 1)))
+
+let scheduler_checks_out ?policy ~model plat g scheduler =
+  let sched = scheduler ?policy ~model plat g in
+  match O.Validate.check sched with
+  | Ok () -> true
+  | Error es ->
+      Printf.printf "INVALID: %s\n" (String.concat "; " es);
+      false
