@@ -27,6 +27,7 @@ type options = {
   only : string list;
   run_figures : bool;
   run_bechamel : bool;
+  run_probes : bool;
 }
 
 let parse_args () =
@@ -34,6 +35,7 @@ let parse_args () =
   let only = ref [] in
   let run_figures = ref true in
   let run_bechamel = ref true in
+  let run_probes = ref true in
   let rec eat = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -51,11 +53,14 @@ let parse_args () =
     | "--no-bechamel" :: rest ->
         run_bechamel := false;
         eat rest
+    | "--no-probes" :: rest ->
+        run_probes := false;
+        eat rest
     | arg :: _ ->
         Printf.eprintf
           "unknown argument %s\n\
            usage: main.exe [--quick] [--scale F] [--only ID]* [--no-figures] \
-           [--no-bechamel]\n\
+           [--no-bechamel] [--no-probes]\n\
            experiment ids: %s\n"
           arg
           (String.concat ", " O.Figures.ids);
@@ -67,6 +72,7 @@ let parse_args () =
     only = List.rev !only;
     run_figures = !run_figures;
     run_bechamel = !run_bechamel;
+    run_probes = !run_probes;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -100,7 +106,6 @@ open Toolkit
 
 let bench_size = 40
 let plat = O.Platform.paper_platform ()
-let one_port = O.Comm_model.one_port
 
 let schedule_test name scheduler =
   Test.make ~name (Staged.stage (fun () -> ignore (scheduler ())))
@@ -117,10 +122,10 @@ let figure_benches =
       [
         schedule_test
           (Printf.sprintf "%s/heft" fig)
-          (fun () -> O.Heft.schedule ~model:one_port plat g);
+          (fun () -> O.Heft.schedule plat g);
         schedule_test
           (Printf.sprintf "%s/ilha[b=%d]" fig b)
-          (fun () -> O.Ilha.schedule ~b ~model:one_port plat g);
+          (fun () -> O.Ilha.schedule ~params:(O.Params.make ~b ()) plat g);
       ])
     [
       ("fig7", "fork-join"); ("fig8", "lu"); ("fig9", "laplace");
@@ -136,7 +141,7 @@ let support_benches =
   in
   let partition = O.Two_partition.create [| 3; 5; 2; 7; 1 |] in
   let lu = O.Kernels.lu ~n:bench_size ~ccr:10. in
-  let lu_sched = O.Heft.schedule ~model:one_port plat lu in
+  let lu_sched = O.Heft.schedule plat lu in
   let pert = O.Pert.build lu_sched in
   [
     schedule_test "e1/fork-exact" (fun () ->
@@ -194,7 +199,53 @@ let run_bechamel () =
     (List.sort compare rows);
   print_string (O.Table.to_string table)
 
+(* ------------------------------------------------------------------ *)
+(* Part 3: engine-probe accounting via the obs counters                 *)
+(* ------------------------------------------------------------------ *)
+
+(* How much engine work each heuristic spends per task it schedules:
+   (task, proc) evaluations, earliest-gap searches (single + joint) and
+   tentative communication hops, counted by the obs layer and divided by
+   the task count. *)
+let run_probes () =
+  Printf.printf "\n=== engine probes per scheduled task (n = %d) ===\n%!"
+    bench_size;
+  O.Obs_counters.enable ();
+  let table =
+    O.Table.create
+      ~columns:
+        [ "testbed"; "heuristic"; "tasks"; "evals/task"; "gap probes/task";
+          "tentative hops/task" ]
+  in
+  List.iter
+    (fun suite ->
+      let g = suite.O.Suite.build ~n:bench_size ~ccr:10. in
+      let tasks = O.Graph.n_tasks g in
+      let probe name schedule =
+        O.Obs_counters.reset ();
+        ignore (schedule () : O.Schedule.t);
+        let c = O.Obs_counters.snapshot () in
+        let per x = Printf.sprintf "%.1f" (float_of_int x /. float_of_int tasks) in
+        O.Table.add_row table
+          [
+            suite.O.Suite.name; name; string_of_int tasks;
+            per c.O.Obs_counters.evaluations;
+            per
+              (c.O.Obs_counters.gap_probes + c.O.Obs_counters.joint_gap_probes);
+            per c.O.Obs_counters.tentative_hops;
+          ]
+      in
+      probe "heft" (fun () -> O.Heft.schedule plat g);
+      let b = suite.O.Suite.paper_b in
+      probe
+        (Printf.sprintf "ilha[b=%d]" b)
+        (fun () -> O.Ilha.schedule ~params:(O.Params.make ~b ()) plat g))
+    O.Suite.all;
+  O.Obs_counters.disable ();
+  print_string (O.Table.to_string table)
+
 let () =
   let opts = parse_args () in
   if opts.run_figures then run_figures opts;
+  if opts.run_probes && opts.only = [] then run_probes ();
   if opts.run_bechamel && opts.only = [] then run_bechamel ()

@@ -51,6 +51,87 @@ let b_arg =
     value & opt (some int) None
     & info [ "b" ] ~doc:"ILHA chunk size B (default: the platform's perfect-balance chunk).")
 
+let policy_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("insertion", O.Engine.Insertion); ("append", O.Engine.Append) ])
+        O.Engine.Insertion
+    & info [ "policy" ]
+        ~doc:"Slot-search policy: insertion (fill idle gaps) or append.")
+
+let scan_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("0comm", O.Params.Scan_zero_comm);
+             ("1comm", O.Params.Scan_one_comm) ])
+        O.Params.Scan_zero_comm
+    & info [ "scan" ]
+        ~doc:"ILHA placement scan: 0comm (paper) or 1comm (par. 4.4 refinement).")
+
+let reschedule_arg =
+  Arg.(
+    value & flag
+    & info [ "reschedule" ] ~doc:"Enable ILHA's par. 4.4 chunk-rescheduling step.")
+
+let averaging_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("balanced", O.Ranking.Balanced);
+             ("arithmetic", O.Ranking.Arithmetic);
+             ("optimistic", O.Ranking.Optimistic) ])
+        O.Ranking.Balanced
+    & info [ "averaging" ]
+        ~doc:"HEFT rank-averaging rule: balanced (par. 4.1), arithmetic, optimistic.")
+
+(* One Params.t value assembled from the shared flags; every subcommand
+   that schedules takes this single term. *)
+let params_term =
+  let make model policy averaging b scan reschedule =
+    O.Params.make ~model ~policy ~averaging ?b ~scan ~reschedule ()
+  in
+  Term.(
+    const make $ model_arg $ policy_arg $ averaging_arg $ b_arg $ scan_arg
+    $ reschedule_arg)
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print engine counters and per-phase timings after scheduling.")
+
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a Chrome-trace (chrome://tracing, Perfetto) JSON of the \
+              scheduler run itself to $(docv).")
+
+(* Flip the observability switches on when the run asks for them; returns
+   the scheduler's result plus the scoped report. *)
+let with_observability ~stats ~trace f =
+  let observing = stats || trace <> None in
+  if observing then begin
+    O.Obs_counters.enable ();
+    O.Obs_counters.reset ();
+    O.Obs_span.enable ();
+    O.Obs_span.reset ()
+  end;
+  let x, report = O.Obs_report.capture f in
+  (match trace with
+  | Some path ->
+      O.Obs_trace.write
+        ~counters:report.O.Obs_report.counters
+        path (O.Obs_span.events ());
+      Printf.printf "wrote trace %s\n" path
+  | None -> ());
+  if stats then Format.printf "%a@." O.Obs_report.pp report;
+  x
+
 let gantt_arg =
   Arg.(value & flag & info [ "gantt" ] ~doc:"Also print an ASCII Gantt chart.")
 
@@ -108,17 +189,16 @@ let run_cmd =
       value & flag
       & info [ "utilization" ] ~doc:"Print per-resource utilization profiles.")
   in
-  let action testbed n ccr heuristic b model homogeneous gantt refine util
-      graph_file platform_file =
+  let action testbed n ccr heuristic params homogeneous gantt refine util
+      stats trace graph_file platform_file =
     let plat = resolve_platform platform_file homogeneous in
     let g = resolve_graph graph_file testbed n ccr in
-    let entry =
-      match b with
-      | Some b -> O.Registry.ilha_with ~b ()
-      | None -> O.Registry.find heuristic
-    in
+    let entry = O.Registry.find heuristic in
     let t0 = Sys.time () in
-    let sched = entry.O.Registry.scheduler ~model plat g in
+    let sched =
+      with_observability ~stats ~trace (fun () ->
+          entry.O.Registry.scheduler params plat g)
+    in
     let sched =
       if not refine then sched
       else begin
@@ -132,8 +212,9 @@ let run_cmd =
     let dt = Sys.time () -. t0 in
     let metrics = O.Metrics.compute sched in
     Format.printf "%s on %s (%s), scheduled in %.2fs@.%a@."
-      entry.O.Registry.name (O.Graph.name g) (O.Comm_model.name model) dt
-      O.Metrics.pp metrics;
+      entry.O.Registry.name (O.Graph.name g)
+      (O.Comm_model.name params.O.Params.model)
+      dt O.Metrics.pp metrics;
     Printf.printf "lower-bound quality: %.3fx (1.0 = provably optimal)\n"
       (O.Bounds.quality sched);
     (match O.Validate.check sched with
@@ -146,9 +227,9 @@ let run_cmd =
   in
   let term =
     Term.(
-      const action $ testbed_arg $ size_arg $ ccr_arg $ heuristic_arg $ b_arg
-      $ model_arg $ homogeneous_arg $ gantt_arg $ refine_arg $ util_arg
-      $ graph_file_arg $ platform_file_arg)
+      const action $ testbed_arg $ size_arg $ ccr_arg $ heuristic_arg
+      $ params_term $ homogeneous_arg $ gantt_arg $ refine_arg $ util_arg
+      $ stats_arg $ trace_arg $ graph_file_arg $ platform_file_arg)
   in
   Cmd.v
     (Cmd.info "run"
@@ -168,11 +249,11 @@ let export_cmd =
       value & opt (some string) None
       & info [ "o"; "output" ] ~doc:"Output file (default: stdout).")
   in
-  let action testbed n ccr heuristic model format output =
+  let action testbed n ccr heuristic params format output =
     let plat = O.Platform.paper_platform () in
     let g = build_graph testbed n ccr in
     let entry = O.Registry.find heuristic in
-    let sched = entry.O.Registry.scheduler ~model plat g in
+    let sched = entry.O.Registry.scheduler params plat g in
     let contents =
       match format with
       | `Chrome -> O.Export.to_chrome_trace sched
@@ -190,13 +271,13 @@ let export_cmd =
        ~doc:"Export a schedule as a Chrome trace (chrome://tracing) or CSV.")
     Term.(
       const action $ testbed_arg $ size_arg $ ccr_arg $ heuristic_arg
-      $ model_arg $ format_arg $ output_arg)
+      $ params_term $ format_arg $ output_arg)
 
 let autob_cmd =
   let action testbed n ccr model =
     let plat = O.Platform.paper_platform () in
     let g = build_graph testbed n ccr in
-    let r = O.Auto_b.search ~model plat g in
+    let r = O.Auto_b.search ~params:(O.Params.of_model model) plat g in
     print_endline "B     makespan";
     List.iter
       (fun (b, m) ->
@@ -255,7 +336,7 @@ let dot_cmd =
     let g = build_graph testbed n ccr in
     if mapped then begin
       let plat = O.Platform.paper_platform () in
-      let sched = O.Ilha.schedule ~model:O.Comm_model.one_port plat g in
+      let sched = O.Ilha.schedule plat g in
       print_string
         (O.Dot.with_allocation g ~proc_of:(fun v ->
              (O.Schedule.placement_exn sched v).O.Schedule.proc))
@@ -273,11 +354,11 @@ let robustness_cmd =
   let trials =
     Arg.(value & opt int 100 & info [ "trials" ] ~doc:"Monte-Carlo trials.")
   in
-  let action testbed n ccr heuristic model jitter trials =
+  let action testbed n ccr heuristic params jitter trials =
     let plat = O.Platform.paper_platform () in
     let g = build_graph testbed n ccr in
     let entry = O.Registry.find heuristic in
-    let sched = entry.O.Registry.scheduler ~model plat g in
+    let sched = entry.O.Registry.scheduler params plat g in
     let rng = O.Rng.create ~seed:42 in
     Format.printf "%a@."
       O.Robustness.pp_stats
@@ -287,7 +368,7 @@ let robustness_cmd =
     (Cmd.info "robustness" ~doc:"Monte-Carlo jitter analysis of a schedule.")
     Term.(
       const action $ testbed_arg $ size_arg $ ccr_arg $ heuristic_arg
-      $ model_arg $ jitter $ trials)
+      $ params_term $ jitter $ trials)
 
 let compare_cmd =
   let against_arg =
@@ -295,11 +376,11 @@ let compare_cmd =
       value & opt string "heft"
       & info [ "against" ] ~doc:"Second heuristic to compare with.")
   in
-  let action testbed n ccr heuristic against model =
+  let action testbed n ccr heuristic against params =
     let plat = O.Platform.paper_platform () in
     let g = build_graph testbed n ccr in
     let sched_of name =
-      (O.Registry.find name).O.Registry.scheduler ~model plat g
+      (O.Registry.find name).O.Registry.scheduler params plat g
     in
     let a = sched_of heuristic and b = sched_of against in
     Format.printf "%s (a) vs %s (b) on %s@.%a@." heuristic against
@@ -314,7 +395,7 @@ let compare_cmd =
     (Cmd.info "compare" ~doc:"Diff the schedules of two heuristics.")
     Term.(
       const action $ testbed_arg $ size_arg $ ccr_arg $ heuristic_arg
-      $ against_arg $ model_arg)
+      $ against_arg $ params_term)
 
 let grid_cmd =
   let scale =
@@ -372,7 +453,9 @@ let reproduce_cmd =
         let n = max 20 suite.O.Suite.min_n in
         let g = suite.O.Suite.build ~n ~ccr:cfg.O.Config.ccr in
         let sched =
-          O.Ilha.schedule ~b:suite.O.Suite.paper_b ~model:cfg.O.Config.model
+          O.Ilha.schedule
+            ~params:
+              (O.Params.with_b cfg.O.Config.params (Some suite.O.Suite.paper_b))
             cfg.O.Config.platform g
         in
         O.Export.write_file

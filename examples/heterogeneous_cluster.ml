@@ -50,8 +50,12 @@ let () =
       [ O.Comm_model.macro_dataflow; O.Comm_model.one_port;
         O.Comm_model.one_port_unidirectional ]
   in
-  compare_models (fun ~model p g -> O.Heft.schedule ~model p g) "heft";
-  compare_models (fun ~model p g -> O.Ilha.schedule ~model p g) "ilha";
+  compare_models
+    (fun ~model p g -> O.Heft.schedule ~params:(O.Params.of_model model) p g)
+    "heft";
+  compare_models
+    (fun ~model p g -> O.Ilha.schedule ~params:(O.Params.of_model model) p g)
+    "ilha";
   print_endline
     "\nThe macro-dataflow makespan is the number a contention-free model\n\
      promises; the one-port rows are what the switch hierarchy actually\n\

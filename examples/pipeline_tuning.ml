@@ -30,7 +30,7 @@ let () =
     (fun b ->
       if b >= 1 then begin
         let sched =
-          O.Ilha.schedule ~b ~model:O.Comm_model.one_port platform graph
+          O.Ilha.schedule ~params:(O.Params.make ~b ()) platform graph
         in
         let makespan = O.Schedule.makespan sched in
         let metrics = O.Metrics.compute sched in
@@ -47,13 +47,14 @@ let () =
   List.iter
     (fun (label, scan, reschedule) ->
       let sched =
-        O.Ilha.schedule ~b ~scan ~reschedule ~model:O.Comm_model.one_port
+        O.Ilha.schedule
+          ~params:(O.Params.make ~b ~scan ~reschedule ())
           platform graph
       in
       Printf.printf "variant %-28s makespan %8.0f\n" label
         (O.Schedule.makespan sched))
     [
-      ("zero-comm scan (paper)", O.Ilha.Scan_zero_comm, false);
-      ("one-comm scan", O.Ilha.Scan_one_comm, false);
-      ("zero-comm + reschedule", O.Ilha.Scan_zero_comm, true);
+      ("zero-comm scan (paper)", O.Params.Scan_zero_comm, false);
+      ("one-comm scan", O.Params.Scan_one_comm, false);
+      ("zero-comm + reschedule", O.Params.Scan_zero_comm, true);
     ]

@@ -28,7 +28,8 @@ let () =
   (* Schedule under the paper's bi-directional one-port model: each
      machine sends to at most one peer and receives from at most one peer
      at any instant. *)
-  let sched = O.Heft.schedule ~model:O.Comm_model.one_port platform graph in
+  let params = O.Params.of_model O.Comm_model.one_port in
+  let sched = O.Heft.schedule ~params platform graph in
 
   Format.printf "== metrics ==@.%a@.@." O.Metrics.pp (O.Metrics.compute sched);
   print_endline "== gantt ==";

@@ -25,7 +25,7 @@ let () =
     List.map
       (fun entry ->
         let sched =
-          entry.O.Registry.scheduler ~model:O.Comm_model.one_port platform graph
+          entry.O.Registry.scheduler O.Params.default platform graph
         in
         let rng = O.Rng.create ~seed:2002 in
         let stats = O.Robustness.monte_carlo sched rng ~jitter ~trials in

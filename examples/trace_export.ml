@@ -1,12 +1,17 @@
-(* Inspecting a one-port schedule with external tools.
+(* Inspecting a one-port schedule — and the scheduler itself — with
+   external tools.
 
-   Schedules are easier to debug on a real timeline viewer than in ASCII:
-   this example schedules the DOOLITTLE kernel, applies the allocation
-   local-search post-pass, prints the utilization profile, and writes a
-   Chrome-trace JSON (open chrome://tracing or https://ui.perfetto.dev and
-   load the file — each processor appears as a process with cpu / send
-   port / recv port threads, so one-port serialisation is directly
-   visible) plus a CSV for plotting scripts.
+   Two different traces come out of this example:
+
+   1. the {e schedule}: DOOLITTLE's computed timeline exported as a
+      Chrome-trace JSON (each processor is a process with cpu / send
+      port / recv port threads, so one-port serialisation is directly
+      visible in the viewer);
+
+   2. the {e scheduler run}: HEFT scheduling LU n=100 with the obs layer
+      recording phase spans (rank / map / place) and engine counters,
+      exported through [Obs_trace] — load it in chrome://tracing or
+      https://ui.perfetto.dev to see where the heuristic spends its time.
 
    Run with:  dune exec examples/trace_export.exe *)
 
@@ -15,7 +20,7 @@ module O = Onesched
 let () =
   let platform = O.Platform.paper_platform () in
   let graph = O.Kernels.doolittle ~n:30 ~ccr:10. in
-  let sched = O.Heft.schedule ~model:O.Comm_model.one_port platform graph in
+  let sched = O.Heft.schedule platform graph in
 
   (* Try to improve the mapping without re-running the heuristic. *)
   let refined = O.Refine.improve sched in
@@ -35,4 +40,26 @@ let () =
   Printf.printf
     "\nwrote doolittle_schedule.json (%d bytes, chrome://tracing) and \
      doolittle_schedule.csv (%d bytes)\n"
-    (String.length trace) (String.length csv)
+    (String.length trace) (String.length csv);
+
+  (* Part 2: trace the scheduler run itself.  Enable the obs layer, run
+     HEFT on LU n=100, and export the recorded spans plus the counter
+     totals as a Chrome trace. *)
+  O.Obs_counters.enable ();
+  O.Obs_counters.reset ();
+  O.Obs_span.enable ();
+  O.Obs_span.reset ();
+  let lu = O.Kernels.lu ~n:100 ~ccr:10. in
+  let lu_sched, report =
+    O.Obs_report.capture (fun () -> O.Heft.schedule platform lu)
+  in
+  O.Obs_span.disable ();
+  O.Obs_counters.disable ();
+  Printf.printf "\nHEFT on %s: makespan %.0f\n" (O.Graph.name lu)
+    (O.Schedule.makespan lu_sched);
+  Format.printf "%a@." O.Obs_report.pp report;
+  O.Obs_trace.write
+    ~counters:report.O.Obs_report.counters
+    "heft_lu100.trace.json" (O.Obs_span.events ());
+  Printf.printf
+    "wrote heft_lu100.trace.json (load in chrome://tracing or ui.perfetto.dev)\n"

@@ -8,10 +8,8 @@
     {[
       let graph = Onesched.Kernels.lu ~n:100 ~ccr:10. in
       let platform = Onesched.Platform.paper_platform () in
-      let sched =
-        Onesched.Ilha.schedule ~b:4 ~model:Onesched.Comm_model.one_port
-          platform graph
-      in
+      let params = Onesched.Params.make ~b:4 () in
+      let sched = Onesched.Ilha.schedule ~params platform graph in
       Format.printf "%a@." Onesched.Metrics.pp (Onesched.Metrics.compute sched)
     ]}
 
@@ -21,13 +19,15 @@
     - target model: {!Platform}, {!Comm_model};
     - schedules: {!Schedule}, {!Resource}, {!Validate}, {!Gantt},
       {!Metrics}, {!Bounds}, {!Export};
-    - heuristics: {!Ranking}, {!Load_balance}, {!Engine}, {!Heft},
+    - heuristics: {!Params}, {!Ranking}, {!Load_balance}, {!Engine}, {!Heft},
       {!Ilha}, {!Cpop}, {!Pct}, {!Bil}, {!Gdl}, {!Etf}, {!Auto_b},
       {!Refine}, {!Fork_exact}, {!Search}, {!Registry};
     - testbeds: {!Kernels}, {!Fork}, {!Toy}, {!Suite};
     - complexity: {!Two_partition}, {!Fork_sched}, {!Comm_sched};
     - analysis/robustness: {!Pert}, {!Robustness}, {!Utilization};
-    - experiments: {!Config}, {!Runner}, {!Figures}. *)
+    - experiments: {!Config}, {!Runner}, {!Figures};
+    - observability: {!Obs_counters}, {!Obs_span}, {!Obs_report},
+      {!Obs_trace}. *)
 
 (* Application model *)
 module Graph = Taskgraph.Graph
@@ -53,6 +53,7 @@ module Export = Sched.Export
 module Svg = Sched.Svg
 
 (* Heuristics *)
+module Params = Heuristics.Params
 module Ranking = Heuristics.Ranking
 module Load_balance = Heuristics.Load_balance
 module Engine = Heuristics.Engine
@@ -94,6 +95,12 @@ module Runner = Experiments.Runner
 module Figures = Experiments.Figures
 module Batch = Experiments.Batch
 module Plot = Experiments.Plot
+
+(* Observability *)
+module Obs_counters = Obs.Counters
+module Obs_span = Obs.Span
+module Obs_report = Obs.Report
+module Obs_trace = Obs.Trace_export
 
 (* Supporting containers *)
 module Timeline = Prelude.Timeline

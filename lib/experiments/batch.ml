@@ -28,12 +28,14 @@ let run cfg spec =
           let n = max n testbed.Suite.min_n in
           List.map
             (fun entry ->
-              let b =
+              let params =
                 if spec.use_paper_b && is_ilha entry then
-                  Some testbed.Suite.paper_b
+                  Some
+                    (Heuristics.Params.with_b cfg.Config.params
+                       (Some testbed.Suite.paper_b))
                 else None
               in
-              Runner.run cfg ~testbed ~n ~heuristic:entry ?b ())
+              Runner.run cfg ~testbed ~n ~heuristic:entry ?params ())
             spec.heuristics)
         spec.sizes)
     spec.testbeds

@@ -1,8 +1,7 @@
 type t = {
   platform : Platform.t;
-  model : Commmodel.Comm_model.t;
+  params : Heuristics.Params.t;
   ccr : float;
-  policy : Heuristics.Engine.policy;
   sizes : int list;
   seed : int;
 }
@@ -11,12 +10,16 @@ let paper ?(scale = 1.) () =
   let size s = max 2 (int_of_float (Float.round (scale *. float_of_int s))) in
   {
     platform = Platform.paper_platform ();
-    model = Commmodel.Comm_model.one_port;
+    params = Heuristics.Params.default;
     ccr = 10.;
-    policy = Heuristics.Engine.Insertion;
     sizes = List.map size [ 100; 200; 300; 400; 500 ];
     seed = 42;
   }
 
-let with_model t model = { t with model }
+let model t = t.params.Heuristics.Params.model
+let with_params t params = { t with params }
+
+let with_model t model =
+  { t with params = Heuristics.Params.with_model t.params model }
+
 let with_sizes t sizes = { t with sizes }

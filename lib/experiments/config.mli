@@ -1,23 +1,28 @@
 (** Experiment configuration.
 
     [paper ()] is §5.2's setting: the 10-processor platform (5×t=6, 3×t=10,
-    2×t=15, unit links), communication-to-computation ratio [c = 10], the
-    bi-directional one-port model, insertion-based slot search, and problem
-    sizes 100–500.  [scale] shrinks the sizes proportionally for quick runs
-    (e.g. [~scale:0.2] turns 100–500 into 20–100). *)
+    2×t=15, unit links), communication-to-computation ratio [c = 10], and
+    problem sizes 100–500, with {!Heuristics.Params.default} scheduler
+    parameters (bi-directional one-port, insertion-based slot search).
+    [scale] shrinks the sizes proportionally for quick runs (e.g.
+    [~scale:0.2] turns 100–500 into 20–100). *)
 
 type t = {
   platform : Platform.t;
-  model : Commmodel.Comm_model.t;
+  params : Heuristics.Params.t;
+      (** scheduler parameters every run uses unless overridden per call *)
   ccr : float;
-  policy : Heuristics.Engine.policy;
   sizes : int list;
   seed : int;  (** randomised experiments derive their RNG from this *)
 }
 
 val paper : ?scale:float -> unit -> t
 
-(** [with_model t m] / [with_sizes t sizes] — field updates. *)
-val with_model : t -> Commmodel.Comm_model.t -> t
+(** The configuration's communication model ([t.params.model]). *)
+val model : t -> Commmodel.Comm_model.t
 
+(** Field updates; [with_model] rewrites [params.model]. *)
+val with_params : t -> Heuristics.Params.t -> t
+
+val with_model : t -> Commmodel.Comm_model.t -> t
 val with_sizes : t -> int list -> t

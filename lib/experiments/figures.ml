@@ -1,5 +1,6 @@
 open Prelude
 module Registry = Heuristics.Registry
+module Params = Heuristics.Params
 module Suite = Testbeds.Suite
 module Schedule = Sched.Schedule
 module Comm_model = Commmodel.Comm_model
@@ -24,7 +25,9 @@ let e1_render (cfg : Config.t) =
   let g = Testbeds.Fork.example_fig1 () in
   let plat = Platform.homogeneous ~p:5 ~link_cost:1. in
   let heft_makespan model =
-    Schedule.makespan (Heuristics.Heft.schedule ~policy:cfg.policy ~model plat g)
+    Schedule.makespan
+      (Heuristics.Heft.schedule ~params:(Params.with_model cfg.params model)
+         plat g)
   in
   (* The paper's "same allocation" argument: keep the macro-dataflow
      mapping (v0, v1, v2 on P0; one remaining child per processor) under
@@ -33,7 +36,9 @@ let e1_render (cfg : Config.t) =
     let sched =
       Schedule.create ~graph:g ~platform:plat ~model:Comm_model.one_port ()
     in
-    let engine = Heuristics.Engine.create ~policy:cfg.policy sched in
+    let engine =
+      Heuristics.Engine.create ~policy:cfg.params.Params.policy sched
+    in
     List.iteri
       (fun i (task, proc) ->
         ignore i;
@@ -54,7 +59,7 @@ let e1_render (cfg : Config.t) =
   Table.add_row table
     [ "one-port, macro-dataflow allocation"; Printf.sprintf "%g" same_alloc_makespan; ">= 6" ];
   Table.add_row table
-    [ "one-port, HEFT"; Printf.sprintf "%g" (heft_makespan cfg.model); "-" ];
+    [ "one-port, HEFT"; Printf.sprintf "%g" (heft_makespan (Config.model cfg)); "-" ];
   Table.add_row table
     [ "one-port, exact optimum"; Printf.sprintf "%g" optimal_one_port; "5" ];
   Table.to_string table
@@ -75,9 +80,10 @@ let e2_render (cfg : Config.t) =
          (Sched.Gantt.render ~width:60 sched))
   in
   let buf = Buffer.create 1024 in
-  run "HEFT" (Heuristics.Heft.schedule ~policy:cfg.policy ~model plat g) buf;
+  let base = Params.with_model cfg.params model in
+  run "HEFT" (Heuristics.Heft.schedule ~params:base plat g) buf;
   run "ILHA (B=8)"
-    (Heuristics.Ilha.schedule ~policy:cfg.policy ~b:8 ~model plat g)
+    (Heuristics.Ilha.schedule ~params:(Params.with_b base (Some 8)) plat g)
     buf;
   Buffer.add_string buf
     "paper (Fig. 4): ILHA ends earlier than HEFT and sends 2 messages \
@@ -134,7 +140,9 @@ let series_render (cfg : Config.t) ~testbed =
       let n = max n suite.Suite.min_n in
       let h = Runner.run cfg ~testbed:suite ~n ~heuristic:heft () in
       let i =
-        Runner.run cfg ~testbed:suite ~n ~heuristic:(Registry.ilha_with ~b ()) ~b ()
+        Runner.run cfg ~testbed:suite ~n ~heuristic:(Registry.find "ilha")
+          ~params:(Params.with_b cfg.params (Some b))
+          ()
       in
       heft_curve := (float_of_int n, h.Runner.speedup) :: !heft_curve;
       ilha_curve := (float_of_int n, i.Runner.speedup) :: !ilha_curve;
@@ -161,7 +169,7 @@ let series_render (cfg : Config.t) ~testbed =
   in
   Printf.sprintf "testbed %s, B = %d, c = %g, model = %s\n%s\n%s" testbed b
     cfg.ccr
-    (Comm_model.name cfg.model)
+    (Comm_model.name (Config.model cfg))
     (Table.to_string table)
     chart
 
@@ -185,8 +193,9 @@ let sweep_b_render (cfg : Config.t) =
         List.map
           (fun b ->
             let r =
-              Runner.run cfg ~testbed:suite ~n
-                ~heuristic:(Registry.ilha_with ~b ()) ~b ()
+              Runner.run cfg ~testbed:suite ~n ~heuristic:(Registry.find "ilha")
+                ~params:(Params.with_b cfg.params (Some b))
+                ()
             in
             Printf.sprintf "%.3f" r.Runner.speedup)
           bs
@@ -204,20 +213,22 @@ let models_render (cfg : Config.t) =
   List.iter
     (fun model ->
       List.iter
-        (fun entry ->
+        (fun (entry, b) ->
+          let params =
+            Params.with_b (Params.with_model cfg.params model) b
+          in
           let r =
-            Runner.run (Config.with_model cfg model) ~testbed:suite ~n
-              ~heuristic:entry ()
+            Runner.run cfg ~testbed:suite ~n ~heuristic:entry ~params ()
           in
           Table.add_row table
             [
               Comm_model.name model;
-              entry.Registry.name;
+              r.Runner.heuristic;
               Printf.sprintf "%.0f" r.Runner.makespan;
               Printf.sprintf "%.3f" r.Runner.speedup;
               string_of_int r.Runner.n_comms;
             ])
-        [ heft; Registry.ilha_with ~b:suite.Suite.paper_b () ])
+        [ (heft, None); (Registry.find "ilha", Some suite.Suite.paper_b) ])
     Comm_model.all;
   Printf.sprintf "communication-model ablation (LU, n = %d)\n%s" n
     (Table.to_string table)
@@ -231,7 +242,9 @@ let insertion_render (cfg : Config.t) =
     (fun suite ->
       let n = smallest_size cfg suite in
       let run policy =
-        Runner.run { cfg with Config.policy } ~testbed:suite ~n ~heuristic:heft ()
+        Runner.run cfg ~testbed:suite ~n ~heuristic:heft
+          ~params:(Params.with_policy cfg.Config.params policy)
+          ()
       in
       let ins = run Heuristics.Engine.Insertion in
       let app = run Heuristics.Engine.Append in
@@ -280,11 +293,8 @@ let robustness_render (cfg : Config.t) =
       ~columns:[ "heuristic"; "jitter"; "nominal"; "mean"; "p95"; "worst" ]
   in
   List.iter
-    (fun entry ->
-      let sched =
-        entry.Registry.scheduler ~policy:cfg.policy ~model:cfg.model
-          cfg.platform g
-      in
+    (fun (entry, params) ->
+      let sched = entry.Registry.scheduler params cfg.platform g in
       List.iter
         (fun jitter ->
           let rng = Rng.create ~seed:cfg.seed in
@@ -299,7 +309,11 @@ let robustness_render (cfg : Config.t) =
               Printf.sprintf "%.0f" s.Simkit.Robustness.worst;
             ])
         [ 0.1; 0.3; 0.5 ])
-    [ heft; Registry.ilha_with ~b:suite.Suite.paper_b () ];
+    [
+      (heft, cfg.params);
+      ( Registry.find "ilha",
+        Params.with_b cfg.params (Some suite.Suite.paper_b) );
+    ];
   Printf.sprintf
     "schedule robustness under execution-time jitter (DOOLITTLE, n = %d)\n%s"
     n (Table.to_string table)
@@ -318,7 +332,8 @@ let ranking_render (cfg : Config.t) =
       let g = suite.Suite.build ~n ~ccr:cfg.ccr in
       let speedup averaging =
         let sched =
-          Heuristics.Heft.schedule ~policy:cfg.policy ~averaging ~model:cfg.model
+          Heuristics.Heft.schedule
+            ~params:(Params.with_averaging cfg.params averaging)
             cfg.platform g
         in
         (Sched.Metrics.compute sched).Sched.Metrics.speedup
@@ -371,7 +386,9 @@ let contention_render (cfg : Config.t) =
         List.map
           (fun model ->
             let sched =
-              Heuristics.Heft.schedule ~policy:cfg.policy ~model plat g
+              Heuristics.Heft.schedule
+                ~params:(Params.with_model cfg.params model)
+                plat g
             in
             Printf.sprintf "%.0f" (Schedule.makespan sched))
           models
@@ -401,7 +418,7 @@ let random_render (cfg : Config.t) =
             cfg.ccr *. Taskgraph.Graph.weight g e.Taskgraph.Graph.src))
   in
   let entries =
-    [ heft; Registry.ilha_with (); Registry.find "cpop"; Registry.find "bil";
+    [ heft; Registry.find "ilha"; Registry.find "cpop"; Registry.find "bil";
       Registry.find "pct" ]
   in
   let table =
@@ -456,11 +473,8 @@ let refine_render (cfg : Config.t) =
       let n = max suite.Suite.min_n (min 30 (smallest_size cfg suite)) in
       let g = suite.Suite.build ~n ~ccr:cfg.ccr in
       List.iter
-        (fun entry ->
-          let sched =
-            entry.Registry.scheduler ~policy:cfg.policy ~model:cfg.model
-              cfg.platform g
-          in
+        (fun (entry, params) ->
+          let sched = entry.Registry.scheduler params cfg.platform g in
           let hill = Heuristics.Refine.improve ~max_rounds:2 ~max_moves:10 sched in
           let annealed =
             Heuristics.Anneal.improve
@@ -484,7 +498,11 @@ let refine_render (cfg : Config.t) =
               Printf.sprintf "%.0f" annealed.Heuristics.Anneal.final_makespan;
               Printf.sprintf "%+.1f" (100. *. (1. -. (best /. initial)));
             ])
-        [ heft; Registry.ilha_with ~b:suite.Suite.paper_b () ])
+        [
+          (heft, cfg.params);
+          ( Registry.find "ilha",
+            Params.with_b cfg.params (Some suite.Suite.paper_b) );
+        ])
     Suite.all;
   "allocation improvers on top of each heuristic (§6's improvement \
    direction): hill climbing vs simulated annealing\n"

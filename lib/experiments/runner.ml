@@ -1,4 +1,5 @@
 module Registry = Heuristics.Registry
+module Params = Heuristics.Params
 module Schedule = Sched.Schedule
 
 type row = {
@@ -13,41 +14,49 @@ type row = {
   comm_time : float;
   wall_s : float;
   valid : bool;
+  obs : Obs.Report.t option;
 }
 
-let run_graph (cfg : Config.t) ~heuristic ?b g =
-  let is_ilha =
-    String.length heuristic.Registry.name >= 4
-    && String.sub heuristic.Registry.name 0 4 = "ilha"
-  in
-  let entry =
-    match b with
-    | Some b when is_ilha -> Registry.ilha_with ~b ()
-    | Some _ | None -> heuristic
+(* The non-default parameters, model excluded (it has its own column). *)
+let params_label params =
+  Params.to_string (Params.with_model params Params.default.Params.model)
+
+let run_graph (cfg : Config.t) ?params ~heuristic g =
+  let params =
+    match params with Some p -> p | None -> cfg.Config.params
   in
   let t0 = Sys.time () in
-  let sched =
-    entry.Registry.scheduler ~policy:cfg.policy ~model:cfg.model cfg.platform g
+  let sched, report =
+    Obs.Report.capture (fun () ->
+        heuristic.Registry.scheduler params cfg.Config.platform g)
   in
   let wall_s = Sys.time () -. t0 in
   let metrics = Sched.Metrics.compute sched in
+  let name =
+    match params_label params with
+    | "" -> heuristic.Registry.name
+    | l -> Printf.sprintf "%s[%s]" heuristic.Registry.name l
+  in
   {
     testbed = Taskgraph.Graph.name g;
     n = Taskgraph.Graph.n_tasks g;
-    heuristic = entry.Registry.name;
-    model = Commmodel.Comm_model.name cfg.model;
-    b;
+    heuristic = name;
+    model = Commmodel.Comm_model.name params.Params.model;
+    b = params.Params.b;
     makespan = metrics.Sched.Metrics.makespan;
     speedup = metrics.Sched.Metrics.speedup;
     n_comms = metrics.Sched.Metrics.n_comm_events;
     comm_time = metrics.Sched.Metrics.total_comm_time;
     wall_s;
     valid = Sched.Validate.is_valid sched;
+    obs =
+      (if Obs.Counters.enabled () || Obs.Span.enabled () then Some report
+       else None);
   }
 
-let run cfg ~testbed ~n ~heuristic ?b () =
+let run cfg ~testbed ~n ~heuristic ?params () =
   let g = testbed.Testbeds.Suite.build ~n ~ccr:cfg.Config.ccr in
-  let row = run_graph cfg ~heuristic ?b g in
+  let row = run_graph cfg ?params ~heuristic g in
   { row with testbed = testbed.Testbeds.Suite.name; n }
 
 let table rows =

@@ -4,30 +4,38 @@ type row = {
   testbed : string;
   n : int;
   heuristic : string;
+      (** registry name, with non-default parameters appended
+          (e.g. ["ilha[b=4]"]) *)
   model : string;
-  b : int option;  (** chunk size, for ILHA runs *)
+  b : int option;  (** the run's [params.b] (chunk size, for ILHA) *)
   makespan : float;
   speedup : float;  (** fastest-processor sequential time / makespan *)
   n_comms : int;
   comm_time : float;
   wall_s : float;  (** CPU seconds spent scheduling *)
   valid : bool;  (** independent {!Sched.Validate} verdict *)
+  obs : Obs.Report.t option;
+      (** counter deltas and phase timings for this run; [Some] only
+          while {!Obs.Counters} or {!Obs.Span} recording is enabled *)
 }
 
-(** [run_graph cfg ~heuristic ?b g] — schedule [g] under the
-    configuration; [b] routes to ILHA's chunk size when the entry is ILHA
-    (ignored otherwise, [None] uses the entry as registered). *)
+(** [run_graph cfg ?params ~heuristic g] — schedule [g] under the
+    configuration; [params] overrides [cfg.params] for this run. *)
 val run_graph :
-  Config.t -> heuristic:Heuristics.Registry.entry -> ?b:int -> Taskgraph.Graph.t -> row
+  Config.t ->
+  ?params:Heuristics.Params.t ->
+  heuristic:Heuristics.Registry.entry ->
+  Taskgraph.Graph.t ->
+  row
 
-(** [run cfg ~testbed ~n ~heuristic ?b ()] builds the testbed at size [n]
-    with the configuration's ccr and runs it. *)
+(** [run cfg ~testbed ~n ~heuristic ?params ()] builds the testbed at
+    size [n] with the configuration's ccr and runs it. *)
 val run :
   Config.t ->
   testbed:Testbeds.Suite.t ->
   n:int ->
   heuristic:Heuristics.Registry.entry ->
-  ?b:int ->
+  ?params:Heuristics.Params.t ->
   unit ->
   row
 

@@ -29,7 +29,12 @@ let improve ?policy ?(params = default_params) sched0 =
   let p = Platform.p plat in
   let rng = Rng.create ~seed:params.seed in
   let alloc = Array.init n (fun v -> Schedule.proc_of_exn sched0 v) in
-  let rebuild () = Refine.rebuild ?policy ~alloc:(fun v -> alloc.(v)) ~model plat g in
+  let rebuild () =
+    Refine.rebuild
+      ~params:(Params.make ?policy ~model ())
+      ~alloc:(fun v -> alloc.(v))
+      plat g
+  in
   let initial_makespan = Schedule.makespan sched0 in
   let current_sched = ref (rebuild ()) in
   let current = ref (Schedule.makespan !current_sched) in

@@ -18,13 +18,17 @@ let candidates plat =
   let rec ladder b acc = if b > top then acc else ladder (2 * b) (b :: acc) in
   List.sort_uniq compare (ladder 1 [ p; m; top; (m / 2) + 1 ] |> List.filter (fun b -> b >= 1))
 
-let search ?policy ?candidates:cands ~model plat g =
-  let cands = match cands with Some c -> List.sort_uniq compare c | None -> candidates plat in
+let search ?(params = Params.default) plat g =
+  let cands =
+    match params.Params.candidates with
+    | Some c -> List.sort_uniq compare c
+    | None -> candidates plat
+  in
   if cands = [] then invalid_arg "Auto_b.search: no candidates";
   let trials =
     List.map
       (fun b ->
-        let sched = Ilha.schedule ?policy ~b ~model plat g in
+        let sched = Ilha.schedule ~params:(Params.with_b params (Some b)) plat g in
         (b, Schedule.makespan sched))
       cands
   in
@@ -35,6 +39,7 @@ let search ?policy ?candidates:cands ~model plat g =
   in
   { best_b; best_makespan; trials }
 
-let schedule ?policy ?candidates ~model plat g =
-  let r = search ?policy ?candidates ~model plat g in
-  Ilha.schedule ?policy ~b:r.best_b ~model plat g
+let schedule ?(params = Params.default) plat g =
+  Obs.Span.with_ "ilha-auto" @@ fun () ->
+  let r = search ~params plat g in
+  Ilha.schedule ~params:(Params.with_b params (Some r.best_b)) plat g

@@ -18,23 +18,13 @@ type result = {
 (** [candidates plat] — the sampled ladder (sorted, duplicate-free). *)
 val candidates : Platform.t -> int list
 
-(** [search ?policy ?candidates ~model plat g] — run ILHA once per
-    candidate.  Ties prefer the smaller B (cheaper critical-path
+(** [search ?params plat g] — run ILHA once per candidate chunk size
+    ([params.candidates], defaulting to {!candidates}); [params.b] is
+    overridden per trial.  Ties prefer the smaller B (cheaper critical-path
     reactivity, per §5.3's trade-off discussion). *)
-val search :
-  ?policy:Engine.policy ->
-  ?candidates:int list ->
-  model:Commmodel.Comm_model.t ->
-  Platform.t ->
-  Taskgraph.Graph.t ->
-  result
+val search : ?params:Params.t -> Platform.t -> Taskgraph.Graph.t -> result
 
-(** [schedule ?policy ?candidates ~model plat g] — the winning schedule
-    (re-runs ILHA at [best_b]). *)
+(** [schedule ?params plat g] — the winning schedule (re-runs ILHA at
+    [best_b]). *)
 val schedule :
-  ?policy:Engine.policy ->
-  ?candidates:int list ->
-  model:Commmodel.Comm_model.t ->
-  Platform.t ->
-  Taskgraph.Graph.t ->
-  Sched.Schedule.t
+  ?params:Params.t -> Platform.t -> Taskgraph.Graph.t -> Sched.Schedule.t

@@ -37,7 +37,8 @@ let levels g plat =
   done;
   bil
 
-let schedule ?policy ~model plat g =
+let schedule ?(params = Params.default) plat g =
+  Obs.Span.with_ "bil" @@ fun () ->
   let bil = levels g plat in
   let p = Platform.p plat in
   let priority =
@@ -57,4 +58,4 @@ let schedule ?policy ~model plat g =
     | Some (_, ev) -> Engine.commit engine ~task:v ev
     | None -> assert false
   in
-  List_loop.run ?policy ~model ~priority ~handle plat g
+  List_loop.run ~params ~priority ~handle plat g

@@ -13,11 +13,7 @@
     model via the shared engine. *)
 
 val schedule :
-  ?policy:Engine.policy ->
-  model:Commmodel.Comm_model.t ->
-  Platform.t ->
-  Taskgraph.Graph.t ->
-  Sched.Schedule.t
+  ?params:Params.t -> Platform.t -> Taskgraph.Graph.t -> Sched.Schedule.t
 
 (** The BIL matrix [bil.(v).(q)], exposed for tests. *)
 val levels : Taskgraph.Graph.t -> Platform.t -> float array array

@@ -24,7 +24,8 @@ let critical_path g priority =
       follow start);
   on_cp
 
-let schedule ?policy ~model plat g =
+let schedule ?(params = Params.default) plat g =
+  Obs.Span.with_ "cpop" @@ fun () ->
   let up = Ranking.upward g plat in
   let down = Ranking.downward g plat in
   let priority = Array.init (Graph.n_tasks g) (fun v -> up.(v) +. down.(v)) in
@@ -44,4 +45,4 @@ let schedule ?policy ~model plat g =
       ()
     end
   in
-  List_loop.run ?policy ~model ~priority ~handle plat g
+  List_loop.run ~params ~priority ~handle plat g

@@ -11,8 +11,4 @@
     tasks follow HEFT's earliest-finish-time rule. *)
 
 val schedule :
-  ?policy:Engine.policy ->
-  model:Commmodel.Comm_model.t ->
-  Platform.t ->
-  Taskgraph.Graph.t ->
-  Sched.Schedule.t
+  ?params:Params.t -> Platform.t -> Taskgraph.Graph.t -> Sched.Schedule.t

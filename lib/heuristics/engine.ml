@@ -64,6 +64,7 @@ let incoming t task =
   List.sort compare edges
 
 let evaluate t ~task ~proc =
+  Obs.Counters.evaluation ();
   let g = Schedule.graph t.sched in
   let plat = Schedule.platform t.sched in
   let res = Schedule.resource t.sched in
@@ -84,6 +85,7 @@ let evaluate t ~task ~proc =
                 let start =
                   slot t ~tls ~scratch:!scratch ~after:data_ready ~duration
                 in
+                Obs.Counters.tentative_hop ();
                 hops := { edge = e; src_proc = a; dst_proc = b; start } :: !hops;
                 scratch := scratch_add !scratch tls (start, start +. duration);
                 start +. duration)
@@ -118,6 +120,7 @@ let best_proc t ~task =
   best_proc_among t ~task (List.init p Fun.id)
 
 let commit t ~task ev =
+  Obs.Counters.commit ();
   List.iter
     (fun h ->
       let (_ : float) =

@@ -1,11 +1,12 @@
 module Graph = Taskgraph.Graph
 module Schedule = Sched.Schedule
 
-let schedule ?policy ~model plat g =
+let schedule ?(params = Params.default) plat g =
+  Obs.Span.with_ "etf" @@ fun () ->
   let sl = Ranking.static_level g plat in
   let p = Platform.p plat in
-  let sched = Schedule.create ~graph:g ~platform:plat ~model () in
-  let engine = Engine.create ?policy sched in
+  let sched = Schedule.create ~graph:g ~platform:plat ~model:params.Params.model () in
+  let engine = Engine.create ~policy:params.Params.policy sched in
   let remaining = Array.init (Graph.n_tasks g) (Graph.in_degree g) in
   let ready = ref [] in
   for v = Graph.n_tasks g - 1 downto 0 do

@@ -15,8 +15,4 @@
     one-port model via the shared engine. *)
 
 val schedule :
-  ?policy:Engine.policy ->
-  model:Commmodel.Comm_model.t ->
-  Platform.t ->
-  Taskgraph.Graph.t ->
-  Sched.Schedule.t
+  ?params:Params.t -> Platform.t -> Taskgraph.Graph.t -> Sched.Schedule.t

@@ -1,2 +1,7 @@
-let schedule ?policy ?averaging ~model plat g =
-  List_loop.run ?policy ~model ~priority:(Ranking.upward ?averaging g plat) plat g
+let schedule ?(params = Params.default) plat g =
+  Obs.Span.with_ "heft" (fun () ->
+      let priority =
+        Obs.Span.with_ "rank" (fun () ->
+            Ranking.upward ~averaging:params.Params.averaging g plat)
+      in
+      List_loop.run ~params ~priority plat g)

@@ -11,13 +11,8 @@
     {!Commmodel.Comm_model.one_port} and the classical HEFT when given
     [macro_dataflow]. *)
 
-(** [schedule ?policy ?averaging ~model plat g] builds a complete valid
-    schedule.  [averaging] selects the rank-averaging rule
-    ({!Ranking.averaging}; default the paper's balanced rule). *)
+(** [schedule ?params plat g] builds a complete valid schedule.  Reads
+    [params.model], [params.policy] and [params.averaging] (the §4.1
+    rank-averaging rule). *)
 val schedule :
-  ?policy:Engine.policy ->
-  ?averaging:Ranking.averaging ->
-  model:Commmodel.Comm_model.t ->
-  Platform.t ->
-  Taskgraph.Graph.t ->
-  Sched.Schedule.t
+  ?params:Params.t -> Platform.t -> Taskgraph.Graph.t -> Sched.Schedule.t

@@ -1,8 +1,6 @@
 module Graph = Taskgraph.Graph
 module Schedule = Sched.Schedule
 
-type scan = Scan_zero_comm | Scan_one_comm
-
 let default_b plat =
   match Load_balance.perfect_chunk plat with
   | b -> b
@@ -70,8 +68,8 @@ let map_chunk ~scan engine g plat chunk =
   (* Optional scan: single-communication placements under quota. *)
   let rest =
     match scan with
-    | Scan_zero_comm -> rest
-    | Scan_one_comm ->
+    | Params.Scan_zero_comm -> rest
+    | Params.Scan_one_comm ->
         let placeable v =
           let candidates =
             List.filter (fun q -> fits q (Graph.weight g v)) (one_comm_procs sched g v)
@@ -98,7 +96,7 @@ let map_chunk ~scan engine g plat chunk =
    smallest finish time on their allocated processor. *)
 let map_chunk_reschedule ~scan ~policy engine g plat chunk =
   let scratch_sched = Schedule.copy (Engine.schedule engine) in
-  let scratch = Engine.create ?policy scratch_sched in
+  let scratch = Engine.create ~policy scratch_sched in
   map_chunk ~scan scratch g plat chunk;
   let alloc v = Schedule.proc_of_exn scratch_sched v in
   let pending = ref chunk in
@@ -118,33 +116,35 @@ let map_chunk_reschedule ~scan ~policy engine g plat chunk =
         pending := List.filter (fun u -> u <> v) !pending
   done
 
-let schedule ?policy ?b ?(scan = Scan_zero_comm) ?(reschedule = false) ~model
-    plat g =
-  let b = match b with Some b -> b | None -> default_b plat in
+let schedule ?(params = Params.default) plat g =
+  let { Params.model; policy; scan; reschedule; _ } = params in
+  let b = match params.Params.b with Some b -> b | None -> default_b plat in
   if b < 1 then invalid_arg "Ilha.schedule: b < 1";
-  let sched = Schedule.create ~graph:g ~platform:plat ~model () in
-  let engine = Engine.create ?policy sched in
-  let rank = Ranking.upward g plat in
-  let ready = Prelude.Pqueue.create ~compare:(Ranking.compare_priority rank) in
-  let remaining = Array.init (Graph.n_tasks g) (Graph.in_degree g) in
-  for v = 0 to Graph.n_tasks g - 1 do
-    if remaining.(v) = 0 then Prelude.Pqueue.add ready v
-  done;
-  while not (Prelude.Pqueue.is_empty ready) do
-    let chunk = ref [] in
-    while List.length !chunk < b && not (Prelude.Pqueue.is_empty ready) do
-      chunk := Prelude.Pqueue.pop_exn ready :: !chunk
-    done;
-    let chunk = List.rev !chunk in
-    if reschedule then map_chunk_reschedule ~scan ~policy engine g plat chunk
-    else map_chunk ~scan engine g plat chunk;
-    (* Newly ready tasks join the pool for the next chunk. *)
-    List.iter
-      (fun v ->
-        Graph.iter_succ_edges g v ~f:(fun e ->
-            let u = Graph.edge_dst g e in
-            remaining.(u) <- remaining.(u) - 1;
-            if remaining.(u) = 0 then Prelude.Pqueue.add ready u))
-      chunk
-  done;
-  sched
+  Obs.Span.with_ "ilha" (fun () ->
+      let sched = Schedule.create ~graph:g ~platform:plat ~model () in
+      let engine = Engine.create ~policy sched in
+      let rank = Obs.Span.with_ "rank" (fun () -> Ranking.upward g plat) in
+      let ready = Prelude.Pqueue.create ~compare:(Ranking.compare_priority rank) in
+      let remaining = Array.init (Graph.n_tasks g) (Graph.in_degree g) in
+      for v = 0 to Graph.n_tasks g - 1 do
+        if remaining.(v) = 0 then Prelude.Pqueue.add ready v
+      done;
+      while not (Prelude.Pqueue.is_empty ready) do
+        let chunk = ref [] in
+        while List.length !chunk < b && not (Prelude.Pqueue.is_empty ready) do
+          chunk := Prelude.Pqueue.pop_exn ready :: !chunk
+        done;
+        let chunk = List.rev !chunk in
+        Obs.Span.with_ "chunk" (fun () ->
+            if reschedule then map_chunk_reschedule ~scan ~policy engine g plat chunk
+            else map_chunk ~scan engine g plat chunk);
+        (* Newly ready tasks join the pool for the next chunk. *)
+        List.iter
+          (fun v ->
+            Graph.iter_succ_edges g v ~f:(fun e ->
+                let u = Graph.edge_dst g e in
+                remaining.(u) <- remaining.(u) - 1;
+                if remaining.(u) = 0 then Prelude.Pqueue.add ready u))
+          chunk
+      done;
+      sched)

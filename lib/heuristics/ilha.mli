@@ -11,35 +11,25 @@
     - {b Step 2}: the remaining tasks fall back to HEFT's
       earliest-finish-time rule.
 
-    §4.4 sketches two refinements, both implemented here: an additional
-    scan accepting placements that cost a {e single} communication
-    ([`Scan_one_comm]), and a third step that keeps only the chunk's
-    {e allocation} and re-schedules chunk tasks greedily by globally
-    smallest finish time ([reschedule = true]; the underlying decision
-    problem is NP-complete — Theorem 2 — hence a greedy). *)
+    §4.4 sketches two refinements, both implemented here and selected
+    through {!Params.t}: an additional scan accepting placements that cost
+    a {e single} communication ([Params.Scan_one_comm]), and a third step
+    that keeps only the chunk's {e allocation} and re-schedules chunk
+    tasks greedily by globally smallest finish time
+    ([params.reschedule = true]; the underlying decision problem is
+    NP-complete — Theorem 2 — hence a greedy). *)
 
-type scan =
-  | Scan_zero_comm  (** the paper's Step 1 *)
-  | Scan_one_comm
-      (** Step 1, then a second scan accepting one crossing edge *)
+(** [schedule ?params plat g] — reads [params.model], [params.policy],
+    [params.b], [params.scan] and [params.reschedule].
 
-(** [schedule ?policy ?b ?scan ?reschedule ~model plat g].
-
-    [b] defaults to the platform's perfect-balance chunk
+    [params.b = None] defaults to the platform's perfect-balance chunk
     {!Load_balance.perfect_chunk} when cycle-times are integral (38 on the
     paper platform, the default used in §5.3) and to the processor count
     otherwise; values below the processor count are allowed but §4.2 notes
     they waste processors.
     @raise Invalid_argument if [b < 1]. *)
 val schedule :
-  ?policy:Engine.policy ->
-  ?b:int ->
-  ?scan:scan ->
-  ?reschedule:bool ->
-  model:Commmodel.Comm_model.t ->
-  Platform.t ->
-  Taskgraph.Graph.t ->
-  Sched.Schedule.t
+  ?params:Params.t -> Platform.t -> Taskgraph.Graph.t -> Sched.Schedule.t
 
 (** The default chunk size for a platform (see above). *)
 val default_b : Platform.t -> int

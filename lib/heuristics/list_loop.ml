@@ -5,9 +5,11 @@ let default_handle engine v =
   let (_ : Engine.eval) = Engine.schedule_best engine ~task:v in
   ()
 
-let run ?policy ~model ~priority ?(handle = default_handle) plat g =
-  let sched = Schedule.create ~graph:g ~platform:plat ~model () in
-  let engine = Engine.create ?policy sched in
+let run ?(params = Params.default) ~priority ?(handle = default_handle) plat g =
+  let sched =
+    Schedule.create ~graph:g ~platform:plat ~model:params.Params.model ()
+  in
+  let engine = Engine.create ~policy:params.Params.policy sched in
   let ready = Prelude.Pqueue.create ~compare:(Ranking.compare_priority priority) in
   let remaining = Array.init (Graph.n_tasks g) (Graph.in_degree g) in
   for v = 0 to Graph.n_tasks g - 1 do
@@ -17,12 +19,12 @@ let run ?policy ~model ~priority ?(handle = default_handle) plat g =
     match Prelude.Pqueue.pop ready with
     | None -> ()
     | Some v ->
-        handle engine v;
+        Obs.Span.with_ "place" (fun () -> handle engine v);
         Graph.iter_succ_edges g v ~f:(fun e ->
             let u = Graph.edge_dst g e in
             remaining.(u) <- remaining.(u) - 1;
             if remaining.(u) = 0 then Prelude.Pqueue.add ready u);
         drain ()
   in
-  drain ();
+  Obs.Span.with_ "map" drain;
   sched

@@ -2,14 +2,17 @@
     heuristics (HEFT, PCT, CPOP, BIL): pop the highest-priority ready task,
     let the heuristic's [handle] place it, release newly ready successors.
     Priorities are static; ties break on task id ({!Ranking.compare_priority}),
-    keeping every heuristic deterministic. *)
+    keeping every heuristic deterministic.
 
-(** [run ?policy ~model ~priority ?handle plat g] — [handle] places one
-    ready task (default: {!Engine.schedule_best}'s earliest-finish-time
-    rule).  Returns the completed schedule. *)
+    When span tracing is enabled the drain loop is wrapped in a ["map"]
+    span with one ["place"] span per task. *)
+
+(** [run ?params ~priority ?handle plat g] — [handle] places one ready
+    task (default: {!Engine.schedule_best}'s earliest-finish-time rule);
+    model and slot policy come from [params].  Returns the completed
+    schedule. *)
 val run :
-  ?policy:Engine.policy ->
-  model:Commmodel.Comm_model.t ->
+  ?params:Params.t ->
   priority:float array ->
   ?handle:(Engine.t -> int -> unit) ->
   Platform.t ->

@@ -1,2 +1,3 @@
-let schedule ?policy ~model plat g =
-  List_loop.run ?policy ~model ~priority:(Ranking.upward_min g plat) plat g
+let schedule ?(params = Params.default) plat g =
+  Obs.Span.with_ "pct" @@ fun () ->
+  List_loop.run ~params ~priority:(Ranking.upward_min g plat) plat g

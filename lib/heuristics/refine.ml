@@ -9,9 +9,9 @@ type result = {
   evaluations : int;
 }
 
-let rebuild ?policy ~alloc ~model plat g =
+let rebuild ?(params = Params.default) ~alloc plat g =
   let handle engine v = Engine.schedule_on engine ~task:v ~proc:(alloc v) in
-  List_loop.run ?policy ~model ~priority:(Ranking.upward g plat) ~handle plat g
+  List_loop.run ~params ~priority:(Ranking.upward g plat) ~handle plat g
 
 (* The tasks defining the makespan: those finishing within epsilon of the
    last finish time (usually one exit task, possibly several). *)
@@ -55,7 +55,7 @@ let improve ?policy ?(max_rounds = 3) ?(max_moves = 25) sched0 =
   let evaluations = ref 0 in
   let run () =
     incr evaluations;
-    rebuild ?policy ~alloc:(fun v -> alloc.(v)) ~model plat g
+    rebuild ~params:(Params.make ?policy ~model ()) ~alloc:(fun v -> alloc.(v)) plat g
   in
   let initial_makespan = Schedule.makespan sched0 in
   let best_sched = ref (run ()) in

@@ -19,14 +19,13 @@ type result = {
   evaluations : int;  (** schedule rebuilds performed *)
 }
 
-(** [rebuild ?policy ~alloc ~model plat g] — list-schedule with the given
+(** [rebuild ?params ~alloc plat g] — list-schedule with the given
     forced allocation (priority = upward rank).  The building block for
     refinement, exposed for tests and for evaluating externally-computed
     allocations. *)
 val rebuild :
-  ?policy:Engine.policy ->
+  ?params:Params.t ->
   alloc:(int -> int) ->
-  model:Commmodel.Comm_model.t ->
   Platform.t ->
   Taskgraph.Graph.t ->
   Sched.Schedule.t

@@ -1,9 +1,5 @@
 type scheduler =
-  ?policy:Engine.policy ->
-  model:Commmodel.Comm_model.t ->
-  Platform.t ->
-  Taskgraph.Graph.t ->
-  Sched.Schedule.t
+  Params.t -> Platform.t -> Taskgraph.Graph.t -> Sched.Schedule.t
 
 type entry = {
   name : string;
@@ -12,73 +8,54 @@ type entry = {
   scalable : bool;
 }
 
-let heft = {
-  name = "heft";
-  description = "Heterogeneous Earliest Finish Time (Topcuoglu et al.)";
-  scheduler = (fun ?policy -> Heft.schedule ?policy ?averaging:None);
-  scalable = true;
-}
-
-let ilha_with ?b ?scan ?reschedule () =
-  let name =
-    let params =
-      List.concat
-        [
-          (match b with Some b -> [ Printf.sprintf "b=%d" b ] | None -> []);
-          (match scan with
-          | Some Ilha.Scan_one_comm -> [ "scan=1comm" ]
-          | Some Ilha.Scan_zero_comm | None -> []);
-          (match reschedule with Some true -> [ "resched" ] | _ -> []);
-        ]
-    in
-    if params = [] then "ilha"
-    else Printf.sprintf "ilha[%s]" (String.concat "," params)
-  in
-  {
-    name;
-    description = "Iso-Level Heterogeneous Allocation (Beaumont et al.)";
-    scheduler = (fun ?policy -> Ilha.schedule ?policy ?b ?scan ?reschedule);
-    scalable = true;
-  }
-
 let all =
   [
-    heft;
-    ilha_with ();
+    {
+      name = "heft";
+      description = "Heterogeneous Earliest Finish Time (Topcuoglu et al.)";
+      scheduler = (fun params -> Heft.schedule ~params);
+      scalable = true;
+    };
+    {
+      name = "ilha";
+      description = "Iso-Level Heterogeneous Allocation (Beaumont et al.)";
+      scheduler = (fun params -> Ilha.schedule ~params);
+      scalable = true;
+    };
     {
       name = "cpop";
       description = "Critical Path On a Processor (Topcuoglu et al.)";
-      scheduler = Cpop.schedule;
+      scheduler = (fun params -> Cpop.schedule ~params);
       scalable = true;
     };
     {
       name = "pct";
       description = "minimum Partial Completion Time priority (Maheswaran-Siegel)";
-      scheduler = Pct.schedule;
+      scheduler = (fun params -> Pct.schedule ~params);
       scalable = true;
     };
     {
       name = "bil";
       description = "Best Imaginary Level (Oh-Ha)";
-      scheduler = Bil.schedule;
+      scheduler = (fun params -> Bil.schedule ~params);
       scalable = true;
     };
     {
       name = "gdl";
       description = "Generalized Dynamic Level (Sih-Lee)";
-      scheduler = Gdl.schedule;
+      scheduler = (fun params -> Gdl.schedule ~params);
       scalable = false;
     };
     {
       name = "etf";
       description = "Earliest Task First (Hwang et al.)";
-      scheduler = Etf.schedule;
+      scheduler = (fun params -> Etf.schedule ~params);
       scalable = false;
     };
     {
       name = "ilha-auto";
       description = "ILHA with automated chunk-size search";
-      scheduler = (fun ?policy -> Auto_b.schedule ?policy ?candidates:None);
+      scheduler = (fun params -> Auto_b.schedule ~params);
       scalable = true;
     };
   ]

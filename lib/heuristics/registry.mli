@@ -1,31 +1,31 @@
 (** Name-indexed scheduler registry used by the CLI, the experiment harness
-    and the tournament bench. *)
+    and the tournament bench.
+
+    Every entry exposes the same uniform signature: a {!Params.t} record
+    carrying all tuning knobs (model, slot policy, averaging, ILHA's chunk
+    parameters), then platform and graph.  Heuristics read the fields they
+    understand and ignore the rest, so callers configure any heuristic the
+    same way — there are no per-heuristic escape hatches.  Pass
+    {!Params.default} for the paper's setting. *)
 
 type scheduler =
-  ?policy:Engine.policy ->
-  model:Commmodel.Comm_model.t ->
-  Platform.t ->
-  Taskgraph.Graph.t ->
-  Sched.Schedule.t
+  Params.t -> Platform.t -> Taskgraph.Graph.t -> Sched.Schedule.t
 
 type entry = {
   name : string;
   description : string;
   scheduler : scheduler;
   scalable : bool;
-      (** [false] for quadratic-in-ready-set heuristics (GDL) that should
-          be skipped on very large graphs *)
+      (** [false] for quadratic-in-ready-set heuristics (GDL, ETF) that
+          should be skipped on very large graphs *)
 }
 
-(** All registered heuristics.  ILHA appears with its default B; use
-    {!ilha_with} for explicit chunk sizes. *)
+(** All registered heuristics.  ILHA variants (chunk size, scans,
+    rescheduling) are selected through {!Params.t}, not separate
+    entries. *)
 val all : entry list
 
 val names : string list
 
 (** @raise Invalid_argument on an unknown name. *)
 val find : string -> entry
-
-(** [ilha_with ?b ?scan ?reschedule ()] — a parameterised ILHA entry
-    (name encodes the parameters, e.g. ["ilha[b=4]"]). *)
-val ilha_with : ?b:int -> ?scan:Ilha.scan -> ?reschedule:bool -> unit -> entry

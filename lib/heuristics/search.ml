@@ -1,12 +1,13 @@
 module Graph = Taskgraph.Graph
 module Schedule = Sched.Schedule
 
-let best_schedule ?policy ~model plat g =
+let best_schedule ?(params = Params.default) plat g =
+  let { Params.model; policy; _ } = params in
   let n = Graph.n_tasks g in
   if n > 8 then invalid_arg "Search.best_schedule: more than 8 tasks";
   let p = Platform.p plat in
   (* Start from HEFT so pruning has a good incumbent. *)
-  let incumbent = ref (Heft.schedule ?policy ~model plat g) in
+  let incumbent = ref (Heft.schedule ~params plat g) in
   let incumbent_makespan = ref (Schedule.makespan !incumbent) in
   let rec explore sched remaining ready current_max =
     if ready = [] then begin
@@ -20,7 +21,7 @@ let best_schedule ?policy ~model plat g =
         (fun v ->
           for q = 0 to p - 1 do
             let sched' = Schedule.copy sched in
-            let engine = Engine.create ?policy sched' in
+            let engine = Engine.create ~policy sched' in
             let ev = Engine.evaluate engine ~task:v ~proc:q in
             let current_max' = max current_max ev.Engine.eft in
             if current_max' < !incumbent_makespan then begin
@@ -44,5 +45,5 @@ let best_schedule ?policy ~model plat g =
   explore sched0 n ready0 0.;
   !incumbent
 
-let best_makespan ?policy ~model plat g =
-  Schedule.makespan (best_schedule ?policy ~model plat g)
+let best_makespan ?params plat g =
+  Schedule.makespan (best_schedule ?params plat g)

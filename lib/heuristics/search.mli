@@ -12,18 +12,9 @@
 
     Guarded to at most 8 tasks; the search space is [O(n! p^n)]. *)
 
-(** [best_schedule ?policy ~model plat g] — the best schedule found.
+(** [best_schedule ?params plat g] — the best schedule found.
     @raise Invalid_argument beyond 8 tasks. *)
 val best_schedule :
-  ?policy:Engine.policy ->
-  model:Commmodel.Comm_model.t ->
-  Platform.t ->
-  Taskgraph.Graph.t ->
-  Sched.Schedule.t
+  ?params:Params.t -> Platform.t -> Taskgraph.Graph.t -> Sched.Schedule.t
 
-val best_makespan :
-  ?policy:Engine.policy ->
-  model:Commmodel.Comm_model.t ->
-  Platform.t ->
-  Taskgraph.Graph.t ->
-  float
+val best_makespan : ?params:Params.t -> Platform.t -> Taskgraph.Graph.t -> float

@@ -26,14 +26,15 @@ let ranks costs g plat =
   done;
   rank
 
-let heft ?policy ~costs ~model plat g =
+let heft ?(params = Params.default) ~costs plat g =
+  Obs.Span.with_ "heft-unrelated" @@ fun () ->
   check_shape costs g plat;
   let sched =
     Schedule.create
       ~exec_time:(fun v q -> costs.(v).(q))
-      ~graph:g ~platform:plat ~model ()
+      ~graph:g ~platform:plat ~model:params.Params.model ()
   in
-  let engine = Engine.create ?policy sched in
+  let engine = Engine.create ~policy:params.Params.policy sched in
   let priority = ranks costs g plat in
   let ready = Prelude.Pqueue.create ~compare:(Ranking.compare_priority priority) in
   let remaining = Array.init (Graph.n_tasks g) (Graph.in_degree g) in

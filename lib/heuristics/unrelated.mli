@@ -18,12 +18,11 @@
     @raise Invalid_argument if the matrix shape does not match. *)
 val ranks : float array array -> Taskgraph.Graph.t -> Platform.t -> float array
 
-(** [heft ?policy ~costs ~model plat g] — HEFT over the cost matrix
+(** [heft ?params ~costs plat g] — HEFT over the cost matrix
     [costs.(task).(proc)]. *)
 val heft :
-  ?policy:Engine.policy ->
+  ?params:Params.t ->
   costs:float array array ->
-  model:Commmodel.Comm_model.t ->
   Platform.t ->
   Taskgraph.Graph.t ->
   Sched.Schedule.t

@@ -1,0 +1,97 @@
+type snapshot = {
+  evaluations : int;
+  gap_probes : int;
+  joint_gap_probes : int;
+  tentative_hops : int;
+  commits : int;
+  copies : int;
+}
+
+let zero : snapshot =
+  {
+    evaluations = 0;
+    gap_probes = 0;
+    joint_gap_probes = 0;
+    tentative_hops = 0;
+    commits = 0;
+    copies = 0;
+  }
+
+(* One mutable record rather than six refs: a single cache line, and the
+   field stores compile to plain [mov]s. *)
+type state = {
+  mutable evaluations : int;
+  mutable gap_probes : int;
+  mutable joint_gap_probes : int;
+  mutable tentative_hops : int;
+  mutable commits : int;
+  mutable copies : int;
+}
+
+let s =
+  {
+    evaluations = 0;
+    gap_probes = 0;
+    joint_gap_probes = 0;
+    tentative_hops = 0;
+    commits = 0;
+    copies = 0;
+  }
+
+let on = ref false
+let enable () = on := true
+let disable () = on := false
+let enabled () = !on
+
+let reset () =
+  s.evaluations <- 0;
+  s.gap_probes <- 0;
+  s.joint_gap_probes <- 0;
+  s.tentative_hops <- 0;
+  s.commits <- 0;
+  s.copies <- 0
+
+let snapshot () : snapshot =
+  {
+    evaluations = s.evaluations;
+    gap_probes = s.gap_probes;
+    joint_gap_probes = s.joint_gap_probes;
+    tentative_hops = s.tentative_hops;
+    commits = s.commits;
+    copies = s.copies;
+  }
+
+let diff (a : snapshot) (b : snapshot) : snapshot =
+  {
+    evaluations = b.evaluations - a.evaluations;
+    gap_probes = b.gap_probes - a.gap_probes;
+    joint_gap_probes = b.joint_gap_probes - a.joint_gap_probes;
+    tentative_hops = b.tentative_hops - a.tentative_hops;
+    commits = b.commits - a.commits;
+    copies = b.copies - a.copies;
+  }
+
+let pp fmt (c : snapshot) =
+  Format.fprintf fmt
+    "@[<v>evaluations:      %d@,\
+     gap probes:       %d@,\
+     joint gap probes: %d@,\
+     tentative hops:   %d@,\
+     commits:          %d@,\
+     copies:           %d@]"
+    c.evaluations c.gap_probes c.joint_gap_probes c.tentative_hops c.commits
+    c.copies
+
+let evaluation () = if !on then s.evaluations <- s.evaluations + 1 [@@inline]
+let gap_probe () = if !on then s.gap_probes <- s.gap_probes + 1 [@@inline]
+
+let joint_gap_probe () =
+  if !on then s.joint_gap_probes <- s.joint_gap_probes + 1
+[@@inline]
+
+let tentative_hop () =
+  if !on then s.tentative_hops <- s.tentative_hops + 1
+[@@inline]
+
+let commit () = if !on then s.commits <- s.commits + 1 [@@inline]
+let copy () = if !on then s.copies <- s.copies + 1 [@@inline]

@@ -1,0 +1,57 @@
+(** Hot-path counters for the scheduling engine.
+
+    Six monotonic counters cover the per-decision costs that dominate
+    every list heuristic in this library:
+
+    - [evaluations]: calls to [Engine.evaluate] — one candidate
+      (task, processor) pair priced;
+    - [gap_probes]: single-timeline earliest-gap searches
+      ([Timeline.earliest_gap]);
+    - [joint_gap_probes]: joint (one-port) earliest-gap searches
+      ([Timeline.earliest_gap_joint]);
+    - [tentative_hops]: communication hops planned during evaluation
+      (most are discarded — only the winning processor's hops commit);
+    - [commits]: evaluations actually committed ([Engine.commit]);
+    - [copies]: whole-schedule copies ([Schedule.copy] — the cost of
+      ILHA's reschedule variant and of the improvers).
+
+    Counting is globally toggleable and off by default.  When disabled,
+    every bump is a single load-and-branch; when enabled, a single
+    in-place integer store — no allocation either way, so instrumented
+    code can sit inside the innermost loops. *)
+
+(** An immutable reading of all counters. *)
+type snapshot = {
+  evaluations : int;
+  gap_probes : int;
+  joint_gap_probes : int;
+  tentative_hops : int;
+  commits : int;
+  copies : int;
+}
+
+val zero : snapshot
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+(** Reset all counters to zero (independent of the enabled flag). *)
+val reset : unit -> unit
+
+val snapshot : unit -> snapshot
+
+(** [diff before after] — per-field [after - before]. *)
+val diff : snapshot -> snapshot -> snapshot
+
+(** Pretty one-line-per-counter rendering. *)
+val pp : Format.formatter -> snapshot -> unit
+
+(** {2 Bump sites} — no-ops while disabled. *)
+
+val evaluation : unit -> unit
+val gap_probe : unit -> unit
+val joint_gap_probe : unit -> unit
+val tentative_hop : unit -> unit
+val commit : unit -> unit
+val copy : unit -> unit

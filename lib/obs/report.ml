@@ -1,0 +1,52 @@
+type t = {
+  counters : Counters.snapshot;
+  phases : (string * float) list;
+}
+
+let empty = { counters = Counters.zero; phases = [] }
+
+let phase_totals events =
+  (* Stack-match begin/end pairs; accumulate per name in first-seen
+     order.  Unmatched ends (ring overwrite) are skipped; unmatched
+     begins contribute nothing. *)
+  let order = ref [] in
+  let totals = Hashtbl.create 16 in
+  let stack = ref [] in
+  List.iter
+    (fun (e : Span.event) ->
+      match e.Span.kind with
+      | Span.Begin -> stack := e :: !stack
+      | Span.End -> (
+          match !stack with
+          | opener :: rest ->
+              stack := rest;
+              let dt = e.Span.ts -. opener.Span.ts in
+              if not (Hashtbl.mem totals opener.Span.name) then
+                order := opener.Span.name :: !order;
+              Hashtbl.replace totals opener.Span.name
+                (dt
+                +.
+                match Hashtbl.find_opt totals opener.Span.name with
+                | Some acc -> acc
+                | None -> 0.)
+          | [] -> ()))
+    events;
+  List.rev_map (fun name -> (name, Hashtbl.find totals name)) !order
+
+let capture f =
+  if not (Counters.enabled () || Span.enabled ()) then (f (), empty)
+  else begin
+    let c0 = Counters.snapshot () in
+    let cur = Span.cursor () in
+    let x = f () in
+    let counters = Counters.diff c0 (Counters.snapshot ()) in
+    let phases = phase_totals (Span.events_from cur) in
+    (x, { counters; phases })
+  end
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>%a" Counters.pp r.counters;
+  List.iter
+    (fun (name, s) -> Format.fprintf fmt "@,%-16s %.6fs" name s)
+    r.phases;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,86 @@
+type kind = Begin | End
+type event = { name : string; kind : kind; ts : float; seq : int }
+
+let default_capacity = 65536
+
+(* Parallel arrays so that pushing an event stores a pointer, a byte and
+   an unboxed float — no allocation. *)
+type ring = {
+  mutable names : string array;
+  mutable begins : Bytes.t;  (* 1 = Begin, 0 = End *)
+  mutable tss : float array;
+  mutable total : int;  (* events ever pushed; ring slot = total mod cap *)
+}
+
+let r = { names = [||]; begins = Bytes.empty; tss = [||]; total = 0 }
+let on = ref false
+let last_ts = ref neg_infinity
+
+let ensure_capacity cap =
+  if Array.length r.names <> cap then begin
+    r.names <- Array.make cap "";
+    r.begins <- Bytes.make cap '\000';
+    r.tss <- Array.make cap 0.;
+    r.total <- 0
+  end
+
+let enable ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Span.enable: capacity < 1";
+  ensure_capacity capacity;
+  on := true
+
+let disable () = on := false
+let enabled () = !on
+
+let reset () =
+  r.total <- 0;
+  last_ts := neg_infinity
+
+let cursor () = r.total
+
+let dropped () =
+  let cap = Array.length r.names in
+  if cap = 0 then 0 else max 0 (r.total - cap)
+
+(* Wall clock, clamped so recorded timestamps never decrease. *)
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !last_ts then last_ts := t;
+  !last_ts
+
+let push name kind =
+  let cap = Array.length r.names in
+  if cap > 0 then begin
+    let i = r.total mod cap in
+    r.names.(i) <- name;
+    Bytes.unsafe_set r.begins i (match kind with Begin -> '\001' | End -> '\000');
+    r.tss.(i) <- now ();
+    r.total <- r.total + 1
+  end
+
+let begin_ name = if !on then push name Begin
+let end_ name = if !on then push name End
+
+let with_ name f =
+  if not !on then f ()
+  else begin
+    push name Begin;
+    Fun.protect ~finally:(fun () -> push name End) f
+  end
+
+let nth_event abs =
+  let cap = Array.length r.names in
+  let i = abs mod cap in
+  {
+    name = r.names.(i);
+    kind = (if Bytes.get r.begins i = '\001' then Begin else End);
+    ts = r.tss.(i);
+    seq = abs;
+  }
+
+let events_from seq =
+  let first = max seq (r.total - Array.length r.names) in
+  let first = max first 0 in
+  List.init (max 0 (r.total - first)) (fun k -> nth_event (first + k))
+
+let events () = events_from 0

@@ -1,0 +1,52 @@
+(** Begin/end span tracing with a fixed-capacity ring buffer.
+
+    Instrumented code brackets interesting phases with {!with_} (or raw
+    {!begin_}/{!end_}).  Events carry a name, a kind and a wall-clock
+    timestamp; they land in a preallocated ring, so a long run overwrites
+    its oldest events instead of growing without bound ({!dropped} says
+    how many were lost).  Timestamps are clamped monotonic at record time
+    — a trace never runs backwards even if the system clock does.
+
+    Tracing is globally toggleable and off by default; a disabled
+    {!with_} is one load-and-branch around the thunk.  Recording an
+    event allocates nothing: names, kinds and timestamps live in three
+    parallel preallocated arrays. *)
+
+type kind = Begin | End
+
+type event = {
+  name : string;
+  kind : kind;
+  ts : float;  (** seconds, monotonically non-decreasing *)
+  seq : int;  (** absolute event number since the last {!reset} *)
+}
+
+(** [enable ?capacity ()] — start recording.  [capacity] (default 65536)
+    resizes and clears the ring if it differs from the current one. *)
+val enable : ?capacity:int -> unit -> unit
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+(** Drop all recorded events (the enabled flag is untouched). *)
+val reset : unit -> unit
+
+(** Events still in the ring, oldest first. *)
+val events : unit -> event list
+
+(** [events_from seq] — the recorded events with [e.seq >= seq] (oldest
+    first); pair with {!cursor} to scope a region of interest. *)
+val events_from : int -> event list
+
+(** The sequence number the next event will get. *)
+val cursor : unit -> int
+
+(** Events lost to ring overwrite since the last {!reset}. *)
+val dropped : unit -> int
+
+val begin_ : string -> unit
+val end_ : string -> unit
+
+(** [with_ name f] — [begin_ name], run [f], [end_ name]; the end event
+    is recorded even if [f] raises. *)
+val with_ : string -> (unit -> 'a) -> 'a

@@ -63,6 +63,7 @@ let sort_extra extra =
   | l -> List.sort (fun (s1, _) (s2, _) -> compare s1 s2) l
 
 let earliest_gap ?(extra = []) t ~after ~duration =
+  Obs.Counters.gap_probe ();
   if duration <= 0. then after
   else begin
     let extra = sort_extra extra in
@@ -101,6 +102,7 @@ let earliest_gap ?(extra = []) t ~after ~duration =
   end
 
 let earliest_gap_joint ?(extra = []) ts ~after ~duration =
+  Obs.Counters.joint_gap_probe ();
   if duration <= 0. then after
   else begin
     let ts = Array.of_list ts in

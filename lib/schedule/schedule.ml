@@ -118,6 +118,7 @@ let edge_available_at t ~edge =
   | hops -> (List.nth hops (List.length hops - 1)).finish
 
 let copy t =
+  Obs.Counters.copy ();
   {
     t with
     resource = Resource.copy t.resource;

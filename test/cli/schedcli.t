@@ -69,3 +69,20 @@ Exports are well-formed:
   kind,name,processor,resource,start,finish,duration
   task,v0,0,cpu,0,6,6
   task,v1,0,cpu,6,12,6
+
+Observability: --stats prints deterministic counters (times vary, so
+only the counter lines are checked), --trace writes a balanced Chrome
+trace:
+
+  $ ../../bin/schedcli.exe run -t lu -n 10 --stats 2>&1 | grep -E "evaluations|commits|copies"
+  evaluations:      450
+  commits:          45
+  copies:           0
+
+  $ ../../bin/schedcli.exe run -t lu -n 10 -H ilha --trace lu.trace.json > /dev/null
+  $ grep -c '"ph":"B"' lu.trace.json > begins
+  $ grep -c '"ph":"E"' lu.trace.json > ends
+  $ diff begins ends && echo balanced
+  balanced
+  $ grep -o '"ph":"C"' lu.trace.json
+  "ph":"C"

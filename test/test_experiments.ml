@@ -26,7 +26,9 @@ let runner_tests =
         let cfg = tiny_cfg () in
         let row =
           O.Runner.run cfg ~testbed:(O.Suite.find "lu") ~n:10
-            ~heuristic:(O.Registry.find "ilha") ~b:4 ()
+            ~heuristic:(O.Registry.find "ilha")
+            ~params:(O.Params.make ~b:4 ())
+            ()
         in
         check_bool "b recorded" true (row.O.Runner.b = Some 4);
         check_bool "named" true (contains row.O.Runner.heuristic "b=4"));
@@ -98,7 +100,7 @@ let config_tests =
         Alcotest.(check (list int)) "sizes" [ 100; 200; 300; 400; 500 ]
           cfg.O.Config.sizes;
         check_bool "one-port" true
-          (O.Comm_model.equal cfg.O.Config.model O.Comm_model.one_port));
+          (O.Comm_model.equal (O.Config.model cfg) O.Comm_model.one_port));
     Alcotest.test_case "scaling shrinks sizes" `Quick (fun () ->
         let cfg = O.Config.paper ~scale:0.2 () in
         Alcotest.(check (list int)) "scaled" [ 20; 40; 60; 80; 100 ]

@@ -12,8 +12,8 @@ let etf_tests =
       QCheck2.Gen.(tup3 graph_gen platform_gen model_gen)
       (fun (params, plat, model) ->
         let g = build_graph params in
-        scheduler_checks_out ~model plat g (fun ?policy ~model plat g ->
-            O.Etf.schedule ?policy ~model plat g));
+        scheduler_checks_out ~params:(O.Params.of_model model) plat g
+          (fun params plat g -> O.Etf.schedule ~params plat g));
     Alcotest.test_case "ETF starts the globally earliest pair" `Quick (fun () ->
         (* two entry tasks of different weight on two same-speed procs:
            both can start at 0; the higher static level (heavier path)
@@ -22,7 +22,7 @@ let etf_tests =
           O.Graph.create ~weights:[| 1.; 5. |] ~edges:[] ()
         in
         let plat = O.Platform.homogeneous ~p:2 ~link_cost:1. in
-        let sched = O.Etf.schedule ~model:one_port plat g in
+        let sched = O.Etf.schedule plat g in
         let pl = O.Schedule.placement_exn sched 1 in
         check_float "heavy task starts at 0" 0. pl.O.Schedule.start);
   ]
@@ -41,20 +41,20 @@ let auto_b_tests =
     Alcotest.test_case "search returns the best trial" `Quick (fun () ->
         let plat = O.Platform.paper_platform () in
         let g = O.Kernels.doolittle ~n:20 ~ccr:10. in
-        let r = O.Auto_b.search ~model:one_port plat g in
+        let r = O.Auto_b.search plat g in
         check_bool "best is min of trials" true
           (List.for_all (fun (_, m) -> r.O.Auto_b.best_makespan <= m +. 1e-9)
              r.O.Auto_b.trials);
         let direct =
-          O.Schedule.makespan (O.Ilha.schedule ~b:r.O.Auto_b.best_b ~model:one_port plat g)
+          O.Schedule.makespan (O.Ilha.schedule ~params:(O.Params.make ~b:r.O.Auto_b.best_b ()) plat g)
         in
         check_float "schedule at best_b reproduces" r.O.Auto_b.best_makespan direct);
     qtest ~count:20 "auto-B never loses to default ILHA"
       QCheck2.Gen.(tup2 graph_gen platform_gen)
       (fun (params, plat) ->
         let g = build_graph params in
-        let auto = O.Auto_b.search ~model:one_port plat g in
-        let default = O.Schedule.makespan (O.Ilha.schedule ~model:one_port plat g) in
+        let auto = O.Auto_b.search plat g in
+        let default = O.Schedule.makespan (O.Ilha.schedule plat g) in
         (* the default B is one of the sampled candidates *)
         auto.O.Auto_b.best_makespan <= default +. 1e-9);
   ]
@@ -65,7 +65,7 @@ let refine_tests =
       QCheck2.Gen.(tup2 graph_gen platform_gen)
       (fun (params, plat) ->
         let g = build_graph params in
-        let sched = O.Heft.schedule ~model:one_port plat g in
+        let sched = O.Heft.schedule plat g in
         let r = O.Refine.improve ~max_rounds:2 ~max_moves:5 sched in
         O.Validate.is_valid r.O.Refine.schedule
         && r.O.Refine.final_makespan <= r.O.Refine.initial_makespan +. 1e-9
@@ -76,7 +76,7 @@ let refine_tests =
         let g = O.Kernels.fork_join ~n:4 ~ccr:1. in
         let plat = O.Platform.homogeneous ~p:3 ~link_cost:1. in
         let alloc v = v mod 3 in
-        let sched = O.Refine.rebuild ~alloc ~model:one_port plat g in
+        let sched = O.Refine.rebuild ~alloc plat g in
         O.Validate.check_exn sched;
         for v = 0 to O.Graph.n_tasks g - 1 do
           check_int "placed as forced" (alloc v) (O.Schedule.proc_of_exn sched v)
@@ -89,7 +89,7 @@ let refine_tests =
           O.Graph.create ~weights:(Array.make 6 4.) ~edges:[] ()
         in
         let plat = O.Platform.homogeneous ~p:2 ~link_cost:1. in
-        let sched = O.Refine.rebuild ~alloc:(fun _ -> 0) ~model:one_port plat g in
+        let sched = O.Refine.rebuild ~alloc:(fun _ -> 0) plat g in
         let r = O.Refine.improve sched in
         check_bool "improved" true
           (r.O.Refine.final_makespan < r.O.Refine.initial_makespan -. 1e-9);
@@ -102,7 +102,7 @@ let bounds_tests =
       QCheck2.Gen.(tup3 graph_gen platform_gen model_gen)
       (fun (params, plat, model) ->
         let g = build_graph params in
-        let sched = O.Heft.schedule ~model plat g in
+        let sched = O.Heft.schedule ~params:(O.Params.of_model model) plat g in
         let makespan = O.Schedule.makespan sched in
         let bound =
           if O.Comm_model.restricts_ports model then O.Bounds.one_port_fork g plat
@@ -122,7 +122,7 @@ let bounds_tests =
            the §2.3 example's makespan is provably optimal *)
         let g = O.Fork.example_fig1 () in
         let plat = O.Platform.homogeneous ~p:5 ~link_cost:1. in
-        let sched = O.Heft.schedule ~model:one_port plat g in
+        let sched = O.Heft.schedule plat g in
         check_float "quality 1.0" 1.0 (O.Bounds.quality sched));
   ]
 
@@ -131,7 +131,7 @@ let export_tests =
     Alcotest.test_case "chrome trace is well-formed" `Quick (fun () ->
         let g = O.Kernels.fork_join ~n:3 ~ccr:2. in
         let plat = O.Platform.homogeneous ~p:2 ~link_cost:1. in
-        let sched = O.Heft.schedule ~model:one_port plat g in
+        let sched = O.Heft.schedule plat g in
         let trace = O.Export.to_chrome_trace sched in
         check_bool "array" true
           (String.length trace > 2 && trace.[0] = '[');
@@ -147,7 +147,7 @@ let export_tests =
     Alcotest.test_case "csv has a row per event occurrence" `Quick (fun () ->
         let g = O.Kernels.fork_join ~n:3 ~ccr:2. in
         let plat = O.Platform.homogeneous ~p:2 ~link_cost:1. in
-        let sched = O.Heft.schedule ~model:one_port plat g in
+        let sched = O.Heft.schedule plat g in
         let csv = O.Export.to_csv sched in
         let lines =
           List.filter (fun l -> l <> "") (String.split_on_char '\n' csv)
@@ -162,7 +162,7 @@ let utilization_tests =
     Alcotest.test_case "fractions are consistent with metrics" `Quick (fun () ->
         let g = O.Kernels.laplace ~n:8 ~ccr:5. in
         let plat = O.Platform.paper_platform () in
-        let sched = O.Ilha.schedule ~model:one_port plat g in
+        let sched = O.Ilha.schedule plat g in
         let fracs = O.Utilization.compute_fractions sched in
         let metrics = O.Metrics.compute sched in
         check_float "mean matches metrics" metrics.O.Metrics.mean_utilization
@@ -171,7 +171,7 @@ let utilization_tests =
       `Quick (fun () ->
         let g = O.Kernels.stencil ~n:6 ~ccr:3. in
         let plat = O.Platform.homogeneous ~p:4 ~link_cost:1. in
-        let sched = O.Heft.schedule ~model:one_port plat g in
+        let sched = O.Heft.schedule plat g in
         let p = O.Utilization.profile ~buckets:20 sched in
         Array.iter
           (Array.iter (fun v -> check_bool "in range" true (v >= 0. && v <= 1.0 +. 1e-9)))
@@ -189,13 +189,13 @@ let utilization_tests =
       (fun () ->
         let g = O.Graph.create ~weights:[| 1.; 1. |] ~edges:[] () in
         let plat = O.Platform.homogeneous ~p:2 ~link_cost:1. in
-        let sched = O.Heft.schedule ~model:one_port plat g in
+        let sched = O.Heft.schedule plat g in
         Array.iter (fun f -> check_float "zero" 0. f)
           (O.Utilization.port_fractions sched));
     Alcotest.test_case "render shows every processor" `Quick (fun () ->
         let g = O.Kernels.fork_join ~n:5 ~ccr:2. in
         let plat = O.Platform.homogeneous ~p:3 ~link_cost:1. in
-        let sched = O.Heft.schedule ~model:one_port plat g in
+        let sched = O.Heft.schedule plat g in
         let out = O.Utilization.render (O.Utilization.profile sched) in
         check_bool "P0..P2" true
           (contains out "P0" && contains out "P1" && contains out "P2"));

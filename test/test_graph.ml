@@ -121,7 +121,7 @@ let generator_tests =
           (O.Graph.weight g offsets.(1));
         (* the union schedules like any graph *)
         let plat = O.Platform.homogeneous ~p:3 ~link_cost:1. in
-        let sched = O.Heft.schedule ~model:O.Comm_model.one_port plat g in
+        let sched = O.Heft.schedule plat g in
         check_bool "valid batch schedule" true (O.Validate.is_valid sched));
     qtest ~count:50 "disjoint union preserves edge counts"
       QCheck2.Gen.(tup2 graph_gen graph_gen)

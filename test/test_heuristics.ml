@@ -17,7 +17,7 @@ let fig1_tests =
       (fun () ->
         let g = O.Fork.example_fig1 () in
         let plat = O.Platform.homogeneous ~p:5 ~link_cost:1. in
-        let sched = O.Heft.schedule ~model:macro plat g in
+        let sched = O.Heft.schedule ~params:(O.Params.of_model macro) plat g in
         O.Validate.check_exn sched;
         check_float "makespan" 3. (O.Schedule.makespan sched));
     Alcotest.test_case "Fig 1: one-port optimum is 5" `Quick (fun () ->
@@ -30,7 +30,7 @@ let fig1_tests =
       (fun () ->
         let g = O.Fork.example_fig1 () in
         let plat = O.Platform.homogeneous ~p:5 ~link_cost:1. in
-        let sched = O.Heft.schedule ~model:one_port plat g in
+        let sched = O.Heft.schedule plat g in
         O.Validate.check_exn sched;
         check_float "makespan" 5. (O.Schedule.makespan sched));
     Alcotest.test_case "Fig 1: macro allocation costs >= 6 under one-port"
@@ -51,7 +51,7 @@ let toy_tests =
     Alcotest.test_case "Fig 4: HEFT mapping matches the paper" `Quick (fun () ->
         let g = O.Toy.graph () in
         let plat = O.Platform.homogeneous ~p:2 ~link_cost:1. in
-        let sched = O.Heft.schedule ~model:one_port plat g in
+        let sched = O.Heft.schedule plat g in
         O.Validate.check_exn sched;
         (* a0 -> P0, b0 -> P1, then a1 a2 on P0, a3 on P1, ... (Fig. 4) *)
         let proc v = (O.Schedule.placement_exn sched v).O.Schedule.proc in
@@ -65,7 +65,7 @@ let toy_tests =
     Alcotest.test_case "Fig 4: ILHA halves the communications" `Quick (fun () ->
         let g = O.Toy.graph () in
         let plat = O.Platform.homogeneous ~p:2 ~link_cost:1. in
-        let sched = O.Ilha.schedule ~b:8 ~model:one_port plat g in
+        let sched = O.Ilha.schedule ~params:(O.Params.make ~b:8 ()) plat g in
         O.Validate.check_exn sched;
         let proc v = (O.Schedule.placement_exn sched v).O.Schedule.proc in
         (* zero-comm scan: a1 a2 a3 with P0, b3 b2 b1 with P1 *)
@@ -157,15 +157,21 @@ let all_schedulers =
     (fun e -> (e.O.Registry.name, e.O.Registry.scheduler))
     O.Registry.all
   @ [
-      ("ilha[scan=1comm]",
-       fun ?policy ~model plat g ->
-         O.Ilha.schedule ?policy ~scan:O.Ilha.Scan_one_comm ~model plat g);
-      ("ilha[resched]",
-       fun ?policy ~model plat g ->
-         O.Ilha.schedule ?policy ~reschedule:true ~model plat g);
-      ("heft[append]",
-       fun ?policy:_ ~model plat g ->
-         O.Heft.schedule ~policy:O.Engine.Append ~model plat g);
+      ( "ilha[scan=1comm]",
+        fun params plat g ->
+          O.Ilha.schedule
+            ~params:(O.Params.with_scan params O.Params.Scan_one_comm)
+            plat g );
+      ( "ilha[resched]",
+        fun params plat g ->
+          O.Ilha.schedule
+            ~params:(O.Params.with_reschedule params true)
+            plat g );
+      ( "heft[append]",
+        fun params plat g ->
+          O.Heft.schedule
+            ~params:(O.Params.with_policy params O.Engine.Append)
+            plat g );
     ]
 
 let validity_tests =
@@ -176,7 +182,8 @@ let validity_tests =
         QCheck2.Gen.(tup3 graph_gen platform_gen model_gen)
         (fun (params, plat, model) ->
           let g = build_graph params in
-          scheduler_checks_out ~model plat g scheduler))
+          scheduler_checks_out ~params:(O.Params.of_model model) plat g
+            scheduler))
     all_schedulers
 
 let determinism_tests =
@@ -186,7 +193,7 @@ let determinism_tests =
       (fun (params, plat) ->
         let g = build_graph params in
         let once () =
-          let s = O.Ilha.schedule ~model:one_port plat g in
+          let s = O.Ilha.schedule plat g in
           ( O.Schedule.makespan s,
             List.map
               (fun v -> (O.Schedule.placement_exn s v).O.Schedule.proc)
@@ -214,7 +221,7 @@ let optimality_tests =
             ~max_data:3
         in
         let plat = O.Platform.homogeneous ~p:2 ~link_cost:1. in
-        let best = O.Search.best_schedule ~model:one_port plat g in
+        let best = O.Search.best_schedule plat g in
         O.Validate.check_exn best;
         true);
     qtest ~count:25 "search lower-bounds every list heuristic" tiny_graph_gen
@@ -225,10 +232,10 @@ let optimality_tests =
             ~max_data:3
         in
         let plat = O.Platform.fully_connected ~cycle_times:[| 1.; 2. |] ~link_cost:1. () in
-        let bound = O.Search.best_makespan ~model:one_port plat g in
+        let bound = O.Search.best_makespan plat g in
         List.for_all
           (fun ((_, scheduler) : string * O.Registry.scheduler) ->
-            let s = scheduler ~model:one_port plat g in
+            let s = scheduler O.Params.default plat g in
             O.Schedule.makespan s >= bound -. 1e-9)
           all_schedulers);
     qtest ~count:40 "Fork_exact agrees with exhaustive search on forks"
@@ -249,7 +256,7 @@ let optimality_tests =
         let plat = O.Platform.homogeneous ~p ~link_cost:1. in
         let inst = Option.get (O.Fork_exact.of_graph g) in
         let exact = O.Fork_exact.optimal_makespan ~max_procs:p inst in
-        let search = O.Search.best_makespan ~model:one_port plat g in
+        let search = O.Search.best_makespan plat g in
         Prelude.Stats.fequal exact search);
   ]
 

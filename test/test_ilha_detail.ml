@@ -18,7 +18,7 @@ let quota_tests =
         let edges = List.init 6 (fun i -> (0, 2 + i, 0.5)) in
         let g = O.Graph.create ~name:"quota" ~weights ~edges () in
         let plat = O.Platform.homogeneous ~p:2 ~link_cost:1. in
-        let sched = O.Ilha.schedule ~b:6 ~model:one_port plat g in
+        let sched = O.Ilha.schedule ~params:(O.Params.make ~b:6 ()) plat g in
         O.Validate.check_exn sched;
         let p0 = O.Schedule.proc_of_exn sched 0 in
         let on_p0 =
@@ -38,7 +38,7 @@ let quota_tests =
         let g = O.Toy.graph () in
         let plat = O.Platform.homogeneous ~p:2 ~link_cost:1. in
         let sched =
-          O.Ilha.schedule ~b:8 ~scan:O.Ilha.Scan_one_comm ~model:one_port plat g
+          O.Ilha.schedule ~params:(O.Params.make ~b:8 ~scan:O.Params.Scan_one_comm ()) plat g
         in
         O.Validate.check_exn sched;
         check_bool "no more comms than the zero-comm variant" true
@@ -47,8 +47,8 @@ let quota_tests =
         (* B = 1 degenerates ILHA to HEFT exactly *)
         let g = O.Kernels.doolittle ~n:12 ~ccr:10. in
         let plat = O.Platform.paper_platform () in
-        let heft = O.Heft.schedule ~model:one_port plat g in
-        let ilha1 = O.Ilha.schedule ~b:1 ~model:one_port plat g in
+        let heft = O.Heft.schedule plat g in
+        let ilha1 = O.Ilha.schedule ~params:(O.Params.make ~b:1 ()) plat g in
         check_float "identical makespans"
           (O.Schedule.makespan heft) (O.Schedule.makespan ilha1);
         for v = 0 to O.Graph.n_tasks g - 1 do
@@ -60,20 +60,20 @@ let quota_tests =
       QCheck2.Gen.(tup2 graph_gen platform_gen)
       (fun (params, plat) ->
         let g = build_graph params in
-        let sched = O.Ilha.schedule ~reschedule:true ~model:one_port plat g in
+        let sched = O.Ilha.schedule ~params:(O.Params.make ~reschedule:true ()) plat g in
         O.Schedule.all_placed sched && O.Validate.is_valid sched);
     qtest ~count:30 "any B >= 1 yields complete valid schedules"
       QCheck2.Gen.(tup2 graph_gen (int_range 1 60))
       (fun (params, b) ->
         let g = build_graph params in
         let plat = O.Platform.paper_platform () in
-        let sched = O.Ilha.schedule ~b ~model:one_port plat g in
+        let sched = O.Ilha.schedule ~params:(O.Params.make ~b ()) plat g in
         O.Schedule.all_placed sched && O.Validate.is_valid sched);
     Alcotest.test_case "B < 1 is rejected" `Quick (fun () ->
         let g = O.Toy.graph () in
         let plat = O.Platform.homogeneous ~p:2 ~link_cost:1. in
         Alcotest.check_raises "b=0" (Invalid_argument "Ilha.schedule: b < 1")
-          (fun () -> ignore (O.Ilha.schedule ~b:0 ~model:one_port plat g)));
+          (fun () -> ignore (O.Ilha.schedule ~params:(O.Params.make ~b:0 ()) plat g)));
     Alcotest.test_case "default B is the perfect chunk when integral" `Quick
       (fun () ->
         check_int "paper platform" 38 (O.Ilha.default_b (O.Platform.paper_platform ()));
@@ -127,7 +127,7 @@ let metrics_tests =
       `Quick (fun () ->
         let g = O.Graph.create ~weights:[| 2.; 2. |] ~edges:[] () in
         let plat = O.Platform.homogeneous ~p:2 ~link_cost:1. in
-        let sched = O.Heft.schedule ~model:one_port plat g in
+        let sched = O.Heft.schedule plat g in
         let m = O.Metrics.compute sched in
         check_float "balanced" 0. m.O.Metrics.max_load_imbalance;
         check_float "speedup 2" 2. m.O.Metrics.speedup);
@@ -135,7 +135,7 @@ let metrics_tests =
       (fun () ->
         let g = O.Kernels.fork_join ~n:3 ~ccr:2. in
         let plat = O.Platform.homogeneous ~p:2 ~link_cost:1. in
-        let sched = O.Heft.schedule ~model:O.Comm_model.macro_dataflow plat g in
+        let sched = O.Heft.schedule ~params:(O.Params.of_model O.Comm_model.macro_dataflow) plat g in
         let out = O.Gantt.render sched in
         check_bool "no send row" false (contains out "send");
         let out' = O.Gantt.render ~show_ports:true sched in

@@ -11,7 +11,7 @@ let anneal_tests =
       QCheck2.Gen.(tup2 graph_gen platform_gen)
       (fun (params, plat) ->
         let g = build_graph params in
-        let sched = O.Heft.schedule ~model:one_port plat g in
+        let sched = O.Heft.schedule plat g in
         let r =
           O.Anneal.improve
             ~params:{ O.Anneal.default_params with O.Anneal.steps = 60 }
@@ -25,7 +25,7 @@ let anneal_tests =
     Alcotest.test_case "annealing is deterministic per seed" `Quick (fun () ->
         let g = O.Kernels.doolittle ~n:10 ~ccr:10. in
         let plat = O.Platform.paper_platform () in
-        let sched = O.Heft.schedule ~model:one_port plat g in
+        let sched = O.Heft.schedule plat g in
         let run () =
           (O.Anneal.improve
              ~params:{ O.Anneal.default_params with O.Anneal.steps = 100 }
@@ -38,14 +38,14 @@ let anneal_tests =
         (* independent equal tasks all on one processor *)
         let g = O.Graph.create ~weights:(Array.make 8 4.) ~edges:[] () in
         let plat = O.Platform.homogeneous ~p:4 ~link_cost:1. in
-        let sched = O.Refine.rebuild ~alloc:(fun _ -> 0) ~model:one_port plat g in
+        let sched = O.Refine.rebuild ~alloc:(fun _ -> 0) plat g in
         let r = O.Anneal.improve sched in
         check_bool "improved substantially" true
           (r.O.Anneal.final_makespan < r.O.Anneal.initial_makespan /. 2.));
     Alcotest.test_case "zero steps keeps the incumbent" `Quick (fun () ->
         let g = O.Kernels.fork_join ~n:5 ~ccr:2. in
         let plat = O.Platform.homogeneous ~p:2 ~link_cost:1. in
-        let sched = O.Heft.schedule ~model:one_port plat g in
+        let sched = O.Heft.schedule plat g in
         let r =
           O.Anneal.improve
             ~params:{ O.Anneal.default_params with O.Anneal.steps = 0 }
@@ -60,7 +60,7 @@ let compare_tests =
     Alcotest.test_case "self-diff is the identity" `Quick (fun () ->
         let g = O.Kernels.laplace ~n:6 ~ccr:5. in
         let plat = O.Platform.paper_platform () in
-        let sched = O.Heft.schedule ~model:one_port plat g in
+        let sched = O.Heft.schedule plat g in
         let d = O.Compare.diff sched sched in
         check_float "ratio 1" 1. d.O.Compare.makespan_ratio;
         check_float "agreement 1" 1. d.O.Compare.allocation_agreement;
@@ -68,18 +68,18 @@ let compare_tests =
     Alcotest.test_case "diff counts moved tasks" `Quick (fun () ->
         let g = O.Graph.create ~weights:[| 1.; 1. |] ~edges:[] () in
         let plat = O.Platform.homogeneous ~p:2 ~link_cost:1. in
-        let a = O.Refine.rebuild ~alloc:(fun _ -> 0) ~model:one_port plat g in
-        let b = O.Refine.rebuild ~alloc:(fun v -> v) ~model:one_port plat g in
+        let a = O.Refine.rebuild ~alloc:(fun _ -> 0) plat g in
+        let b = O.Refine.rebuild ~alloc:(fun v -> v) plat g in
         let d = O.Compare.diff a b in
         check_int "one moved" 1 (List.length d.O.Compare.moved_tasks);
         check_int "one same" 1 d.O.Compare.same_allocation);
     Alcotest.test_case "rejects mismatched inputs" `Quick (fun () ->
         let plat = O.Platform.homogeneous ~p:2 ~link_cost:1. in
         let s1 =
-          O.Heft.schedule ~model:one_port plat (O.Kernels.fork_join ~n:3 ~ccr:1.)
+          O.Heft.schedule plat (O.Kernels.fork_join ~n:3 ~ccr:1.)
         in
         let s2 =
-          O.Heft.schedule ~model:one_port plat (O.Kernels.fork_join ~n:4 ~ccr:1.)
+          O.Heft.schedule plat (O.Kernels.fork_join ~n:4 ~ccr:1.)
         in
         check_bool "raises" true
           (try

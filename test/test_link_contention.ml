@@ -96,12 +96,14 @@ let property_tests =
       QCheck2.Gen.(tup2 graph_gen platform_gen)
       (fun (params, plat) ->
         let g = build_graph params in
-        scheduler_checks_out ~model:ss plat g (fun ?policy ~model plat g ->
-            O.Heft.schedule ?policy ~model plat g)
+        scheduler_checks_out ~params:(O.Params.of_model ss) plat g
+          (fun params plat g -> O.Heft.schedule ~params plat g)
         && scheduler_checks_out
-             ~model:(O.Comm_model.with_link_contention O.Comm_model.one_port)
+             ~params:
+               (O.Params.of_model
+                  (O.Comm_model.with_link_contention O.Comm_model.one_port))
              plat g
-             (fun ?policy ~model plat g -> O.Ilha.schedule ?policy ~model plat g));
+             (fun params plat g -> O.Ilha.schedule ~params plat g));
     qtest ~count:40 "single-evaluation slots are delayed by contention"
       QCheck2.Gen.(int_bound 10_000)
       (fun seed ->
@@ -133,7 +135,7 @@ let property_tests =
       QCheck2.Gen.(tup2 graph_gen platform_gen)
       (fun (params, plat) ->
         let g = build_graph params in
-        let sched = O.Heft.schedule ~model:ss plat g in
+        let sched = O.Heft.schedule ~params:(O.Params.of_model ss) plat g in
         let pert = O.Pert.build sched in
         O.Pert.compacted_makespan pert <= O.Schedule.makespan sched +. 1e-9);
   ]

@@ -19,4 +19,5 @@ let () =
       ("ilha-detail", Test_ilha_detail.suite);
       ("unrelated", Test_unrelated.suite);
       ("rendering", Test_svg.suite);
+      ("obs", Test_obs.suite);
     ]

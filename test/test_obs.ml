@@ -1,0 +1,309 @@
+(* Observability layer: counters, span tracing, reports and the Chrome
+   trace export.  The cardinal property is non-interference — turning
+   observability on must not change any schedule. *)
+
+module O = Onesched
+open Util
+
+(* Leave the global obs switches the way we found them. *)
+let with_obs_off f =
+  O.Obs_counters.disable ();
+  O.Obs_span.disable ();
+  Fun.protect
+    ~finally:(fun () ->
+      O.Obs_counters.disable ();
+      O.Obs_span.disable ())
+    f
+
+let with_obs_on f =
+  O.Obs_counters.enable ();
+  O.Obs_counters.reset ();
+  O.Obs_span.enable ();
+  O.Obs_span.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      O.Obs_counters.disable ();
+      O.Obs_span.disable ())
+    f
+
+let counter_tests =
+  [
+    Alcotest.test_case "disabled bumps are no-ops" `Quick (fun () ->
+        with_obs_off @@ fun () ->
+        O.Obs_counters.reset ();
+        O.Obs_counters.evaluation ();
+        O.Obs_counters.gap_probe ();
+        O.Obs_counters.commit ();
+        check_bool "still zero" true
+          (O.Obs_counters.snapshot () = O.Obs_counters.zero));
+    Alcotest.test_case "enabled bumps accumulate and reset zeroes" `Quick
+      (fun () ->
+        with_obs_on @@ fun () ->
+        O.Obs_counters.evaluation ();
+        O.Obs_counters.evaluation ();
+        O.Obs_counters.gap_probe ();
+        O.Obs_counters.joint_gap_probe ();
+        O.Obs_counters.tentative_hop ();
+        O.Obs_counters.commit ();
+        O.Obs_counters.copy ();
+        let c = O.Obs_counters.snapshot () in
+        check_int "evaluations" 2 c.O.Obs_counters.evaluations;
+        check_int "gap probes" 1 c.O.Obs_counters.gap_probes;
+        check_int "joint gap probes" 1 c.O.Obs_counters.joint_gap_probes;
+        check_int "tentative hops" 1 c.O.Obs_counters.tentative_hops;
+        check_int "commits" 1 c.O.Obs_counters.commits;
+        check_int "copies" 1 c.O.Obs_counters.copies;
+        O.Obs_counters.reset ();
+        check_bool "reset zeroes" true
+          (O.Obs_counters.snapshot () = O.Obs_counters.zero));
+    Alcotest.test_case "diff is per-field subtraction" `Quick (fun () ->
+        with_obs_on @@ fun () ->
+        O.Obs_counters.evaluation ();
+        let before = O.Obs_counters.snapshot () in
+        O.Obs_counters.evaluation ();
+        O.Obs_counters.commit ();
+        let after = O.Obs_counters.snapshot () in
+        let d = O.Obs_counters.diff before after in
+        check_int "evaluations delta" 1 d.O.Obs_counters.evaluations;
+        check_int "commits delta" 1 d.O.Obs_counters.commits;
+        check_int "copies delta" 0 d.O.Obs_counters.copies);
+    Alcotest.test_case "a real schedule drives every hot counter" `Quick
+      (fun () ->
+        with_obs_on @@ fun () ->
+        let plat = O.Platform.paper_platform () in
+        let g = O.Kernels.lu ~n:15 ~ccr:10. in
+        ignore (O.Heft.schedule plat g : O.Schedule.t);
+        let c = O.Obs_counters.snapshot () in
+        let tasks = O.Graph.n_tasks g in
+        check_bool "one evaluation per (task, proc) at least" true
+          (c.O.Obs_counters.evaluations >= tasks);
+        check_int "one commit per task" tasks c.O.Obs_counters.commits;
+        check_bool "gap probes outnumber commits" true
+          (c.O.Obs_counters.gap_probes + c.O.Obs_counters.joint_gap_probes
+          > c.O.Obs_counters.commits));
+  ]
+
+let span_tests =
+  [
+    Alcotest.test_case "with_ brackets and nests" `Quick (fun () ->
+        with_obs_on @@ fun () ->
+        let r =
+          O.Obs_span.with_ "outer" (fun () ->
+              O.Obs_span.with_ "inner" (fun () -> 42))
+        in
+        check_int "result threaded" 42 r;
+        let names =
+          List.map
+            (fun (e : O.Obs_span.event) ->
+              ( e.O.Obs_span.name,
+                match e.O.Obs_span.kind with
+                | O.Obs_span.Begin -> "B"
+                | O.Obs_span.End -> "E" ))
+            (O.Obs_span.events ())
+        in
+        check_bool "B/E properly nested" true
+          (names
+          = [
+              ("outer", "B"); ("inner", "B"); ("inner", "E"); ("outer", "E");
+            ]));
+    Alcotest.test_case "end event survives an exception" `Quick (fun () ->
+        with_obs_on @@ fun () ->
+        (try O.Obs_span.with_ "boom" (fun () -> failwith "x") with
+        | Failure _ -> ());
+        let kinds =
+          List.map (fun (e : O.Obs_span.event) -> e.O.Obs_span.kind)
+            (O.Obs_span.events ())
+        in
+        check_bool "begin then end" true
+          (kinds = [ O.Obs_span.Begin; O.Obs_span.End ]));
+    Alcotest.test_case "timestamps never run backwards" `Quick (fun () ->
+        with_obs_on @@ fun () ->
+        let plat = O.Platform.paper_platform () in
+        let g = O.Kernels.stencil ~n:20 ~ccr:10. in
+        ignore (O.Ilha.schedule plat g : O.Schedule.t);
+        let rec monotone last = function
+          | [] -> true
+          | (e : O.Obs_span.event) :: rest ->
+              e.O.Obs_span.ts >= last && monotone e.O.Obs_span.ts rest
+        in
+        check_bool "monotone" true (monotone 0. (O.Obs_span.events ())));
+    Alcotest.test_case "ring overwrites oldest and counts drops" `Quick
+      (fun () ->
+        O.Obs_span.enable ~capacity:8 ();
+        O.Obs_span.reset ();
+        Fun.protect ~finally:(fun () ->
+            O.Obs_span.disable ();
+            (* restore the default ring for later suites *)
+            O.Obs_span.enable ();
+            O.Obs_span.disable ())
+        @@ fun () ->
+        for i = 0 to 9 do
+          O.Obs_span.with_ (string_of_int i) (fun () -> ())
+        done;
+        check_int "ring holds capacity" 8
+          (List.length (O.Obs_span.events ()));
+        check_int "drops counted" 12 (O.Obs_span.dropped ()));
+  ]
+
+(* The whole point: observability must not perturb scheduling. *)
+let non_interference_tests =
+  [
+    Alcotest.test_case "tracing on/off yields identical makespans" `Quick
+      (fun () ->
+        let plat = O.Platform.paper_platform () in
+        let g = O.Kernels.doolittle ~n:20 ~ccr:10. in
+        List.iter
+          (fun (entry : O.Registry.entry) ->
+            let off =
+              with_obs_off (fun () ->
+                  O.Schedule.makespan
+                    (entry.O.Registry.scheduler O.Params.default plat g))
+            in
+            let on =
+              with_obs_on (fun () ->
+                  O.Schedule.makespan
+                    (entry.O.Registry.scheduler O.Params.default plat g))
+            in
+            check_float (entry.O.Registry.name ^ " unchanged") off on)
+          O.Registry.all);
+  ]
+
+let report_tests =
+  [
+    Alcotest.test_case "capture with obs disabled is empty" `Quick (fun () ->
+        with_obs_off @@ fun () ->
+        let x, report = O.Obs_report.capture (fun () -> 7) in
+        check_int "value threaded" 7 x;
+        check_bool "empty report" true (report = O.Obs_report.empty));
+    Alcotest.test_case "capture scopes counters and phases" `Quick (fun () ->
+        with_obs_on @@ fun () ->
+        let plat = O.Platform.paper_platform () in
+        let g = O.Kernels.lu ~n:10 ~ccr:10. in
+        (* pollute before the window: capture must not see this *)
+        ignore (O.Heft.schedule plat g : O.Schedule.t);
+        let before = O.Obs_counters.snapshot () in
+        let _, report =
+          O.Obs_report.capture (fun () ->
+              ignore (O.Heft.schedule plat g : O.Schedule.t))
+        in
+        let c = report.O.Obs_report.counters in
+        check_int "window commits = one run" (O.Graph.n_tasks g)
+          c.O.Obs_counters.commits;
+        check_int "pre-window commits excluded"
+          before.O.Obs_counters.commits c.O.Obs_counters.commits;
+        check_bool "heft phase reported" true
+          (List.mem_assoc "heft" report.O.Obs_report.phases);
+        check_bool "rank phase reported" true
+          (List.mem_assoc "rank" report.O.Obs_report.phases));
+  ]
+
+(* A hand-rolled structural check of the Chrome trace: we do not have a
+   JSON parser in the test closure, so scan the flat event array the
+   exporter emits (one object per line, known key order). *)
+let trace_lines json =
+  check_bool "array-shaped" true
+    (String.length json > 2 && json.[0] = '[' && contains json "]");
+  String.split_on_char '\n' json
+  |> List.filter (fun l -> contains l {|"ph":|})
+
+let field line key =
+  (* extract the value of "key": up to the next , or } *)
+  let tag = Printf.sprintf {|"%s":|} key in
+  let n = String.length line and m = String.length tag in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub line i m = tag then
+      let stop = ref (i + m) in
+      while !stop < n && line.[!stop] <> ',' && line.[!stop] <> '}' do
+        incr stop
+      done;
+      Some (String.sub line (i + m) (!stop - i - m))
+    else find (i + 1)
+  in
+  find 0
+
+let export_tests =
+  [
+    Alcotest.test_case "chrome export is balanced and monotone" `Quick
+      (fun () ->
+        let json =
+          with_obs_on (fun () ->
+              let plat = O.Platform.paper_platform () in
+              let g = O.Kernels.lu ~n:15 ~ccr:10. in
+              ignore (O.Ilha.schedule plat g : O.Schedule.t);
+              let c = O.Obs_counters.snapshot () in
+              O.Obs_trace.to_chrome ~counters:c (O.Obs_span.events ()))
+        in
+        let lines = trace_lines json in
+        let depth = ref 0 and last_ts = ref neg_infinity and ok = ref true in
+        let n_durations = ref 0 in
+        List.iter
+          (fun line ->
+            (match field line "ph" with
+            | Some {|"B"|} ->
+                incr depth;
+                incr n_durations
+            | Some {|"E"|} ->
+                decr depth;
+                incr n_durations;
+                if !depth < 0 then ok := false
+            | _ -> ());
+            match field line "ts" with
+            | Some ts ->
+                let ts = float_of_string ts in
+                if ts < !last_ts then ok := false;
+                last_ts := ts
+            | None -> ())
+          lines;
+        check_bool "has duration events" true (!n_durations > 0);
+        check_int "spans balanced" 0 !depth;
+        check_bool "no orphan end, monotone ts" true !ok;
+        check_bool "metadata present" true
+          (contains json {|"ph":"M"|} && contains json "scheduler");
+        check_bool "counter track present" true
+          (contains json {|"ph":"C"|} && contains json "evaluations"));
+    Alcotest.test_case "orphan events are repaired on export" `Quick
+      (fun () ->
+        with_obs_on @@ fun () ->
+        (* an End with no Begin, then a Begin never closed *)
+        O.Obs_span.end_ "orphan-end";
+        O.Obs_span.begin_ "left-open";
+        let json = O.Obs_trace.to_chrome (O.Obs_span.events ()) in
+        check_bool "orphan end dropped" true
+          (not (contains json "orphan-end"));
+        let lines = trace_lines json in
+        let opens =
+          List.filter (fun l -> field l "ph" = Some {|"B"|}) lines
+        and closes =
+          List.filter (fun l -> field l "ph" = Some {|"E"|}) lines
+        in
+        check_int "synthesized closer" (List.length opens)
+          (List.length closes));
+  ]
+
+let runner_obs_tests =
+  [
+    Alcotest.test_case "runner rows carry obs only when enabled" `Quick
+      (fun () ->
+        let cfg = O.Config.with_sizes (O.Config.paper ()) [ 10 ] in
+        let run () =
+          O.Runner.run cfg ~testbed:(O.Suite.find "lu") ~n:10
+            ~heuristic:(O.Registry.find "heft") ()
+        in
+        let row_off = with_obs_off run in
+        check_bool "no payload when disabled" true
+          (row_off.O.Runner.obs = None);
+        let row_on = with_obs_on run in
+        match row_on.O.Runner.obs with
+        | None -> Alcotest.fail "expected an obs payload"
+        | Some report ->
+            check_bool "counted the run" true
+              (report.O.Obs_report.counters.O.Obs_counters.commits > 0));
+  ]
+
+(* deterministic: List.iter over the first line of the exporter output
+   keeps field order stable; see lib/obs/trace_export.ml *)
+
+let suite =
+  counter_tests @ span_tests @ non_interference_tests @ report_tests
+  @ export_tests @ runner_obs_tests

@@ -6,7 +6,7 @@ open Util
 
 let schedule_of params plat model =
   let g = build_graph params in
-  O.Ilha.schedule ~model plat g
+  O.Ilha.schedule ~params:(O.Params.of_model model) plat g
 
 let pert_tests =
   [
@@ -53,7 +53,7 @@ let pert_tests =
     Alcotest.test_case "event count is tasks + hops" `Quick (fun () ->
         let g = O.Kernels.fork_join ~n:6 ~ccr:2. in
         let plat = O.Platform.homogeneous ~p:3 ~link_cost:1. in
-        let sched = O.Heft.schedule ~model:O.Comm_model.one_port plat g in
+        let sched = O.Heft.schedule plat g in
         let pert = O.Pert.build sched in
         check_int "events" (O.Graph.n_tasks g + O.Schedule.n_comm_events sched)
           (O.Pert.n_events pert));
@@ -64,7 +64,7 @@ let robustness_tests =
     Alcotest.test_case "monte carlo stats are ordered" `Quick (fun () ->
         let g = O.Kernels.laplace ~n:8 ~ccr:5. in
         let plat = O.Platform.paper_platform () in
-        let sched = O.Heft.schedule ~model:O.Comm_model.one_port plat g in
+        let sched = O.Heft.schedule plat g in
         let rng = O.Rng.create ~seed:1 in
         let s = O.Robustness.monte_carlo sched rng ~jitter:0.4 ~trials:50 in
         check_bool "nominal <= mean" true (s.O.Robustness.nominal <= s.O.Robustness.mean);
@@ -75,14 +75,14 @@ let robustness_tests =
       (fun () ->
         let g = O.Kernels.stencil ~n:6 ~ccr:3. in
         let plat = O.Platform.homogeneous ~p:4 ~link_cost:1. in
-        let sched = O.Ilha.schedule ~model:O.Comm_model.one_port plat g in
+        let sched = O.Ilha.schedule plat g in
         let rng = O.Rng.create ~seed:3 in
         let s = O.Robustness.monte_carlo sched rng ~jitter:0. ~trials:5 in
         check_float "mean = nominal" s.O.Robustness.nominal s.O.Robustness.mean);
     Alcotest.test_case "degradation is deterministic per seed" `Quick (fun () ->
         let g = O.Kernels.ldmt ~n:6 ~ccr:3. in
         let plat = O.Platform.paper_platform () in
-        let sched = O.Heft.schedule ~model:O.Comm_model.one_port plat g in
+        let sched = O.Heft.schedule plat g in
         let pert = O.Pert.build sched in
         let draw () =
           O.Robustness.degraded_makespan pert (O.Rng.create ~seed:9)

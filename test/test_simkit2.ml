@@ -11,7 +11,7 @@ let executor_tests =
       QCheck2.Gen.(tup3 graph_gen platform_gen model_gen)
       (fun (params, plat, model) ->
         let g = build_graph params in
-        let sched = O.Heft.schedule ~model plat g in
+        let sched = O.Heft.schedule ~params:(O.Params.of_model model) plat g in
         let pert = O.Pert.build sched in
         let trace = O.Executor.run sched in
         Prelude.Stats.fequal trace.O.Executor.makespan
@@ -20,7 +20,7 @@ let executor_tests =
       QCheck2.Gen.(tup2 graph_gen platform_gen)
       (fun (params, plat) ->
         let g = build_graph params in
-        let sched = O.Ilha.schedule ~model:O.Comm_model.one_port plat g in
+        let sched = O.Ilha.schedule plat g in
         let trace = O.Executor.run sched in
         trace.O.Executor.events_fired
         = O.Graph.n_tasks g + O.Schedule.n_comm_events sched);
@@ -30,7 +30,7 @@ let executor_tests =
           O.Graph.create ~weights:[| 1.; 2. |] ~edges:[ (0, 1, 3.) ] ()
         in
         let plat = O.Platform.homogeneous ~p:2 ~link_cost:1. in
-        let sched = O.Heft.schedule ~model:O.Comm_model.one_port plat g in
+        let sched = O.Heft.schedule plat g in
         let trace = O.Executor.run sched in
         check_float "chain start" 0. trace.O.Executor.task_starts.(0);
         check_bool "successor waits" true

@@ -8,7 +8,7 @@ let svg_tests =
     Alcotest.test_case "svg is well-formed and complete" `Quick (fun () ->
         let g = O.Kernels.fork_join ~n:4 ~ccr:2. in
         let plat = O.Platform.homogeneous ~p:3 ~link_cost:1. in
-        let sched = O.Heft.schedule ~model:O.Comm_model.one_port plat g in
+        let sched = O.Heft.schedule plat g in
         let svg = O.Svg.render sched in
         check_bool "opens" true (contains svg "<svg");
         check_bool "closes" true (contains svg "</svg>");
@@ -31,7 +31,7 @@ let svg_tests =
     Alcotest.test_case "macro-dataflow hides port lanes" `Quick (fun () ->
         let g = O.Kernels.fork_join ~n:3 ~ccr:2. in
         let plat = O.Platform.homogeneous ~p:2 ~link_cost:1. in
-        let sched = O.Heft.schedule ~model:O.Comm_model.macro_dataflow plat g in
+        let sched = O.Heft.schedule ~params:(O.Params.of_model O.Comm_model.macro_dataflow) plat g in
         let default = O.Svg.render sched in
         let forced = O.Svg.render ~show_ports:true sched in
         check_bool "smaller without ports" true
@@ -41,7 +41,7 @@ let svg_tests =
           O.Graph.create ~name:"a<b&c" ~weights:[| 1. |] ~edges:[] ()
         in
         let plat = O.Platform.homogeneous ~p:1 ~link_cost:1. in
-        let sched = O.Heft.schedule ~model:O.Comm_model.one_port plat g in
+        let sched = O.Heft.schedule plat g in
         let svg = O.Svg.render sched in
         check_bool "escaped" true (contains svg "a&lt;b&amp;c"));
   ]
@@ -88,7 +88,7 @@ let cholesky_tests =
       (fun n ->
         let g = O.Kernels.cholesky ~n ~ccr:10. in
         let plat = O.Platform.paper_platform () in
-        let sched = O.Ilha.schedule ~model:O.Comm_model.one_port plat g in
+        let sched = O.Ilha.schedule plat g in
         O.Validate.is_valid sched);
   ]
 

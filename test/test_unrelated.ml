@@ -21,7 +21,7 @@ let unrelated_tests =
     Alcotest.test_case "Topcuoglu HEFT schedule length is 80" `Quick (fun () ->
         let g, plat, costs = O.Unrelated.topcuoglu_example () in
         let sched =
-          O.Unrelated.heft ~costs ~model:O.Comm_model.macro_dataflow plat g
+          O.Unrelated.heft ~params:(O.Params.of_model O.Comm_model.macro_dataflow) ~costs plat g
         in
         O.Validate.check_exn sched;
         check_float "published makespan" 80. (O.Schedule.makespan sched));
@@ -30,7 +30,7 @@ let unrelated_tests =
         let g, plat, costs = O.Unrelated.topcuoglu_example () in
         let one_port =
           O.Schedule.makespan
-            (O.Unrelated.heft ~costs ~model:O.Comm_model.one_port plat g)
+            (O.Unrelated.heft ~costs plat g)
         in
         check_bool "80 <= one-port result" true (one_port >= 80. -. 1e-9));
     Alcotest.test_case "cost matrix shape is checked" `Quick (fun () ->
@@ -50,7 +50,7 @@ let unrelated_tests =
           Array.init (O.Graph.n_tasks g) (fun _ ->
               Array.init 3 (fun _ -> float_of_int (O.Rng.int_in rng 1 20)))
         in
-        let sched = O.Unrelated.heft ~costs ~model:O.Comm_model.one_port plat g in
+        let sched = O.Unrelated.heft ~costs plat g in
         O.Validate.is_valid sched);
     Alcotest.test_case "related machines are the degenerate matrix" `Quick
       (fun () ->
@@ -62,9 +62,9 @@ let unrelated_tests =
               Array.init 10 (fun q ->
                   O.Graph.weight g v *. O.Platform.cycle_time plat q))
         in
-        let plain = O.Heft.schedule ~model:O.Comm_model.one_port plat g in
+        let plain = O.Heft.schedule plat g in
         let matrix =
-          O.Unrelated.heft ~costs ~model:O.Comm_model.one_port plat g
+          O.Unrelated.heft ~costs plat g
         in
         (* ranks differ (arithmetic vs harmonic averaging), so schedules
            may differ; but the degenerate matrix through the SAME rank
