@@ -354,21 +354,150 @@ let robustness_cmd =
   let trials =
     Arg.(value & opt int 100 & info [ "trials" ] ~doc:"Monte-Carlo trials.")
   in
-  let action testbed n ccr heuristic params jitter trials =
+  let task_jitter =
+    Arg.(
+      value & opt (some float) None
+      & info [ "task-jitter" ]
+          ~doc:"Task-duration jitter (default: --jitter; 0 in --fault mode).")
+  in
+  let comm_jitter =
+    Arg.(
+      value & opt (some float) None
+      & info [ "comm-jitter" ]
+          ~doc:"Communication-duration jitter (default: --jitter; 0 in --fault mode).")
+  in
+  let fault_conv =
+    let parse s =
+      match O.Fault.of_string s with
+      | (_ : O.Fault.spec) -> Ok s
+      | exception Invalid_argument msg -> Error (`Msg msg)
+    in
+    Arg.conv (parse, Format.pp_print_string)
+  in
+  let faults =
+    Arg.(
+      value & opt_all fault_conv []
+      & info [ "fault" ]
+          ~doc:
+            "Inject a fault (repeatable): crash:P\\@T, outage:P\\@T1-T2, \
+             degrade:PxF, or flaky:PROB[:RETRIES[:BACKOFF]].  Times are \
+             absolute or a percentage of the nominal makespan (25%).  \
+             Crashes are repaired online; the repaired schedule is \
+             validated and executed under the scenario.")
+  in
+  let describe label = function
+    | O.Faulty_executor.Completed { trace; stats } ->
+        Printf.printf "%s: completed, makespan %g" label
+          trace.O.Executor.makespan;
+        if stats.O.Faulty_executor.retries > 0 then
+          Printf.printf " (retries %d, backoff time %g)"
+            stats.O.Faulty_executor.retries
+            stats.O.Faulty_executor.backoff_time;
+        if stats.O.Faulty_executor.deferred > 0 then
+          Printf.printf " (%d dispatches deferred)"
+            stats.O.Faulty_executor.deferred;
+        print_newline ()
+    | O.Faulty_executor.Stranded
+        { stranded; events_fired; total_events; partial_makespan; _ } ->
+        Printf.printf
+          "%s: STRANDED %d tasks (%d/%d events fired, partial makespan %g)\n"
+          label (List.length stranded) events_fired total_events
+          partial_makespan
+  in
+  let fault_mode params trials task_jitter comm_jitter specs sched =
+    let nominal = O.Schedule.makespan sched in
+    let faults =
+      List.map
+        (fun s -> O.Fault.resolve ~makespan:nominal (O.Fault.of_string s))
+        specs
+    in
+    let p = O.Platform.p (O.Schedule.platform sched) in
+    List.iter (O.Fault.validate ~p) faults;
+    Printf.printf "nominal makespan: %g\n" nominal;
+    Printf.printf "faults:           %s\n"
+      (String.concat " " (List.map O.Fault.to_string faults));
+    describe "without repair" (O.Faulty_executor.run ~faults sched);
+    let crashes =
+      List.filter_map
+        (function O.Fault.Crash { proc; at } -> Some (proc, at) | _ -> None)
+        faults
+      |> List.sort (fun (_, a) (_, b) -> compare (a : float) b)
+    in
+    let all_dead = List.map fst crashes in
+    let final =
+      List.fold_left
+        (fun s (proc, at) ->
+          let dead = List.filter (fun q -> q <> proc) all_dead in
+          let r = O.Repair.crash ~params ~dead ~proc ~at s in
+          Format.printf "%a@." O.Repair.pp_result r;
+          r.O.Repair.schedule)
+        sched crashes
+    in
+    if crashes <> [] then begin
+      (match O.Validate.check final with
+      | Ok () -> print_endline "repaired schedule: valid"
+      | Error es ->
+          Printf.printf "repaired schedule: INVALID (%s)\n" (List.hd es));
+      describe "with repair" (O.Faulty_executor.run ~faults final)
+    end;
+    (* Monte-Carlo over the scenario: flaky draws and (optional) jitter. *)
+    let tj = Option.value task_jitter ~default:0. in
+    let cj = Option.value comm_jitter ~default:0. in
+    let rng = O.Rng.create ~seed:42 in
+    let survived = ref 0 in
+    let retries = ref 0 in
+    let backoff = ref 0. in
+    let makespans = ref [] in
+    for _ = 1 to trials do
+      match
+        O.Faulty_executor.run ~rng ~task_jitter:tj ~comm_jitter:cj ~faults
+          final
+      with
+      | O.Faulty_executor.Completed { trace; stats } ->
+          incr survived;
+          makespans := trace.O.Executor.makespan :: !makespans;
+          retries := !retries + stats.O.Faulty_executor.retries;
+          backoff := !backoff +. stats.O.Faulty_executor.backoff_time
+      | O.Faulty_executor.Stranded { stats; _ } ->
+          retries := !retries + stats.O.Faulty_executor.retries;
+          backoff := !backoff +. stats.O.Faulty_executor.backoff_time
+    done;
+    Printf.printf "monte-carlo:      %d trials, survived %d (unschedulable rate %.0f%%)\n"
+      trials !survived
+      (100. *. float_of_int (trials - !survived) /. float_of_int trials);
+    if !makespans <> [] then
+      Printf.printf "makespan:         mean %g  p95 %g  worst %g\n"
+        (O.Stats.mean !makespans)
+        (O.Stats.percentile 95. !makespans)
+        (O.Stats.maximum !makespans);
+    if !retries > 0 then
+      Printf.printf "retries:          %d total, backoff time %g total\n"
+        !retries !backoff
+  in
+  let action testbed n ccr heuristic params jitter trials task_jitter
+      comm_jitter faults =
     let plat = O.Platform.paper_platform () in
     let g = build_graph testbed n ccr in
     let entry = O.Registry.find heuristic in
     let sched = entry.O.Registry.scheduler params plat g in
-    let rng = O.Rng.create ~seed:42 in
-    Format.printf "%a@."
-      O.Robustness.pp_stats
-      (O.Robustness.monte_carlo sched rng ~jitter ~trials)
+    match faults with
+    | [] ->
+        let rng = O.Rng.create ~seed:42 in
+        Format.printf "%a@." O.Robustness.pp_stats
+          (O.Robustness.monte_carlo ?task_jitter ?comm_jitter sched rng
+             ~jitter ~trials)
+    | specs -> (
+        try fault_mode params trials task_jitter comm_jitter specs sched
+        with Invalid_argument msg ->
+          Printf.eprintf "schedcli: %s\n" msg;
+          exit 2)
   in
   Cmd.v
-    (Cmd.info "robustness" ~doc:"Monte-Carlo jitter analysis of a schedule.")
+    (Cmd.info "robustness"
+       ~doc:"Monte-Carlo jitter analysis and fault injection on a schedule.")
     Term.(
       const action $ testbed_arg $ size_arg $ ccr_arg $ heuristic_arg
-      $ params_term $ jitter $ trials)
+      $ params_term $ jitter $ trials $ task_jitter $ comm_jitter $ faults)
 
 let compare_cmd =
   let against_arg =

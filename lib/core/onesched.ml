@@ -24,7 +24,8 @@
       {!Refine}, {!Fork_exact}, {!Search}, {!Registry};
     - testbeds: {!Kernels}, {!Fork}, {!Toy}, {!Suite};
     - complexity: {!Two_partition}, {!Fork_sched}, {!Comm_sched};
-    - analysis/robustness: {!Pert}, {!Robustness}, {!Utilization};
+    - analysis/robustness: {!Pert}, {!Robustness}, {!Utilization},
+      {!Executor}, {!Fault}, {!Faulty_executor}, {!Repair};
     - experiments: {!Config}, {!Runner}, {!Figures};
     - observability: {!Obs_counters}, {!Obs_span}, {!Obs_report},
       {!Obs_trace}. *)
@@ -70,6 +71,7 @@ module Fork_exact = Heuristics.Fork_exact
 module Anneal = Heuristics.Anneal
 module Unrelated = Heuristics.Unrelated
 module Search = Heuristics.Search
+module Repair = Heuristics.Repair
 module Registry = Heuristics.Registry
 
 (* Testbeds *)
@@ -88,6 +90,8 @@ module Pert = Simkit.Pert
 module Robustness = Simkit.Robustness
 module Utilization = Simkit.Utilization
 module Executor = Simkit.Executor
+module Fault = Simkit.Fault
+module Faulty_executor = Simkit.Faulty_executor
 
 (* Experiments *)
 module Config = Experiments.Config
@@ -105,4 +109,5 @@ module Obs_trace = Obs.Trace_export
 (* Supporting containers *)
 module Timeline = Prelude.Timeline
 module Rng = Prelude.Rng
+module Stats = Prelude.Stats
 module Table = Prelude.Table

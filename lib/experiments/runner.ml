@@ -2,6 +2,16 @@ module Registry = Heuristics.Registry
 module Params = Heuristics.Params
 module Schedule = Sched.Schedule
 
+type survival = {
+  crash_proc : int;
+  crash_time : float;
+  remapped : int;
+  repaired_makespan : float;
+  overhead : float;
+  repaired_valid : bool;
+  completed : bool;
+}
+
 type row = {
   testbed : string;
   n : int;
@@ -14,6 +24,7 @@ type row = {
   comm_time : float;
   wall_s : float;
   valid : bool;
+  survival : survival option;
   obs : Obs.Report.t option;
 }
 
@@ -21,7 +32,38 @@ type row = {
 let params_label params =
   Params.to_string (Params.with_model params Params.default.Params.model)
 
-let run_graph (cfg : Config.t) ?params ~heuristic g =
+(* Crash-survival drill: repair after a fail-stop crash, validate the
+   repaired schedule independently, and re-execute it under the same
+   crash to confirm it runs to completion. *)
+let survive ~params ~crash sched =
+  let crash_proc, frac = crash in
+  let nominal = Schedule.makespan sched in
+  let at = frac *. nominal in
+  let r = Heuristics.Repair.crash ~params ~proc:crash_proc ~at sched in
+  let repaired = r.Heuristics.Repair.schedule in
+  let completed =
+    match
+      Simkit.Faulty_executor.run
+        ~faults:[ Simkit.Fault.crash ~proc:crash_proc ~at ]
+        repaired
+    with
+    | Simkit.Faulty_executor.Completed _ -> true
+    | Simkit.Faulty_executor.Stranded _ -> false
+  in
+  {
+    crash_proc;
+    crash_time = at;
+    remapped = List.length r.Heuristics.Repair.remapped;
+    repaired_makespan = r.Heuristics.Repair.repaired_makespan;
+    overhead =
+      (if nominal > 0. then
+         (r.Heuristics.Repair.repaired_makespan -. nominal) /. nominal
+       else 0.);
+    repaired_valid = Sched.Validate.is_valid repaired;
+    completed;
+  }
+
+let run_graph (cfg : Config.t) ?params ?crash ~heuristic g =
   let params =
     match params with Some p -> p | None -> cfg.Config.params
   in
@@ -49,36 +91,48 @@ let run_graph (cfg : Config.t) ?params ~heuristic g =
     comm_time = metrics.Sched.Metrics.total_comm_time;
     wall_s;
     valid = Sched.Validate.is_valid sched;
+    survival = Option.map (fun crash -> survive ~params ~crash sched) crash;
     obs =
       (if Obs.Counters.enabled () || Obs.Span.enabled () then Some report
        else None);
   }
 
-let run cfg ~testbed ~n ~heuristic ?params () =
+let run cfg ~testbed ~n ~heuristic ?params ?crash () =
   let g = testbed.Testbeds.Suite.build ~n ~ccr:cfg.Config.ccr in
-  let row = run_graph cfg ?params ~heuristic g in
+  let row = run_graph cfg ?params ?crash ~heuristic g in
   { row with testbed = testbed.Testbeds.Suite.name; n }
 
 let table rows =
-  let t =
-    Prelude.Table.create
-      ~columns:
-        [ "testbed"; "n"; "heuristic"; "model"; "B"; "makespan"; "speedup";
-          "comms"; "valid" ]
+  let with_survival = List.exists (fun r -> r.survival <> None) rows in
+  let columns =
+    [ "testbed"; "n"; "heuristic"; "model"; "B"; "makespan"; "speedup";
+      "comms"; "valid" ]
+    @ if with_survival then [ "survives"; "overhead" ] else []
   in
+  let t = Prelude.Table.create ~columns in
   List.iter
     (fun r ->
       Prelude.Table.add_row t
-        [
-          r.testbed;
-          string_of_int r.n;
-          r.heuristic;
-          r.model;
-          (match r.b with Some b -> string_of_int b | None -> "-");
-          Printf.sprintf "%.0f" r.makespan;
-          Printf.sprintf "%.3f" r.speedup;
-          string_of_int r.n_comms;
-          (if r.valid then "yes" else "NO");
-        ])
+        ([
+           r.testbed;
+           string_of_int r.n;
+           r.heuristic;
+           r.model;
+           (match r.b with Some b -> string_of_int b | None -> "-");
+           Printf.sprintf "%.0f" r.makespan;
+           Printf.sprintf "%.3f" r.speedup;
+           string_of_int r.n_comms;
+           (if r.valid then "yes" else "NO");
+         ]
+        @
+        if not with_survival then []
+        else
+          match r.survival with
+          | None -> [ "-"; "-" ]
+          | Some s ->
+              [
+                (if s.repaired_valid && s.completed then "yes" else "NO");
+                Printf.sprintf "+%.1f%%" (100. *. s.overhead);
+              ]))
     rows;
   t

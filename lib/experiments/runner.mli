@@ -1,5 +1,19 @@
 (** Running heuristics on testbeds and collecting the paper's measurements. *)
 
+(** Outcome of the optional crash-survival drill: after scheduling, crash
+    one processor at a fraction of the nominal makespan, repair online
+    ({!Heuristics.Repair}), validate the repaired schedule and re-execute
+    it under the same crash in {!Simkit.Faulty_executor}. *)
+type survival = {
+  crash_proc : int;
+  crash_time : float;  (** absolute crash instant ([frac * makespan]) *)
+  remapped : int;  (** tasks moved onto survivors *)
+  repaired_makespan : float;
+  overhead : float;  (** (repaired - nominal) / nominal *)
+  repaired_valid : bool;  (** {!Sched.Validate} verdict on the repair *)
+  completed : bool;  (** repaired schedule executes to completion *)
+}
+
 type row = {
   testbed : string;
   n : int;
@@ -14,31 +28,38 @@ type row = {
   comm_time : float;
   wall_s : float;  (** CPU seconds spent scheduling *)
   valid : bool;  (** independent {!Sched.Validate} verdict *)
+  survival : survival option;
+      (** [Some] only when the run was asked to drill a crash *)
   obs : Obs.Report.t option;
       (** counter deltas and phase timings for this run; [Some] only
           while {!Obs.Counters} or {!Obs.Span} recording is enabled *)
 }
 
-(** [run_graph cfg ?params ~heuristic g] — schedule [g] under the
-    configuration; [params] overrides [cfg.params] for this run. *)
+(** [run_graph cfg ?params ?crash ~heuristic g] — schedule [g] under the
+    configuration; [params] overrides [cfg.params] for this run.
+    [crash = (proc, frac)] additionally drills a crash of [proc] at
+    [frac] of the nominal makespan and fills [survival]. *)
 val run_graph :
   Config.t ->
   ?params:Heuristics.Params.t ->
+  ?crash:int * float ->
   heuristic:Heuristics.Registry.entry ->
   Taskgraph.Graph.t ->
   row
 
-(** [run cfg ~testbed ~n ~heuristic ?params ()] builds the testbed at
-    size [n] with the configuration's ccr and runs it. *)
+(** [run cfg ~testbed ~n ~heuristic ?params ?crash ()] builds the testbed
+    at size [n] with the configuration's ccr and runs it. *)
 val run :
   Config.t ->
   testbed:Testbeds.Suite.t ->
   n:int ->
   heuristic:Heuristics.Registry.entry ->
   ?params:Heuristics.Params.t ->
+  ?crash:int * float ->
   unit ->
   row
 
 (** Render rows as an aligned table (columns: testbed, n, heuristic, model,
-    B, makespan, speedup, comms, valid). *)
+    B, makespan, speedup, comms, valid — plus survives/overhead when any
+    row carries a {!survival}). *)
 val table : row list -> Prelude.Table.t

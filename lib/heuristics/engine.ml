@@ -63,7 +63,7 @@ let incoming t task =
   in
   List.sort compare edges
 
-let evaluate t ~task ~proc =
+let evaluate ?(floor = 0.) t ~task ~proc =
   Obs.Counters.evaluation ();
   let g = Schedule.graph t.sched in
   let plat = Schedule.platform t.sched in
@@ -89,35 +89,35 @@ let evaluate t ~task ~proc =
                 hops := { edge = e; src_proc = a; dst_proc = b; start } :: !hops;
                 scratch := scratch_add !scratch tls (start, start +. duration);
                 start +. duration)
-              fin
+              (max fin floor)
               (Platform.route plat ~src:q ~dst:proc)
           in
           max ready arrival
         end)
-      0. (incoming t task)
+      floor (incoming t task)
   in
   let duration = Schedule.exec_duration t.sched ~task ~proc in
   let compute = Resource.compute res proc in
   let est = slot t ~tls:[ compute ] ~scratch:!scratch ~after:ready ~duration in
   { proc; est; eft = est +. duration; hops = List.rev !hops }
 
-let best_proc_among t ~task procs =
+let best_proc_among ?floor t ~task procs =
   match procs with
   | [] -> invalid_arg "Engine.best_proc_among: no candidates"
   | procs ->
       let best = ref None in
       List.iter
         (fun proc ->
-          let ev = evaluate t ~task ~proc in
+          let ev = evaluate ?floor t ~task ~proc in
           match !best with
           | Some b when b.eft <= ev.eft -> ()
           | _ -> best := Some ev)
         (List.sort_uniq compare procs);
       Option.get !best
 
-let best_proc t ~task =
+let best_proc ?floor t ~task =
   let p = Platform.p (Schedule.platform t.sched) in
-  best_proc_among t ~task (List.init p Fun.id)
+  best_proc_among ?floor t ~task (List.init p Fun.id)
 
 let commit t ~task ev =
   Obs.Counters.commit ();
@@ -131,11 +131,11 @@ let commit t ~task ev =
     ev.hops;
   Schedule.place_task t.sched ~task ~proc:ev.proc ~start:ev.est
 
-let schedule_on t ~task ~proc =
-  let ev = evaluate t ~task ~proc in
+let schedule_on ?floor t ~task ~proc =
+  let ev = evaluate ?floor t ~task ~proc in
   commit t ~task ev
 
-let schedule_best t ~task =
-  let ev = best_proc t ~task in
+let schedule_best ?floor t ~task =
+  let ev = best_proc ?floor t ~task in
   commit t ~task ev;
   ev

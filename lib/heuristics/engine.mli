@@ -36,23 +36,26 @@ val policy : t -> policy
 
 (** [evaluate t ~task ~proc] — all predecessors of [task] must already be
     placed.  Incoming communications are considered in increasing order of
-    predecessor finish time (ties by task id) and placed greedily. *)
-val evaluate : t -> task:int -> proc:int -> eval
+    predecessor finish time (ties by task id) and placed greedily.
+    [floor] (default 0) lower-bounds every planned event: neither a hop
+    nor the execution may start before it.  Online repair uses it to keep
+    new decisions at or after the crash instant. *)
+val evaluate : ?floor:float -> t -> task:int -> proc:int -> eval
 
 (** [best_proc t ~task] — minimum [eft] over all processors, ties to the
     lowest processor index (the paper's tie-break in §4.4's toy example). *)
-val best_proc : t -> task:int -> eval
+val best_proc : ?floor:float -> t -> task:int -> eval
 
 (** [best_proc_among t ~task procs] — same restricted to a candidate list.
     @raise Invalid_argument on an empty list. *)
-val best_proc_among : t -> task:int -> int list -> eval
+val best_proc_among : ?floor:float -> t -> task:int -> int list -> eval
 
 (** [commit t ~task ev] places the task and its communications. *)
 val commit : t -> task:int -> eval -> unit
 
 (** [schedule_on t ~task ~proc] = evaluate + commit on a forced processor. *)
-val schedule_on : t -> task:int -> proc:int -> unit
+val schedule_on : ?floor:float -> t -> task:int -> proc:int -> unit
 
 (** [schedule_best t ~task] = {!best_proc} + commit; returns the chosen
     evaluation. *)
-val schedule_best : t -> task:int -> eval
+val schedule_best : ?floor:float -> t -> task:int -> eval

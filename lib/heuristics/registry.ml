@@ -62,6 +62,8 @@ let all =
 
 let names = List.map (fun e -> e.name) all
 
+let repair ?params ~proc ~at sched = Repair.crash ?params ~proc ~at sched
+
 let find name =
   match List.find_opt (fun e -> e.name = name) all with
   | Some e -> e

@@ -27,5 +27,13 @@ val all : entry list
 
 val names : string list
 
+(** Online crash repair, available uniformly for every registered
+    heuristic: whatever produced the schedule, [repair ~proc ~at] freezes
+    the decisions already acted on and re-maps the rest onto the
+    survivors with the shared engine (= {!Repair.crash}).  [params]
+    configures the re-mapping pass exactly like a scheduler run. *)
+val repair :
+  ?params:Params.t -> proc:int -> at:float -> Sched.Schedule.t -> Repair.result
+
 (** @raise Invalid_argument on an unknown name. *)
 val find : string -> entry

@@ -1,0 +1,136 @@
+module Graph = Taskgraph.Graph
+module Schedule = Sched.Schedule
+
+type result = {
+  schedule : Sched.Schedule.t;
+  crash_proc : int;
+  crash_time : float;
+  frozen : int;
+  remapped : int list;
+  nominal_makespan : float;
+  repaired_makespan : float;
+}
+
+(* Frozen tasks are closed under precedence: a predecessor of a task that
+   started before [at] finished — hence started — even earlier, and a
+   predecessor that ran on the dead processor finished before the
+   successor started, i.e. before [at].  So replaying the frozen
+   placements plus the communications feeding them is always a valid
+   schedule prefix, and no re-mapped task ever precedes a frozen one. *)
+let crash ?(params = Params.default) ?(dead = []) ~proc ~at sched =
+  let g = Schedule.graph sched in
+  let plat = Schedule.platform sched in
+  let p = Platform.p plat in
+  if proc < 0 || proc >= p then
+    invalid_arg
+      (Printf.sprintf "Repair.crash: processor %d out of range (platform has %d)"
+         proc p);
+  if at < 0. then invalid_arg "Repair.crash: negative crash time";
+  if not (Schedule.all_placed sched) then
+    invalid_arg "Repair.crash: schedule is not fully placed";
+  let survivors =
+    List.filter
+      (fun q -> q <> proc && not (List.mem q dead))
+      (List.init p Fun.id)
+  in
+  if survivors = [] then
+    invalid_arg "Repair.crash: no surviving processor to re-map onto";
+  let n = Graph.n_tasks g in
+  let nominal_makespan = Schedule.makespan sched in
+  let remap = Array.make n false in
+  for v = 0 to n - 1 do
+    let pl = Schedule.placement_exn sched v in
+    if pl.Schedule.start >= at || (pl.Schedule.proc = proc && pl.Schedule.finish > at)
+    then remap.(v) <- true
+  done;
+  let fresh =
+    Schedule.create
+      ~exec_time:(fun task proc -> Schedule.exec_duration sched ~task ~proc)
+      ~graph:g ~platform:plat ~model:(Schedule.model sched) ()
+  in
+  (* Replay the frozen prefix: kept placements verbatim, plus the hops of
+     every edge feeding a frozen task (their sources are frozen too). *)
+  for v = 0 to n - 1 do
+    if not remap.(v) then begin
+      let pl = Schedule.placement_exn sched v in
+      Schedule.place_task fresh ~task:v ~proc:pl.Schedule.proc
+        ~start:pl.Schedule.start
+    end
+  done;
+  List.iter
+    (fun (e : Graph.edge) ->
+      if not remap.(e.dst) then
+        List.iter
+          (fun (c : Schedule.comm) ->
+            let (_ : float) =
+              Schedule.add_comm fresh ~edge:c.edge ~src_proc:c.src_proc
+                ~dst_proc:c.dst_proc ~start:c.start
+            in
+            ())
+          (Schedule.comms_of_edge sched e.id))
+    (Graph.edges g);
+  (* Re-map the rest HEFT-style onto the survivors, every new decision
+     floored at the crash instant. *)
+  let engine = Engine.create ~policy:params.Params.policy fresh in
+  let ranks = Ranking.upward ~averaging:params.Params.averaging g plat in
+  let remaining = Array.make n 0 in
+  let ready = ref [] in
+  for v = 0 to n - 1 do
+    if remap.(v) then begin
+      let r =
+        List.fold_left
+          (fun acc u -> if remap.(u) then acc + 1 else acc)
+          0 (Graph.preds g v)
+      in
+      remaining.(v) <- r;
+      if r = 0 then ready := v :: !ready
+    end
+  done;
+  let remapped = ref [] in
+  while !ready <> [] do
+    let task =
+      match !ready with
+      | [] -> assert false
+      | v0 :: rest ->
+          List.fold_left
+            (fun best v ->
+              if Ranking.compare_priority ranks v best < 0 then v else best)
+            v0 rest
+    in
+    ready := List.filter (fun v -> v <> task) !ready;
+    let ev = Engine.best_proc_among ~floor:at engine ~task survivors in
+    Engine.commit engine ~task ev;
+    Obs.Counters.repair ();
+    remapped := task :: !remapped;
+    List.iter
+      (fun u ->
+        if remap.(u) then begin
+          remaining.(u) <- remaining.(u) - 1;
+          if remaining.(u) = 0 then ready := u :: !ready
+        end)
+      (Graph.succs g task)
+  done;
+  let remapped = List.sort compare !remapped in
+  {
+    schedule = fresh;
+    crash_proc = proc;
+    crash_time = at;
+    frozen = n - List.length remapped;
+    remapped;
+    nominal_makespan;
+    repaired_makespan = Schedule.makespan fresh;
+  }
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "@[<v>crash:            proc %d @@ %g@,\
+     frozen tasks:     %d@,\
+     re-mapped tasks:  %d@,\
+     nominal makespan: %g@,\
+     repaired makespan:%g (+%.1f%%)@]"
+    r.crash_proc r.crash_time r.frozen
+    (List.length r.remapped)
+    r.nominal_makespan r.repaired_makespan
+    (if r.nominal_makespan > 0. then
+       (r.repaired_makespan -. r.nominal_makespan) /. r.nominal_makespan *. 100.
+     else 0.)

@@ -5,6 +5,9 @@ type snapshot = {
   tentative_hops : int;
   commits : int;
   copies : int;
+  retries : int;
+  repairs : int;
+  backoff_s : float;
 }
 
 let zero : snapshot =
@@ -15,9 +18,12 @@ let zero : snapshot =
     tentative_hops = 0;
     commits = 0;
     copies = 0;
+    retries = 0;
+    repairs = 0;
+    backoff_s = 0.;
   }
 
-(* One mutable record rather than six refs: a single cache line, and the
+(* One mutable record rather than nine refs: a single cache line, and the
    field stores compile to plain [mov]s. *)
 type state = {
   mutable evaluations : int;
@@ -26,6 +32,9 @@ type state = {
   mutable tentative_hops : int;
   mutable commits : int;
   mutable copies : int;
+  mutable retries : int;
+  mutable repairs : int;
+  mutable backoff_s : float;
 }
 
 let s =
@@ -36,6 +45,9 @@ let s =
     tentative_hops = 0;
     commits = 0;
     copies = 0;
+    retries = 0;
+    repairs = 0;
+    backoff_s = 0.;
   }
 
 let on = ref false
@@ -49,7 +61,10 @@ let reset () =
   s.joint_gap_probes <- 0;
   s.tentative_hops <- 0;
   s.commits <- 0;
-  s.copies <- 0
+  s.copies <- 0;
+  s.retries <- 0;
+  s.repairs <- 0;
+  s.backoff_s <- 0.
 
 let snapshot () : snapshot =
   {
@@ -59,6 +74,9 @@ let snapshot () : snapshot =
     tentative_hops = s.tentative_hops;
     commits = s.commits;
     copies = s.copies;
+    retries = s.retries;
+    repairs = s.repairs;
+    backoff_s = s.backoff_s;
   }
 
 let diff (a : snapshot) (b : snapshot) : snapshot =
@@ -69,6 +87,9 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     tentative_hops = b.tentative_hops - a.tentative_hops;
     commits = b.commits - a.commits;
     copies = b.copies - a.copies;
+    retries = b.retries - a.retries;
+    repairs = b.repairs - a.repairs;
+    backoff_s = b.backoff_s -. a.backoff_s;
   }
 
 let pp fmt (c : snapshot) =
@@ -80,7 +101,15 @@ let pp fmt (c : snapshot) =
      commits:          %d@,\
      copies:           %d@]"
     c.evaluations c.gap_probes c.joint_gap_probes c.tentative_hops c.commits
-    c.copies
+    c.copies;
+  (* fault-handling counters only appear once something bumped them, so
+     fault-free runs keep their historical output *)
+  if c.retries <> 0 || c.repairs <> 0 || c.backoff_s <> 0. then
+    Format.fprintf fmt
+      "@,@[<v>retries:          %d@,\
+       repairs:          %d@,\
+       backoff time:     %g@]"
+      c.retries c.repairs c.backoff_s
 
 let evaluation () = if !on then s.evaluations <- s.evaluations + 1 [@@inline]
 let gap_probe () = if !on then s.gap_probes <- s.gap_probes + 1 [@@inline]
@@ -95,3 +124,6 @@ let tentative_hop () =
 
 let commit () = if !on then s.commits <- s.commits + 1 [@@inline]
 let copy () = if !on then s.copies <- s.copies + 1 [@@inline]
+let retry () = if !on then s.retries <- s.retries + 1 [@@inline]
+let repair () = if !on then s.repairs <- s.repairs + 1 [@@inline]
+let backoff dt = if !on then s.backoff_s <- s.backoff_s +. dt [@@inline]

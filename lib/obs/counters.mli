@@ -1,4 +1,5 @@
-(** Hot-path counters for the scheduling engine.
+(** Hot-path counters for the scheduling engine and the fault-handling
+    machinery.
 
     Six monotonic counters cover the per-decision costs that dominate
     every list heuristic in this library:
@@ -15,6 +16,16 @@
     - [copies]: whole-schedule copies ([Schedule.copy] — the cost of
       ILHA's reschedule variant and of the improvers).
 
+    Three further counters trace fault handling
+    ([Simkit.Faulty_executor], [Heuristics.Repair]):
+
+    - [retries]: communication hops re-executed after a transient
+      failure;
+    - [repairs]: tasks re-mapped by the online repair pass;
+    - [backoff_s]: total {e simulated} time spent waiting in
+      exponential backoff between retry attempts (a float — simulated
+      time units, not wall seconds).
+
     Counting is globally toggleable and off by default.  When disabled,
     every bump is a single load-and-branch; when enabled, a single
     in-place integer store — no allocation either way, so instrumented
@@ -28,6 +39,9 @@ type snapshot = {
   tentative_hops : int;
   commits : int;
   copies : int;
+  retries : int;
+  repairs : int;
+  backoff_s : float;
 }
 
 val zero : snapshot
@@ -55,3 +69,9 @@ val joint_gap_probe : unit -> unit
 val tentative_hop : unit -> unit
 val commit : unit -> unit
 val copy : unit -> unit
+val retry : unit -> unit
+val repair : unit -> unit
+
+(** [backoff dt] accumulates [dt] simulated time units of retry
+    backoff. *)
+val backoff : float -> unit

@@ -8,18 +8,22 @@ let feq a b = Prelude.Stats.fequal ~eps a b
 let fle a b = a <= b +. (eps *. max 1. (max (abs_float a) (abs_float b)))
 
 (* Check that sorted-by-start intervals are pairwise disjoint; report via
-   [on_overlap a b]. *)
+   [on_overlap a b] with both full intervals. *)
 let check_disjoint intervals ~on_overlap =
   let sorted =
     List.sort (fun (s1, _, _) (s2, _, _) -> compare s1 s2) intervals
   in
   let rec walk = function
-    | (s1, f1, l1) :: ((s2, _, l2) :: _ as rest) ->
-        if s2 < f1 -. eps then on_overlap (s1, f1, l1) (s2, l2);
+    | (s1, f1, l1) :: ((s2, f2, l2) :: _ as rest) ->
+        if s2 < f1 -. eps then on_overlap (s1, f1, l1) (s2, f2, l2);
         walk rest
     | [ _ ] | [] -> ()
   in
   walk sorted
+
+let pp_route route =
+  String.concat ", "
+    (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) route)
 
 let check s =
   let g = Schedule.graph s in
@@ -33,10 +37,13 @@ let check s =
     match Schedule.placement s v with
     | None -> err "task %d is not placed" v
     | Some p ->
-        if p.start < -.eps then err "task %d starts at negative time %g" v p.start;
+        if p.start < -.eps then
+          err "task %d on processor %d starts at negative time %g" v p.proc
+            p.start;
         let expect = Schedule.exec_duration s ~task:v ~proc:p.proc in
         if not (feq (p.finish -. p.start) expect) then
-          err "task %d has duration %g, expected %g" v (p.finish -. p.start) expect
+          err "task %d on processor %d has duration %g over [%g,%g), expected %g"
+            v p.proc (p.finish -. p.start) p.start p.finish expect
   done;
   if !errors <> [] then Error (List.rev !errors)
   else begin
@@ -64,9 +71,9 @@ let check s =
         all_comms;
     Array.iteri
       (fun q intervals ->
-        check_disjoint intervals ~on_overlap:(fun (s1, f1, l1) (s2, l2) ->
-            err "processor %d: %s [%g,%g) overlaps %s starting at %g" q l1 s1 f1
-              l2 s2))
+        check_disjoint intervals ~on_overlap:(fun (s1, f1, l1) (s2, f2, l2) ->
+            err "processor %d: %s [%g,%g) overlaps %s [%g,%g)" q l1 s1 f1 l2 s2
+              f2))
       compute_intervals;
     (* 3. precedence and communication chains *)
     List.iter
@@ -76,23 +83,29 @@ let check s =
         let hops = Schedule.comms_of_edge s e.id in
         if src.proc = dst.proc then begin
           if hops <> [] then
-            err "edge %d: local edge carries communication events" e.id;
+            err "edge %d: local edge on processor %d carries communication \
+                 events" e.id src.proc;
           if not (fle src.finish dst.start) then
-            err "edge %d: task %d starts at %g before its local predecessor %d \
-                 finishes at %g"
-              e.id e.dst dst.start e.src src.finish
+            err "edge %d: task %d on processor %d starts at %g before its \
+                 local predecessor %d finishes at %g"
+              e.id e.dst dst.proc dst.start e.src src.finish
         end
         else begin
           let route = Platform.route plat ~src:src.proc ~dst:dst.proc in
           if e.data = 0. && hops = [] then begin
             (* zero-volume edges may omit events but still wait for source *)
             if not (fle src.finish dst.start) then
-              err "edge %d: zero-data edge violates precedence" e.id
+              err "edge %d: zero-data edge violates precedence (task %d on \
+                   processor %d starts at %g, predecessor %d on processor %d \
+                   finishes at %g)"
+                e.id e.dst dst.proc dst.start e.src src.proc src.finish
           end
           else begin
             let hop_pairs = List.map (fun (c : Schedule.comm) -> (c.src_proc, c.dst_proc)) hops in
             if hop_pairs <> route then
-              err "edge %d: communication hops do not follow the platform route" e.id;
+              err "edge %d: communication hops [%s] do not follow the \
+                   platform route %d->%d [%s]"
+                e.id (pp_route hop_pairs) src.proc dst.proc (pp_route route);
             let arrival =
               List.fold_left
                 (fun prev (c : Schedule.comm) ->
@@ -100,8 +113,10 @@ let check s =
                     e.data *. Platform.hop_cost plat ~src:c.src_proc ~dst:c.dst_proc
                   in
                   if not (feq (c.finish -. c.start) expect) then
-                    err "edge %d: hop %d->%d has duration %g, expected %g" e.id
-                      c.src_proc c.dst_proc (c.finish -. c.start) expect;
+                    err "edge %d: hop %d->%d has duration %g over [%g,%g), \
+                         expected %g"
+                      e.id c.src_proc c.dst_proc (c.finish -. c.start) c.start
+                      c.finish expect;
                   if not (fle prev c.start) then
                     err "edge %d: hop %d->%d starts at %g before data is ready at %g"
                       e.id c.src_proc c.dst_proc c.start prev;
@@ -109,8 +124,9 @@ let check s =
                 src.finish hops
             in
             if not (fle arrival dst.start) then
-              err "edge %d: task %d starts at %g before data arrives at %g" e.id
-                e.dst dst.start arrival
+              err "edge %d: task %d on processor %d starts at %g before data \
+                   arrives at %g"
+                e.id e.dst dst.proc dst.start arrival
           end
         end)
       (Graph.edges g);
@@ -128,8 +144,9 @@ let check s =
         all_comms;
       Hashtbl.iter
         (fun (a, b) intervals ->
-          check_disjoint intervals ~on_overlap:(fun (s1, f1, l1) (s2, l2) ->
-              err "link %d-%d: %s [%g,%g) overlaps %s at %g" a b l1 s1 f1 l2 s2))
+          check_disjoint intervals ~on_overlap:(fun (s1, f1, l1) (s2, f2, l2) ->
+              err "link %d-%d: %s [%g,%g) overlaps %s [%g,%g)" a b l1 s1 f1 l2
+                s2 f2))
         by_link
     end;
     (* 4. port discipline *)
@@ -148,9 +165,9 @@ let check s =
               recvs.(c.dst_proc) <- (c.start, c.finish, label) :: recvs.(c.dst_proc)
             end)
           all_comms;
-        let report kind q (s1, f1, l1) (s2, l2) =
-          err "processor %d: %s port conflict: %s [%g,%g) overlaps %s at %g" q
-            kind l1 s1 f1 l2 s2
+        let report kind q (s1, f1, l1) (s2, f2, l2) =
+          err "processor %d: %s port conflict: %s [%g,%g) overlaps %s [%g,%g)"
+            q kind l1 s1 f1 l2 s2 f2
         in
         for q = 0 to p_count - 1 do
           match model.Comm_model.ports with

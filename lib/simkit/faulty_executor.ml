@@ -1,0 +1,316 @@
+module Graph = Taskgraph.Graph
+module Schedule = Sched.Schedule
+module Comm_model = Commmodel.Comm_model
+module Rng = Prelude.Rng
+
+type stats = { retries : int; backoff_time : float; deferred : int }
+
+type outcome =
+  | Completed of { trace : Executor.trace; stats : stats }
+  | Stranded of {
+      stranded : int list;
+      events_fired : int;
+      total_events : int;
+      partial_makespan : float;
+      stats : stats;
+    }
+
+type resource = Compute of int | Send of int | Recv of int | Link of int * int
+
+(* Mirrors Executor.run event for event; the fault hooks sit exactly at
+   the dispatch point, so an empty scenario replays the fault-free
+   arithmetic bit for bit. *)
+let run ?rng ?(task_jitter = 0.) ?(comm_jitter = 0.) ~faults s =
+  let rng = match rng with Some r -> r | None -> Rng.create ~seed:0 in
+  let g = Schedule.graph s in
+  let model = Schedule.model s in
+  let p = Platform.p (Schedule.platform s) in
+  List.iter (Fault.validate ~p) faults;
+  (* --- scenario tables --- *)
+  let crash_at = Array.make p infinity in
+  let degrade = Array.make p 1. in
+  let outages = Array.make p [] in
+  let flaky = ref None in
+  List.iter
+    (function
+      | Fault.Crash { proc; at } -> crash_at.(proc) <- min crash_at.(proc) at
+      | Fault.Outage { proc; from_; until } ->
+          outages.(proc) <- (from_, until) :: outages.(proc)
+      | Fault.Degrade { proc; factor } -> degrade.(proc) <- degrade.(proc) *. factor
+      | Fault.Flaky { prob; max_retries; backoff } ->
+          if !flaky = None then flaky := Some (prob, max_retries, backoff))
+    faults;
+  Array.iteri (fun q l -> outages.(q) <- List.sort compare l) outages;
+  let n = Graph.n_tasks g in
+  let comms = Array.of_list (Schedule.comms s) in
+  let k = Array.length comms in
+  let total = n + k in
+  let duration = Array.make total 0. in
+  let task_proc = Array.make n 0 in
+  for v = 0 to n - 1 do
+    let pl = Schedule.placement_exn s v in
+    duration.(v) <- pl.Schedule.finish -. pl.Schedule.start;
+    task_proc.(v) <- pl.Schedule.proc
+  done;
+  Array.iteri (fun i (c : Schedule.comm) -> duration.(n + i) <- c.finish -. c.start) comms;
+  (* --- data dependencies (same wiring as Executor) --- *)
+  let dependents = Array.make total [] in
+  let deps_remaining = Array.make total 0 in
+  let add_dep a b =
+    if a <> b then begin
+      dependents.(a) <- b :: dependents.(a);
+      deps_remaining.(b) <- deps_remaining.(b) + 1
+    end
+  in
+  let per_edge = Array.make (max (Graph.n_edges g) 1) [] in
+  Array.iteri (fun i (c : Schedule.comm) -> per_edge.(c.edge) <- (n + i) :: per_edge.(c.edge)) comms;
+  List.iter
+    (fun (e : Graph.edge) ->
+      match List.rev per_edge.(e.id) with
+      | [] -> add_dep e.src e.dst
+      | hops ->
+          let last =
+            List.fold_left
+              (fun prev hop ->
+                add_dep prev hop;
+                hop)
+              e.src hops
+          in
+          add_dep last e.dst)
+    (Graph.edges g);
+  (* --- resource FIFOs in recorded start order --- *)
+  let streams : (resource, (float * int) list ref) Hashtbl.t = Hashtbl.create 64 in
+  let occupy resource node start =
+    let q =
+      match Hashtbl.find_opt streams resource with
+      | Some q -> q
+      | None ->
+          let q = ref [] in
+          Hashtbl.add streams resource q;
+          q
+    in
+    q := (start, node) :: !q
+  in
+  for v = 0 to n - 1 do
+    let pl = Schedule.placement_exn s v in
+    occupy (Compute pl.Schedule.proc) v pl.Schedule.start
+  done;
+  Array.iteri
+    (fun i (c : Schedule.comm) ->
+      let node = n + i in
+      (match model.Comm_model.ports with
+      | Comm_model.Unlimited -> ()
+      | Comm_model.One_port_bidirectional ->
+          occupy (Send c.src_proc) node c.start;
+          occupy (Recv c.dst_proc) node c.start
+      | Comm_model.One_port_unidirectional ->
+          occupy (Send c.src_proc) node c.start;
+          occupy (Send c.dst_proc) node c.start);
+      if model.Comm_model.link_contention then
+        occupy (Link (min c.src_proc c.dst_proc, max c.src_proc c.dst_proc)) node c.start;
+      if not model.Comm_model.overlap then begin
+        occupy (Compute c.src_proc) node c.start;
+        occupy (Compute c.dst_proc) node c.start
+      end)
+    comms;
+  let node_resources = Array.make total [] in
+  let fifo : (resource, int array) Hashtbl.t = Hashtbl.create 64 in
+  let cursor : (resource, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let free_at : (resource, float ref) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun resource q ->
+      let arr = Array.of_list (List.sort compare !q) in
+      let order = Array.map snd arr in
+      Array.iter
+        (fun node -> node_resources.(node) <- resource :: node_resources.(node))
+        order;
+      Hashtbl.add fifo resource order;
+      Hashtbl.add cursor resource (ref 0);
+      Hashtbl.add free_at resource (ref 0.))
+    streams;
+  (* --- simulation --- *)
+  let ready_time = Array.make total 0. in
+  let fired = Array.make total false in
+  let dead = Array.make total false in
+  let running =
+    Prelude.Pqueue.create ~compare:(fun (t1, n1) (t2, n2) ->
+        match compare (t1 : float) t2 with 0 -> compare n1 n2 | c -> c)
+  in
+  let events_fired = ref 0 in
+  let task_starts = Array.make n 0. in
+  let makespan = ref 0. in
+  let retries = ref 0 in
+  let backoff_time = ref 0. in
+  let deferred = ref 0 in
+  let can_fire node =
+    (not fired.(node))
+    && deps_remaining.(node) = 0
+    && List.for_all
+         (fun r ->
+           let cur = !(Hashtbl.find cursor r) in
+           let order = Hashtbl.find fifo r in
+           cur < Array.length order && order.(cur) = node)
+         node_resources.(node)
+  in
+  (* Every processor a dispatch must find alive and out of blackout. *)
+  let involved node =
+    if node < n then [ task_proc.(node) ]
+    else
+      let c = comms.(node - n) in
+      [ c.Schedule.src_proc; c.Schedule.dst_proc ]
+  in
+  (* Outage deferral to a fixpoint: escaping one window may land inside
+     another (possibly on the other endpoint of a hop). *)
+  let rec defer procs t =
+    let t' =
+      List.fold_left
+        (fun t q ->
+          List.fold_left
+            (fun t (a, b) -> if t >= a && t < b then b else t)
+            t outages.(q))
+        t procs
+    in
+    if t' > t then defer procs t' else t
+  in
+  let rec try_fire node =
+    if can_fire node then begin
+      let start0 =
+        List.fold_left
+          (fun acc r -> max acc !(Hashtbl.find free_at r))
+          ready_time.(node) node_resources.(node)
+      in
+      let procs = involved node in
+      let start = defer procs start0 in
+      if start > start0 then incr deferred;
+      (* duration under jitter and link degradation *)
+      let d =
+        if node < n then
+          if task_jitter > 0. then
+            duration.(node) *. (1. +. Rng.float rng task_jitter)
+          else duration.(node)
+        else begin
+          let c = comms.(node - n) in
+          let d =
+            if comm_jitter > 0. then
+              duration.(node) *. (1. +. Rng.float rng comm_jitter)
+            else duration.(node)
+          in
+          d *. degrade.(c.Schedule.src_proc) *. degrade.(c.Schedule.dst_proc)
+        end
+      in
+      (* a crashed compute element runs nothing at/after the crash and
+         kills whatever it is running when the crash hits *)
+      let killed =
+        node < n
+        &&
+        let t = crash_at.(task_proc.(node)) in
+        start >= t || start +. d > t
+      in
+      (* flaky transmission: bounded retries with exponential backoff;
+         [None] = the hop exhausted its budget and the data is lost *)
+      let transmission =
+        if killed then None
+        else if node >= n && duration.(node) > 0. then
+          match !flaky with
+          | None -> Some (d, 0, 0.)
+          | Some (prob, max_retries, backoff) ->
+              let rec attempt i elapsed paused =
+                if Rng.float rng 1. < prob then
+                  if i >= max_retries then None
+                  else begin
+                    let pause = backoff *. (2. ** float_of_int i) in
+                    attempt (i + 1) (elapsed +. d +. pause) (paused +. pause)
+                  end
+                else Some (elapsed +. d, i, paused)
+              in
+              attempt 0 0. 0.
+        else Some (d, 0, 0.)
+      in
+      match transmission with
+      | None ->
+          (* lost work is cancelled: vacate every FIFO position without
+             occupying time so unrelated traffic keeps flowing, but never
+             complete — dependents stay blocked and strand *)
+          fired.(node) <- true;
+          dead.(node) <- true;
+          List.iter (fun r -> incr (Hashtbl.find cursor r)) node_resources.(node);
+          List.iter
+            (fun r ->
+              let cur = !(Hashtbl.find cursor r) in
+              let order = Hashtbl.find fifo r in
+              if cur < Array.length order then try_fire order.(cur))
+            node_resources.(node)
+      | Some (elapsed, n_retries, paused) ->
+          fired.(node) <- true;
+          incr events_fired;
+          if n_retries > 0 then begin
+            retries := !retries + n_retries;
+            backoff_time := !backoff_time +. paused;
+            for _ = 1 to n_retries do
+              Obs.Counters.retry ()
+            done;
+            Obs.Counters.backoff paused
+          end;
+          let finish = start +. elapsed in
+          if node < n then begin
+            task_starts.(node) <- start;
+            if finish > !makespan then makespan := finish
+          end;
+          List.iter
+            (fun r ->
+              Hashtbl.find free_at r := finish;
+              incr (Hashtbl.find cursor r))
+            node_resources.(node);
+          Prelude.Pqueue.add running (finish, node);
+          List.iter
+            (fun r ->
+              let cur = !(Hashtbl.find cursor r) in
+              let order = Hashtbl.find fifo r in
+              if cur < Array.length order then try_fire order.(cur))
+            node_resources.(node)
+    end
+  in
+  for node = 0 to total - 1 do
+    try_fire node
+  done;
+  let rec step () =
+    match Prelude.Pqueue.pop running with
+    | None -> ()
+    | Some (finish, node) ->
+        List.iter
+          (fun b ->
+            deps_remaining.(b) <- deps_remaining.(b) - 1;
+            if ready_time.(b) < finish then ready_time.(b) <- finish)
+          dependents.(node);
+        List.iter try_fire dependents.(node);
+        step ()
+  in
+  step ();
+  let stats =
+    { retries = !retries; backoff_time = !backoff_time; deferred = !deferred }
+  in
+  if !events_fired = total then
+    Completed
+      {
+        trace =
+          {
+            Executor.makespan = !makespan;
+            task_starts;
+            events_fired = !events_fired;
+          };
+        stats;
+      }
+  else begin
+    let stranded = ref [] in
+    for v = n - 1 downto 0 do
+      if dead.(v) || not fired.(v) then stranded := v :: !stranded
+    done;
+    Stranded
+      {
+        stranded = !stranded;
+        events_fired = !events_fired;
+        total_events = total;
+        partial_makespan = !makespan;
+        stats;
+      }
+  end

@@ -3,10 +3,13 @@ open Prelude
 type stats = {
   nominal : float;
   mean : float;
+  stddev : float;
   worst : float;
   p95 : float;
+  p99 : float;
   trials : int;
-  jitter : float;
+  task_jitter : float;
+  comm_jitter : float;
 }
 
 let degraded_makespan pert rng ~task_jitter ~comm_jitter =
@@ -14,23 +17,36 @@ let degraded_makespan pert rng ~task_jitter ~comm_jitter =
     ~task_duration:(fun _ d -> d *. (1. +. Rng.float rng task_jitter))
     ~hop_duration:(fun _ d -> d *. (1. +. Rng.float rng comm_jitter))
 
-let monte_carlo sched rng ~jitter ~trials =
+let monte_carlo ?task_jitter ?comm_jitter sched rng ~jitter ~trials =
   if trials < 1 then invalid_arg "Robustness.monte_carlo: trials < 1";
+  let task_jitter = Option.value task_jitter ~default:jitter in
+  let comm_jitter = Option.value comm_jitter ~default:jitter in
   let pert = Pert.build sched in
   let draws =
     List.init trials (fun _ ->
-        degraded_makespan pert rng ~task_jitter:jitter ~comm_jitter:jitter)
+        degraded_makespan pert rng ~task_jitter ~comm_jitter)
   in
   {
     nominal = Pert.compacted_makespan pert;
     mean = Stats.mean draws;
+    stddev = Stats.stdev draws;
     worst = Stats.maximum draws;
     p95 = Stats.percentile 95. draws;
+    p99 = Stats.percentile 99. draws;
     trials;
-    jitter;
+    task_jitter;
+    comm_jitter;
   }
 
 let pp_stats fmt s =
+  let jitter_label =
+    if s.task_jitter = s.comm_jitter then
+      Printf.sprintf "jitter %.0f%%" (100. *. s.task_jitter)
+    else
+      Printf.sprintf "task jitter %.0f%%, comm jitter %.0f%%"
+        (100. *. s.task_jitter) (100. *. s.comm_jitter)
+  in
   Format.fprintf fmt
-    "@[<v>nominal: %g@ mean: %g@ p95: %g@ worst: %g@ (%d trials, jitter %.0f%%)@]"
-    s.nominal s.mean s.p95 s.worst s.trials (100. *. s.jitter)
+    "@[<v>nominal: %g@ mean: %g@ stddev: %g@ p95: %g@ p99: %g@ worst: %g@ (%d \
+     trials, %s)@]"
+    s.nominal s.mean s.stddev s.p95 s.p99 s.worst s.trials jitter_label

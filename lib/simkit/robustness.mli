@@ -6,15 +6,19 @@
     per-processor order, per-port order) and re-timing the event DAG with
     inflated durations measures how gracefully a heuristic's output
     degrades — a cheap stand-in for executing on a real contended
-    network. *)
+    network.  For injected {e faults} (crashes, outages, lossy links)
+    rather than mere slippage, see {!Faulty_executor}. *)
 
 type stats = {
   nominal : float;  (** compacted makespan with original durations *)
   mean : float;
+  stddev : float;
   worst : float;
   p95 : float;
+  p99 : float;
   trials : int;
-  jitter : float;
+  task_jitter : float;
+  comm_jitter : float;
 }
 
 (** [degraded_makespan pert rng ~task_jitter ~comm_jitter] — one draw:
@@ -24,8 +28,16 @@ val degraded_makespan :
   Pert.t -> Prelude.Rng.t -> task_jitter:float -> comm_jitter:float -> float
 
 (** [monte_carlo sched rng ~jitter ~trials] — summary over [trials]
-    independent draws with [task_jitter = comm_jitter = jitter]. *)
+    independent draws.  [jitter] is the default for both noise sources;
+    [task_jitter]/[comm_jitter] override it per source (e.g.
+    [~task_jitter:0. ~jitter:0.5] isolates communication noise). *)
 val monte_carlo :
-  Sched.Schedule.t -> Prelude.Rng.t -> jitter:float -> trials:int -> stats
+  ?task_jitter:float ->
+  ?comm_jitter:float ->
+  Sched.Schedule.t ->
+  Prelude.Rng.t ->
+  jitter:float ->
+  trials:int ->
+  stats
 
 val pp_stats : Format.formatter -> stats -> unit

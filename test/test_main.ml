@@ -20,4 +20,5 @@ let () =
       ("unrelated", Test_unrelated.suite);
       ("rendering", Test_svg.suite);
       ("obs", Test_obs.suite);
+      ("faults", Test_faults.suite);
     ]
