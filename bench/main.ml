@@ -18,7 +18,12 @@
      dune exec bench/main.exe -- --quick       -- 1/5-scale problem sizes
      dune exec bench/main.exe -- --scale 0.4   -- custom scale
      dune exec bench/main.exe -- --only fig8 --only e1
-     dune exec bench/main.exe -- --no-bechamel / --no-figures *)
+     dune exec bench/main.exe -- --no-bechamel / --no-figures
+     dune exec bench/main.exe -- --json FILE   -- machine-readable results
+                                                  ("-" for stdout); see
+                                                  doc/performance.md and the
+                                                  committed BENCH_*.json
+                                                  baselines *)
 
 module O = Onesched
 
@@ -28,6 +33,7 @@ type options = {
   run_figures : bool;
   run_bechamel : bool;
   run_probes : bool;
+  json : string option;
 }
 
 let parse_args () =
@@ -36,6 +42,7 @@ let parse_args () =
   let run_figures = ref true in
   let run_bechamel = ref true in
   let run_probes = ref true in
+  let json = ref None in
   let rec eat = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -56,11 +63,14 @@ let parse_args () =
     | "--no-probes" :: rest ->
         run_probes := false;
         eat rest
+    | "--json" :: file :: rest ->
+        json := Some file;
+        eat rest
     | arg :: _ ->
         Printf.eprintf
           "unknown argument %s\n\
            usage: main.exe [--quick] [--scale F] [--only ID]* [--no-figures] \
-           [--no-bechamel] [--no-probes]\n\
+           [--no-bechamel] [--no-probes] [--json FILE]\n\
            experiment ids: %s\n"
           arg
           (String.concat ", " O.Figures.ids);
@@ -73,6 +83,7 @@ let parse_args () =
     run_figures = !run_figures;
     run_bechamel = !run_bechamel;
     run_probes = !run_probes;
+    json = !json;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -159,11 +170,28 @@ let support_benches =
     schedule_test "engine/upward-rank" (fun () -> O.Ranking.upward lu plat);
   ]
 
-let run_bechamel () =
-  Printf.printf "=== micro-benchmarks (Bechamel, n = %d per testbed) ===\n%!"
-    bench_size;
+(* The evaluation hot path itself: a full HEFT run (its cost is the
+   n_tasks x p evaluation grid) on the arena engine versus the same run
+   forced through the pre-arena [Engine.Reference] evaluator.  The ratio
+   of the two rows is the headline number tracked in BENCH_*.json. *)
+let engine_benches =
+  let lu = O.Kernels.lu ~n:bench_size ~ccr:10. in
+  [
+    schedule_test "engine/eval-grid" (fun () -> O.Heft.schedule plat lu);
+    schedule_test "engine/eval-grid-ref" (fun () ->
+        O.Engine.with_reference (fun () -> O.Heft.schedule plat lu));
+  ]
+
+(* Runs the Bechamel suite, prints the human table (unless [echo] is
+   off — [--json -] keeps stdout pure JSON), and returns the sorted
+   [(name, ns_per_run)] rows for the JSON export. *)
+let run_bechamel ~echo () =
+  if echo then
+    Printf.printf "=== micro-benchmarks (Bechamel, n = %d per testbed) ===\n%!"
+      bench_size;
   let test =
-    Test.make_grouped ~name:"onesched" (figure_benches @ support_benches)
+    Test.make_grouped ~name:"onesched"
+      (figure_benches @ support_benches @ engine_benches)
   in
   let cfg =
     Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None
@@ -185,6 +213,7 @@ let run_bechamel () =
         (name, ns_per_run) :: acc)
       results []
   in
+  let rows = List.sort compare rows in
   let table = O.Table.create ~columns:[ "benchmark"; "time/run"; "runs/s" ] in
   let pretty_time ns =
     if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
@@ -196,27 +225,49 @@ let run_bechamel () =
     (fun (name, ns) ->
       O.Table.add_row table
         [ name; pretty_time ns; Printf.sprintf "%.1f" (1e9 /. ns) ])
-    (List.sort compare rows);
-  print_string (O.Table.to_string table)
+    rows;
+  if echo then begin
+    print_string (O.Table.to_string table);
+    match
+      ( List.assoc_opt "onesched/engine/eval-grid" rows,
+        List.assoc_opt "onesched/engine/eval-grid-ref" rows )
+    with
+    | Some fast, Some slow when fast > 0. ->
+        Printf.printf "\nengine/eval-grid speedup over reference: %.2fx\n%!"
+          (slow /. fast)
+    | _ -> ()
+  end;
+  rows
 
 (* ------------------------------------------------------------------ *)
 (* Part 3: engine-probe accounting via the obs counters                 *)
 (* ------------------------------------------------------------------ *)
 
+type probe_row = {
+  testbed : string;
+  heuristic : string;
+  tasks : int;
+  counters : O.Obs_counters.snapshot;
+}
+
 (* How much engine work each heuristic spends per task it schedules:
-   (task, proc) evaluations, earliest-gap searches (single + joint) and
-   tentative communication hops, counted by the obs layer and divided by
-   the task count. *)
-let run_probes () =
-  Printf.printf "\n=== engine probes per scheduled task (n = %d) ===\n%!"
-    bench_size;
+   (task, proc) evaluations (and how many candidates the lower-bound
+   prune skipped), earliest-gap searches (single + joint) and tentative
+   communication hops, counted by the obs layer and divided by the task
+   count.  Returns the raw per-run counter snapshots for the JSON
+   export. *)
+let run_probes ~echo () =
+  if echo then
+    Printf.printf "\n=== engine probes per scheduled task (n = %d) ===\n%!"
+      bench_size;
   O.Obs_counters.enable ();
   let table =
     O.Table.create
       ~columns:
-        [ "testbed"; "heuristic"; "tasks"; "evals/task"; "gap probes/task";
-          "tentative hops/task" ]
+        [ "testbed"; "heuristic"; "tasks"; "evals/task"; "pruned/task";
+          "gap probes/task"; "tentative hops/task" ]
   in
+  let rows = ref [] in
   List.iter
     (fun suite ->
       let g = suite.O.Suite.build ~n:bench_size ~ccr:10. in
@@ -225,11 +276,15 @@ let run_probes () =
         O.Obs_counters.reset ();
         ignore (schedule () : O.Schedule.t);
         let c = O.Obs_counters.snapshot () in
+        rows :=
+          { testbed = suite.O.Suite.name; heuristic = name; tasks; counters = c }
+          :: !rows;
         let per x = Printf.sprintf "%.1f" (float_of_int x /. float_of_int tasks) in
         O.Table.add_row table
           [
             suite.O.Suite.name; name; string_of_int tasks;
             per c.O.Obs_counters.evaluations;
+            per c.O.Obs_counters.pruned_evaluations;
             per
               (c.O.Obs_counters.gap_probes + c.O.Obs_counters.joint_gap_probes);
             per c.O.Obs_counters.tentative_hops;
@@ -242,10 +297,75 @@ let run_probes () =
         (fun () -> O.Ilha.schedule ~params:(O.Params.make ~b ()) plat g))
     O.Suite.all;
   O.Obs_counters.disable ();
-  print_string (O.Table.to_string table)
+  if echo then print_string (O.Table.to_string table);
+  List.rev !rows
+
+(* ------------------------------------------------------------------ *)
+(* JSON export                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Hand-rolled writer (no JSON dependency): the schema is documented in
+   doc/performance.md and the committed BENCH_*.json baselines follow
+   it. *)
+let emit_json opts ~bech_rows ~probe_rows file =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let json_float x =
+    if Float.is_nan x then "null" else Printf.sprintf "%.3f" x
+  in
+  add "{\n";
+  add "  \"schema\": \"onesched-bench/1\",\n";
+  add "  \"bench_size\": %d,\n" bench_size;
+  add "  \"scale\": %s,\n" (json_float opts.scale);
+  add "  \"bechamel\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      add "    {\"name\": %S, \"ns_per_run\": %s}%s\n" name (json_float ns)
+        (if i = List.length bech_rows - 1 then "" else ","))
+    bech_rows;
+  add "  ],\n";
+  (match
+     ( List.assoc_opt "onesched/engine/eval-grid" bech_rows,
+       List.assoc_opt "onesched/engine/eval-grid-ref" bech_rows )
+   with
+  | Some fast, Some slow when fast > 0. && not (Float.is_nan slow) ->
+      add "  \"eval_grid_speedup\": %s,\n" (json_float (slow /. fast))
+  | _ -> ());
+  add "  \"probes\": [\n";
+  List.iteri
+    (fun i r ->
+      let c = r.counters in
+      add
+        "    {\"testbed\": %S, \"heuristic\": %S, \"tasks\": %d, \
+         \"evaluations\": %d, \"pruned_evaluations\": %d, \
+         \"route_cache_hits\": %d, \"gap_probes\": %d, \
+         \"joint_gap_probes\": %d, \"tentative_hops\": %d, \"commits\": \
+         %d}%s\n"
+        r.testbed r.heuristic r.tasks c.O.Obs_counters.evaluations
+        c.O.Obs_counters.pruned_evaluations c.O.Obs_counters.route_cache_hits
+        c.O.Obs_counters.gap_probes c.O.Obs_counters.joint_gap_probes
+        c.O.Obs_counters.tentative_hops c.O.Obs_counters.commits
+        (if i = List.length probe_rows - 1 then "" else ","))
+    probe_rows;
+  add "  ]\n";
+  add "}\n";
+  if file = "-" then print_string (Buffer.contents buf)
+  else begin
+    let oc = open_out file in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "\nwrote %s\n%!" file
+  end
 
 let () =
   let opts = parse_args () in
-  if opts.run_figures then run_figures opts;
-  if opts.run_probes && opts.only = [] then run_probes ();
-  if opts.run_bechamel && opts.only = [] then run_bechamel ()
+  (* [--json -] reserves stdout for the JSON document. *)
+  let echo = opts.json <> Some "-" in
+  if opts.run_figures && echo then run_figures opts;
+  let probe_rows =
+    if opts.run_probes && opts.only = [] then run_probes ~echo () else []
+  in
+  let bech_rows =
+    if opts.run_bechamel && opts.only = [] then run_bechamel ~echo () else []
+  in
+  Option.iter (emit_json opts ~bech_rows ~probe_rows) opts.json

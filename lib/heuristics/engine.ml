@@ -7,117 +7,532 @@ type policy = Insertion | Append
 type hop = { edge : int; src_proc : int; dst_proc : int; start : float }
 type eval = { proc : int; est : float; eft : float; hops : hop list }
 
-type t = { sched : Schedule.t; policy : policy }
+(* One direct hop of a cached route: endpoints, per-item cost, and the
+   joint busy set as parallel timeline/resource-id arrays. *)
+type hop_set = {
+  h_src : int;
+  h_dst : int;
+  h_cost : float;
+  h_tls : Timeline.t array;
+  h_ids : int array;
+}
 
-let create ?(policy = Insertion) sched = { sched; policy }
+(* The engine owns every scratch structure the evaluation grid needs, so
+   that pricing one (task, processor) candidate allocates nothing beyond
+   the [eval] it returns:
+
+   - [routes] caches, per ordered processor pair, the platform route with
+     each hop's busy set and per-item cost ([route_cache_hits] counts
+     reuse);
+   - the {e arena} ([buf_s]/[buf_f]/[buf_len]) holds tentative busy
+     intervals per stable resource id, reset in O(dirty ids) between
+     candidates;
+   - [ext_s]/[ext_f] stage the merged, start-sorted extras of one probe
+     and [idx] is the joint-gap cursor scratch;
+   - the [inc_*] arrays cache the incoming-communication table of the
+     task being priced (predecessor finish, source, edge, source
+     processor, edge data — sorted by the §4.3 greedy order), computed
+     once per task rather than once per candidate. *)
+type t = {
+  sched : Schedule.t;
+  policy : policy;
+  p : int;
+  all_procs : int list;
+  routes : hop_set array option array;
+  comp_tls : Timeline.t array array;
+  comp_ids : int array array;
+  (* arena: tentative intervals per resource id *)
+  mutable buf_s : float array array;
+  mutable buf_f : float array array;
+  mutable buf_len : int array;
+  mutable dirty : int array;
+  mutable n_dirty : int;
+  (* merged extras of the probe in flight *)
+  mutable ext_s : float array;
+  mutable ext_f : float array;
+  mutable ext_len : int;
+  mutable idx : int array;
+  (* incoming-edge table of the task being priced *)
+  mutable inc_task : int;
+  mutable inc_len : int;
+  mutable inc_fin : float array;
+  mutable inc_src : int array;
+  mutable inc_edge : int array;
+  mutable inc_proc : int array;
+  mutable inc_data : float array;
+  mutable inc_max_fin : float;
+}
+
+let create ?(policy = Insertion) sched =
+  let plat = Schedule.platform sched in
+  let res = Schedule.resource sched in
+  let p = Platform.p plat in
+  let nid = Resource.id_bound res in
+  {
+    sched;
+    policy;
+    p;
+    all_procs = List.init p Fun.id;
+    routes = Array.make (p * p) None;
+    comp_tls = Array.init p (fun i -> [| Resource.compute res i |]);
+    comp_ids = Array.init p (fun i -> [| Resource.compute_id res i |]);
+    buf_s = Array.make (max nid 1) [||];
+    buf_f = Array.make (max nid 1) [||];
+    buf_len = Array.make (max nid 1) 0;
+    dirty = Array.make (max nid 1) 0;
+    n_dirty = 0;
+    ext_s = Array.make 16 0.;
+    ext_f = Array.make 16 0.;
+    ext_len = 0;
+    idx = Array.make 8 0;
+    inc_task = -1;
+    inc_len = 0;
+    inc_fin = [||];
+    inc_src = [||];
+    inc_edge = [||];
+    inc_proc = [||];
+    inc_data = [||];
+    inc_max_fin = 0.;
+  }
+
 let schedule t = t.sched
 let policy t = t.policy
 
-(* Tentative busy intervals per physical timeline (physical equality:
-   distinct resources are distinct Timeline.t values). *)
-type scratch = (Timeline.t * (float * float) list) list
+(* ------------------------------------------------------------------ *)
+(* Arena                                                               *)
+(* ------------------------------------------------------------------ *)
 
-let scratch_for (scratch : scratch) tls =
-  List.concat_map
-    (fun tl ->
-      match List.find_opt (fun (tl', _) -> tl' == tl) scratch with
-      | Some (_, ivs) -> ivs
-      | None -> [])
-    tls
+(* Link-contention models hand out fresh resource ids lazily; the arena
+   grows to cover them. *)
+let ensure_id t id =
+  let cap = Array.length t.buf_len in
+  if id >= cap then begin
+    let cap' = max (id + 1) (max 4 (2 * cap)) in
+    let bs = Array.make cap' [||] in
+    let bf = Array.make cap' [||] in
+    let bl = Array.make cap' 0 in
+    let d = Array.make cap' 0 in
+    Array.blit t.buf_s 0 bs 0 cap;
+    Array.blit t.buf_f 0 bf 0 cap;
+    Array.blit t.buf_len 0 bl 0 cap;
+    Array.blit t.dirty 0 d 0 t.n_dirty;
+    t.buf_s <- bs;
+    t.buf_f <- bf;
+    t.buf_len <- bl;
+    t.dirty <- d
+  end
 
-let scratch_add (scratch : scratch) tls iv : scratch =
-  List.fold_left
-    (fun acc tl ->
-      let rec update = function
-        | [] -> [ (tl, [ iv ]) ]
-        | (tl', ivs) :: rest when tl' == tl -> (tl', iv :: ivs) :: rest
-        | entry :: rest -> entry :: update rest
-      in
-      update acc)
-    scratch tls
+let arena_reset t =
+  for i = 0 to t.n_dirty - 1 do
+    t.buf_len.(t.dirty.(i)) <- 0
+  done;
+  t.n_dirty <- 0
+
+(* Record [[s, f)] as tentatively busy on resource [id], keeping the
+   per-id buffer sorted by start (probes of later messages may slot in
+   front of earlier tentative intervals).  Zero-length intervals block
+   nothing and are dropped, mirroring [Timeline.add]. *)
+let arena_add t id s f =
+  if f > s then begin
+    ensure_id t id;
+    let n = t.buf_len.(id) in
+    if n = 0 then begin
+      t.dirty.(t.n_dirty) <- id;
+      t.n_dirty <- t.n_dirty + 1
+    end;
+    if n = Array.length t.buf_s.(id) then begin
+      let cap' = max 4 (2 * n) in
+      let bs = Array.make cap' 0. in
+      let bf = Array.make cap' 0. in
+      Array.blit t.buf_s.(id) 0 bs 0 n;
+      Array.blit t.buf_f.(id) 0 bf 0 n;
+      t.buf_s.(id) <- bs;
+      t.buf_f.(id) <- bf
+    end;
+    let bs = t.buf_s.(id) and bf = t.buf_f.(id) in
+    let pos = ref n in
+    while !pos > 0 && bs.(!pos - 1) > s do
+      bs.(!pos) <- bs.(!pos - 1);
+      bf.(!pos) <- bf.(!pos - 1);
+      decr pos
+    done;
+    bs.(!pos) <- s;
+    bf.(!pos) <- f;
+    t.buf_len.(id) <- n + 1
+  end
+
+(* Stage one extra into the probe's merged, start-sorted extras. *)
+let push_extra t s f =
+  let n = t.ext_len in
+  if n = Array.length t.ext_s then begin
+    let cap' = 2 * n in
+    let es = Array.make cap' 0. in
+    let ef = Array.make cap' 0. in
+    Array.blit t.ext_s 0 es 0 n;
+    Array.blit t.ext_f 0 ef 0 n;
+    t.ext_s <- es;
+    t.ext_f <- ef
+  end;
+  let es = t.ext_s and ef = t.ext_f in
+  let pos = ref n in
+  while !pos > 0 && es.(!pos - 1) > s do
+    es.(!pos) <- es.(!pos - 1);
+    ef.(!pos) <- ef.(!pos - 1);
+    decr pos
+  done;
+  es.(!pos) <- s;
+  ef.(!pos) <- f;
+  t.ext_len <- n + 1
 
 (* Earliest slot of [duration] on the joint busy set of [tls] plus the
-   tentative intervals, at or after [after], honouring the policy. *)
-let slot t ~tls ~scratch ~after ~duration =
-  let extra = scratch_for scratch tls in
+   arena's tentative intervals for [ids], at or after [after], honouring
+   the policy. *)
+let probe t ~tls ~ids ~after ~duration =
+  let k = Array.length tls in
   let after =
     match t.policy with
     | Insertion -> after
     | Append ->
-        let last =
-          List.fold_left (fun acc tl -> max acc (Timeline.last_finish tl)) after tls
-        in
-        List.fold_left (fun acc (_, f) -> max acc f) last extra
+        let a = ref after in
+        for j = 0 to k - 1 do
+          let lf = Timeline.last_finish tls.(j) in
+          if lf > !a then a := lf;
+          let id = ids.(j) in
+          if id < Array.length t.buf_len then begin
+            let n = t.buf_len.(id) in
+            (* sorted by start and disjoint per id: the last finish is
+               the max *)
+            if n > 0 && t.buf_f.(id).(n - 1) > !a then
+              a := t.buf_f.(id).(n - 1)
+          end
+        done;
+        !a
   in
-  Timeline.earliest_gap_joint ~extra tls ~after ~duration
+  t.ext_len <- 0;
+  for j = 0 to k - 1 do
+    let id = ids.(j) in
+    if id < Array.length t.buf_len then begin
+      let n = t.buf_len.(id) in
+      let bs = t.buf_s.(id) and bf = t.buf_f.(id) in
+      for i = 0 to n - 1 do
+        push_extra t bs.(i) bf.(i)
+      done
+    end
+  done;
+  if k > Array.length t.idx then t.idx <- Array.make (max k (2 * Array.length t.idx)) 0;
+  Timeline.earliest_gap_joint_arr tls ~k ~extra_s:t.ext_s ~extra_f:t.ext_f
+    ~extra_len:t.ext_len ~idx:t.idx ~after ~duration
 
-(* Incoming edges of [task], ordered by (source finish, source id): the
-   greedy order in which §4.3 serialises incoming communications. *)
-let incoming t task =
-  let g = Schedule.graph t.sched in
-  let edges =
-    Graph.fold_pred_edges g task ~init:[] ~f:(fun acc e ->
+(* ------------------------------------------------------------------ *)
+(* Route and incoming caches                                           *)
+(* ------------------------------------------------------------------ *)
+
+let route_for t ~src ~dst =
+  let key = (src * t.p) + dst in
+  match t.routes.(key) with
+  | Some r ->
+      Obs.Counters.route_cache_hit ();
+      r
+  | None ->
+      let plat = Schedule.platform t.sched in
+      let res = Schedule.resource t.sched in
+      let r =
+        Array.of_list
+          (List.map
+             (fun (a, b) ->
+               let pairs = Resource.comm_busy_ids res ~src:a ~dst:b in
+               {
+                 h_src = a;
+                 h_dst = b;
+                 h_cost = Platform.hop_cost plat ~src:a ~dst:b;
+                 h_tls = Array.of_list (List.map fst pairs);
+                 h_ids = Array.of_list (List.map snd pairs);
+               })
+             (Platform.route plat ~src ~dst))
+      in
+      t.routes.(key) <- Some r;
+      r
+
+(* Fill the [inc_*] table for [task]: one row per incoming edge, sorted
+   by (source finish, source id, edge id) — the greedy order in which
+   §4.3 serialises incoming communications.  The table only depends on
+   committed predecessor placements (immutable once made), so it is
+   computed once per task and reused across all candidate processors. *)
+let prepare_incoming t ~task =
+  if t.inc_task <> task then begin
+    let g = Schedule.graph t.sched in
+    let deg = Graph.in_degree g task in
+    if deg > Array.length t.inc_fin then begin
+      let cap = max deg (max 8 (2 * Array.length t.inc_fin)) in
+      t.inc_fin <- Array.make cap 0.;
+      t.inc_src <- Array.make cap 0;
+      t.inc_edge <- Array.make cap 0;
+      t.inc_proc <- Array.make cap 0;
+      t.inc_data <- Array.make cap 0.
+    end;
+    let n = ref 0 in
+    Graph.fold_pred_edges g task ~init:() ~f:(fun () e ->
         let src = Graph.edge_src g e in
-        let fin = Schedule.finish_of_exn t.sched src in
-        (fin, src, e) :: acc)
-  in
-  List.sort compare edges
+        let i = !n in
+        t.inc_fin.(i) <- Schedule.finish_of_exn t.sched src;
+        t.inc_src.(i) <- src;
+        t.inc_edge.(i) <- e;
+        t.inc_proc.(i) <- Schedule.proc_of_exn t.sched src;
+        t.inc_data.(i) <- Graph.edge_data g e;
+        incr n);
+    let n = !n in
+    (* insertion sort of the parallel rows by (fin, src, edge) *)
+    for i = 1 to n - 1 do
+      let fin = t.inc_fin.(i)
+      and src = t.inc_src.(i)
+      and edge = t.inc_edge.(i)
+      and proc = t.inc_proc.(i)
+      and data = t.inc_data.(i) in
+      let pos = ref i in
+      while
+        !pos > 0
+        &&
+        let j = !pos - 1 in
+        t.inc_fin.(j) > fin
+        || (t.inc_fin.(j) = fin
+           && (t.inc_src.(j) > src
+              || (t.inc_src.(j) = src && t.inc_edge.(j) > edge)))
+      do
+        let j = !pos - 1 in
+        t.inc_fin.(!pos) <- t.inc_fin.(j);
+        t.inc_src.(!pos) <- t.inc_src.(j);
+        t.inc_edge.(!pos) <- t.inc_edge.(j);
+        t.inc_proc.(!pos) <- t.inc_proc.(j);
+        t.inc_data.(!pos) <- t.inc_data.(j);
+        decr pos
+      done;
+      t.inc_fin.(!pos) <- fin;
+      t.inc_src.(!pos) <- src;
+      t.inc_edge.(!pos) <- edge;
+      t.inc_proc.(!pos) <- proc;
+      t.inc_data.(!pos) <- data
+    done;
+    let mx = ref 0. in
+    for i = 0 to n - 1 do
+      if t.inc_fin.(i) > !mx then mx := t.inc_fin.(i)
+    done;
+    t.inc_len <- n;
+    t.inc_max_fin <- !mx;
+    t.inc_task <- task
+  end
 
-let evaluate ?(floor = 0.) t ~task ~proc =
-  Obs.Counters.evaluation ();
-  let g = Schedule.graph t.sched in
-  let plat = Schedule.platform t.sched in
-  let res = Schedule.resource t.sched in
-  let hops = ref [] in
-  let scratch = ref ([] : scratch) in
-  let ready =
+(* ------------------------------------------------------------------ *)
+(* Reference evaluator                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The straightforward list-based evaluator the arena engine replaced,
+   kept as the executable specification: [with_reference] re-routes the
+   whole public API through it, and the test suite proves both engines
+   produce bit-identical schedules. *)
+module Reference = struct
+  (* Tentative busy intervals per physical timeline (physical equality:
+     distinct resources are distinct Timeline.t values). *)
+  type scratch = (Timeline.t * (float * float) list) list
+
+  let scratch_for (scratch : scratch) tls =
+    List.concat_map
+      (fun tl ->
+        match List.find_opt (fun (tl', _) -> tl' == tl) scratch with
+        | Some (_, ivs) -> ivs
+        | None -> [])
+      tls
+
+  let scratch_add (scratch : scratch) tls iv : scratch =
     List.fold_left
-      (fun ready (fin, _src, e) ->
-        let q = Schedule.proc_of_exn t.sched (Graph.edge_src g e) in
-        let data = Graph.edge_data g e in
-        if q = proc || data = 0. then max ready fin
-        else begin
-          let arrival =
+      (fun acc tl ->
+        let rec update = function
+          | [] -> [ (tl, [ iv ]) ]
+          | (tl', ivs) :: rest when tl' == tl -> (tl', iv :: ivs) :: rest
+          | entry :: rest -> entry :: update rest
+        in
+        update acc)
+      scratch tls
+
+  (* Earliest slot of [duration] on the joint busy set of [tls] plus the
+     tentative intervals, at or after [after], honouring the policy. *)
+  let slot t ~tls ~scratch ~after ~duration =
+    let extra = scratch_for scratch tls in
+    let after =
+      match t.policy with
+      | Insertion -> after
+      | Append ->
+          let last =
             List.fold_left
-              (fun data_ready (a, b) ->
-                let duration = data *. Platform.hop_cost plat ~src:a ~dst:b in
-                let tls = Resource.comm_busy res ~src:a ~dst:b in
-                let start =
-                  slot t ~tls ~scratch:!scratch ~after:data_ready ~duration
-                in
-                Obs.Counters.tentative_hop ();
-                hops := { edge = e; src_proc = a; dst_proc = b; start } :: !hops;
-                scratch := scratch_add !scratch tls (start, start +. duration);
-                start +. duration)
-              (max fin floor)
-              (Platform.route plat ~src:q ~dst:proc)
+              (fun acc tl -> max acc (Timeline.last_finish tl))
+              after tls
           in
-          max ready arrival
-        end)
-      floor (incoming t task)
-  in
+          List.fold_left (fun acc (_, f) -> max acc f) last extra
+    in
+    Timeline.earliest_gap_joint ~extra tls ~after ~duration
+
+  (* Incoming edges of [task], ordered by (source finish, source id): the
+     greedy order in which §4.3 serialises incoming communications. *)
+  let incoming t task =
+    let g = Schedule.graph t.sched in
+    let edges =
+      Graph.fold_pred_edges g task ~init:[] ~f:(fun acc e ->
+          let src = Graph.edge_src g e in
+          let fin = Schedule.finish_of_exn t.sched src in
+          (fin, src, e) :: acc)
+    in
+    List.sort compare edges
+
+  let evaluate ?(floor = 0.) t ~task ~proc =
+    Obs.Counters.evaluation ();
+    let g = Schedule.graph t.sched in
+    let plat = Schedule.platform t.sched in
+    let res = Schedule.resource t.sched in
+    let hops = ref [] in
+    let scratch = ref ([] : scratch) in
+    let ready =
+      List.fold_left
+        (fun ready (fin, _src, e) ->
+          let q = Schedule.proc_of_exn t.sched (Graph.edge_src g e) in
+          let data = Graph.edge_data g e in
+          if q = proc || data = 0. then max ready fin
+          else begin
+            let arrival =
+              List.fold_left
+                (fun data_ready (a, b) ->
+                  let duration = data *. Platform.hop_cost plat ~src:a ~dst:b in
+                  let tls = Resource.comm_busy res ~src:a ~dst:b in
+                  let start =
+                    slot t ~tls ~scratch:!scratch ~after:data_ready ~duration
+                  in
+                  Obs.Counters.tentative_hop ();
+                  hops :=
+                    { edge = e; src_proc = a; dst_proc = b; start } :: !hops;
+                  scratch := scratch_add !scratch tls (start, start +. duration);
+                  start +. duration)
+                (max fin floor)
+                (Platform.route plat ~src:q ~dst:proc)
+            in
+            max ready arrival
+          end)
+        floor (incoming t task)
+    in
+    let duration = Schedule.exec_duration t.sched ~task ~proc in
+    let compute = Resource.compute res proc in
+    let est = slot t ~tls:[ compute ] ~scratch:!scratch ~after:ready ~duration in
+    { proc; est; eft = est +. duration; hops = List.rev !hops }
+
+  let best_proc_among ?floor t ~task procs =
+    match procs with
+    | [] -> invalid_arg "Engine.best_proc_among: no candidates"
+    | procs ->
+        let best = ref None in
+        List.iter
+          (fun proc ->
+            let ev = evaluate ?floor t ~task ~proc in
+            match !best with
+            | Some b when b.eft <= ev.eft -> ()
+            | _ -> best := Some ev)
+          (List.sort_uniq compare procs);
+        Option.get !best
+
+  let best_proc ?floor t ~task = best_proc_among ?floor t ~task t.all_procs
+end
+
+let use_reference = ref false
+
+let with_reference f =
+  let prev = !use_reference in
+  use_reference := true;
+  Fun.protect ~finally:(fun () -> use_reference := prev) f
+
+(* ------------------------------------------------------------------ *)
+(* Optimized evaluation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let evaluate_opt ~floor t ~task ~proc =
+  Obs.Counters.evaluation ();
+  prepare_incoming t ~task;
+  arena_reset t;
+  let hops = ref [] in
+  let ready = ref floor in
+  for i = 0 to t.inc_len - 1 do
+    let fin = t.inc_fin.(i) in
+    let q = t.inc_proc.(i) in
+    let data = t.inc_data.(i) in
+    if q = proc || data = 0. then begin
+      if fin > !ready then ready := fin
+    end
+    else begin
+      let e = t.inc_edge.(i) in
+      let route = route_for t ~src:q ~dst:proc in
+      let data_ready = ref (if fin > floor then fin else floor) in
+      for h = 0 to Array.length route - 1 do
+        let hs = route.(h) in
+        let duration = data *. hs.h_cost in
+        let start =
+          probe t ~tls:hs.h_tls ~ids:hs.h_ids ~after:!data_ready ~duration
+        in
+        Obs.Counters.tentative_hop ();
+        hops := { edge = e; src_proc = hs.h_src; dst_proc = hs.h_dst; start } :: !hops;
+        let finish = start +. duration in
+        for j = 0 to Array.length hs.h_ids - 1 do
+          arena_add t hs.h_ids.(j) start finish
+        done;
+        data_ready := finish
+      done;
+      if !data_ready > !ready then ready := !data_ready
+    end
+  done;
   let duration = Schedule.exec_duration t.sched ~task ~proc in
-  let compute = Resource.compute res proc in
-  let est = slot t ~tls:[ compute ] ~scratch:!scratch ~after:ready ~duration in
+  let est =
+    probe t ~tls:t.comp_tls.(proc) ~ids:t.comp_ids.(proc) ~after:!ready
+      ~duration
+  in
   { proc; est; eft = est +. duration; hops = List.rev !hops }
 
-let best_proc_among ?floor t ~task procs =
-  match procs with
-  | [] -> invalid_arg "Engine.best_proc_among: no candidates"
-  | procs ->
-      let best = ref None in
-      List.iter
-        (fun proc ->
-          let ev = evaluate ?floor t ~task ~proc in
-          match !best with
-          | Some b when b.eft <= ev.eft -> ()
-          | _ -> best := Some ev)
-        (List.sort_uniq compare procs);
-      Option.get !best
+let evaluate ?(floor = 0.) t ~task ~proc =
+  if !use_reference then Reference.evaluate ~floor t ~task ~proc
+  else evaluate_opt ~floor t ~task ~proc
 
-let best_proc ?floor t ~task =
-  let p = Platform.p (Schedule.platform t.sched) in
-  best_proc_among ?floor t ~task (List.init p Fun.id)
+let rec is_sorted_strict = function
+  | a :: (b :: _ as rest) -> a < b && is_sorted_strict rest
+  | _ -> true
+
+let best_proc_among ?(floor = 0.) t ~task procs =
+  if !use_reference then Reference.best_proc_among ~floor t ~task procs
+  else
+    match procs with
+    | [] -> invalid_arg "Engine.best_proc_among: no candidates"
+    | procs ->
+        (* Candidates are almost always handed over sorted (processor
+           ranges, filtered survivor lists); only re-sort when not. *)
+        let procs =
+          if is_sorted_strict procs then procs
+          else List.sort_uniq compare procs
+        in
+        prepare_incoming t ~task;
+        (* A candidate cannot start before any predecessor finishes (nor
+           before the floor), whatever the communications do, so
+           [ready_lb + execution] lower-bounds its EFT.  Ties keep the
+           incumbent, exactly like the full scan. *)
+        let ready_lb = if t.inc_max_fin > floor then t.inc_max_fin else floor in
+        let best = ref None in
+        List.iter
+          (fun proc ->
+            match !best with
+            | Some b
+              when ready_lb +. Schedule.exec_duration t.sched ~task ~proc
+                   >= b.eft ->
+                Obs.Counters.pruned_evaluation ()
+            | _ -> (
+                let ev = evaluate_opt ~floor t ~task ~proc in
+                match !best with
+                | Some b when b.eft <= ev.eft -> ()
+                | _ -> best := Some ev))
+          procs;
+        Option.get !best
+
+let best_proc ?floor t ~task = best_proc_among ?floor t ~task t.all_procs
 
 let commit t ~task ev =
   Obs.Counters.commit ();

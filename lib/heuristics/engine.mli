@@ -10,7 +10,17 @@
     can compare all processors and commit only the winner.
 
     Under the macro-dataflow model the very same code runs with empty port
-    busy-sets, reproducing the classical unrestricted behaviour. *)
+    busy-sets, reproducing the classical unrestricted behaviour.
+
+    The default implementation is allocation-conscious: the engine owns a
+    reusable arena of tentative busy intervals keyed by stable resource
+    ids, caches platform routes per processor pair and the incoming-edge
+    table per task, and prunes candidates in {!best_proc_among} whose
+    finish-time lower bound cannot beat the incumbent ({!Obs.Counters}
+    reports [pruned evaluations] and [route-cache hits]).  The original
+    list-based evaluator survives as {!Reference}, and
+    {!with_reference} re-routes the public API through it; both produce
+    bit-identical schedules. *)
 
 (** Slot-search policy: [Insertion] may fill idle gaps between committed
     work (classical insertion-based HEFT); [Append] only considers slots
@@ -47,6 +57,12 @@ val evaluate : ?floor:float -> t -> task:int -> proc:int -> eval
 val best_proc : ?floor:float -> t -> task:int -> eval
 
 (** [best_proc_among t ~task procs] — same restricted to a candidate list.
+    Candidates that are already strictly sorted (every current caller)
+    are used as-is; otherwise the list is sorted and de-duplicated
+    first.  Candidates whose finish-time lower bound — latest
+    predecessor finish (or [floor]) plus execution time — cannot beat
+    the incumbent are pruned without a full evaluation; pruning never
+    changes the result because ties keep the incumbent.
     @raise Invalid_argument on an empty list. *)
 val best_proc_among : ?floor:float -> t -> task:int -> int list -> eval
 
@@ -59,3 +75,19 @@ val schedule_on : ?floor:float -> t -> task:int -> proc:int -> unit
 (** [schedule_best t ~task] = {!best_proc} + commit; returns the chosen
     evaluation. *)
 val schedule_best : ?floor:float -> t -> task:int -> eval
+
+(** [with_reference f] runs [f] with {!evaluate}, {!best_proc} and
+    {!best_proc_among} re-routed through the {!Reference} evaluator
+    (restoring the previous mode on exit, including on exceptions).
+    Used by equivalence tests and benchmarks to run whole heuristics on
+    the pre-arena implementation. *)
+val with_reference : (unit -> 'a) -> 'a
+
+(** The straightforward list-based evaluator the arena engine replaced —
+    the executable specification.  Same semantics, no caches, no
+    pruning; produces bit-identical schedules. *)
+module Reference : sig
+  val evaluate : ?floor:float -> t -> task:int -> proc:int -> eval
+  val best_proc : ?floor:float -> t -> task:int -> eval
+  val best_proc_among : ?floor:float -> t -> task:int -> int list -> eval
+end

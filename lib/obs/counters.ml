@@ -1,5 +1,7 @@
 type snapshot = {
   evaluations : int;
+  pruned_evaluations : int;
+  route_cache_hits : int;
   gap_probes : int;
   joint_gap_probes : int;
   tentative_hops : int;
@@ -13,6 +15,8 @@ type snapshot = {
 let zero : snapshot =
   {
     evaluations = 0;
+    pruned_evaluations = 0;
+    route_cache_hits = 0;
     gap_probes = 0;
     joint_gap_probes = 0;
     tentative_hops = 0;
@@ -23,10 +27,12 @@ let zero : snapshot =
     backoff_s = 0.;
   }
 
-(* One mutable record rather than nine refs: a single cache line, and the
-   field stores compile to plain [mov]s. *)
+(* One mutable record rather than eleven refs: a single cache line, and
+   the field stores compile to plain [mov]s. *)
 type state = {
   mutable evaluations : int;
+  mutable pruned_evaluations : int;
+  mutable route_cache_hits : int;
   mutable gap_probes : int;
   mutable joint_gap_probes : int;
   mutable tentative_hops : int;
@@ -40,6 +46,8 @@ type state = {
 let s =
   {
     evaluations = 0;
+    pruned_evaluations = 0;
+    route_cache_hits = 0;
     gap_probes = 0;
     joint_gap_probes = 0;
     tentative_hops = 0;
@@ -57,6 +65,8 @@ let enabled () = !on
 
 let reset () =
   s.evaluations <- 0;
+  s.pruned_evaluations <- 0;
+  s.route_cache_hits <- 0;
   s.gap_probes <- 0;
   s.joint_gap_probes <- 0;
   s.tentative_hops <- 0;
@@ -69,6 +79,8 @@ let reset () =
 let snapshot () : snapshot =
   {
     evaluations = s.evaluations;
+    pruned_evaluations = s.pruned_evaluations;
+    route_cache_hits = s.route_cache_hits;
     gap_probes = s.gap_probes;
     joint_gap_probes = s.joint_gap_probes;
     tentative_hops = s.tentative_hops;
@@ -82,6 +94,8 @@ let snapshot () : snapshot =
 let diff (a : snapshot) (b : snapshot) : snapshot =
   {
     evaluations = b.evaluations - a.evaluations;
+    pruned_evaluations = b.pruned_evaluations - a.pruned_evaluations;
+    route_cache_hits = b.route_cache_hits - a.route_cache_hits;
     gap_probes = b.gap_probes - a.gap_probes;
     joint_gap_probes = b.joint_gap_probes - a.joint_gap_probes;
     tentative_hops = b.tentative_hops - a.tentative_hops;
@@ -92,16 +106,22 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     backoff_s = b.backoff_s -. a.backoff_s;
   }
 
+(* The print order below is part of the CLI contract (cram tests pin it):
+   evaluations, pruned evaluations, route-cache hits, gap probes, joint
+   gap probes, tentative hops, commits, copies — then the fault block
+   (retries, repairs, backoff time) only when something bumped it. *)
 let pp fmt (c : snapshot) =
   Format.fprintf fmt
     "@[<v>evaluations:      %d@,\
+     pruned evaluations: %d@,\
+     route-cache hits: %d@,\
      gap probes:       %d@,\
      joint gap probes: %d@,\
      tentative hops:   %d@,\
      commits:          %d@,\
      copies:           %d@]"
-    c.evaluations c.gap_probes c.joint_gap_probes c.tentative_hops c.commits
-    c.copies;
+    c.evaluations c.pruned_evaluations c.route_cache_hits c.gap_probes
+    c.joint_gap_probes c.tentative_hops c.commits c.copies;
   (* fault-handling counters only appear once something bumped them, so
      fault-free runs keep their historical output *)
   if c.retries <> 0 || c.repairs <> 0 || c.backoff_s <> 0. then
@@ -112,6 +132,15 @@ let pp fmt (c : snapshot) =
       c.retries c.repairs c.backoff_s
 
 let evaluation () = if !on then s.evaluations <- s.evaluations + 1 [@@inline]
+
+let pruned_evaluation () =
+  if !on then s.pruned_evaluations <- s.pruned_evaluations + 1
+[@@inline]
+
+let route_cache_hit () =
+  if !on then s.route_cache_hits <- s.route_cache_hits + 1
+[@@inline]
+
 let gap_probe () = if !on then s.gap_probes <- s.gap_probes + 1 [@@inline]
 
 let joint_gap_probe () =

@@ -1,15 +1,21 @@
 (** Hot-path counters for the scheduling engine and the fault-handling
     machinery.
 
-    Six monotonic counters cover the per-decision costs that dominate
+    Eight monotonic counters cover the per-decision costs that dominate
     every list heuristic in this library:
 
     - [evaluations]: calls to [Engine.evaluate] — one candidate
       (task, processor) pair priced;
+    - [pruned_evaluations]: candidate processors skipped without a full
+      evaluation because a lower bound on their finish time already met
+      the incumbent ([Engine.best_proc_among]'s fast path);
+    - [route_cache_hits]: per-(source, destination) route/busy-set
+      lookups served from the engine's cache instead of recomputing
+      [Platform.route] and the port busy sets;
     - [gap_probes]: single-timeline earliest-gap searches
       ([Timeline.earliest_gap]);
     - [joint_gap_probes]: joint (one-port) earliest-gap searches
-      ([Timeline.earliest_gap_joint]);
+      ([Timeline.earliest_gap_joint] and its array fast path);
     - [tentative_hops]: communication hops planned during evaluation
       (most are discarded — only the winning processor's hops commit);
     - [commits]: evaluations actually committed ([Engine.commit]);
@@ -34,6 +40,8 @@
 (** An immutable reading of all counters. *)
 type snapshot = {
   evaluations : int;
+  pruned_evaluations : int;
+  route_cache_hits : int;
   gap_probes : int;
   joint_gap_probes : int;
   tentative_hops : int;
@@ -58,12 +66,18 @@ val snapshot : unit -> snapshot
 (** [diff before after] — per-field [after - before]. *)
 val diff : snapshot -> snapshot -> snapshot
 
-(** Pretty one-line-per-counter rendering. *)
+(** Pretty one-line-per-counter rendering.  The line order is stable and
+    part of the CLI contract (cram tests pin it): evaluations, pruned
+    evaluations, route-cache hits, gap probes, joint gap probes,
+    tentative hops, commits, copies — then the fault block (retries,
+    repairs, backoff time), which is printed only when nonzero. *)
 val pp : Format.formatter -> snapshot -> unit
 
 (** {2 Bump sites} — no-ops while disabled. *)
 
 val evaluation : unit -> unit
+val pruned_evaluation : unit -> unit
+val route_cache_hit : unit -> unit
 val gap_probe : unit -> unit
 val joint_gap_probe : unit -> unit
 val tentative_hop : unit -> unit

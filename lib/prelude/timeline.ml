@@ -57,9 +57,12 @@ let add t ~start ~finish =
     t.len <- t.len + 1
   end
 
+(* Zero-length tentative intervals block nothing (mirroring [add], which
+   ignores them); dropping them here keeps the gap walks below from
+   mistaking an empty interval for a blocker. *)
 let sort_extra extra =
-  match extra with
-  | [] | [ _ ] -> extra
+  match List.filter (fun (s, f) -> f > s) extra with
+  | ([] | [ _ ]) as l -> l
   | l -> List.sort (fun (s1, _) (s2, _) -> compare s1 s2) l
 
 let earliest_gap ?(extra = []) t ~after ~duration =
@@ -101,17 +104,21 @@ let earliest_gap ?(extra = []) t ~after ~duration =
     !candidate
   end
 
-let earliest_gap_joint ?(extra = []) ts ~after ~duration =
+(* The non-allocating core of the joint search: timelines come as a
+   caller-owned array prefix [ts.(0 .. k-1)], tentative blockers as flat
+   parallel arrays [extra_s]/[extra_f] (prefix [extra_len], sorted by
+   start, no zero-length intervals), and [idx] is caller-provided cursor
+   scratch of length >= k.  The engine's arena calls this once per probe
+   without building a single intermediate value. *)
+let earliest_gap_joint_arr ts ~k ~extra_s ~extra_f ~extra_len ~idx ~after
+    ~duration =
   Obs.Counters.joint_gap_probe ();
   if duration <= 0. then after
   else begin
-    let ts = Array.of_list ts in
-    let k = Array.length ts in
-    let idx = Array.make k 0 in
     for j = 0 to k - 1 do
       idx.(j) <- first_relevant ts.(j) after
     done;
-    let ex = ref (sort_extra extra) in
+    let ex = ref 0 in
     let candidate = ref after in
     let progress = ref true in
     while !progress do
@@ -133,21 +140,40 @@ let earliest_gap_joint ?(extra = []) ts ~after ~duration =
         end
       done;
       let rec eat () =
-        match !ex with
-        | (_, f) :: rest when f <= !candidate ->
-            ex := rest;
+        if !ex < extra_len then begin
+          if extra_f.(!ex) <= !candidate then begin
+            incr ex;
             eat ()
-        | (s, f) :: rest when s < !candidate +. duration ->
-            candidate := f;
-            ex := rest;
+          end
+          else if extra_s.(!ex) < !candidate +. duration then begin
+            candidate := extra_f.(!ex);
+            incr ex;
             progress := true;
             eat ()
-        | _ -> ()
+          end
+        end
       in
       eat ()
     done;
     !candidate
   end
+
+(* List front end: a thin (allocating) wrapper over the array core, kept
+   for callers outside the hot path. *)
+let earliest_gap_joint ?(extra = []) ts ~after ~duration =
+  let ts = Array.of_list ts in
+  let k = Array.length ts in
+  let extra = sort_extra extra in
+  let extra_len = List.length extra in
+  let extra_s = Array.make (max extra_len 1) 0. in
+  let extra_f = Array.make (max extra_len 1) 0. in
+  List.iteri
+    (fun i (s, f) ->
+      extra_s.(i) <- s;
+      extra_f.(i) <- f)
+    extra;
+  earliest_gap_joint_arr ts ~k ~extra_s ~extra_f ~extra_len
+    ~idx:(Array.make (max k 1) 0) ~after ~duration
 
 let free_at t ~start ~finish =
   if finish <= start then true

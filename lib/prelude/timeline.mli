@@ -41,8 +41,9 @@ val total_busy : t -> float
 
 (** [earliest_gap t ~after ~duration] is the earliest [s >= after] such
     that [[s, s + duration)] intersects no busy interval.  [extra] adds
-    tentative busy intervals (in any order) to the busy set.  A
-    non-positive [duration] yields [after]. *)
+    tentative busy intervals (in any order; zero-length ones are ignored,
+    as in {!add}) to the busy set.  A non-positive [duration] yields
+    [after]. *)
 val earliest_gap :
   ?extra:(float * float) list -> t -> after:float -> duration:float -> float
 
@@ -53,6 +54,27 @@ val earliest_gap :
 val earliest_gap_joint :
   ?extra:(float * float) list ->
   t list ->
+  after:float ->
+  duration:float ->
+  float
+
+(** [earliest_gap_joint_arr ts ~k ~extra_s ~extra_f ~extra_len ~idx ~after
+    ~duration] is the non-allocating core behind {!earliest_gap_joint}:
+    the joint busy set is the first [k] timelines of [ts] plus the
+    tentative intervals [[extra_s.(i), extra_f.(i))] for
+    [i < extra_len].  The caller owns every array; [idx] is cursor
+    scratch of length at least [k] whose contents are overwritten.
+
+    Preconditions (unchecked — this is the hot path): extras are sorted
+    by start and contain no zero-length intervals, [Array.length ts >= k].
+    The scheduling engine's arena satisfies both by construction. *)
+val earliest_gap_joint_arr :
+  t array ->
+  k:int ->
+  extra_s:float array ->
+  extra_f:float array ->
+  extra_len:int ->
+  idx:int array ->
   after:float ->
   duration:float ->
   float

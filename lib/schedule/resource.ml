@@ -6,33 +6,54 @@ type proc_state = {
   send : Timeline.t;
   recv : Timeline.t;
       (* Physically equal to [send] under the uni-directional discipline. *)
+  compute_id : int;
+  send_id : int;
+  recv_id : int;
+      (* Ids mirror the physical sharing: [recv_id = send_id] iff
+         [recv == send]. *)
 }
 
 type t = {
   model : Comm_model.t;
   procs : proc_state array;
   (* Undirected-link timelines keyed by (min, max) processor pair; lazily
-     created, only populated under link-contention models. *)
-  links : (int * int, Timeline.t) Hashtbl.t;
+     created, only populated under link-contention models.  Each carries
+     its stable id, handed out from [next_id]. *)
+  links : (int * int, Timeline.t * int) Hashtbl.t;
+  mutable next_id : int;
 }
 
 let create ~model ~p =
-  let make_proc _ =
+  let make_proc i =
     let compute = Timeline.create () in
     let send = Timeline.create () in
-    let recv =
+    let recv, recv_id =
       match model.Comm_model.ports with
-      | Comm_model.One_port_unidirectional -> send
+      | Comm_model.One_port_unidirectional -> (send, (3 * i) + 1)
       | Comm_model.Unlimited | Comm_model.One_port_bidirectional ->
-          Timeline.create ()
+          (Timeline.create (), (3 * i) + 2)
     in
-    { compute; send; recv }
+    {
+      compute;
+      send;
+      recv;
+      compute_id = 3 * i;
+      send_id = (3 * i) + 1;
+      recv_id;
+    }
   in
-  { model; procs = Array.init p make_proc; links = Hashtbl.create 16 }
+  {
+    model;
+    procs = Array.init p make_proc;
+    links = Hashtbl.create 16;
+    next_id = 3 * p;
+  }
 
 let model t = t.model
 let p t = Array.length t.procs
 let compute t i = t.procs.(i).compute
+let compute_id t i = t.procs.(i).compute_id
+let id_bound t = t.next_id
 
 let with_compute_if_no_overlap t i rest =
   if t.model.Comm_model.overlap then rest else t.procs.(i).compute :: rest
@@ -51,18 +72,40 @@ let recv_busy t i =
       (* recv is physically the send port *)
       with_compute_if_no_overlap t i [ t.procs.(i).recv ]
 
-let link t ~src ~dst =
+let link_with_id t ~src ~dst =
   let key = (min src dst, max src dst) in
   match Hashtbl.find_opt t.links key with
-  | Some tl -> tl
+  | Some entry -> entry
   | None ->
       let tl = Timeline.create () in
-      Hashtbl.add t.links key tl;
-      tl
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      Hashtbl.add t.links key (tl, id);
+      (tl, id)
+
+let link t ~src ~dst = fst (link_with_id t ~src ~dst)
 
 let comm_busy t ~src ~dst =
   let base = send_busy t src @ recv_busy t dst in
   if t.model.Comm_model.link_contention then link t ~src ~dst :: base else base
+
+let comm_busy_ids t ~src ~dst =
+  let with_compute_id i rest =
+    if t.model.Comm_model.overlap then rest
+    else (t.procs.(i).compute, t.procs.(i).compute_id) :: rest
+  in
+  let side busy i id =
+    match t.model.Comm_model.ports with
+    | Comm_model.Unlimited -> with_compute_id i []
+    | Comm_model.One_port_bidirectional | Comm_model.One_port_unidirectional ->
+        with_compute_id i [ (busy, id) ]
+  in
+  let base =
+    side t.procs.(src).send src t.procs.(src).send_id
+    @ side t.procs.(dst).recv dst t.procs.(dst).recv_id
+  in
+  if t.model.Comm_model.link_contention then link_with_id t ~src ~dst :: base
+  else base
 
 let commit_comm t ~src ~dst ~start ~finish =
   List.iter
@@ -76,8 +119,10 @@ let copy t =
   let copy_proc ps =
     let send = Timeline.copy ps.send in
     let recv = if ps.recv == ps.send then send else Timeline.copy ps.recv in
-    { compute = Timeline.copy ps.compute; send; recv }
+    { ps with compute = Timeline.copy ps.compute; send; recv }
   in
   let links = Hashtbl.create (Hashtbl.length t.links) in
-  Hashtbl.iter (fun key tl -> Hashtbl.add links key (Timeline.copy tl)) t.links;
-  { model = t.model; procs = Array.map copy_proc t.procs; links }
+  Hashtbl.iter
+    (fun key (tl, id) -> Hashtbl.add links key (Timeline.copy tl, id))
+    t.links;
+  { t with procs = Array.map copy_proc t.procs; links }

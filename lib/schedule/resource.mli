@@ -14,7 +14,15 @@
     message must find jointly free (and that a commit must mark busy), so
     heuristics and the schedule builder share one source of truth for the
     port rules — including the no-overlap variants, where the compute
-    timeline joins the set. *)
+    timeline joins the set.
+
+    Every distinct timeline additionally carries a {e stable resource
+    id}: a small integer, unique per physical timeline, fixed for the
+    life of the resource set (and preserved by {!copy}).  Two timelines
+    are physically equal iff their ids are equal — under the
+    uni-directional discipline a processor's send and receive port share
+    one id.  The scheduling engine keys its tentative-interval arena by
+    these ids instead of scanning for physical equality. *)
 
 type t
 
@@ -25,6 +33,14 @@ val p : t -> int
 (** The compute timeline of processor [i] (tasks, plus communications under
     no-overlap models). *)
 val compute : t -> int -> Prelude.Timeline.t
+
+(** Stable id of processor [i]'s compute timeline. *)
+val compute_id : t -> int -> int
+
+(** Exclusive upper bound on every id handed out so far; grows as
+    link-contention timelines are lazily created, so an id-indexed cache
+    sized to [id_bound] must be prepared to grow. *)
+val id_bound : t -> int
 
 (** Distinct timelines the {e sending} side of a message out of processor
     [i] occupies (possibly empty under macro-dataflow). *)
@@ -44,6 +60,13 @@ val link : t -> src:int -> dst:int -> Prelude.Timeline.t
     {!recv_busy} on [dst] — plus the {!link} timeline under
     link-contention models — the joint busy set of a direct hop. *)
 val comm_busy : t -> src:int -> dst:int -> Prelude.Timeline.t list
+
+(** [comm_busy_ids t ~src ~dst] is {!comm_busy} with each timeline paired
+    with its stable resource id — the form the engine's route cache
+    stores.  Under link-contention models this (like {!comm_busy})
+    lazily creates the link timeline, which may advance {!id_bound}. *)
+val comm_busy_ids :
+  t -> src:int -> dst:int -> (Prelude.Timeline.t * int) list
 
 (** [commit_comm t ~src ~dst ~start ~finish] marks a hop busy on every
     timeline of [comm_busy].

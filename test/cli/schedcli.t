@@ -75,7 +75,8 @@ only the counter lines are checked), --trace writes a balanced Chrome
 trace:
 
   $ ../../bin/schedcli.exe run -t lu -n 10 --stats 2>&1 | grep -E "evaluations|commits|copies"
-  evaluations:      450
+  evaluations:      263
+  pruned evaluations: 187
   commits:          45
   copies:           0
 

@@ -121,4 +121,157 @@ let routing_tests =
         O.Validate.check_exn sched);
   ]
 
-let suite = basic_tests @ serialization_tests @ routing_tests
+(* ------------------------------------------------------------------ *)
+(* Optimized engine = Reference engine, bit for bit                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything a schedule decided: makespan, every placement (proc and
+   start), and every communication hop (edge, endpoints, start).  Both
+   engines commit in the same deterministic order, so plain structural
+   equality is the right comparison — any drift in a tie-break or a gap
+   search shows up here. *)
+let fingerprint sched =
+  let g = O.Schedule.graph sched in
+  let placements =
+    List.init (O.Graph.n_tasks g) (fun t -> O.Schedule.placement_exn sched t)
+  in
+  (O.Schedule.makespan sched, placements, O.Schedule.comms sched)
+
+let equivalence_tests =
+  let models =
+    [ ("one-port", O.Comm_model.one_port);
+      ("macro-dataflow", O.Comm_model.macro_dataflow) ]
+  in
+  List.concat_map
+    (fun (mname, model) ->
+      List.map
+        (fun (tb : O.Suite.t) ->
+          Alcotest.test_case
+            (Printf.sprintf "optimized = reference: %s, %s" tb.O.Suite.name
+               mname)
+            `Quick
+            (fun () ->
+              let n = max 3 tb.O.Suite.min_n in
+              let plat = O.Platform.paper_platform () in
+              let params = O.Params.of_model model in
+              List.iter
+                (fun (e : O.Registry.entry) ->
+                  let g = tb.O.Suite.build ~n ~ccr:0.5 in
+                  let fast = e.O.Registry.scheduler params plat g in
+                  let slow =
+                    O.Engine.with_reference (fun () ->
+                        e.O.Registry.scheduler params plat g)
+                  in
+                  check_bool
+                    (Printf.sprintf "%s schedules agree" e.O.Registry.name)
+                    true
+                    (fingerprint fast = fingerprint slow))
+                O.Registry.all))
+        O.Suite.all)
+    models
+
+let equivalence_property_tests =
+  [
+    qtest ~count:120 "optimized = reference on random instances"
+      QCheck2.Gen.(tup4 graph_gen platform_gen model_gen (int_bound 7))
+      (fun (gspec, plat, model, hi) ->
+        let e = List.nth O.Registry.all hi in
+        let params = O.Params.of_model model in
+        let fast = e.O.Registry.scheduler params plat (build_graph gspec) in
+        let slow =
+          O.Engine.with_reference (fun () ->
+              e.O.Registry.scheduler params plat (build_graph gspec))
+        in
+        fingerprint fast = fingerprint slow);
+    qtest ~count:150 "single evaluations agree mid-schedule"
+      QCheck2.Gen.(tup3 graph_gen platform_gen model_gen)
+      (fun (gspec, plat, model) ->
+        (* Place a topological prefix of the tasks, then price the next
+           task on every processor with both engines. *)
+        let g = build_graph gspec in
+        let n = O.Graph.n_tasks g in
+        let order =
+          (* Kahn's algorithm, lowest task id first. *)
+          let remaining = Array.init n (O.Graph.in_degree g) in
+          let acc = ref [] in
+          let placed = Array.make n false in
+          for _ = 1 to n do
+            let v = ref (-1) in
+            for u = n - 1 downto 0 do
+              if (not placed.(u)) && remaining.(u) = 0 then v := u
+            done;
+            placed.(!v) <- true;
+            acc := !v :: !acc;
+            O.Graph.iter_succ_edges g !v ~f:(fun e ->
+                let u = O.Graph.edge_dst g e in
+                remaining.(u) <- remaining.(u) - 1)
+          done;
+          List.rev !acc
+        in
+        let sched = O.Schedule.create ~graph:g ~platform:plat ~model () in
+        let engine = O.Engine.create sched in
+        let split = max 1 (n / 2) in
+        List.iteri
+          (fun i task ->
+            if i < split then ignore (O.Engine.schedule_best engine ~task))
+          order;
+        let next = List.filteri (fun i _ -> i = split) order in
+        List.for_all
+          (fun task ->
+            List.for_all
+              (fun proc ->
+                let fast = O.Engine.evaluate engine ~task ~proc in
+                let slow = O.Engine.Reference.evaluate engine ~task ~proc in
+                fast = slow)
+              (List.init (O.Platform.p plat) Fun.id))
+          next);
+  ]
+
+let reference_mode_tests =
+  [
+    Alcotest.test_case "with_reference restores the mode on exceptions" `Quick
+      (fun () ->
+        (try
+           O.Engine.with_reference (fun () -> failwith "boom")
+         with Failure _ -> ());
+        (* Back in optimized mode: pruning fires on a real grid. *)
+        let g = chain_graph () in
+        let engine = engine_for ~p:4 g in
+        O.Engine.schedule_on engine ~task:0 ~proc:0;
+        ignore (O.Engine.best_proc engine ~task:1));
+    Alcotest.test_case "pruning is counted and exact" `Quick (fun () ->
+        let tb = O.Suite.find "lu" in
+        let g = tb.O.Suite.build ~n:6 ~ccr:0.5 in
+        let plat = O.Platform.paper_platform () in
+        let params = O.Params.default in
+        let count f =
+          O.Obs_counters.enable ();
+          O.Obs_counters.reset ();
+          Fun.protect ~finally:O.Obs_counters.disable (fun () ->
+              let sched = f () in
+              (O.Schedule.makespan sched, O.Obs_counters.snapshot ()))
+        in
+        let mk_fast, fast =
+          count (fun () -> O.Heft.schedule ~params plat g)
+        in
+        let mk_slow, slow =
+          count (fun () ->
+              O.Engine.with_reference (fun () -> O.Heft.schedule ~params plat g))
+        in
+        check_float "same makespan" mk_slow mk_fast;
+        check_bool "pruning fired" true
+          (fast.O.Obs_counters.pruned_evaluations > 0);
+        check_bool "route cache hit" true
+          (fast.O.Obs_counters.route_cache_hits > 0);
+        (* Every candidate is either evaluated or pruned — none vanish. *)
+        check_int "evaluated + pruned = reference evaluations"
+          slow.O.Obs_counters.evaluations
+          (fast.O.Obs_counters.evaluations
+          + fast.O.Obs_counters.pruned_evaluations);
+        check_int "reference never prunes" 0
+          slow.O.Obs_counters.pruned_evaluations);
+  ]
+
+let suite =
+  basic_tests @ serialization_tests @ routing_tests @ equivalence_tests
+  @ equivalence_property_tests @ reference_mode_tests

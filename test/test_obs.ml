@@ -41,6 +41,8 @@ let counter_tests =
         with_obs_on @@ fun () ->
         O.Obs_counters.evaluation ();
         O.Obs_counters.evaluation ();
+        O.Obs_counters.pruned_evaluation ();
+        O.Obs_counters.route_cache_hit ();
         O.Obs_counters.gap_probe ();
         O.Obs_counters.joint_gap_probe ();
         O.Obs_counters.tentative_hop ();
@@ -48,6 +50,8 @@ let counter_tests =
         O.Obs_counters.copy ();
         let c = O.Obs_counters.snapshot () in
         check_int "evaluations" 2 c.O.Obs_counters.evaluations;
+        check_int "pruned evaluations" 1 c.O.Obs_counters.pruned_evaluations;
+        check_int "route cache hits" 1 c.O.Obs_counters.route_cache_hits;
         check_int "gap probes" 1 c.O.Obs_counters.gap_probes;
         check_int "joint gap probes" 1 c.O.Obs_counters.joint_gap_probes;
         check_int "tentative hops" 1 c.O.Obs_counters.tentative_hops;
@@ -80,7 +84,11 @@ let counter_tests =
         check_int "one commit per task" tasks c.O.Obs_counters.commits;
         check_bool "gap probes outnumber commits" true
           (c.O.Obs_counters.gap_probes + c.O.Obs_counters.joint_gap_probes
-          > c.O.Obs_counters.commits));
+          > c.O.Obs_counters.commits);
+        check_bool "candidate pruning fires" true
+          (c.O.Obs_counters.pruned_evaluations > 0);
+        check_bool "route cache is reused" true
+          (c.O.Obs_counters.route_cache_hits > 0));
   ]
 
 let span_tests =

@@ -96,6 +96,77 @@ let unit_tests =
         check_int "copy grew" 2 (O.Timeline.n_intervals c));
   ]
 
+let edge_case_tests =
+  [
+    Alcotest.test_case "extras entirely beyond the window are inert" `Quick
+      (fun () ->
+        let t = timeline_of [ (0., 2.) ] in
+        (* The gap closes at 2; extras starting at 10 never matter. *)
+        check_float "far extra ignored" 2.
+          (O.Timeline.earliest_gap ~extra:[ (10., 12.) ] t ~after:0.
+             ~duration:3.);
+        check_float "joint far extra ignored" 2.
+          (O.Timeline.earliest_gap_joint ~extra:[ (10., 12.) ] [ t ] ~after:0.
+             ~duration:3.));
+    Alcotest.test_case "touching endpoints leave the gap open" `Quick
+      (fun () ->
+        (* busy [0,2) and extra [4,6): [2,4) is exactly big enough. *)
+        let t = timeline_of [ (0., 2.) ] in
+        check_float "slides in between" 2.
+          (O.Timeline.earliest_gap ~extra:[ (4., 6.) ] t ~after:0. ~duration:2.);
+        (* an extra touching the committed finish does not re-block it *)
+        check_float "contiguous extra pushes past" 4.
+          (O.Timeline.earliest_gap ~extra:[ (2., 4.) ] t ~after:0. ~duration:2.));
+    Alcotest.test_case "zero-length extras block nothing" `Quick (fun () ->
+        let t = O.Timeline.create () in
+        check_float "ahead of after" 0.
+          (O.Timeline.earliest_gap ~extra:[ (3., 3.) ] t ~after:0. ~duration:5.);
+        check_float "joint, several" 1.
+          (O.Timeline.earliest_gap_joint
+             ~extra:[ (2., 2.); (3., 3.); (4., 4.) ]
+             [ timeline_of [ (0., 1.) ] ]
+             ~after:0. ~duration:5.);
+        (* mixed with a real blocker: only the real one counts *)
+        check_float "mixed" 4.
+          (O.Timeline.earliest_gap ~extra:[ (1., 1.); (2., 4.) ] t ~after:0.
+             ~duration:3.));
+    Alcotest.test_case "interleaved committed and extra intervals" `Quick
+      (fun () ->
+        (* committed [0,1) [4,5), extras [1,2) [5,6): the only 2-wide gap
+           before 6 is [2,4). *)
+        let t = timeline_of [ (0., 1.); (4., 5.) ] in
+        check_float "weaves through" 2.
+          (O.Timeline.earliest_gap ~extra:[ (1., 2.); (5., 6.) ] t ~after:0.
+             ~duration:2.);
+        check_float "forced past both" 6.
+          (O.Timeline.earliest_gap ~extra:[ (1., 2.); (5., 6.) ] t ~after:0.
+             ~duration:3.));
+    Alcotest.test_case "array core agrees on hand cases" `Quick (fun () ->
+        let a = timeline_of [ (0., 3.) ] and b = timeline_of [ (4., 6.) ] in
+        let probe ~extra ~after ~duration =
+          let extra = List.filter (fun (s, f) -> f > s) extra in
+          let extra =
+            List.sort (fun (s1, _) (s2, _) -> compare s1 s2) extra
+          in
+          let n = List.length extra in
+          let extra_s = Array.make (max n 1) 0. in
+          let extra_f = Array.make (max n 1) 0. in
+          List.iteri
+            (fun i (s, f) ->
+              extra_s.(i) <- s;
+              extra_f.(i) <- f)
+            extra;
+          O.Timeline.earliest_gap_joint_arr [| a; b |] ~k:2 ~extra_s ~extra_f
+            ~extra_len:n ~idx:(Array.make 2 0) ~after ~duration
+        in
+        check_float "no extras" 6. (probe ~extra:[] ~after:0. ~duration:2.);
+        check_float "fits between" 3. (probe ~extra:[] ~after:0. ~duration:1.);
+        check_float "extra closes the slot" 6.
+          (probe ~extra:[ (3., 4.) ] ~after:0. ~duration:1.);
+        check_float "zero duration is after" 5.
+          (probe ~extra:[] ~after:5. ~duration:0.));
+  ]
+
 let property_tests =
   [
     qtest ~count:500 "earliest_gap matches naive reference"
@@ -139,6 +210,42 @@ let property_tests =
           (List.map timeline_of (Array.to_list parts))
           ~after ~duration
         = ref_earliest_gap busy ~after ~duration);
+    qtest ~count:400 "array core matches naive reference with extras"
+      QCheck2.Gen.(tup3 intervals_gen (int_bound 20) (int_range 1 8))
+      (fun (busy, after, duration) ->
+        (* Deal round-robin: two committed timelines plus flat extras —
+           exactly the shape the engine's arena feeds the core. *)
+        let parts = [| []; []; [] |] in
+        List.iteri (fun i iv -> parts.(i mod 3) <- iv :: parts.(i mod 3)) busy;
+        let extra =
+          List.sort (fun (s1, _) (s2, _) -> compare s1 s2) parts.(2)
+        in
+        let n = List.length extra in
+        let extra_s = Array.make (max n 1) 0. in
+        let extra_f = Array.make (max n 1) 0. in
+        List.iteri
+          (fun i (s, f) ->
+            extra_s.(i) <- s;
+            extra_f.(i) <- f)
+          extra;
+        let ts = [| timeline_of parts.(0); timeline_of parts.(1) |] in
+        let after = float_of_int after and duration = float_of_int duration in
+        O.Timeline.earliest_gap_joint_arr ts ~k:2 ~extra_s ~extra_f
+          ~extra_len:n ~idx:(Array.make 2 0) ~after ~duration
+        = ref_earliest_gap busy ~after ~duration);
+    qtest ~count:300 "zero-length extras never change the answer"
+      QCheck2.Gen.(tup3 intervals_gen (int_bound 20) (int_range 1 8))
+      (fun (busy, after, duration) ->
+        let t = timeline_of busy in
+        let after = float_of_int after and duration = float_of_int duration in
+        let zeros =
+          List.concat_map (fun (s, f) -> [ (s, s); (f, f) ]) busy
+          @ [ (after +. 1., after +. 1.) ]
+        in
+        O.Timeline.earliest_gap ~extra:zeros t ~after ~duration
+        = O.Timeline.earliest_gap t ~after ~duration
+        && O.Timeline.earliest_gap_joint ~extra:zeros [ t ] ~after ~duration
+           = O.Timeline.earliest_gap_joint [ t ] ~after ~duration);
     qtest ~count:300 "returned gap is actually free and minimal"
       QCheck2.Gen.(tup3 intervals_gen (int_bound 20) (int_range 1 8))
       (fun (busy, after, duration) ->
@@ -152,4 +259,4 @@ let property_tests =
            ));
   ]
 
-let suite = unit_tests @ property_tests
+let suite = unit_tests @ edge_case_tests @ property_tests
