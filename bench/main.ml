@@ -33,6 +33,8 @@ type options = {
   run_figures : bool;
   run_bechamel : bool;
   run_probes : bool;
+  run_grid : bool;
+  jobs : int;
   json : string option;
 }
 
@@ -42,6 +44,8 @@ let parse_args () =
   let run_figures = ref true in
   let run_bechamel = ref true in
   let run_probes = ref true in
+  let run_grid = ref true in
+  let jobs = ref (O.Pool.default_jobs ()) in
   let json = ref None in
   let rec eat = function
     | [] -> ()
@@ -63,6 +67,12 @@ let parse_args () =
     | "--no-probes" :: rest ->
         run_probes := false;
         eat rest
+    | "--no-grid" :: rest ->
+        run_grid := false;
+        eat rest
+    | "--jobs" :: v :: rest ->
+        jobs := int_of_string v;
+        eat rest
     | "--json" :: file :: rest ->
         json := Some file;
         eat rest
@@ -70,7 +80,7 @@ let parse_args () =
         Printf.eprintf
           "unknown argument %s\n\
            usage: main.exe [--quick] [--scale F] [--only ID]* [--no-figures] \
-           [--no-bechamel] [--no-probes] [--json FILE]\n\
+           [--no-bechamel] [--no-probes] [--no-grid] [--jobs N] [--json FILE]\n\
            experiment ids: %s\n"
           arg
           (String.concat ", " O.Figures.ids);
@@ -83,6 +93,8 @@ let parse_args () =
     run_figures = !run_figures;
     run_bechamel = !run_bechamel;
     run_probes = !run_probes;
+    run_grid = !run_grid;
+    jobs = max 1 !jobs;
     json = !json;
   }
 
@@ -301,13 +313,76 @@ let run_probes ~echo () =
   List.rev !rows
 
 (* ------------------------------------------------------------------ *)
+(* Part 4: domain-parallel eval-grid wall-clock timing                  *)
+(* ------------------------------------------------------------------ *)
+
+type grid_timing = {
+  grid_jobs : int;
+  cores : int;
+  grid_rows : int;
+  serial_s : float;
+  parallel_s : float;
+  identical : bool;
+}
+
+(* Wall-clock time of the mid-size LU grid (every scalable heuristic at
+   the run's scaled sizes), serial vs sharded over [opts.jobs] domains.
+   The same sweep also checks the headline guarantee end to end: modulo
+   the per-row wall_s timing column, the parallel rows must be
+   byte-identical to the serial ones.  The serial/parallel ratio is the
+   [grid_speedup] tracked in BENCH_*.json (bounded by physical cores —
+   the [cores] field says what the recording machine had). *)
+let run_grid_timing ~echo opts =
+  let cfg = O.Config.paper ~scale:opts.scale () in
+  let spec =
+    { (O.Batch.default_spec cfg) with O.Batch.testbeds = [ O.Suite.find "lu" ] }
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    (x, Unix.gettimeofday () -. t0)
+  in
+  let serial_rows, serial_s = time (fun () -> O.Batch.run ~jobs:1 cfg spec) in
+  let parallel_rows, parallel_s =
+    time (fun () -> O.Batch.run ~jobs:opts.jobs cfg spec)
+  in
+  let strip rows =
+    O.Batch.to_csv
+      (List.map (fun r -> { r with O.Runner.wall_s = 0. }) rows)
+  in
+  let identical = strip serial_rows = strip parallel_rows in
+  let t =
+    {
+      grid_jobs = opts.jobs;
+      cores = Domain.recommended_domain_count ();
+      grid_rows = List.length serial_rows;
+      serial_s;
+      parallel_s;
+      identical;
+    }
+  in
+  if echo then begin
+    Printf.printf
+      "\n=== eval grid wall clock (lu x %d sizes x %d heuristics) ===\n"
+      (List.length spec.O.Batch.sizes)
+      (List.length spec.O.Batch.heuristics);
+    Printf.printf "jobs=1: %.3fs   jobs=%d: %.3fs   speedup %.2fx (%d cores)\n"
+      serial_s opts.jobs parallel_s
+      (if parallel_s > 0. then serial_s /. parallel_s else nan)
+      t.cores;
+    Printf.printf "rows identical to serial (wall_s excluded): %s\n%!"
+      (if identical then "yes" else "NO")
+  end;
+  t
+
+(* ------------------------------------------------------------------ *)
 (* JSON export                                                          *)
 (* ------------------------------------------------------------------ *)
 
 (* Hand-rolled writer (no JSON dependency): the schema is documented in
    doc/performance.md and the committed BENCH_*.json baselines follow
    it. *)
-let emit_json opts ~bech_rows ~probe_rows file =
+let emit_json opts ~bech_rows ~probe_rows ~grid file =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let json_float x =
@@ -331,6 +406,18 @@ let emit_json opts ~bech_rows ~probe_rows file =
   | Some fast, Some slow when fast > 0. && not (Float.is_nan slow) ->
       add "  \"eval_grid_speedup\": %s,\n" (json_float (slow /. fast))
   | _ -> ());
+  (match grid with
+  | Some (g : grid_timing) ->
+      add
+        "  \"grid\": {\"jobs\": %d, \"cores\": %d, \"rows\": %d, \
+         \"serial_s\": %s, \"parallel_s\": %s, \"grid_speedup\": %s, \
+         \"identical\": %b},\n"
+        g.grid_jobs g.cores g.grid_rows (json_float g.serial_s)
+        (json_float g.parallel_s)
+        (json_float
+           (if g.parallel_s > 0. then g.serial_s /. g.parallel_s else nan))
+        g.identical
+  | None -> ());
   add "  \"probes\": [\n";
   List.iteri
     (fun i r ->
@@ -368,4 +455,8 @@ let () =
   let bech_rows =
     if opts.run_bechamel && opts.only = [] then run_bechamel ~echo () else []
   in
-  Option.iter (emit_json opts ~bech_rows ~probe_rows) opts.json
+  let grid =
+    if opts.run_grid && opts.only = [] then Some (run_grid_timing ~echo opts)
+    else None
+  in
+  Option.iter (emit_json opts ~bech_rows ~probe_rows ~grid) opts.json

@@ -106,8 +106,9 @@ module Obs_span = Obs.Span
 module Obs_report = Obs.Report
 module Obs_trace = Obs.Trace_export
 
-(* Supporting containers *)
+(* Supporting containers and parallelism *)
 module Timeline = Prelude.Timeline
 module Rng = Prelude.Rng
 module Stats = Prelude.Stats
 module Table = Prelude.Table
+module Pool = Prelude.Pool

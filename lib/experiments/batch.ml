@@ -20,30 +20,43 @@ let default_spec (cfg : Config.t) =
    variants (ilha[...]) and ilha-auto keep their own chunk logic. *)
 let is_ilha entry = entry.Registry.name = "ilha"
 
-let run cfg spec =
+(* The grid flattened testbed-major (testbed, then size, then heuristic)
+   — the row order of the serial sweep, which the parallel sweep must
+   reproduce exactly. *)
+let cells spec =
   List.concat_map
     (fun testbed ->
       List.concat_map
-        (fun n ->
-          let n = max n testbed.Suite.min_n in
-          List.map
-            (fun entry ->
-              let params =
-                if spec.use_paper_b && is_ilha entry then
-                  Some
-                    (Heuristics.Params.with_b cfg.Config.params
-                       (Some testbed.Suite.paper_b))
-                else None
-              in
-              Runner.run cfg ~testbed ~n ~heuristic:entry ?params ())
-            spec.heuristics)
+        (fun n -> List.map (fun entry -> (testbed, n, entry)) spec.heuristics)
         spec.sizes)
     spec.testbeds
 
+let run ?(jobs = 1) cfg spec =
+  let cells = Array.of_list (cells spec) in
+  (* Pre-sized result slots indexed by cell: whichever domain runs cell
+     [i], the row lands in slot [i], so row order is identical to the
+     serial sweep regardless of [jobs]. *)
+  let rows = Array.make (Array.length cells) None in
+  Prelude.Pool.iter ~jobs (Array.length cells) (fun i ->
+      let testbed, n, entry = cells.(i) in
+      let n = max n testbed.Suite.min_n in
+      let params =
+        if spec.use_paper_b && is_ilha entry then
+          Some
+            (Heuristics.Params.with_b cfg.Config.params
+               (Some testbed.Suite.paper_b))
+        else None
+      in
+      rows.(i) <- Some (Runner.run cfg ~testbed ~n ~heuristic:entry ?params ()));
+  List.filter_map Fun.id (Array.to_list rows)
+
+let csv_header =
+  "testbed,n,heuristic,model,b,makespan,speedup,comms,comm_time,wall_s,valid"
+
 let to_csv rows =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf
-    "testbed,n,heuristic,model,b,makespan,speedup,comms,comm_time,wall_s,valid\n";
+  Buffer.add_string buf csv_header;
+  Buffer.add_char buf '\n';
   List.iter
     (fun (r : Runner.row) ->
       Buffer.add_string buf
@@ -54,3 +67,45 @@ let to_csv rows =
            r.Runner.comm_time r.Runner.wall_s r.Runner.valid))
     rows;
   Buffer.contents buf
+
+(* Inverse of [to_csv] for the core columns (survival/obs payloads are
+   not serialised).  Field order mirrors the header; [%.17g] columns
+   (makespan, comm_time) re-parse to the exact float. *)
+let of_csv s =
+  let parse_line lineno line =
+    match String.split_on_char ',' line with
+    | [ testbed; n; heuristic; model; b; makespan; speedup; comms; comm_time;
+        wall_s; valid ] -> (
+        try
+          {
+            Runner.testbed;
+            n = int_of_string n;
+            heuristic;
+            model;
+            b = (if b = "" then None else Some (int_of_string b));
+            makespan = float_of_string makespan;
+            speedup = float_of_string speedup;
+            n_comms = int_of_string comms;
+            comm_time = float_of_string comm_time;
+            wall_s = float_of_string wall_s;
+            valid = bool_of_string valid;
+            survival = None;
+            obs = None;
+          }
+        with _ ->
+          invalid_arg
+            (Printf.sprintf "Batch.of_csv: unparsable field on line %d: %s"
+               lineno line))
+    | _ ->
+        invalid_arg
+          (Printf.sprintf "Batch.of_csv: expected 11 fields on line %d: %s"
+             lineno line)
+  in
+  match String.split_on_char '\n' s with
+  | [] -> []
+  | header :: lines ->
+      if String.trim header <> csv_header then
+        invalid_arg
+          (Printf.sprintf "Batch.of_csv: unexpected header %S" header);
+      List.filter (fun l -> String.trim l <> "") lines
+      |> List.mapi (fun i l -> parse_line (i + 2) l)

@@ -13,9 +13,23 @@ type spec = {
 (** Everything at the configuration's sizes. *)
 val default_spec : Config.t -> spec
 
-(** [run cfg spec] — rows in deterministic order (testbed-major, then
-    size, then heuristic). *)
-val run : Config.t -> spec -> Runner.row list
+(** [run ?jobs cfg spec] — rows in deterministic order (testbed-major,
+    then size, then heuristic).  [jobs > 1] shards the grid cells over a
+    {!Prelude.Pool} of that many domains; rows land in pre-sized
+    cell-indexed slots, so the result — order included — is identical
+    to the serial ([jobs = 1], the default) sweep. *)
+val run : ?jobs:int -> Config.t -> spec -> Runner.row list
 
 (** CSV with a header row; columns match {!Runner.row}. *)
 val to_csv : Runner.row list -> string
+
+(** The header line [to_csv] emits (no trailing newline); the field
+    order is part of the format and pinned by the round-trip test. *)
+val csv_header : string
+
+(** [of_csv s] parses [to_csv] output back into rows.  The [survival]
+    and [obs] payloads are not serialised and come back as [None];
+    [makespan]/[comm_time] ([%.17g]) re-parse exactly, [speedup]/
+    [wall_s] at their printed precision.
+    @raise Invalid_argument on a malformed header or line. *)
+val of_csv : string -> Runner.row list

@@ -43,20 +43,27 @@ type state = {
   mutable backoff_s : float;
 }
 
-let s =
-  {
-    evaluations = 0;
-    pruned_evaluations = 0;
-    route_cache_hits = 0;
-    gap_probes = 0;
-    joint_gap_probes = 0;
-    tentative_hops = 0;
-    commits = 0;
-    copies = 0;
-    retries = 0;
-    repairs = 0;
-    backoff_s = 0.;
-  }
+(* Domain-local scratch: every domain bumps its own record, so workers of
+   a {!Prelude.Pool} sweep never contend (or race) on shared counters.
+   The pool merges worker snapshots into the spawning domain at its
+   barrier, making totals independent of how the work was sharded. *)
+let key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        evaluations = 0;
+        pruned_evaluations = 0;
+        route_cache_hits = 0;
+        gap_probes = 0;
+        joint_gap_probes = 0;
+        tentative_hops = 0;
+        commits = 0;
+        copies = 0;
+        retries = 0;
+        repairs = 0;
+        backoff_s = 0.;
+      })
+
+let state () = Domain.DLS.get key
 
 let on = ref false
 let enable () = on := true
@@ -64,6 +71,7 @@ let disable () = on := false
 let enabled () = !on
 
 let reset () =
+  let s = state () in
   s.evaluations <- 0;
   s.pruned_evaluations <- 0;
   s.route_cache_hits <- 0;
@@ -77,6 +85,7 @@ let reset () =
   s.backoff_s <- 0.
 
 let snapshot () : snapshot =
+  let s = state () in
   {
     evaluations = s.evaluations;
     pruned_evaluations = s.pruned_evaluations;
@@ -90,6 +99,20 @@ let snapshot () : snapshot =
     repairs = s.repairs;
     backoff_s = s.backoff_s;
   }
+
+let merge (d : snapshot) =
+  let s = state () in
+  s.evaluations <- s.evaluations + d.evaluations;
+  s.pruned_evaluations <- s.pruned_evaluations + d.pruned_evaluations;
+  s.route_cache_hits <- s.route_cache_hits + d.route_cache_hits;
+  s.gap_probes <- s.gap_probes + d.gap_probes;
+  s.joint_gap_probes <- s.joint_gap_probes + d.joint_gap_probes;
+  s.tentative_hops <- s.tentative_hops + d.tentative_hops;
+  s.commits <- s.commits + d.commits;
+  s.copies <- s.copies + d.copies;
+  s.retries <- s.retries + d.retries;
+  s.repairs <- s.repairs + d.repairs;
+  s.backoff_s <- s.backoff_s +. d.backoff_s
 
 let diff (a : snapshot) (b : snapshot) : snapshot =
   {
@@ -131,28 +154,68 @@ let pp fmt (c : snapshot) =
        backoff time:     %g@]"
       c.retries c.repairs c.backoff_s
 
-let evaluation () = if !on then s.evaluations <- s.evaluations + 1 [@@inline]
+let evaluation () =
+  if !on then
+    let s = state () in
+    s.evaluations <- s.evaluations + 1
+[@@inline]
 
 let pruned_evaluation () =
-  if !on then s.pruned_evaluations <- s.pruned_evaluations + 1
+  if !on then
+    let s = state () in
+    s.pruned_evaluations <- s.pruned_evaluations + 1
 [@@inline]
 
 let route_cache_hit () =
-  if !on then s.route_cache_hits <- s.route_cache_hits + 1
+  if !on then
+    let s = state () in
+    s.route_cache_hits <- s.route_cache_hits + 1
 [@@inline]
 
-let gap_probe () = if !on then s.gap_probes <- s.gap_probes + 1 [@@inline]
+let gap_probe () =
+  if !on then
+    let s = state () in
+    s.gap_probes <- s.gap_probes + 1
+[@@inline]
 
 let joint_gap_probe () =
-  if !on then s.joint_gap_probes <- s.joint_gap_probes + 1
+  if !on then
+    let s = state () in
+    s.joint_gap_probes <- s.joint_gap_probes + 1
 [@@inline]
 
 let tentative_hop () =
-  if !on then s.tentative_hops <- s.tentative_hops + 1
+  if !on then
+    let s = state () in
+    s.tentative_hops <- s.tentative_hops + 1
 [@@inline]
 
-let commit () = if !on then s.commits <- s.commits + 1 [@@inline]
-let copy () = if !on then s.copies <- s.copies + 1 [@@inline]
-let retry () = if !on then s.retries <- s.retries + 1 [@@inline]
-let repair () = if !on then s.repairs <- s.repairs + 1 [@@inline]
-let backoff dt = if !on then s.backoff_s <- s.backoff_s +. dt [@@inline]
+let commit () =
+  if !on then
+    let s = state () in
+    s.commits <- s.commits + 1
+[@@inline]
+
+let copy () =
+  if !on then
+    let s = state () in
+    s.copies <- s.copies + 1
+[@@inline]
+
+let retry () =
+  if !on then
+    let s = state () in
+    s.retries <- s.retries + 1
+[@@inline]
+
+let repair () =
+  if !on then
+    let s = state () in
+    s.repairs <- s.repairs + 1
+[@@inline]
+
+let backoff dt =
+  if !on then
+    let s = state () in
+    s.backoff_s <- s.backoff_s +. dt
+[@@inline]

@@ -33,9 +33,17 @@
       time units, not wall seconds).
 
     Counting is globally toggleable and off by default.  When disabled,
-    every bump is a single load-and-branch; when enabled, a single
-    in-place integer store — no allocation either way, so instrumented
-    code can sit inside the innermost loops. *)
+    every bump is a single load-and-branch; when enabled, a
+    domain-local-storage lookup plus an in-place integer store — no
+    allocation either way, so instrumented code can sit inside the
+    innermost loops.
+
+    {b Domains.}  Each domain accumulates into its own domain-local
+    record, so parallel sweeps ({!Prelude.Pool}) never contend on shared
+    state.  [reset]/[snapshot]/[merge] all act on the {e calling}
+    domain's record; the pool snapshots every worker at its barrier and
+    [merge]s the snapshots into the spawning domain, which makes
+    [--stats] totals independent of the number of jobs. *)
 
 (** An immutable reading of all counters. *)
 type snapshot = {
@@ -65,6 +73,13 @@ val snapshot : unit -> snapshot
 
 (** [diff before after] — per-field [after - before]. *)
 val diff : snapshot -> snapshot -> snapshot
+
+(** [merge d] adds every field of [d] into the calling domain's
+    counters (independent of the enabled flag).  Used by
+    {!Prelude.Pool} to fold worker-domain counts into the spawning
+    domain at the barrier; counters are monotonic event counts, so the
+    merged totals equal a serial run's regardless of sharding. *)
+val merge : snapshot -> unit
 
 (** Pretty one-line-per-counter rendering.  The line order is stable and
     part of the CLI contract (cram tests pin it): evaluations, pruned

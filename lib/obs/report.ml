@@ -40,7 +40,13 @@ let capture f =
     let cur = Span.cursor () in
     let x = f () in
     let counters = Counters.diff c0 (Counters.snapshot ()) in
-    let phases = phase_totals (Span.events_from cur) in
+    (* The span ring belongs to the main domain; a capture running in a
+       pool worker must not attribute the main domain's events to
+       itself. *)
+    let phases =
+      if Domain.is_main_domain () then phase_totals (Span.events_from cur)
+      else []
+    in
     (x, { counters; phases })
   end
 

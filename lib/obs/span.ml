@@ -58,11 +58,16 @@ let push name kind =
     r.total <- r.total + 1
   end
 
-let begin_ name = if !on then push name Begin
-let end_ name = if !on then push name End
+(* The ring is one shared buffer with no synchronisation, so only the
+   main domain records; spans emitted inside Prelude.Pool workers are
+   dropped (timings are wall-clock and inherently non-mergeable —
+   counters, which are mergeable, stay per-domain in Counters). *)
+let recording () = !on && Domain.is_main_domain ()
+let begin_ name = if recording () then push name Begin
+let end_ name = if recording () then push name End
 
 let with_ name f =
-  if not !on then f ()
+  if not (recording ()) then f ()
   else begin
     push name Begin;
     Fun.protect ~finally:(fun () -> push name End) f

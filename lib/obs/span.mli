@@ -10,7 +10,13 @@
     Tracing is globally toggleable and off by default; a disabled
     {!with_} is one load-and-branch around the thunk.  Recording an
     event allocates nothing: names, kinds and timestamps live in three
-    parallel preallocated arrays. *)
+    parallel preallocated arrays.
+
+    {b Domains.}  The ring is a single unsynchronised buffer, so only
+    the main domain records: spans emitted inside {!Prelude.Pool}
+    workers are silently dropped (per-domain wall-clock phases are not
+    meaningfully mergeable; the mergeable signal — {!Counters} — is
+    kept per-domain instead). *)
 
 type kind = Begin | End
 

@@ -1,0 +1,154 @@
+(* Work-stealing domain pool for embarrassingly parallel index sweeps.
+
+   Each worker owns a deque of contiguous cell indices, packed into one
+   atomic int (lo in the high half, hi in the low half) so both the
+   owner's chunked front-take and a thief's back-half steal are single
+   CAS operations.  The spawning domain participates as worker 0, so
+   [jobs = 1] (or a single cell) never spawns a domain and runs the
+   plain serial loop — the determinism baseline the parallel paths are
+   tested against. *)
+
+(* 30 bits per half: sweeps are bounded well below 2^30 cells. *)
+let half_bits = 30
+let half_mask = (1 lsl half_bits) - 1
+let max_cells = half_mask
+let pack lo hi = (lo lsl half_bits) lor hi
+let lo_of r = r lsr half_bits
+let hi_of r = r land half_mask
+
+let remaining d =
+  let r = Atomic.get d in
+  hi_of r - lo_of r
+
+(* Owner side: take up to [chunk] indices from the front of [d].
+   Returns the taken range as (lo, hi'), empty when lo >= hi'. *)
+let rec take d ~chunk =
+  let r = Atomic.get d in
+  let lo = lo_of r and hi = hi_of r in
+  if lo >= hi then (0, 0)
+  else
+    let hi' = min hi (lo + chunk) in
+    if Atomic.compare_and_set d r (pack hi' hi) then (lo, hi')
+    else take d ~chunk
+
+(* Thief side: split off the back half of the victim's range.  Returns
+   the stolen range, empty when there was nothing worth stealing. *)
+let rec steal d =
+  let r = Atomic.get d in
+  let lo = lo_of r and hi = hi_of r in
+  if hi - lo < 2 then (0, 0)
+  else
+    let mid = (lo + hi + 1) / 2 in
+    if Atomic.compare_and_set d r (pack lo mid) then (mid, hi) else steal d
+
+let default_jobs_cap = 8
+
+let default_jobs () =
+  max 1 (min default_jobs_cap (Domain.recommended_domain_count ()))
+
+let clamp_jobs jobs =
+  if jobs < 1 then invalid_arg "Pool.iter: jobs < 1";
+  min jobs 64
+
+let serial n f =
+  for i = 0 to n - 1 do
+    f i
+  done
+
+let parallel ~jobs n f =
+  let w = min jobs n in
+  (* Contiguous initial split keeps worker 0's share testbed-major-ish,
+     but correctness never depends on who runs what: results land in
+     caller-indexed slots and counters merge at the barrier. *)
+  let deques =
+    Array.init w (fun k -> Atomic.make (pack (k * n / w) ((k + 1) * n / w)))
+  in
+  (* Small chunks amortise the CAS without starving thieves. *)
+  let chunk = max 1 (n / (w * 8)) in
+  let failure = Atomic.make None in
+  let stop = Atomic.make false in
+  let record_failure exn bt =
+    (* Keep the first failure; later ones lose the race and are dropped. *)
+    ignore (Atomic.compare_and_set failure None (Some (exn, bt)) : bool);
+    Atomic.set stop true
+  in
+  let run_range lo hi =
+    let i = ref lo in
+    (try
+       while !i < hi && not (Atomic.get stop) do
+         f !i;
+         incr i
+       done
+     with exn -> record_failure exn (Printexc.get_raw_backtrace ()));
+    Atomic.get stop
+  in
+  let worker me () =
+    let own = deques.(me) in
+    let rec loop () =
+      let lo, hi = take own ~chunk in
+      if lo < hi then begin
+        if not (run_range lo hi) then loop ()
+      end
+      else begin
+        (* Own deque drained: steal from the most loaded victim. *)
+        let victim = ref (-1) and best = ref 0 in
+        for k = 0 to w - 1 do
+          if k <> me then begin
+            let r = remaining deques.(k) in
+            if r > !best then begin
+              best := r;
+              victim := k
+            end
+          end
+        done;
+        if !victim >= 0 && not (Atomic.get stop) then begin
+          let lo, hi = steal deques.(!victim) in
+          if lo < hi then begin
+            (* Adopt the loot as our own deque, keep the first chunk. *)
+            let hi' = min hi (lo + chunk) in
+            Atomic.set own (pack hi' hi);
+            if not (run_range lo hi') then loop ()
+          end
+          else loop ()
+        end
+        (* No stealable work left anywhere: taken chunks are no longer
+           visible in any deque, so no new work can appear — done. *)
+      end
+    in
+    loop ();
+    (* Hand this worker's counter increments back to the spawner; the
+       merge at the barrier makes totals independent of the sharding. *)
+    Obs.Counters.snapshot ()
+  in
+  let spawned =
+    Array.init (w - 1) (fun k -> Domain.spawn (worker (k + 1)))
+  in
+  (* The spawning domain is worker 0; its counters need no merge. *)
+  let _ = worker 0 () in
+  Array.iter
+    (fun d -> Obs.Counters.merge (Domain.join d))
+    spawned;
+  match Atomic.get failure with
+  | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+  | None -> ()
+
+let iter ?jobs n f =
+  if n < 0 then invalid_arg "Pool.iter: negative count";
+  if n > max_cells then invalid_arg "Pool.iter: more than 2^30 cells";
+  let jobs = clamp_jobs (match jobs with Some j -> j | None -> default_jobs ()) in
+  if jobs = 1 || n <= 1 then serial n f else parallel ~jobs n f
+
+let map_array ?jobs f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    iter ?jobs n (fun i -> out.(i) <- Some (f a.(i)));
+    Array.map
+      (function
+        | Some y -> y
+        | None -> assert false (* iter returned, so every slot is filled *))
+      out
+  end
+
+let map ?jobs f l = Array.to_list (map_array ?jobs f (Array.of_list l))

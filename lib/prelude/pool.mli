@@ -1,0 +1,46 @@
+(** Work-stealing domain pool for embarrassingly parallel sweeps.
+
+    The evaluation grids of {!Experiments.Batch}, the Monte-Carlo
+    replays of {!Simkit.Robustness} and the bench timing loops are all
+    "run [n] independent cells" workloads.  [iter] fans a cell-index
+    range out over OCaml 5 domains: each worker owns a deque of
+    contiguous indices (one atomic int packing the [lo, hi) range, so a
+    chunked front-take by the owner and a back-half steal by an idle
+    thief are both single CAS operations), and the spawning domain
+    participates as a worker, so [jobs = 1] never spawns a domain and
+    degrades to the plain serial loop.
+
+    {b Determinism.}  The pool schedules {e which domain} runs a cell,
+    never {e what} a cell computes: callers index results by cell, and
+    any per-cell randomness must come from a pre-split {!Rng} stream.
+    Under that discipline the output is byte-identical for any [jobs]
+    — the property the test harness pins down.
+
+    {b Observability.}  {!Obs.Counters} accumulate in domain-local
+    scratch; at the barrier every worker's snapshot is
+    {!Obs.Counters.merge}d into the spawning domain, so [--stats]
+    totals are independent of [jobs].  Spans ({!Obs.Span}) are only
+    recorded by the main domain.
+
+    {b Exceptions.}  The first exception raised by any worker is
+    captured with its backtrace, the sweep is cancelled (workers stop
+    at the next chunk boundary), and the exception is re-raised in the
+    calling domain after the barrier. *)
+
+(** Default job count: [Domain.recommended_domain_count ()], capped at
+    8 — evaluation cells are cache-hungry and the grids are short
+    enough that more domains only add merge latency. *)
+val default_jobs : unit -> int
+
+(** [iter ?jobs n f] runs [f 0 .. f (n-1)], sharded over [jobs] domains
+    ([default_jobs ()] when omitted; clamped to 64).  [f] must be safe
+    to run from any domain and must only write to cell-indexed state.
+    @raise Invalid_argument if [jobs < 1], [n < 0] or [n >= 2^30]. *)
+val iter : ?jobs:int -> int -> (int -> unit) -> unit
+
+(** [map ?jobs f l] — parallel [List.map f l]; order is preserved and
+    worker exceptions propagate. *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [map_array ?jobs f a] — parallel [Array.map f a]. *)
+val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array

@@ -17,15 +17,25 @@ let degraded_makespan pert rng ~task_jitter ~comm_jitter =
     ~task_duration:(fun _ d -> d *. (1. +. Rng.float rng task_jitter))
     ~hop_duration:(fun _ d -> d *. (1. +. Rng.float rng comm_jitter))
 
-let monte_carlo ?task_jitter ?comm_jitter sched rng ~jitter ~trials =
+let monte_carlo ?task_jitter ?comm_jitter ?(jobs = 1) sched rng ~jitter ~trials
+    =
   if trials < 1 then invalid_arg "Robustness.monte_carlo: trials < 1";
   let task_jitter = Option.value task_jitter ~default:jitter in
   let comm_jitter = Option.value comm_jitter ~default:jitter in
   let pert = Pert.build sched in
-  let draws =
-    List.init trials (fun _ ->
-        degraded_makespan pert rng ~task_jitter ~comm_jitter)
-  in
+  (* Every trial draws from its own split of the caller's stream, taken
+     up front in trial order: trial [i] consumes the same numbers
+     whichever domain replays it, so the stats are [jobs]-independent.
+     ([Pert.retime] allocates fresh scratch per call — safe to share
+     [pert] across domains.) *)
+  let rngs = Array.make trials rng in
+  for i = 0 to trials - 1 do
+    rngs.(i) <- Rng.split rng
+  done;
+  let draw = Array.make trials 0. in
+  Pool.iter ~jobs trials (fun i ->
+      draw.(i) <- degraded_makespan pert rngs.(i) ~task_jitter ~comm_jitter);
+  let draws = Array.to_list draw in
   {
     nominal = Pert.compacted_makespan pert;
     mean = Stats.mean draws;

@@ -30,10 +30,16 @@ val degraded_makespan :
 (** [monte_carlo sched rng ~jitter ~trials] — summary over [trials]
     independent draws.  [jitter] is the default for both noise sources;
     [task_jitter]/[comm_jitter] override it per source (e.g.
-    [~task_jitter:0. ~jitter:0.5] isolates communication noise). *)
+    [~task_jitter:0. ~jitter:0.5] isolates communication noise).
+
+    [jobs > 1] replays the trials in parallel on a {!Prelude.Pool}.
+    Trial [i] draws from the [i]-th {!Prelude.Rng.split} of [rng],
+    taken up front in trial order, so every statistic is bit-identical
+    for any [jobs] (default 1). *)
 val monte_carlo :
   ?task_jitter:float ->
   ?comm_jitter:float ->
+  ?jobs:int ->
   Sched.Schedule.t ->
   Prelude.Rng.t ->
   jitter:float ->

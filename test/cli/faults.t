@@ -44,11 +44,11 @@ split task/comm jitter and stddev/p99:
 
   $ ../../bin/schedcli.exe robustness -t lu -n 12 --trials 40 --jitter 0.2 --comm-jitter 0.5
   nominal: 2006
-  mean: 2326.23
-  stddev: 30.6523
-  p95: 2369.31
-  p99: 2382.86
-  worst: 2390.7
+  mean: 2328.99
+  stddev: 25.5671
+  p95: 2365.78
+  p99: 2378.98
+  worst: 2381.88
   (40 trials, task jitter 20%, comm jitter 50%)
 
 Malformed specs are rejected at the command line with the grammar:

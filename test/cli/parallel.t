@@ -1,0 +1,41 @@
+Domain-parallel sweeps are byte-identical to serial.  The only column
+allowed to differ is wall_s (field 10, per-row CPU seconds), so the
+diffs below cut it out and everything else must match exactly:
+
+  $ ../../bin/schedcli.exe batch --scale 0.05 --jobs 1 | cut -d, -f1-9,11 > serial.csv
+  $ ../../bin/schedcli.exe batch --scale 0.05 --jobs 4 | cut -d, -f1-9,11 > par4.csv
+  $ diff serial.csv par4.csv && echo identical
+  identical
+
+`grid` is the historical name of the same sweep and takes --jobs too:
+
+  $ ../../bin/schedcli.exe grid --scale 0.05 --jobs 2 | cut -d, -f1-9,11 > grid2.csv
+  $ diff serial.csv grid2.csv && echo identical
+  identical
+
+--stats appends the engine counters merged across all worker domains at
+the pool barrier; the totals and their report order are independent of
+--jobs (the order is the Obs.Counters.pp contract):
+
+  $ ../../bin/schedcli.exe batch --scale 0.05 --jobs 1 --stats | grep -E "evaluations|hits|probes|hops|commits|copies" > stats1.txt
+  $ cat stats1.txt
+  evaluations:      559630
+  pruned evaluations: 113549
+  route-cache hits: 1047618
+  gap probes:       0
+  joint gap probes: 1627826
+  tentative hops:   1068196
+  commits:          72825
+  copies:           0
+
+  $ ../../bin/schedcli.exe batch --scale 0.05 --jobs 4 --stats | grep -E "evaluations|hits|probes|hops|commits|copies" > stats4.txt
+  $ diff stats1.txt stats4.txt && echo jobs-independent
+  jobs-independent
+
+The jitter Monte-Carlo splits the RNG per trial, so its statistics are
+bit-identical whatever the job count:
+
+  $ ../../bin/schedcli.exe robustness -t lu -n 12 --trials 40 --jitter 0.3 --jobs 1 > mc1.txt
+  $ ../../bin/schedcli.exe robustness -t lu -n 12 --trials 40 --jitter 0.3 --jobs 4 > mc4.txt
+  $ diff mc1.txt mc4.txt && echo jobs-independent
+  jobs-independent

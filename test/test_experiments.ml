@@ -91,6 +91,68 @@ let figure_tests =
         check_int "two rows" 2 (List.length data_lines));
   ]
 
+(* The CSV contract guards the parallel writer: rows are filled
+   out-of-order into cell-indexed slots, so the only thing keeping the
+   file coherent is the header/field-order pin and the float formats. *)
+let csv_tests =
+  let grid_rows () =
+    let cfg = O.Config.with_sizes (O.Config.paper ()) [ 6; 10 ] in
+    let spec =
+      {
+        (O.Batch.default_spec cfg) with
+        O.Batch.testbeds = [ O.Suite.find "lu"; O.Suite.find "stencil" ];
+      }
+    in
+    O.Batch.run cfg spec
+  in
+  [
+    Alcotest.test_case "header matches the row field order" `Quick (fun () ->
+        Alcotest.(check string) "header"
+          "testbed,n,heuristic,model,b,makespan,speedup,comms,comm_time,wall_s,valid"
+          O.Batch.csv_header;
+        let csv = O.Batch.to_csv (grid_rows ()) in
+        let first_line =
+          List.hd (String.split_on_char '\n' csv)
+        in
+        Alcotest.(check string) "emitted header" O.Batch.csv_header first_line);
+    Alcotest.test_case "to_csv / of_csv round-trips every row" `Quick
+      (fun () ->
+        let rows = grid_rows () in
+        let parsed = O.Batch.of_csv (O.Batch.to_csv rows) in
+        check_int "row count" (List.length rows) (List.length parsed);
+        List.iter2
+          (fun (r : O.Runner.row) (p : O.Runner.row) ->
+            Alcotest.(check string) "testbed" r.O.Runner.testbed p.O.Runner.testbed;
+            check_int "n" r.O.Runner.n p.O.Runner.n;
+            Alcotest.(check string) "heuristic" r.O.Runner.heuristic
+              p.O.Runner.heuristic;
+            Alcotest.(check string) "model" r.O.Runner.model p.O.Runner.model;
+            check_bool "b" true (r.O.Runner.b = p.O.Runner.b);
+            (* %.17g columns re-parse to the exact float *)
+            check_bool "makespan exact" true
+              (r.O.Runner.makespan = p.O.Runner.makespan);
+            check_bool "comm_time exact" true
+              (r.O.Runner.comm_time = p.O.Runner.comm_time);
+            check_int "comms" r.O.Runner.n_comms p.O.Runner.n_comms;
+            check_bool "valid" r.O.Runner.valid p.O.Runner.valid)
+          rows parsed;
+        (* after one print the text representation is a fixed point *)
+        let once = O.Batch.to_csv parsed in
+        Alcotest.(check string) "print . parse . print = print" once
+          (O.Batch.to_csv (O.Batch.of_csv once)));
+    Alcotest.test_case "of_csv rejects malformed input" `Quick (fun () ->
+        check_bool "bad header" true
+          (try
+             ignore (O.Batch.of_csv "a,b,c\n1,2,3\n");
+             false
+           with Invalid_argument _ -> true);
+        check_bool "short line" true
+          (try
+             ignore (O.Batch.of_csv (O.Batch.csv_header ^ "\nlu,10\n"));
+             false
+           with Invalid_argument _ -> true));
+  ]
+
 let config_tests =
   [
     Alcotest.test_case "paper config matches §5.2" `Quick (fun () ->
@@ -107,4 +169,4 @@ let config_tests =
           cfg.O.Config.sizes);
   ]
 
-let suite = runner_tests @ figure_tests @ config_tests
+let suite = runner_tests @ figure_tests @ csv_tests @ config_tests

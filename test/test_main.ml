@@ -21,4 +21,6 @@ let () =
       ("rendering", Test_svg.suite);
       ("obs", Test_obs.suite);
       ("faults", Test_faults.suite);
+      ("pool", Test_pool.suite);
+      ("oracle", Test_oracle.suite);
     ]

@@ -1,0 +1,160 @@
+(* Exhaustive tiny-instance oracle.
+
+   On instances small enough to brute-force (≤ 6 tasks, 2-3 processors,
+   one-port model) the repo can check its heuristics against ground
+   truth rather than against each other:
+
+   - the oracle is {!Search.best_makespan}, which explores every
+     interleaving of (ready-task × processor) choices — a superset of
+     the schedules any allocation can induce under the engine's greedy
+     communication rule;
+   - enumerating all p^n allocations and committing each in topological
+     order must always produce a Validate-clean schedule and never beat
+     the oracle (topological orders are among the interleavings the
+     oracle explores);
+   - every registered heuristic must produce a valid schedule with
+     makespan ≥ the oracle's;
+   - on fork graphs over a homogeneous unit platform, {!Fork_exact}'s
+     closed-form enumeration must agree with the oracle exactly. *)
+
+module O = Onesched
+open Util
+
+let eps = 1e-9
+
+let tiny_gen =
+  QCheck2.Gen.(
+    let* seed = int_bound 100_000 in
+    let* n = int_range 2 6 in
+    let* p = int_range 2 3 in
+    let* hetero = bool in
+    return (seed, n, p, hetero))
+
+let build_tiny (seed, n, p, hetero) =
+  let rng = O.Rng.create ~seed in
+  let g =
+    O.Generators.erdos_renyi rng ~n ~edge_prob:0.4 ~max_weight:3 ~max_data:3
+  in
+  let plat =
+    if hetero then
+      O.Platform.fully_connected
+        ~cycle_times:(Array.init p (fun i -> float_of_int (i + 1)))
+        ~link_cost:1. ()
+    else O.Platform.homogeneous ~p ~link_cost:1.
+  in
+  (g, plat)
+
+let print_tiny (seed, n, p, hetero) =
+  Printf.sprintf "tiny(seed=%d,n=%d,p=%d,hetero=%b)" seed n p hetero
+
+(* Commit every task in deterministic topological order onto a fixed
+   allocation; communications place greedily exactly as in every
+   heuristic. *)
+let schedule_allocation g plat alloc =
+  let sched =
+    O.Schedule.create ~graph:g ~platform:plat ~model:O.Comm_model.one_port ()
+  in
+  let engine = O.Engine.create sched in
+  Array.iter
+    (fun v -> O.Engine.schedule_on engine ~task:v ~proc:alloc.(v))
+    (O.Graph.topological_order g);
+  sched
+
+(* All p^n allocations as digit vectors. *)
+let iter_allocations ~n ~p f =
+  let alloc = Array.make n 0 in
+  let rec go v = if v = n then f alloc
+    else
+      for q = 0 to p - 1 do
+        alloc.(v) <- q;
+        go (v + 1)
+      done
+  in
+  go 0
+
+let allocation_tests =
+  [
+    QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ())
+      (QCheck2.Test.make ~count:20
+         ~name:"every allocation is valid and none beats the oracle"
+         ~print:print_tiny tiny_gen (fun params ->
+           let g, plat = build_tiny params in
+           let n = O.Graph.n_tasks g and p = O.Platform.p plat in
+           let oracle = O.Search.best_makespan plat g in
+           let ok = ref true in
+           iter_allocations ~n ~p (fun alloc ->
+               let sched = schedule_allocation g plat alloc in
+               (match O.Validate.check sched with
+               | Ok () -> ()
+               | Error es ->
+                   Printf.printf "INVALID allocation: %s\n" (List.hd es);
+                   ok := false);
+               if O.Schedule.makespan sched < oracle -. eps then begin
+                 Printf.printf "allocation beats oracle: %g < %g\n"
+                   (O.Schedule.makespan sched) oracle;
+                 ok := false
+               end);
+           !ok));
+  ]
+
+let heuristic_tests =
+  [
+    QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ())
+      (QCheck2.Test.make ~count:25
+         ~name:"every registered heuristic is valid and ≥ the oracle"
+         ~print:print_tiny tiny_gen (fun params ->
+           let g, plat = build_tiny params in
+           let oracle = O.Search.best_makespan plat g in
+           List.for_all
+             (fun (e : O.Registry.entry) ->
+               let sched = e.O.Registry.scheduler O.Params.default plat g in
+               match O.Validate.check sched with
+               | Error es ->
+                   Printf.printf "%s INVALID: %s\n" e.O.Registry.name
+                     (List.hd es);
+                   false
+               | Ok () ->
+                   let m = O.Schedule.makespan sched in
+                   if m < oracle -. eps then begin
+                     Printf.printf "%s beats the oracle: %g < %g\n"
+                       e.O.Registry.name m oracle;
+                     false
+                   end
+                   else true)
+             O.Registry.all));
+  ]
+
+let fork_gen =
+  QCheck2.Gen.(
+    let* seed = int_bound 100_000 in
+    let* children = int_range 1 4 in
+    let* p = int_range 2 3 in
+    return (seed, children, p))
+
+let fork_tests =
+  [
+    QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ())
+      (QCheck2.Test.make ~count:40
+         ~name:"fork_exact matches the oracle on fork graphs"
+         ~print:(fun (seed, c, p) -> Printf.sprintf "fork(seed=%d,c=%d,p=%d)" seed c p)
+         fork_gen (fun (seed, children, p) ->
+           let rng = O.Rng.create ~seed in
+           let child_weights =
+             Array.init children (fun _ -> float_of_int (O.Rng.int_in rng 1 4))
+           in
+           let child_data =
+             Array.init children (fun _ -> float_of_int (O.Rng.int_in rng 0 4))
+           in
+           let g =
+             O.Fork.of_weights
+               ~parent_weight:(float_of_int (O.Rng.int_in rng 0 3))
+               ~child_weights ~child_data
+           in
+           let plat = O.Platform.homogeneous ~p ~link_cost:1. in
+           let inst = Option.get (O.Fork_exact.of_graph g) in
+           let exact = O.Fork_exact.optimal_makespan ~max_procs:p inst in
+           let oracle = O.Search.best_makespan plat g in
+           Prelude.Stats.fequal exact oracle));
+  ]
+
+let suite = allocation_tests @ heuristic_tests @ fork_tests
