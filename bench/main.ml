@@ -34,6 +34,7 @@ type options = {
   run_bechamel : bool;
   run_probes : bool;
   run_grid : bool;
+  run_improvers : bool;
   jobs : int;
   json : string option;
 }
@@ -45,6 +46,7 @@ let parse_args () =
   let run_bechamel = ref true in
   let run_probes = ref true in
   let run_grid = ref true in
+  let run_improvers = ref true in
   let jobs = ref (O.Pool.default_jobs ()) in
   let json = ref None in
   let rec eat = function
@@ -70,6 +72,9 @@ let parse_args () =
     | "--no-grid" :: rest ->
         run_grid := false;
         eat rest
+    | "--no-improvers" :: rest ->
+        run_improvers := false;
+        eat rest
     | "--jobs" :: v :: rest ->
         jobs := int_of_string v;
         eat rest
@@ -80,7 +85,8 @@ let parse_args () =
         Printf.eprintf
           "unknown argument %s\n\
            usage: main.exe [--quick] [--scale F] [--only ID]* [--no-figures] \
-           [--no-bechamel] [--no-probes] [--no-grid] [--jobs N] [--json FILE]\n\
+           [--no-bechamel] [--no-probes] [--no-grid] [--no-improvers] \
+           [--jobs N] [--json FILE]\n\
            experiment ids: %s\n"
           arg
           (String.concat ", " O.Figures.ids);
@@ -94,6 +100,7 @@ let parse_args () =
     run_bechamel = !run_bechamel;
     run_probes = !run_probes;
     run_grid = !run_grid;
+    run_improvers = !run_improvers;
     jobs = max 1 !jobs;
     json = !json;
   }
@@ -376,13 +383,104 @@ let run_grid_timing ~echo opts =
   t
 
 (* ------------------------------------------------------------------ *)
+(* Part 5: incremental vs from-scratch improver throughput              *)
+(* ------------------------------------------------------------------ *)
+
+type improver_row = {
+  imp_testbed : string;
+  imp_n : int;
+  imp_tasks : int;
+  imp_steps : int;
+  incremental_s : float;
+  reference_s : float;
+}
+
+(* Simulated annealing prices one single-task reallocation per step.
+   The incremental path ({!Anneal.improve}) rewinds the engine's commit
+   log to the moved task and replays only the suffix; the from-scratch
+   path ({!Anneal.Reference.improve}) rebuilds the whole schedule per
+   step.  Both produce bit-identical results (the test suite proves it),
+   so the steps/second ratio is pure kernel speedup — the headline
+   [incremental_speedup] tracked in BENCH_*.json. *)
+let run_improvers ~echo opts =
+  let steps = 40 in
+  let seed = 20020422 in
+  let sizes =
+    List.filter_map
+      (fun n ->
+        let n = int_of_float (float_of_int n *. opts.scale) in
+        if n >= 10 then Some n else None)
+      [ 100; 200; 300 ]
+  in
+  if echo then
+    Printf.printf
+      "\n=== improvers: incremental vs from-scratch anneal (%d steps) ===\n%!"
+      steps;
+  let table =
+    O.Table.create
+      ~columns:
+        [ "testbed"; "n"; "tasks"; "incremental"; "reference"; "inc steps/s";
+          "ref steps/s"; "speedup" ]
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let g = O.Kernels.lu ~n ~ccr:10. in
+        let sched = O.Heft.schedule plat g in
+        let params = { O.Anneal.default_params with O.Anneal.steps; seed } in
+        let time f =
+          let t0 = Unix.gettimeofday () in
+          let r = f () in
+          (r, Unix.gettimeofday () -. t0)
+        in
+        let inc, incremental_s =
+          time (fun () -> O.Anneal.improve ~params sched)
+        in
+        let slow, reference_s =
+          time (fun () -> O.Anneal.Reference.improve ~params sched)
+        in
+        if inc.O.Anneal.final_makespan <> slow.O.Anneal.final_makespan then
+          Printf.eprintf
+            "WARNING: improvers disagree on lu n=%d: %g vs %g\n%!" n
+            inc.O.Anneal.final_makespan slow.O.Anneal.final_makespan;
+        let r =
+          {
+            imp_testbed = "lu";
+            imp_n = n;
+            imp_tasks = O.Graph.n_tasks g;
+            imp_steps = steps;
+            incremental_s;
+            reference_s;
+          }
+        in
+        let per_s t =
+          if t > 0. then Printf.sprintf "%.1f" (float_of_int steps /. t)
+          else "-"
+        in
+        O.Table.add_row table
+          [
+            r.imp_testbed; string_of_int n; string_of_int r.imp_tasks;
+            Printf.sprintf "%.3fs" incremental_s;
+            Printf.sprintf "%.3fs" reference_s;
+            per_s incremental_s; per_s reference_s;
+            (if incremental_s > 0. then
+               Printf.sprintf "%.1fx" (reference_s /. incremental_s)
+             else "-");
+          ];
+        r)
+      sizes
+  in
+  if echo then print_string (O.Table.to_string table);
+  rows
+
+(* ------------------------------------------------------------------ *)
 (* JSON export                                                          *)
 (* ------------------------------------------------------------------ *)
 
 (* Hand-rolled writer (no JSON dependency): the schema is documented in
    doc/performance.md and the committed BENCH_*.json baselines follow
    it. *)
-let emit_json opts ~bech_rows ~probe_rows ~grid file =
+let emit_json opts ~bech_rows ~probe_rows ~grid ~improver_rows file =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let json_float x =
@@ -418,6 +516,31 @@ let emit_json opts ~bech_rows ~probe_rows ~grid file =
            (if g.parallel_s > 0. then g.serial_s /. g.parallel_s else nan))
         g.identical
   | None -> ());
+  if improver_rows <> [] then begin
+    add "  \"improvers\": {\"cores\": %d, \"rows\": [\n"
+      (Domain.recommended_domain_count ());
+    List.iteri
+      (fun i r ->
+        let per_s t =
+          if t > 0. then json_float (float_of_int r.imp_steps /. t)
+          else "null"
+        in
+        add
+          "    {\"testbed\": %S, \"n\": %d, \"tasks\": %d, \"steps\": %d, \
+           \"incremental_s\": %s, \"reference_s\": %s, \
+           \"incremental_steps_per_s\": %s, \"reference_steps_per_s\": %s, \
+           \"incremental_speedup\": %s}%s\n"
+          r.imp_testbed r.imp_n r.imp_tasks r.imp_steps
+          (json_float r.incremental_s)
+          (json_float r.reference_s)
+          (per_s r.incremental_s) (per_s r.reference_s)
+          (json_float
+             (if r.incremental_s > 0. then r.reference_s /. r.incremental_s
+              else nan))
+          (if i = List.length improver_rows - 1 then "" else ","))
+      improver_rows;
+    add "  ]},\n"
+  end;
   add "  \"probes\": [\n";
   List.iteri
     (fun i r ->
@@ -459,4 +582,10 @@ let () =
     if opts.run_grid && opts.only = [] then Some (run_grid_timing ~echo opts)
     else None
   in
-  Option.iter (emit_json opts ~bech_rows ~probe_rows ~grid) opts.json
+  let improver_rows =
+    if opts.run_improvers && opts.only = [] then run_improvers ~echo opts
+    else []
+  in
+  Option.iter
+    (emit_json opts ~bech_rows ~probe_rows ~grid ~improver_rows)
+    opts.json

@@ -194,30 +194,69 @@ let run_cmd =
       value & flag
       & info [ "refine" ] ~doc:"Apply the allocation local-search post-pass.")
   in
+  let anneal_arg =
+    Arg.(
+      value & flag
+      & info [ "anneal" ]
+          ~doc:"Apply the simulated-annealing allocation post-pass (after \
+                --refine if both are given).")
+  in
+  let anneal_steps_arg =
+    Arg.(
+      value
+      & opt int O.Anneal.default_params.O.Anneal.steps
+      & info [ "anneal-steps" ] ~docv:"N"
+          ~doc:"Number of annealing proposals for --anneal.")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt int O.Anneal.default_params.O.Anneal.seed
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"RNG seed for --anneal (runs are deterministic per seed).")
+  in
   let util_arg =
     Arg.(
       value & flag
       & info [ "utilization" ] ~doc:"Print per-resource utilization profiles.")
   in
-  let action testbed n ccr heuristic params homogeneous gantt refine util
-      stats trace graph_file platform_file =
+  let action testbed n ccr heuristic params homogeneous gantt refine anneal
+      anneal_steps seed util stats trace graph_file platform_file =
     let plat = resolve_platform platform_file homogeneous in
     let g = resolve_graph graph_file testbed n ccr in
     let entry = O.Registry.find heuristic in
     let t0 = Sys.time () in
+    (* The improvers run inside the observed scope so that --stats and
+       --trace account for their rollback/replay work, and the improved
+       schedule flows through the same validation/metrics/gantt printing
+       as an unimproved one. *)
     let sched =
       with_observability ~stats ~trace (fun () ->
-          entry.O.Registry.scheduler params plat g)
-    in
-    let sched =
-      if not refine then sched
-      else begin
-        let r = O.Refine.improve sched in
-        Printf.printf "refine: %g -> %g (%d moves, %d rebuilds)\n"
-          r.O.Refine.initial_makespan r.O.Refine.final_makespan
-          r.O.Refine.accepted_moves r.O.Refine.evaluations;
-        r.O.Refine.schedule
-      end
+          let sched = entry.O.Registry.scheduler params plat g in
+          let sched =
+            if not refine then sched
+            else begin
+              let r = O.Refine.improve sched in
+              Printf.printf "refine: %g -> %g (%d moves, %d evaluations)\n"
+                r.O.Refine.initial_makespan r.O.Refine.final_makespan
+                r.O.Refine.accepted_moves r.O.Refine.evaluations;
+              r.O.Refine.schedule
+            end
+          in
+          if not anneal then sched
+          else begin
+            let aparams =
+              { O.Anneal.default_params with
+                O.Anneal.steps = anneal_steps;
+                O.Anneal.seed = seed;
+              }
+            in
+            let r = O.Anneal.improve ~params:aparams sched in
+            Printf.printf "anneal: %g -> %g (%d accepted, %d improved)\n"
+              r.O.Anneal.initial_makespan r.O.Anneal.final_makespan
+              r.O.Anneal.accepted r.O.Anneal.improved;
+            r.O.Anneal.schedule
+          end)
     in
     let dt = Sys.time () -. t0 in
     let metrics = O.Metrics.compute sched in
@@ -238,8 +277,9 @@ let run_cmd =
   let term =
     Term.(
       const action $ testbed_arg $ size_arg $ ccr_arg $ heuristic_arg
-      $ params_term $ homogeneous_arg $ gantt_arg $ refine_arg $ util_arg
-      $ stats_arg $ trace_arg $ graph_file_arg $ platform_file_arg)
+      $ params_term $ homogeneous_arg $ gantt_arg $ refine_arg $ anneal_arg
+      $ anneal_steps_arg $ seed_arg $ util_arg $ stats_arg $ trace_arg
+      $ graph_file_arg $ platform_file_arg)
   in
   Cmd.v
     (Cmd.info "run"

@@ -21,7 +21,8 @@
       {!Metrics}, {!Bounds}, {!Export};
     - heuristics: {!Params}, {!Ranking}, {!Load_balance}, {!Engine}, {!Heft},
       {!Ilha}, {!Cpop}, {!Pct}, {!Bil}, {!Gdl}, {!Etf}, {!Auto_b},
-      {!Refine}, {!Fork_exact}, {!Search}, {!Registry};
+      {!Prefix_replay}, {!Refine}, {!Anneal}, {!Fork_exact}, {!Search},
+      {!Registry};
     - testbeds: {!Kernels}, {!Fork}, {!Toy}, {!Suite};
     - complexity: {!Two_partition}, {!Fork_sched}, {!Comm_sched};
     - analysis/robustness: {!Pert}, {!Robustness}, {!Utilization},
@@ -66,6 +67,7 @@ module Bil = Heuristics.Bil
 module Gdl = Heuristics.Gdl
 module Etf = Heuristics.Etf
 module Auto_b = Heuristics.Auto_b
+module Prefix_replay = Heuristics.Prefix_replay
 module Refine = Heuristics.Refine
 module Fork_exact = Heuristics.Fork_exact
 module Anneal = Heuristics.Anneal

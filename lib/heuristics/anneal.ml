@@ -18,8 +18,83 @@ type result = {
   final_makespan : float;
   accepted : int;
   improved : int;
+  moves : (int * int * float) list;
 }
 
+(* The from-scratch annealer: one full rebuild per proposal.  Kept
+   verbatim as the executable specification for the incremental
+   [improve] below — same RNG consumption, same acceptance rule, same
+   epsilon, so the move traces are bit-identical. *)
+module Reference = struct
+  let improve ?policy ?(params = default_params) sched0 =
+    if params.steps < 0 then invalid_arg "Anneal.improve: negative steps";
+    let g = Schedule.graph sched0 in
+    let plat = Schedule.platform sched0 in
+    let model = Schedule.model sched0 in
+    let n = Graph.n_tasks g in
+    let p = Platform.p plat in
+    let rng = Rng.create ~seed:params.seed in
+    let alloc = Array.init n (fun v -> Schedule.proc_of_exn sched0 v) in
+    let rebuild () =
+      Refine.rebuild
+        ~params:(Params.make ?policy ~model ())
+        ~alloc:(fun v -> alloc.(v))
+        plat g
+    in
+    let initial_makespan = Schedule.makespan sched0 in
+    let current_sched = ref (rebuild ()) in
+    let current = ref (Schedule.makespan !current_sched) in
+    let best_sched = ref !current_sched in
+    let best = ref !current in
+    if initial_makespan < !best then begin
+      best_sched := sched0;
+      best := initial_makespan
+    end;
+    let temperature = ref (params.initial_temperature *. initial_makespan) in
+    let accepted = ref 0 and improved = ref 0 in
+    let moves = ref [] in
+    if n > 0 && p > 1 then
+      for _ = 1 to params.steps do
+        let v = Rng.int rng n in
+        let old_proc = alloc.(v) in
+        let new_proc = (old_proc + 1 + Rng.int rng (p - 1)) mod p in
+        alloc.(v) <- new_proc;
+        let sched = rebuild () in
+        let m = Schedule.makespan sched in
+        let delta = m -. !current in
+        let accept =
+          delta <= 0.
+          || (!temperature > 0. && Rng.float rng 1. < exp (-.delta /. !temperature))
+        in
+        if accept then begin
+          incr accepted;
+          current := m;
+          current_sched := sched;
+          moves := (v, new_proc, m) :: !moves;
+          if m < !best -. 1e-9 then begin
+            best := m;
+            best_sched := sched;
+            incr improved
+          end
+        end
+        else alloc.(v) <- old_proc;
+        temperature := !temperature *. params.cooling
+      done;
+    {
+      schedule = !best_sched;
+      initial_makespan;
+      final_makespan = !best;
+      accepted = !accepted;
+      improved = !improved;
+      moves = List.rev !moves;
+    }
+end
+
+(* The incremental annealer: proposals are priced on a {!Prefix_replay}
+   driver — rewind to the moved task's decision position, replay the
+   suffix.  The best-ever allocation is remembered as an array (the
+   driver's working schedule keeps moving), and the result schedule is
+   materialized from it at the end. *)
 let improve ?policy ?(params = default_params) sched0 =
   if params.steps < 0 then invalid_arg "Anneal.improve: negative steps";
   let g = Schedule.graph sched0 in
@@ -28,32 +103,27 @@ let improve ?policy ?(params = default_params) sched0 =
   let n = Graph.n_tasks g in
   let p = Platform.p plat in
   let rng = Rng.create ~seed:params.seed in
-  let alloc = Array.init n (fun v -> Schedule.proc_of_exn sched0 v) in
-  let rebuild () =
-    Refine.rebuild
-      ~params:(Params.make ?policy ~model ())
-      ~alloc:(fun v -> alloc.(v))
-      plat g
-  in
+  let alloc0 = Array.init n (fun v -> Schedule.proc_of_exn sched0 v) in
+  let d = Prefix_replay.create ?policy ~model ~alloc:alloc0 plat g in
   let initial_makespan = Schedule.makespan sched0 in
-  let current_sched = ref (rebuild ()) in
-  let current = ref (Schedule.makespan !current_sched) in
-  let best_sched = ref !current_sched in
+  let current = ref (Prefix_replay.makespan d) in
   let best = ref !current in
+  let best_alloc = ref alloc0 in
+  let use_input = ref false in
   if initial_makespan < !best then begin
-    best_sched := sched0;
+    use_input := true;
     best := initial_makespan
   end;
   let temperature = ref (params.initial_temperature *. initial_makespan) in
   let accepted = ref 0 and improved = ref 0 in
+  let moves = ref [] in
   if n > 0 && p > 1 then
     for _ = 1 to params.steps do
       let v = Rng.int rng n in
-      let old_proc = alloc.(v) in
+      let old_proc = Prefix_replay.alloc d v in
       let new_proc = (old_proc + 1 + Rng.int rng (p - 1)) mod p in
-      alloc.(v) <- new_proc;
-      let sched = rebuild () in
-      let m = Schedule.makespan sched in
+      Prefix_replay.set_alloc d v new_proc;
+      let m = Prefix_replay.makespan d in
       let delta = m -. !current in
       let accept =
         delta <= 0.
@@ -62,20 +132,29 @@ let improve ?policy ?(params = default_params) sched0 =
       if accept then begin
         incr accepted;
         current := m;
-        current_sched := sched;
+        moves := (v, new_proc, m) :: !moves;
         if m < !best -. 1e-9 then begin
           best := m;
-          best_sched := sched;
+          best_alloc := Prefix_replay.alloc_array d;
+          use_input := false;
           incr improved
         end
       end
-      else alloc.(v) <- old_proc;
+      else Prefix_replay.set_alloc d v old_proc;
       temperature := !temperature *. params.cooling
     done;
+  let schedule =
+    if !use_input then sched0
+    else begin
+      Array.iteri (fun v q -> Prefix_replay.set_alloc d v q) !best_alloc;
+      Prefix_replay.schedule d
+    end
+  in
   {
-    schedule = !best_sched;
+    schedule;
     initial_makespan;
     final_makespan = !best;
     accepted = !accepted;
     improved = !improved;
+    moves = List.rev !moves;
   }

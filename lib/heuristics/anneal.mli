@@ -29,9 +29,23 @@ type result = {
   final_makespan : float;
   accepted : int;
   improved : int;  (** accepted moves that strictly improved the incumbent *)
+  moves : (int * int * float) list;
+      (** accepted moves in order: task, new processor, resulting
+          makespan — the move trace the equivalence suite compares *)
 }
 
 (** [improve ?policy ?params sched] — anneal from the schedule's
     allocation.  The returned schedule is the best ever seen (never worse
-    than the better of the input and its rebuild). *)
+    than the better of the input and its rebuild).
+
+    Proposals are priced incrementally on a {!Prefix_replay} driver (one
+    rollback + suffix replay per step instead of a full rebuild);
+    results are bit-identical to {!Reference.improve}. *)
 val improve : ?policy:Engine.policy -> ?params:params -> Sched.Schedule.t -> result
+
+(** The original from-scratch annealer (one full rebuild per proposal),
+    kept as the executable specification for [improve]. *)
+module Reference : sig
+  val improve :
+    ?policy:Engine.policy -> ?params:params -> Sched.Schedule.t -> result
+end

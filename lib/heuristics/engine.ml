@@ -61,6 +61,12 @@ type t = {
   mutable inc_proc : int array;
   mutable inc_data : float array;
   mutable inc_max_fin : float;
+  (* commit log: per commit, the task and the schedule's comm-event count
+     before the commit's hops were added — enough to rewind any suffix of
+     commits in reverse order *)
+  mutable log_task : int array;
+  mutable log_comms : int array;
+  mutable log_len : int;
 }
 
 let create ?(policy = Insertion) sched =
@@ -93,6 +99,9 @@ let create ?(policy = Insertion) sched =
     inc_proc = [||];
     inc_data = [||];
     inc_max_fin = 0.;
+    log_task = [||];
+    log_comms = [||];
+    log_len = 0;
   }
 
 let schedule t = t.sched
@@ -534,8 +543,23 @@ let best_proc_among ?(floor = 0.) t ~task procs =
 
 let best_proc ?floor t ~task = best_proc_among ?floor t ~task t.all_procs
 
+let log_push t ~task ~comms_before =
+  if t.log_len = Array.length t.log_task then begin
+    let cap = Array.length t.log_task in
+    let cap' = if cap = 0 then 16 else 2 * cap in
+    let lt = Array.make cap' 0 and lc = Array.make cap' 0 in
+    Array.blit t.log_task 0 lt 0 t.log_len;
+    Array.blit t.log_comms 0 lc 0 t.log_len;
+    t.log_task <- lt;
+    t.log_comms <- lc
+  end;
+  t.log_task.(t.log_len) <- task;
+  t.log_comms.(t.log_len) <- comms_before;
+  t.log_len <- t.log_len + 1
+
 let commit t ~task ev =
   Obs.Counters.commit ();
+  log_push t ~task ~comms_before:(Schedule.n_comm_events t.sched);
   List.iter
     (fun h ->
       let (_ : float) =
@@ -545,6 +569,24 @@ let commit t ~task ev =
       ())
     ev.hops;
   Schedule.place_task t.sched ~task ~proc:ev.proc ~start:ev.est
+
+let n_commits t = t.log_len
+let commit_task_at t i = t.log_task.(i)
+
+let rewind t ~to_ =
+  if to_ < 0 || to_ > t.log_len then invalid_arg "Engine.rewind: bad index";
+  if to_ < t.log_len then begin
+    Obs.Counters.rollback ();
+    while t.log_len > to_ do
+      let i = t.log_len - 1 in
+      Schedule.unplace_task t.sched t.log_task.(i);
+      Schedule.truncate_comms t.sched ~down_to:t.log_comms.(i);
+      t.log_len <- i
+    done;
+    (* The incoming table depends on predecessor placements, which the
+       rewind may just have retracted. *)
+    t.inc_task <- -1
+  end
 
 let schedule_on ?floor t ~task ~proc =
   let ev = evaluate ?floor t ~task ~proc in

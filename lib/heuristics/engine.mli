@@ -66,8 +66,27 @@ val best_proc : ?floor:float -> t -> task:int -> eval
     @raise Invalid_argument on an empty list. *)
 val best_proc_among : ?floor:float -> t -> task:int -> int list -> eval
 
-(** [commit t ~task ev] places the task and its communications. *)
+(** [commit t ~task ev] places the task and its communications, and
+    appends an entry to the engine's {e commit log}, enabling
+    {!rewind}. *)
 val commit : t -> task:int -> eval -> unit
+
+(** Number of commits performed through this engine — the length of the
+    commit log, and the upper bound for {!rewind}'s [to_]. *)
+val n_commits : t -> int
+
+(** [commit_task_at t i] is the task of the [i]-th commit (0-based). *)
+val commit_task_at : t -> int -> int
+
+(** [rewind t ~to_:k] retracts commits [k, k+1, ...] in reverse order,
+    returning the schedule to its state after the first [k] commits, in
+    time proportional to the work undone.  Only valid when every mutation
+    of the schedule since engine creation went through {!commit} (the
+    improver and search builders satisfy this; code calling
+    [Schedule.place_task]/[add_comm] directly does not).  Bumps the
+    [rollbacks] counter.
+    @raise Invalid_argument unless [0 <= to_ <= n_commits t]. *)
+val rewind : t -> to_:int -> unit
 
 (** [schedule_on t ~task ~proc] = evaluate + commit on a forced processor. *)
 val schedule_on : ?floor:float -> t -> task:int -> proc:int -> unit

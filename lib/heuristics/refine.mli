@@ -16,7 +16,10 @@ type result = {
   initial_makespan : float;  (** of the input schedule *)
   final_makespan : float;
   accepted_moves : int;
-  evaluations : int;  (** schedule rebuilds performed *)
+  evaluations : int;  (** allocations priced (initial build included) *)
+  moves : (int * int * float) list;
+      (** accepted moves in order: task, new processor, resulting
+          makespan — the incumbent trace the equivalence suite compares *)
 }
 
 (** [rebuild ?params ~alloc plat g] — list-schedule with the given
@@ -32,6 +35,23 @@ val rebuild :
 
 (** [improve ?policy ?max_rounds ?max_moves sched] — refine the schedule's
     allocation.  The result's schedule is never worse than the better of
-    the input and its rebuild. *)
+    the input and its rebuild.
+
+    Candidate moves are priced incrementally on a {!Prefix_replay}
+    driver: moving a task rewinds to its decision position and replays
+    only the suffix, instead of paying a full rebuild per step.  The
+    result — schedule, move trace, every count — is bit-identical to
+    {!Reference.improve}. *)
 val improve :
   ?policy:Engine.policy -> ?max_rounds:int -> ?max_moves:int -> Sched.Schedule.t -> result
+
+(** The original from-scratch hill climber (one full rebuild per priced
+    move), kept as the executable specification for [improve]. *)
+module Reference : sig
+  val improve :
+    ?policy:Engine.policy ->
+    ?max_rounds:int ->
+    ?max_moves:int ->
+    Sched.Schedule.t ->
+    result
+end

@@ -10,10 +10,18 @@
     problem, and the greedy comm rule is one fixed policy.  For fork graphs
     use {!Fork_exact}, which is exact.)
 
-    Guarded to at most 8 tasks; the search space is [O(n! p^n)]. *)
+    The DFS is undo-based: one schedule and one engine serve the whole
+    search, with each decision retracted through the engine's commit log
+    ({!Engine.rewind}) on the way back up instead of copying the schedule
+    at every node.  Nodes cut by the incumbent bound are counted in the
+    [search pruned] observability counter.
+
+    Guarded to at most 10 tasks; the search space is [O(n! p^n)], so
+    instances near the guard should have narrow ready sets (chains,
+    in-trees) for the bound to bite early. *)
 
 (** [best_schedule ?params plat g] — the best schedule found.
-    @raise Invalid_argument beyond 8 tasks. *)
+    @raise Invalid_argument beyond 10 tasks. *)
 val best_schedule :
   ?params:Params.t -> Platform.t -> Taskgraph.Graph.t -> Sched.Schedule.t
 

@@ -10,6 +10,9 @@ type snapshot = {
   retries : int;
   repairs : int;
   backoff_s : float;
+  rollbacks : int;
+  replayed_tasks : int;
+  search_pruned_nodes : int;
 }
 
 let zero : snapshot =
@@ -25,6 +28,9 @@ let zero : snapshot =
     retries = 0;
     repairs = 0;
     backoff_s = 0.;
+    rollbacks = 0;
+    replayed_tasks = 0;
+    search_pruned_nodes = 0;
   }
 
 (* One mutable record rather than eleven refs: a single cache line, and
@@ -41,6 +47,9 @@ type state = {
   mutable retries : int;
   mutable repairs : int;
   mutable backoff_s : float;
+  mutable rollbacks : int;
+  mutable replayed_tasks : int;
+  mutable search_pruned_nodes : int;
 }
 
 (* Domain-local scratch: every domain bumps its own record, so workers of
@@ -61,6 +70,9 @@ let key : state Domain.DLS.key =
         retries = 0;
         repairs = 0;
         backoff_s = 0.;
+        rollbacks = 0;
+        replayed_tasks = 0;
+        search_pruned_nodes = 0;
       })
 
 let state () = Domain.DLS.get key
@@ -82,7 +94,10 @@ let reset () =
   s.copies <- 0;
   s.retries <- 0;
   s.repairs <- 0;
-  s.backoff_s <- 0.
+  s.backoff_s <- 0.;
+  s.rollbacks <- 0;
+  s.replayed_tasks <- 0;
+  s.search_pruned_nodes <- 0
 
 let snapshot () : snapshot =
   let s = state () in
@@ -98,6 +113,9 @@ let snapshot () : snapshot =
     retries = s.retries;
     repairs = s.repairs;
     backoff_s = s.backoff_s;
+    rollbacks = s.rollbacks;
+    replayed_tasks = s.replayed_tasks;
+    search_pruned_nodes = s.search_pruned_nodes;
   }
 
 let merge (d : snapshot) =
@@ -112,7 +130,10 @@ let merge (d : snapshot) =
   s.copies <- s.copies + d.copies;
   s.retries <- s.retries + d.retries;
   s.repairs <- s.repairs + d.repairs;
-  s.backoff_s <- s.backoff_s +. d.backoff_s
+  s.backoff_s <- s.backoff_s +. d.backoff_s;
+  s.rollbacks <- s.rollbacks + d.rollbacks;
+  s.replayed_tasks <- s.replayed_tasks + d.replayed_tasks;
+  s.search_pruned_nodes <- s.search_pruned_nodes + d.search_pruned_nodes
 
 let diff (a : snapshot) (b : snapshot) : snapshot =
   {
@@ -127,6 +148,9 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     retries = b.retries - a.retries;
     repairs = b.repairs - a.repairs;
     backoff_s = b.backoff_s -. a.backoff_s;
+    rollbacks = b.rollbacks - a.rollbacks;
+    replayed_tasks = b.replayed_tasks - a.replayed_tasks;
+    search_pruned_nodes = b.search_pruned_nodes - a.search_pruned_nodes;
   }
 
 (* The print order below is part of the CLI contract (cram tests pin it):
@@ -152,7 +176,16 @@ let pp fmt (c : snapshot) =
       "@,@[<v>retries:          %d@,\
        repairs:          %d@,\
        backoff time:     %g@]"
-      c.retries c.repairs c.backoff_s
+      c.retries c.repairs c.backoff_s;
+  (* incremental-kernel counters follow the same convention: from-scratch
+     builds never print them *)
+  if c.rollbacks <> 0 || c.replayed_tasks <> 0 || c.search_pruned_nodes <> 0
+  then
+    Format.fprintf fmt
+      "@,@[<v>rollbacks:        %d@,\
+       replayed tasks:   %d@,\
+       search pruned:    %d@]"
+      c.rollbacks c.replayed_tasks c.search_pruned_nodes
 
 let evaluation () =
   if !on then
@@ -218,4 +251,22 @@ let backoff dt =
   if !on then
     let s = state () in
     s.backoff_s <- s.backoff_s +. dt
+[@@inline]
+
+let rollback () =
+  if !on then
+    let s = state () in
+    s.rollbacks <- s.rollbacks + 1
+[@@inline]
+
+let replayed_task () =
+  if !on then
+    let s = state () in
+    s.replayed_tasks <- s.replayed_tasks + 1
+[@@inline]
+
+let search_pruned_node () =
+  if !on then
+    let s = state () in
+    s.search_pruned_nodes <- s.search_pruned_nodes + 1
 [@@inline]

@@ -32,6 +32,17 @@
       exponential backoff between retry attempts (a float — simulated
       time units, not wall seconds).
 
+    Three more trace the incremental kernel ([Schedule.restore],
+    [Engine.rewind], the prefix-replay improvers and the undo-based
+    branch-and-bound search):
+
+    - [rollbacks]: whole-schedule rewinds ([Schedule.restore],
+      [Engine.rewind]);
+    - [replayed_tasks]: tasks re-committed by a prefix-replay rebuild
+      (the suffix work an incremental move actually pays for);
+    - [search_pruned_nodes]: branch-and-bound nodes cut by the incumbent
+      bound in [Search.best_schedule].
+
     Counting is globally toggleable and off by default.  When disabled,
     every bump is a single load-and-branch; when enabled, a
     domain-local-storage lookup plus an in-place integer store — no
@@ -58,6 +69,9 @@ type snapshot = {
   retries : int;
   repairs : int;
   backoff_s : float;
+  rollbacks : int;
+  replayed_tasks : int;
+  search_pruned_nodes : int;
 }
 
 val zero : snapshot
@@ -85,7 +99,8 @@ val merge : snapshot -> unit
     part of the CLI contract (cram tests pin it): evaluations, pruned
     evaluations, route-cache hits, gap probes, joint gap probes,
     tentative hops, commits, copies — then the fault block (retries,
-    repairs, backoff time), which is printed only when nonzero. *)
+    repairs, backoff time) and the incremental-kernel block (rollbacks,
+    replayed tasks, search pruned), each printed only when nonzero. *)
 val pp : Format.formatter -> snapshot -> unit
 
 (** {2 Bump sites} — no-ops while disabled. *)
@@ -104,3 +119,7 @@ val repair : unit -> unit
 (** [backoff dt] accumulates [dt] simulated time units of retry
     backoff. *)
 val backoff : float -> unit
+
+val rollback : unit -> unit
+val replayed_task : unit -> unit
+val search_pruned_node : unit -> unit

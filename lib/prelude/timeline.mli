@@ -27,6 +27,32 @@ val create : unit -> t
     intervals are accepted and ignored. *)
 val add : t -> start:float -> finish:float -> unit
 
+(** [remove t ~start ~finish] deletes the busy interval [[start, finish)],
+    the exact inverse of {!add} (a zero-length interval is a no-op, as in
+    {!add}).
+    @raise Invalid_argument if no busy interval equals [[start, finish)]. *)
+val remove : t -> start:float -> finish:float -> unit
+
+(** A position in the add journal, as returned by {!checkpoint}. *)
+type mark
+
+(** [checkpoint t] records the current state so a later {!rollback} can
+    undo every {!add} performed after this point.  Checkpoints nest; the
+    cost is O(1). *)
+val checkpoint : t -> mark
+
+(** The mark a freshly created timeline starts from: rolling back to
+    [origin] empties a timeline that has only ever been {!add}ed to. *)
+val origin : mark
+
+(** [rollback t m] removes every interval added since [checkpoint] returned
+    [m], in O(adds-since-mark · log n).  Marks taken after [m] are
+    invalidated.  Intervals {!remove}d since the mark are {e not}
+    resurrected — rollback undoes adds only.
+    @raise Invalid_argument if [m] was invalidated by an earlier rollback
+    to a point before it. *)
+val rollback : t -> mark -> unit
+
 val n_intervals : t -> int
 
 (** Sorted busy intervals as [(start, finish)] pairs. *)

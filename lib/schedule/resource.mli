@@ -77,6 +77,31 @@ val commit_comm : t -> src:int -> dst:int -> start:float -> finish:float -> unit
 (** [commit_task t ~proc ~start ~finish] marks the compute timeline busy. *)
 val commit_task : t -> proc:int -> start:float -> finish:float -> unit
 
+(** [retract_comm t ~src ~dst ~start ~finish] is the exact inverse of
+    {!commit_comm}: the hop's interval is removed from every timeline of
+    [comm_busy].
+    @raise Invalid_argument if the interval is not present (retracting
+    something that was never committed is a scheduling bug). *)
+val retract_comm :
+  t -> src:int -> dst:int -> start:float -> finish:float -> unit
+
+(** [retract_task t ~proc ~start ~finish] is the exact inverse of
+    {!commit_task}. *)
+val retract_task : t -> proc:int -> start:float -> finish:float -> unit
+
+(** A whole-resource-set checkpoint: one {!Prelude.Timeline.checkpoint}
+    per distinct timeline.  O(p) to take, independent of how many
+    intervals are committed. *)
+type snapshot
+
+val snapshot : t -> snapshot
+
+(** [restore t s] rolls every timeline back to its state at [snapshot];
+    the cost is proportional to the number of intervals committed since.
+    Timeline ids (and lazily created link entries) are preserved, so
+    id-keyed caches stay valid across a restore. *)
+val restore : t -> snapshot -> unit
+
 (** Deep copy (preserving the send/recv port sharing of uni-directional
     models); mutating the copy leaves the original untouched. *)
 val copy : t -> t

@@ -117,6 +117,87 @@ let edge_available_at t ~edge =
   | [] -> finish_of_exn t src
   | hops -> (List.nth hops (List.length hops - 1)).finish
 
+let unplace_task t task =
+  if task < 0 || task >= Graph.n_tasks t.graph then
+    invalid_arg "Schedule.unplace_task: bad task";
+  if t.procs.(task) < 0 then invalid_arg "Schedule.unplace_task: not placed";
+  Resource.retract_task t.resource ~proc:t.procs.(task) ~start:t.starts.(task)
+    ~finish:t.finishes.(task);
+  t.procs.(task) <- -1;
+  t.n_placed <- t.n_placed - 1
+
+(* Drop the most recent comm.  Its index is necessarily the head of its
+   edge's (reverse-order) index list. *)
+let pop_comm t ~retract =
+  let c = Vec.pop t.comms in
+  if retract then
+    Resource.retract_comm t.resource ~src:c.src_proc ~dst:c.dst_proc
+      ~start:c.start ~finish:c.finish;
+  match t.edge_comms.(c.edge) with
+  | _ :: rest -> t.edge_comms.(c.edge) <- rest
+  | [] -> assert false
+
+let truncate_comms t ~down_to =
+  if down_to < 0 || down_to > Vec.length t.comms then
+    invalid_arg "Schedule.truncate_comms: bad length";
+  while Vec.length t.comms > down_to do
+    pop_comm t ~retract:true
+  done
+
+let filter_comms t ~keep =
+  let kept =
+    Vec.fold
+      (fun acc (c : comm) ->
+        if keep c then c :: acc
+        else begin
+          Resource.retract_comm t.resource ~src:c.src_proc ~dst:c.dst_proc
+            ~start:c.start ~finish:c.finish;
+          acc
+        end)
+      [] t.comms
+  in
+  Vec.clear t.comms;
+  Array.fill t.edge_comms 0 (Array.length t.edge_comms) [];
+  List.iter
+    (fun (c : comm) ->
+      Vec.push t.comms c;
+      t.edge_comms.(c.edge) <- (Vec.length t.comms - 1) :: t.edge_comms.(c.edge))
+    (List.rev kept)
+
+type snapshot = {
+  res : Resource.snapshot;
+  s_procs : int array;
+  s_starts : float array;
+  s_finishes : float array;
+  s_n_placed : int;
+  s_n_comms : int;
+}
+
+let snapshot t =
+  {
+    res = Resource.snapshot t.resource;
+    s_procs = Array.copy t.procs;
+    s_starts = Array.copy t.starts;
+    s_finishes = Array.copy t.finishes;
+    s_n_placed = t.n_placed;
+    s_n_comms = Vec.length t.comms;
+  }
+
+let restore t s =
+  if Vec.length t.comms < s.s_n_comms then
+    invalid_arg "Schedule.restore: comms were truncated past the snapshot";
+  Obs.Counters.rollback ();
+  (* The resource restore already removes every post-snapshot interval, so
+     the comm events are popped without retracting them a second time. *)
+  Resource.restore t.resource s.res;
+  Array.blit s.s_procs 0 t.procs 0 (Array.length t.procs);
+  Array.blit s.s_starts 0 t.starts 0 (Array.length t.starts);
+  Array.blit s.s_finishes 0 t.finishes 0 (Array.length t.finishes);
+  t.n_placed <- s.s_n_placed;
+  while Vec.length t.comms > s.s_n_comms do
+    pop_comm t ~retract:false
+  done
+
 let copy t =
   Obs.Counters.copy ();
   {

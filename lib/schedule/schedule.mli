@@ -85,6 +85,38 @@ val makespan : t -> float
     arrival for remote ones. *)
 val edge_available_at : t -> edge:int -> float
 
+(** [unplace_task t task] retracts the task's placement — the exact
+    inverse of {!place_task}.  The caller is responsible for first
+    retracting anything that depended on the placement (successor
+    placements, outgoing communications); the schedule does not check.
+    @raise Invalid_argument if the task is not placed. *)
+val unplace_task : t -> int -> unit
+
+(** [truncate_comms t ~down_to] retracts communication events newest-first
+    until only the first [down_to] remain — the exact inverse of the
+    {!add_comm}s that created them. *)
+val truncate_comms : t -> down_to:int -> unit
+
+(** [filter_comms t ~keep] retracts every communication event [c] with
+    [not (keep c)], preserving the relative commit order (and therefore
+    the per-edge route order) of the kept events. *)
+val filter_comms : t -> keep:(comm -> bool) -> unit
+
+(** A whole-schedule checkpoint: placement arrays plus one
+    {!Resource.snapshot}.  O(n_tasks + p) to take — no timeline contents
+    are copied, unlike {!copy}. *)
+type snapshot
+
+val snapshot : t -> snapshot
+
+(** [restore t s] rewinds the schedule to its state at [snapshot]: every
+    placement and communication committed since is retracted, in time
+    proportional to the amount of work being undone.  Only additions are
+    undone — restoring across an intervening {!unplace_task} /
+    {!truncate_comms} of {e pre-snapshot} state is unsupported.  Bumps the
+    [rollbacks] counter. *)
+val restore : t -> snapshot -> unit
+
 (** Deep copy: committing to the copy leaves the original untouched (the
     immutable graph and platform are shared). *)
 val copy : t -> t

@@ -80,6 +80,21 @@ trace:
   commits:          45
   copies:           0
 
+The improvers run inside the observed scope, so --stats accounts for
+their rollback/replay work; the incremental-kernel counter block only
+prints when one of its counters is nonzero (it is absent above):
+
+  $ ../../bin/schedcli.exe run -t lu -n 10 --refine --stats 2>&1 | grep -E "refine:|rollbacks|replayed|search pruned"
+  refine: 1228 -> 1228 (0 moves, 244 evaluations)
+  rollbacks:        246
+  replayed tasks:   2448
+  search pruned:    0
+
+Annealing is deterministic per seed:
+
+  $ ../../bin/schedcli.exe run -t lu -n 10 --anneal --anneal-steps 50 --seed 42 2>&1 | grep "anneal:"
+  anneal: 1228 -> 1228 (12 accepted, 0 improved)
+
   $ ../../bin/schedcli.exe run -t lu -n 10 -H ilha --trace lu.trace.json > /dev/null
   $ grep -c '"ph":"B"' lu.trace.json > begins
   $ grep -c '"ph":"E"' lu.trace.json > ends

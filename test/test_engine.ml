@@ -272,6 +272,82 @@ let reference_mode_tests =
           slow.O.Obs_counters.pruned_evaluations);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Commit log and rewind                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Kahn's algorithm, lowest task id first — any fixed topological order
+   works for exercising the commit log. *)
+let topo_order g =
+  let n = O.Graph.n_tasks g in
+  let remaining = Array.init n (O.Graph.in_degree g) in
+  let acc = ref [] in
+  let placed = Array.make n false in
+  for _ = 1 to n do
+    let v = ref (-1) in
+    for u = n - 1 downto 0 do
+      if (not placed.(u)) && remaining.(u) = 0 then v := u
+    done;
+    placed.(!v) <- true;
+    acc := !v :: !acc;
+    O.Graph.iter_succ_edges g !v ~f:(fun e ->
+        let u = O.Graph.edge_dst g e in
+        remaining.(u) <- remaining.(u) - 1)
+  done;
+  List.rev !acc
+
+let rewind_tests =
+  [
+    Alcotest.test_case "rewind to zero empties the schedule" `Quick (fun () ->
+        let tb = O.Suite.find "lu" in
+        let g = tb.O.Suite.build ~n:6 ~ccr:0.5 in
+        let plat = O.Platform.paper_platform () in
+        let sched =
+          O.Schedule.create ~graph:g ~platform:plat
+            ~model:O.Comm_model.one_port ()
+        in
+        let engine = O.Engine.create sched in
+        List.iter
+          (fun task -> ignore (O.Engine.schedule_best engine ~task))
+          (topo_order g);
+        check_bool "fully placed" true (O.Schedule.all_placed sched);
+        O.Engine.rewind engine ~to_:0;
+        check_int "no task placed" 0
+          (List.length
+             (List.filter
+                (O.Schedule.is_placed sched)
+                (List.init (O.Graph.n_tasks g) Fun.id)));
+        check_int "no comm left" 0 (O.Schedule.n_comm_events sched));
+    qtest ~count:120 "rewind + identical replay = original, bit for bit"
+      QCheck2.Gen.(tup3 graph_gen platform_gen model_gen)
+      (fun (gspec, plat, model) ->
+        let g = build_graph gspec in
+        let n = O.Graph.n_tasks g in
+        let order = topo_order g in
+        let sched = O.Schedule.create ~graph:g ~platform:plat ~model () in
+        let engine = O.Engine.create sched in
+        let procs = Array.make n 0 in
+        let marks = Array.make n 0 in
+        List.iteri
+          (fun i task ->
+            marks.(i) <- O.Engine.n_commits engine;
+            procs.(i) <- (O.Engine.schedule_best engine ~task).O.Engine.proc)
+          order;
+        let full = fingerprint sched in
+        (* Rewind to several prefixes; replaying the same decisions must
+           land on the identical schedule every time. *)
+        List.for_all
+          (fun k ->
+            O.Engine.rewind engine ~to_:marks.(k);
+            List.iteri
+              (fun i task ->
+                if i >= k then
+                  O.Engine.schedule_on engine ~task ~proc:procs.(i))
+              order;
+            fingerprint sched = full)
+          [ n / 2; 0; n - 1 ]);
+  ]
+
 let suite =
   basic_tests @ serialization_tests @ routing_tests @ equivalence_tests
-  @ equivalence_property_tests @ reference_mode_tests
+  @ equivalence_property_tests @ reference_mode_tests @ rewind_tests

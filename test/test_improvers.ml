@@ -116,4 +116,91 @@ let batch_tests =
           (contains (List.hd lines) "testbed,n,heuristic"));
   ]
 
-let suite = anneal_tests @ compare_tests @ batch_tests
+(* ------------------------------------------------------------------ *)
+(* Incremental kernel ≡ from-scratch Reference                         *)
+(* ------------------------------------------------------------------ *)
+
+let fingerprint sched =
+  let g = O.Schedule.graph sched in
+  let placements =
+    List.init (O.Graph.n_tasks g) (fun t -> O.Schedule.placement_exn sched t)
+  in
+  (O.Schedule.makespan sched, placements, O.Schedule.comms sched)
+
+(* Everything observable must match bit for bit: the incumbent trace
+   (moves), every count, and the final schedule. *)
+let refine_agrees sched =
+  let inc = O.Refine.improve ~max_rounds:2 ~max_moves:4 sched in
+  let ref_ = O.Refine.Reference.improve ~max_rounds:2 ~max_moves:4 sched in
+  inc.O.Refine.initial_makespan = ref_.O.Refine.initial_makespan
+  && inc.O.Refine.final_makespan = ref_.O.Refine.final_makespan
+  && inc.O.Refine.accepted_moves = ref_.O.Refine.accepted_moves
+  && inc.O.Refine.evaluations = ref_.O.Refine.evaluations
+  && inc.O.Refine.moves = ref_.O.Refine.moves
+  && fingerprint inc.O.Refine.schedule = fingerprint ref_.O.Refine.schedule
+
+let anneal_agrees ~steps sched =
+  let params = { O.Anneal.default_params with O.Anneal.steps } in
+  let inc = O.Anneal.improve ~params sched in
+  let ref_ = O.Anneal.Reference.improve ~params sched in
+  inc.O.Anneal.initial_makespan = ref_.O.Anneal.initial_makespan
+  && inc.O.Anneal.final_makespan = ref_.O.Anneal.final_makespan
+  && inc.O.Anneal.accepted = ref_.O.Anneal.accepted
+  && inc.O.Anneal.improved = ref_.O.Anneal.improved
+  && inc.O.Anneal.moves = ref_.O.Anneal.moves
+  && fingerprint inc.O.Anneal.schedule = fingerprint ref_.O.Anneal.schedule
+
+(* All six testbeds × every registered heuristic × one-port and
+   macro-dataflow: the PR 3-style bit-identity contract, now for the
+   prefix-replay improvers. *)
+let equivalence_tests =
+  let models =
+    [ ("one-port", O.Comm_model.one_port);
+      ("macro-dataflow", O.Comm_model.macro_dataflow) ]
+  in
+  List.concat_map
+    (fun (mname, model) ->
+      List.map
+        (fun (tb : O.Suite.t) ->
+          Alcotest.test_case
+            (Printf.sprintf "incremental = reference: %s, %s" tb.O.Suite.name
+               mname)
+            `Quick
+            (fun () ->
+              let n = max 3 tb.O.Suite.min_n in
+              let plat = O.Platform.paper_platform () in
+              let params = O.Params.of_model model in
+              List.iter
+                (fun (e : O.Registry.entry) ->
+                  let g = tb.O.Suite.build ~n ~ccr:0.5 in
+                  let sched = e.O.Registry.scheduler params plat g in
+                  check_bool
+                    (Printf.sprintf "%s refine agrees" e.O.Registry.name)
+                    true (refine_agrees sched);
+                  check_bool
+                    (Printf.sprintf "%s anneal agrees" e.O.Registry.name)
+                    true
+                    (anneal_agrees ~steps:25 sched))
+                O.Registry.all))
+        O.Suite.all)
+    models
+
+let equivalence_property_tests =
+  [
+    qtest ~count:40 "refine incremental = reference on random instances"
+      QCheck2.Gen.(tup3 graph_gen platform_gen model_gen)
+      (fun (gspec, plat, model) ->
+        let g = build_graph gspec in
+        let sched = O.Heft.schedule ~params:(O.Params.of_model model) plat g in
+        refine_agrees sched);
+    qtest ~count:40 "anneal incremental = reference on random instances"
+      QCheck2.Gen.(tup3 graph_gen platform_gen model_gen)
+      (fun (gspec, plat, model) ->
+        let g = build_graph gspec in
+        let sched = O.Heft.schedule ~params:(O.Params.of_model model) plat g in
+        anneal_agrees ~steps:30 sched);
+  ]
+
+let suite =
+  anneal_tests @ compare_tests @ batch_tests @ equivalence_tests
+  @ equivalence_property_tests

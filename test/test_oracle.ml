@@ -157,4 +157,45 @@ let fork_tests =
            Prelude.Stats.fequal exact oracle));
   ]
 
-let suite = allocation_tests @ heuristic_tests @ fork_tests
+(* The undo-based DFS widened the guard from 8 to 10 tasks and counts
+   bound-pruned nodes. Chains keep the ready set narrow, so a 10-task
+   instance near the guard stays fast. *)
+let search_tests =
+  [
+    Alcotest.test_case "search accepts a 10-task chain" `Quick (fun () ->
+        let g =
+          O.Graph.create ~name:"chain10" ~weights:(Array.make 10 1.)
+            ~edges:(List.init 9 (fun i -> (i, i + 1, 1.)))
+            ()
+        in
+        let plat = O.Platform.homogeneous ~p:2 ~link_cost:1. in
+        let sched = O.Search.best_schedule plat g in
+        (match O.Validate.check sched with
+        | Ok () -> ()
+        | Error es -> Alcotest.fail (List.hd es));
+        (* a unit chain on a homogeneous platform runs sequentially *)
+        check_float "optimal chain makespan" 10. (O.Schedule.makespan sched));
+    Alcotest.test_case "search rejects 11 tasks" `Quick (fun () ->
+        let g =
+          O.Graph.create ~name:"chain11" ~weights:(Array.make 11 1.)
+            ~edges:(List.init 10 (fun i -> (i, i + 1, 1.)))
+            ()
+        in
+        let plat = O.Platform.homogeneous ~p:2 ~link_cost:1. in
+        Alcotest.check_raises "guard"
+          (Invalid_argument "Search.best_schedule: more than 10 tasks")
+          (fun () -> ignore (O.Search.best_makespan plat g)));
+    Alcotest.test_case "bound pruning is counted" `Quick (fun () ->
+        let tb = O.Suite.find "fork-join" in
+        let g = tb.O.Suite.build ~n:4 ~ccr:0.5 in
+        let plat = O.Platform.homogeneous ~p:3 ~link_cost:1. in
+        O.Obs_counters.enable ();
+        O.Obs_counters.reset ();
+        Fun.protect ~finally:O.Obs_counters.disable (fun () ->
+            ignore (O.Search.best_makespan plat g);
+            check_bool "search_pruned_nodes > 0" true
+              ((O.Obs_counters.snapshot ()).O.Obs_counters.search_pruned_nodes
+              > 0)));
+  ]
+
+let suite = allocation_tests @ heuristic_tests @ fork_tests @ search_tests

@@ -208,4 +208,78 @@ let metrics_tests =
         check_bool "listing comm" true (contains listing "comm e0"));
   ]
 
-let suite = builder_tests @ validator_tests @ port_tests @ metrics_tests
+(* Snapshot / restore and in-place retraction — the schedule half of the
+   incremental kernel. *)
+let snapshot_tests =
+  [
+    Alcotest.test_case "snapshot/restore undoes placements and comms" `Quick
+      (fun () ->
+        let g = chain_graph () in
+        let s = make_sched g in
+        O.Schedule.place_task s ~task:0 ~proc:0 ~start:0.;
+        let snap = O.Schedule.snapshot s in
+        let a = O.Schedule.add_comm s ~edge:0 ~src_proc:0 ~dst_proc:1 ~start:1. in
+        O.Schedule.place_task s ~task:1 ~proc:1 ~start:a;
+        check_int "two placed" 2 (O.Schedule.n_placed s);
+        O.Schedule.restore s snap;
+        check_int "one placed" 1 (O.Schedule.n_placed s);
+        check_int "comm gone" 0 (O.Schedule.n_comm_events s);
+        check_bool "task 1 unplaced" false (O.Schedule.is_placed s 1);
+        (* the undone work can be redone — ports and procs are free again *)
+        let a = O.Schedule.add_comm s ~edge:0 ~src_proc:0 ~dst_proc:1 ~start:1. in
+        O.Schedule.place_task s ~task:1 ~proc:1 ~start:a;
+        (match O.Validate.check s with
+        | Ok () -> ()
+        | Error es -> Alcotest.fail (String.concat "; " es)));
+    Alcotest.test_case "unplace_task frees the compute slot" `Quick (fun () ->
+        let g = chain_graph () in
+        let s = make_sched g in
+        O.Schedule.place_task s ~task:0 ~proc:0 ~start:0.;
+        O.Schedule.unplace_task s 0;
+        check_bool "unplaced" false (O.Schedule.is_placed s 0);
+        check_int "none placed" 0 (O.Schedule.n_placed s);
+        (* the slot is genuinely free: the same placement goes back in *)
+        O.Schedule.place_task s ~task:0 ~proc:0 ~start:0.);
+    Alcotest.test_case "unplace_task rejects unplaced tasks" `Quick (fun () ->
+        let s = make_sched (chain_graph ()) in
+        Alcotest.check_raises "not placed"
+          (Invalid_argument "Schedule.unplace_task: not placed")
+          (fun () -> O.Schedule.unplace_task s 0));
+    Alcotest.test_case "truncate_comms retracts port reservations" `Quick
+      (fun () ->
+        let plat = O.Platform.homogeneous ~p:3 ~link_cost:1. in
+        let s =
+          O.Schedule.create ~graph:(fork2 ()) ~platform:plat
+            ~model:O.Comm_model.one_port ()
+        in
+        O.Schedule.place_task s ~task:0 ~proc:0 ~start:0.;
+        let _ = O.Schedule.add_comm s ~edge:0 ~src_proc:0 ~dst_proc:1 ~start:1. in
+        (* the send port is busy: an overlapping second send is illegal *)
+        check_bool "port busy" true
+          (try
+             ignore
+               (O.Schedule.add_comm s ~edge:1 ~src_proc:0 ~dst_proc:2 ~start:2.);
+             false
+           with Invalid_argument _ -> true);
+        O.Schedule.truncate_comms s ~down_to:0;
+        check_int "comm gone" 0 (O.Schedule.n_comm_events s);
+        (* ... and the port is free again *)
+        let _ = O.Schedule.add_comm s ~edge:1 ~src_proc:0 ~dst_proc:2 ~start:2. in
+        check_int "second send accepted" 1 (O.Schedule.n_comm_events s));
+    Alcotest.test_case "restore rejects a snapshot whose comms were truncated"
+      `Quick (fun () ->
+        let g = chain_graph () in
+        let s = make_sched g in
+        O.Schedule.place_task s ~task:0 ~proc:0 ~start:0.;
+        let _ = O.Schedule.add_comm s ~edge:0 ~src_proc:0 ~dst_proc:1 ~start:1. in
+        let snap = O.Schedule.snapshot s in
+        O.Schedule.truncate_comms s ~down_to:0;
+        Alcotest.check_raises "stale snapshot"
+          (Invalid_argument
+             "Schedule.restore: comms were truncated past the snapshot")
+          (fun () -> O.Schedule.restore s snap));
+  ]
+
+let suite =
+  builder_tests @ validator_tests @ port_tests @ metrics_tests
+  @ snapshot_tests
