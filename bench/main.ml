@@ -35,6 +35,7 @@ type options = {
   run_probes : bool;
   run_grid : bool;
   run_improvers : bool;
+  run_models : bool;
   jobs : int;
   json : string option;
 }
@@ -47,6 +48,7 @@ let parse_args () =
   let run_probes = ref true in
   let run_grid = ref true in
   let run_improvers = ref true in
+  let run_models = ref true in
   let jobs = ref (O.Pool.default_jobs ()) in
   let json = ref None in
   let rec eat = function
@@ -75,6 +77,9 @@ let parse_args () =
     | "--no-improvers" :: rest ->
         run_improvers := false;
         eat rest
+    | "--no-models" :: rest ->
+        run_models := false;
+        eat rest
     | "--jobs" :: v :: rest ->
         jobs := int_of_string v;
         eat rest
@@ -86,7 +91,7 @@ let parse_args () =
           "unknown argument %s\n\
            usage: main.exe [--quick] [--scale F] [--only ID]* [--no-figures] \
            [--no-bechamel] [--no-probes] [--no-grid] [--no-improvers] \
-           [--jobs N] [--json FILE]\n\
+           [--no-models] [--jobs N] [--json FILE]\n\
            experiment ids: %s\n"
           arg
           (String.concat ", " O.Figures.ids);
@@ -101,6 +106,7 @@ let parse_args () =
     run_probes = !run_probes;
     run_grid = !run_grid;
     run_improvers = !run_improvers;
+    run_models = !run_models;
     jobs = max 1 !jobs;
     json = !json;
   }
@@ -474,13 +480,71 @@ let run_improvers ~echo opts =
   rows
 
 (* ------------------------------------------------------------------ *)
+(* Part 6: the communication-model ladder                               *)
+(* ------------------------------------------------------------------ *)
+
+type model_row = {
+  mdl_name : string;
+  mdl_wall_s : float;
+  mdl_makespan : float;
+  mdl_comms : int;
+  mdl_phases : int;
+  mdl_valid : bool;
+}
+
+(* HEFT on the mid-size LU instance under every rung of the ladder:
+   what each refinement of the communication model costs to schedule
+   and what it does to the makespan.  Every rung is re-validated, so
+   the table doubles as a ladder smoke test on the bench machine. *)
+let run_models ~echo () =
+  if echo then
+    Printf.printf "\n=== model ladder (heft on lu, n = %d) ===\n%!" bench_size;
+  let g = O.Kernels.lu ~n:bench_size ~ccr:10. in
+  let table =
+    O.Table.create
+      ~columns:[ "model"; "wall"; "makespan"; "comms"; "phases"; "valid" ]
+  in
+  let rows =
+    List.map
+      (fun model ->
+        let params = O.Params.of_model model in
+        let t0 = Unix.gettimeofday () in
+        let sched = O.Heft.schedule ~params plat g in
+        let wall = Unix.gettimeofday () -. t0 in
+        let r =
+          {
+            mdl_name = O.Comm_model.name model;
+            mdl_wall_s = wall;
+            mdl_makespan = O.Schedule.makespan sched;
+            mdl_comms = O.Schedule.n_comm_events sched;
+            mdl_phases = O.Schedule.n_phases sched;
+            mdl_valid = O.Validate.is_valid sched;
+          }
+        in
+        O.Table.add_row table
+          [
+            r.mdl_name;
+            Printf.sprintf "%.4fs" wall;
+            Printf.sprintf "%.0f" r.mdl_makespan;
+            string_of_int r.mdl_comms;
+            string_of_int r.mdl_phases;
+            (if r.mdl_valid then "yes" else "NO");
+          ];
+        r)
+      O.Comm_model.all
+  in
+  if echo then print_string (O.Table.to_string table);
+  rows
+
+(* ------------------------------------------------------------------ *)
 (* JSON export                                                          *)
 (* ------------------------------------------------------------------ *)
 
 (* Hand-rolled writer (no JSON dependency): the schema is documented in
    doc/performance.md and the committed BENCH_*.json baselines follow
    it. *)
-let emit_json opts ~bech_rows ~probe_rows ~grid ~improver_rows file =
+let emit_json opts ~bech_rows ~probe_rows ~grid ~improver_rows ~model_rows file
+    =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let json_float x =
@@ -541,6 +605,22 @@ let emit_json opts ~bech_rows ~probe_rows ~grid ~improver_rows file =
       improver_rows;
     add "  ]},\n"
   end;
+  if model_rows <> [] then begin
+    add "  \"models\": {\"cores\": %d, \"testbed\": \"lu\", \"heuristic\": \
+         \"heft\", \"rows\": [\n"
+      (Domain.recommended_domain_count ());
+    List.iteri
+      (fun i r ->
+        add
+          "    {\"model\": %S, \"wall_s\": %s, \"makespan\": %s, \"comms\": \
+           %d, \"phases\": %d, \"valid\": %b}%s\n"
+          r.mdl_name
+          (Printf.sprintf "%.4f" r.mdl_wall_s)
+          (json_float r.mdl_makespan) r.mdl_comms r.mdl_phases r.mdl_valid
+          (if i = List.length model_rows - 1 then "" else ","))
+      model_rows;
+    add "  ]},\n"
+  end;
   add "  \"probes\": [\n";
   List.iteri
     (fun i r ->
@@ -586,6 +666,9 @@ let () =
     if opts.run_improvers && opts.only = [] then run_improvers ~echo opts
     else []
   in
+  let model_rows =
+    if opts.run_models && opts.only = [] then run_models ~echo () else []
+  in
   Option.iter
-    (emit_json opts ~bech_rows ~probe_rows ~grid ~improver_rows)
+    (emit_json opts ~bech_rows ~probe_rows ~grid ~improver_rows ~model_rows)
     opts.json

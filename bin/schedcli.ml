@@ -593,13 +593,59 @@ let batch_term =
       value & opt (some string) None
       & info [ "o"; "output" ] ~doc:"CSV output file (default: stdout).")
   in
-  let action scale output jobs stats =
+  let models_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:
+            "Sweep this communication model (repeatable); the special value \
+             'all' sweeps every rung of the model ladder.  Default: the \
+             macro-dataflow baseline only.")
+  in
+  let testbeds_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "testbed"; "t" ] ~docv:"NAME"
+          ~doc:"Restrict the sweep to this testbed (repeatable; default: all).")
+  in
+  let heuristics_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "heuristic"; "H" ] ~docv:"NAME"
+          ~doc:
+            "Restrict the sweep to this heuristic (repeatable; default: every \
+             scalable heuristic).")
+  in
+  let action scale output jobs stats models testbeds heuristics =
     if stats then begin
       O.Obs_counters.enable ();
       O.Obs_counters.reset ()
     end;
     let cfg = O.Config.paper ~scale () in
-    let rows = O.Batch.run ~jobs cfg (O.Batch.default_spec cfg) in
+    let spec =
+      try
+        let spec = O.Batch.default_spec cfg in
+        {
+          spec with
+          O.Batch.models =
+            (match models with
+            | [] -> spec.O.Batch.models
+            | ms when List.mem "all" ms -> O.Comm_model.all
+            | ms -> List.map O.Comm_model.of_name ms);
+          testbeds =
+            (match testbeds with
+            | [] -> spec.O.Batch.testbeds
+            | ts -> List.map O.Suite.find ts);
+          heuristics =
+            (match heuristics with
+            | [] -> spec.O.Batch.heuristics
+            | hs -> List.map O.Registry.find hs);
+        }
+      with Invalid_argument msg ->
+        Printf.eprintf "schedcli: %s\n" msg;
+        exit 2
+    in
+    let rows = O.Batch.run ~jobs cfg spec in
     let csv = O.Batch.to_csv rows in
     (match output with
     | None -> print_string csv
@@ -613,7 +659,9 @@ let batch_term =
       O.Obs_counters.disable ()
     end
   in
-  Term.(const action $ scale $ output_arg $ jobs_arg $ stats_arg)
+  Term.(
+    const action $ scale $ output_arg $ jobs_arg $ stats_arg $ models_arg
+    $ testbeds_arg $ heuristics_arg)
 
 let batch_cmd =
   Cmd.v

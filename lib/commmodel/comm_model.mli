@@ -1,4 +1,5 @@
-(** Communication-resource models.
+(** Communication-resource models — a ladder of increasingly detailed
+    regimes.
 
     The paper contrasts the classical {e macro-dataflow} model — where a
     processor may exchange any number of messages simultaneously — with the
@@ -7,7 +8,21 @@
     sending and receiving independent of each other and overlappable with
     computation.  §2.3 also names the variants we expose: uni-directional
     ports (send and receive share the single port) and the removal of
-    communication/computation overlap. *)
+    communication/computation overlap.
+
+    The field has kept climbing that ladder, so the model family is open
+    along a second {!regime} dimension:
+
+    - {!Port} — the paper's per-message rungs above; a message occupies
+      ports/links for [data × hop_cost].
+    - {!Bsp} — superstep scheduling in the BSP tradition: communication is
+      deferred to barrier phases between compute supersteps, and a phase
+      on which an h-relation of volume [h] is exchanged costs [g·h + L]
+      on {e every} processor.
+    - {!Latency_overhead} — a LogP-style refinement of the one-port rung:
+      each message pays a fixed overhead [o] on the sender's port, flies
+      for [data × hop_cost + L] occupying no resource, then pays [o] on
+      the receiver's port. *)
 
 type port_discipline =
   | Unlimited  (** macro-dataflow: no port resource is ever busy *)
@@ -17,7 +32,16 @@ type port_discipline =
       (** a single port serving both directions: a processor either sends
           or receives at any time-step *)
 
-type t = {
+type regime =
+  | Port  (** per-message port/link occupancy — the paper's regimes *)
+  | Bsp of { g : float; l : float }
+      (** barrier-synchronous supersteps: a comm phase moving [h] units
+          costs [g·h + l] and excludes computation platform-wide *)
+  | Latency_overhead of { o : float; l : float }
+      (** per-message endpoint overhead [o] plus resource-free latency
+          [l], on top of the one-port discipline *)
+
+type t = private {
   ports : port_discipline;
   overlap : bool;
       (** [true]: communication overlaps computation (the paper's default);
@@ -28,6 +52,7 @@ type t = {
           time (half-duplex), the §2.2 Sinnen–Sousa restriction; matters
           on sparse routed topologies where several routes share a link.
           Orthogonal to the port discipline. *)
+  regime : regime;
 }
 
 (** The standard macro-dataflow model (§2.1). *)
@@ -44,22 +69,47 @@ val one_port_unidirectional : t
     one message per link at a time over a statically-routed network. *)
 val link_contention : t
 
-(** [no_overlap m] switches off communication/computation overlap. *)
+(** [bsp ~g ~l] is the barrier-synchronous rung: unlimited ports, comm
+    deferred to phases costing [g·h + l].
+    @raise Invalid_argument on a negative parameter. *)
+val bsp : g:float -> l:float -> t
+
+(** [latency_overhead ~o ~l] is the LogP-style rung: bi-directional
+    one-port with per-message endpoint overhead [o] and latency [l].
+    @raise Invalid_argument on a negative parameter. *)
+val latency_overhead : o:float -> l:float -> t
+
+(** [no_overlap m] switches off communication/computation overlap.
+    @raise Invalid_argument on a non-{!Port} regime. *)
 val no_overlap : t -> t
 
-(** [with_link_contention m] adds the per-link restriction to any model. *)
+(** [with_link_contention m] adds the per-link restriction.
+    @raise Invalid_argument on a non-{!Port} regime. *)
 val with_link_contention : t -> t
 
 (** [restricts_ports m] is [false] exactly for {!Unlimited} disciplines. *)
 val restricts_ports : t -> bool
 
+(** [hop_span m ~data ~hop_cost] is the wall-clock span of one hop's
+    communication event: [data·hop_cost] under {!Port},
+    [2o + data·hop_cost + l] under {!Latency_overhead}.
+    @raise Invalid_argument under {!Bsp}, whose communications are priced
+    per phase, not per hop. *)
+val hop_span : t -> data:float -> hop_cost:float -> float
+
+(** [name m] is comma-free (batch CSV and the CI's [cut -d,] split model
+    columns on commas): port rungs keep their historical names;
+    parameterized rungs render as [bsp:g=<g>:L=<L>] / [logp:o=<o>:L=<L>]. *)
 val name : t -> string
+
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool
 
-(** All models, for registries and sweeps. *)
+(** All rungs, for registries and sweeps: the seven port-regime models
+    plus one representative BSP and one latency+overhead rung. *)
 val all : t list
 
-(** [of_name s] inverts {!name}.
-    @raise Invalid_argument on an unknown name. *)
+(** [of_name s] inverts {!name}, accepting every fixed name in {!all} and
+    arbitrary-parameter [bsp:g=…:L=…] / [logp:o=…:L=…] forms.
+    @raise Invalid_argument on an unknown name, listing the valid ones. *)
 val of_name : string -> t

@@ -5,6 +5,7 @@ type spec = {
   heuristics : Registry.entry list;
   testbeds : Suite.t list;
   sizes : int list;
+  models : Commmodel.Comm_model.t list;
   use_paper_b : bool;
 }
 
@@ -13,6 +14,7 @@ let default_spec (cfg : Config.t) =
     heuristics = List.filter (fun e -> e.Registry.scalable) Registry.all;
     testbeds = Suite.all;
     sizes = cfg.sizes;
+    models = [ Config.model cfg ];
     use_paper_b = true;
   }
 
@@ -20,14 +22,19 @@ let default_spec (cfg : Config.t) =
    variants (ilha[...]) and ilha-auto keep their own chunk logic. *)
 let is_ilha entry = entry.Registry.name = "ilha"
 
-(* The grid flattened testbed-major (testbed, then size, then heuristic)
-   — the row order of the serial sweep, which the parallel sweep must
-   reproduce exactly. *)
+(* The grid flattened testbed-major (testbed, then size, then model,
+   then heuristic) — the row order of the serial sweep, which the
+   parallel sweep must reproduce exactly.  With the default singleton
+   model list the order degenerates to the historical one. *)
 let cells spec =
   List.concat_map
     (fun testbed ->
       List.concat_map
-        (fun n -> List.map (fun entry -> (testbed, n, entry)) spec.heuristics)
+        (fun n ->
+          List.concat_map
+            (fun model ->
+              List.map (fun entry -> (testbed, n, model, entry)) spec.heuristics)
+            spec.models)
         spec.sizes)
     spec.testbeds
 
@@ -38,16 +45,15 @@ let run ?(jobs = 1) cfg spec =
      serial sweep regardless of [jobs]. *)
   let rows = Array.make (Array.length cells) None in
   Prelude.Pool.iter ~jobs (Array.length cells) (fun i ->
-      let testbed, n, entry = cells.(i) in
+      let testbed, n, model, entry = cells.(i) in
       let n = max n testbed.Suite.min_n in
       let params =
+        let base = Heuristics.Params.with_model cfg.Config.params model in
         if spec.use_paper_b && is_ilha entry then
-          Some
-            (Heuristics.Params.with_b cfg.Config.params
-               (Some testbed.Suite.paper_b))
-        else None
+          Heuristics.Params.with_b base (Some testbed.Suite.paper_b)
+        else base
       in
-      rows.(i) <- Some (Runner.run cfg ~testbed ~n ~heuristic:entry ?params ()));
+      rows.(i) <- Some (Runner.run cfg ~testbed ~n ~heuristic:entry ~params ()));
   List.filter_map Fun.id (Array.to_list rows)
 
 let csv_header =

@@ -6,15 +6,19 @@ type spec = {
   heuristics : Heuristics.Registry.entry list;
   testbeds : Testbeds.Suite.t list;
   sizes : int list;
+  models : Commmodel.Comm_model.t list;
+      (** communication-model rungs to sweep (default: the config's
+          model, so the grid shape matches the historical sweep) *)
   use_paper_b : bool;
       (** give ILHA each testbed's §5.3 chunk size (default true) *)
 }
 
-(** Everything at the configuration's sizes. *)
+(** Everything at the configuration's sizes, under the configuration's
+    communication model. *)
 val default_spec : Config.t -> spec
 
 (** [run ?jobs cfg spec] — rows in deterministic order (testbed-major,
-    then size, then heuristic).  [jobs > 1] shards the grid cells over a
+    then size, then model, then heuristic).  [jobs > 1] shards the grid cells over a
     {!Prelude.Pool} of that many domains; rows land in pre-sized
     cell-indexed slots, so the result — order included — is identical
     to the serial ([jobs = 1], the default) sweep. *)

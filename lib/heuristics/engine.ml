@@ -2,19 +2,33 @@ open Prelude
 module Graph = Taskgraph.Graph
 module Schedule = Sched.Schedule
 module Resource = Sched.Resource
+module Comm_model = Commmodel.Comm_model
 
 type policy = Insertion | Append
 type hop = { edge : int; src_proc : int; dst_proc : int; start : float }
-type eval = { proc : int; est : float; eft : float; hops : hop list }
+
+type eval = {
+  proc : int;
+  est : float;
+  eft : float;
+  hops : hop list;
+  phase : (float * float) option;
+}
 
 (* One direct hop of a cached route: endpoints, per-item cost, and the
-   joint busy set as parallel timeline/resource-id arrays. *)
+   joint busy set as parallel timeline/resource-id arrays.  The separate
+   send-side/recv-side sets serve the latency+overhead regime, whose
+   endpoint overheads occupy the two sides over different windows. *)
 type hop_set = {
   h_src : int;
   h_dst : int;
   h_cost : float;
   h_tls : Timeline.t array;
   h_ids : int array;
+  h_send_tls : Timeline.t array;
+  h_send_ids : int array;
+  h_recv_tls : Timeline.t array;
+  h_recv_ids : int array;
 }
 
 (* The engine owns every scratch structure the evaluation grid needs, so
@@ -38,9 +52,13 @@ type t = {
   policy : policy;
   p : int;
   all_procs : int list;
+  regime : Comm_model.regime;
   routes : hop_set array option array;
   comp_tls : Timeline.t array array;
   comp_ids : int array array;
+  (* the BSP phase busy set (barrier + every compute); empty otherwise *)
+  phase_tls : Timeline.t array;
+  phase_ids : int array;
   (* arena: tentative intervals per resource id *)
   mutable buf_s : float array array;
   mutable buf_f : float array array;
@@ -61,11 +79,12 @@ type t = {
   mutable inc_proc : int array;
   mutable inc_data : float array;
   mutable inc_max_fin : float;
-  (* commit log: per commit, the task and the schedule's comm-event count
-     before the commit's hops were added — enough to rewind any suffix of
+  (* commit log: per commit, the task and the schedule's comm-event and
+     phase counts before the commit — enough to rewind any suffix of
      commits in reverse order *)
   mutable log_task : int array;
   mutable log_comms : int array;
+  mutable log_phases : int array;
   mutable log_len : int;
 }
 
@@ -74,14 +93,25 @@ let create ?(policy = Insertion) sched =
   let res = Schedule.resource sched in
   let p = Platform.p plat in
   let nid = Resource.id_bound res in
+  let regime = (Schedule.model sched).Comm_model.regime in
+  let phase_tls, phase_ids =
+    match regime with
+    | Comm_model.Bsp _ ->
+        let pairs = Resource.phase_busy_ids res in
+        (Array.of_list (List.map fst pairs), Array.of_list (List.map snd pairs))
+    | Comm_model.Port | Comm_model.Latency_overhead _ -> ([||], [||])
+  in
   {
     sched;
     policy;
     p;
     all_procs = List.init p Fun.id;
+    regime;
     routes = Array.make (p * p) None;
     comp_tls = Array.init p (fun i -> [| Resource.compute res i |]);
     comp_ids = Array.init p (fun i -> [| Resource.compute_id res i |]);
+    phase_tls;
+    phase_ids;
     buf_s = Array.make (max nid 1) [||];
     buf_f = Array.make (max nid 1) [||];
     buf_len = Array.make (max nid 1) 0;
@@ -101,6 +131,7 @@ let create ?(policy = Insertion) sched =
     inc_max_fin = 0.;
     log_task = [||];
     log_comms = [||];
+    log_phases = [||];
     log_len = 0;
   }
 
@@ -250,12 +281,18 @@ let route_for t ~src ~dst =
           (List.map
              (fun (a, b) ->
                let pairs = Resource.comm_busy_ids res ~src:a ~dst:b in
+               let send_pairs = Resource.send_busy_ids res a in
+               let recv_pairs = Resource.recv_busy_ids res b in
                {
                  h_src = a;
                  h_dst = b;
                  h_cost = Platform.hop_cost plat ~src:a ~dst:b;
                  h_tls = Array.of_list (List.map fst pairs);
                  h_ids = Array.of_list (List.map snd pairs);
+                 h_send_tls = Array.of_list (List.map fst send_pairs);
+                 h_send_ids = Array.of_list (List.map snd send_pairs);
+                 h_recv_tls = Array.of_list (List.map fst recv_pairs);
+                 h_recv_ids = Array.of_list (List.map snd recv_pairs);
                })
              (Platform.route plat ~src ~dst))
       in
@@ -391,8 +428,7 @@ module Reference = struct
     in
     List.sort compare edges
 
-  let evaluate ?(floor = 0.) t ~task ~proc =
-    Obs.Counters.evaluation ();
+  let evaluate_port ~floor t ~task ~proc =
     let g = Schedule.graph t.sched in
     let plat = Schedule.platform t.sched in
     let res = Schedule.resource t.sched in
@@ -428,7 +464,130 @@ module Reference = struct
     let duration = Schedule.exec_duration t.sched ~task ~proc in
     let compute = Resource.compute res proc in
     let est = slot t ~tls:[ compute ] ~scratch:!scratch ~after:ready ~duration in
-    { proc; est; eft = est +. duration; hops = List.rev !hops }
+    { proc; est; eft = est +. duration; hops = List.rev !hops; phase = None }
+
+  (* BSP: the task's remote inputs travel in one fresh comm phase priced
+     [g·h + L] from the h-relation [h] (total remote data), placed on the
+     platform-wide phase busy set; local and zero-data inputs only
+     constrain readiness. *)
+  let evaluate_bsp ~floor t ~task ~proc ~g:gp ~l:lp =
+    let g = Schedule.graph t.sched in
+    let res = Schedule.resource t.sched in
+    let local_ready = ref floor in
+    let remote_ready = ref floor in
+    let h = ref 0. in
+    let remote = ref [] in
+    List.iter
+      (fun (fin, _src, e) ->
+        let q = Schedule.proc_of_exn t.sched (Graph.edge_src g e) in
+        let data = Graph.edge_data g e in
+        if q = proc || data = 0. then begin
+          if fin > !local_ready then local_ready := fin
+        end
+        else begin
+          h := !h +. data;
+          if fin > !remote_ready then remote_ready := fin;
+          remote := (e, q) :: !remote
+        end)
+      (incoming t task);
+    let duration = Schedule.exec_duration t.sched ~task ~proc in
+    let compute = Resource.compute res proc in
+    match List.rev !remote with
+    | [] ->
+        let est =
+          slot t ~tls:[ compute ] ~scratch:[] ~after:!local_ready ~duration
+        in
+        { proc; est; eft = est +. duration; hops = []; phase = None }
+    | remote ->
+        let d = (gp *. !h) +. lp in
+        let phase_tls = Resource.phase_busy res in
+        let c =
+          slot t ~tls:phase_tls ~scratch:[] ~after:!remote_ready ~duration:d
+        in
+        let f = c +. d in
+        let scratch = scratch_add [] phase_tls (c, f) in
+        let hops =
+          List.map
+            (fun (e, q) ->
+              Obs.Counters.tentative_hop ();
+              { edge = e; src_proc = q; dst_proc = proc; start = c })
+            remote
+        in
+        let ready = if !local_ready > f then !local_ready else f in
+        let est = slot t ~tls:[ compute ] ~scratch ~after:ready ~duration in
+        { proc; est; eft = est +. duration; hops; phase = Some (c, f) }
+
+  (* Latency+overhead: a hop's event spans [2o + data·hop_cost + l]; only
+     the endpoint overheads occupy ports, exactly the sub-intervals
+     [Resource.commit_comm] will commit.  The send and receive windows
+     are coupled, so the placement alternates between the two sides until
+     both are free (strictly increasing candidate starts, hence
+     terminating). *)
+  let evaluate_latency ~floor t ~task ~proc ~o ~l =
+    let g = Schedule.graph t.sched in
+    let plat = Schedule.platform t.sched in
+    let res = Schedule.resource t.sched in
+    let hops = ref [] in
+    let scratch = ref ([] : scratch) in
+    let ready =
+      List.fold_left
+        (fun ready (fin, _src, e) ->
+          let q = Schedule.proc_of_exn t.sched (Graph.edge_src g e) in
+          let data = Graph.edge_data g e in
+          if q = proc || data = 0. then max ready fin
+          else begin
+            let arrival =
+              List.fold_left
+                (fun data_ready (a, b) ->
+                  let span =
+                    (2. *. o) +. (data *. Platform.hop_cost plat ~src:a ~dst:b)
+                    +. l
+                  in
+                  let send_tls = Resource.send_busy res a in
+                  let recv_tls = Resource.recv_busy res b in
+                  let rec place after =
+                    let s =
+                      slot t ~tls:send_tls ~scratch:!scratch ~after ~duration:o
+                    in
+                    let f = s +. span in
+                    let r0 = max (f -. o) s in
+                    let r =
+                      slot t ~tls:recv_tls ~scratch:!scratch ~after:r0
+                        ~duration:o
+                    in
+                    if r <= r0 then (s, f, r0)
+                    else
+                      let a' = (r -. span) +. o in
+                      place (if a' > s then a' else f)
+                  in
+                  let s, f, r0 = place data_ready in
+                  Obs.Counters.tentative_hop ();
+                  hops :=
+                    { edge = e; src_proc = a; dst_proc = b; start = s } :: !hops;
+                  let s1 = min (s +. o) f in
+                  if s1 > s then
+                    scratch := scratch_add !scratch send_tls (s, s1);
+                  if f > r0 then scratch := scratch_add !scratch recv_tls (r0, f);
+                  f)
+                (max fin floor)
+                (Platform.route plat ~src:q ~dst:proc)
+            in
+            max ready arrival
+          end)
+        floor (incoming t task)
+    in
+    let duration = Schedule.exec_duration t.sched ~task ~proc in
+    let compute = Resource.compute res proc in
+    let est = slot t ~tls:[ compute ] ~scratch:!scratch ~after:ready ~duration in
+    { proc; est; eft = est +. duration; hops = List.rev !hops; phase = None }
+
+  let evaluate ?(floor = 0.) t ~task ~proc =
+    Obs.Counters.evaluation ();
+    match t.regime with
+    | Comm_model.Port -> evaluate_port ~floor t ~task ~proc
+    | Comm_model.Bsp { g; l } -> evaluate_bsp ~floor t ~task ~proc ~g ~l
+    | Comm_model.Latency_overhead { o; l } ->
+        evaluate_latency ~floor t ~task ~proc ~o ~l
 
   let best_proc_among ?floor t ~task procs =
     match procs with
@@ -458,8 +617,7 @@ let with_reference f =
 (* Optimized evaluation                                                *)
 (* ------------------------------------------------------------------ *)
 
-let evaluate_opt ~floor t ~task ~proc =
-  Obs.Counters.evaluation ();
+let evaluate_port_opt ~floor t ~task ~proc =
   prepare_incoming t ~task;
   arena_reset t;
   let hops = ref [] in
@@ -497,7 +655,130 @@ let evaluate_opt ~floor t ~task ~proc =
     probe t ~tls:t.comp_tls.(proc) ~ids:t.comp_ids.(proc) ~after:!ready
       ~duration
   in
-  { proc; est; eft = est +. duration; hops = List.rev !hops }
+  { proc; est; eft = est +. duration; hops = List.rev !hops; phase = None }
+
+(* Arena mirror of [Reference.evaluate_bsp]: same arithmetic in the same
+   order, so both engines stay bit-identical. *)
+let evaluate_bsp_opt ~floor t ~task ~proc ~g:gp ~l:lp =
+  prepare_incoming t ~task;
+  arena_reset t;
+  let local_ready = ref floor in
+  let remote_ready = ref floor in
+  let h = ref 0. in
+  let any_remote = ref false in
+  for i = 0 to t.inc_len - 1 do
+    let fin = t.inc_fin.(i) in
+    let q = t.inc_proc.(i) in
+    let data = t.inc_data.(i) in
+    if q = proc || data = 0. then begin
+      if fin > !local_ready then local_ready := fin
+    end
+    else begin
+      any_remote := true;
+      h := !h +. data;
+      if fin > !remote_ready then remote_ready := fin
+    end
+  done;
+  let duration = Schedule.exec_duration t.sched ~task ~proc in
+  if not !any_remote then begin
+    let est =
+      probe t ~tls:t.comp_tls.(proc) ~ids:t.comp_ids.(proc)
+        ~after:!local_ready ~duration
+    in
+    { proc; est; eft = est +. duration; hops = []; phase = None }
+  end
+  else begin
+    let d = (gp *. !h) +. lp in
+    let c =
+      probe t ~tls:t.phase_tls ~ids:t.phase_ids ~after:!remote_ready
+        ~duration:d
+    in
+    let f = c +. d in
+    for j = 0 to Array.length t.phase_ids - 1 do
+      arena_add t t.phase_ids.(j) c f
+    done;
+    let hops = ref [] in
+    for i = 0 to t.inc_len - 1 do
+      let q = t.inc_proc.(i) in
+      let data = t.inc_data.(i) in
+      if q <> proc && data <> 0. then begin
+        Obs.Counters.tentative_hop ();
+        hops :=
+          { edge = t.inc_edge.(i); src_proc = q; dst_proc = proc; start = c }
+          :: !hops
+      end
+    done;
+    let ready = if !local_ready > f then !local_ready else f in
+    let est =
+      probe t ~tls:t.comp_tls.(proc) ~ids:t.comp_ids.(proc) ~after:ready
+        ~duration
+    in
+    { proc; est; eft = est +. duration; hops = List.rev !hops; phase = Some (c, f) }
+  end
+
+(* Arena mirror of [Reference.evaluate_latency]. *)
+let evaluate_latency_opt ~floor t ~task ~proc ~o ~l =
+  prepare_incoming t ~task;
+  arena_reset t;
+  let hops = ref [] in
+  let ready = ref floor in
+  for i = 0 to t.inc_len - 1 do
+    let fin = t.inc_fin.(i) in
+    let q = t.inc_proc.(i) in
+    let data = t.inc_data.(i) in
+    if q = proc || data = 0. then begin
+      if fin > !ready then ready := fin
+    end
+    else begin
+      let e = t.inc_edge.(i) in
+      let route = route_for t ~src:q ~dst:proc in
+      let data_ready = ref (if fin > floor then fin else floor) in
+      for hh = 0 to Array.length route - 1 do
+        let hs = route.(hh) in
+        let span = (2. *. o) +. (data *. hs.h_cost) +. l in
+        let rec place after =
+          let s =
+            probe t ~tls:hs.h_send_tls ~ids:hs.h_send_ids ~after ~duration:o
+          in
+          let f = s +. span in
+          let r0 = max (f -. o) s in
+          let r =
+            probe t ~tls:hs.h_recv_tls ~ids:hs.h_recv_ids ~after:r0 ~duration:o
+          in
+          if r <= r0 then (s, f, r0)
+          else
+            let a' = (r -. span) +. o in
+            place (if a' > s then a' else f)
+        in
+        let s, f, r0 = place !data_ready in
+        Obs.Counters.tentative_hop ();
+        hops := { edge = e; src_proc = hs.h_src; dst_proc = hs.h_dst; start = s } :: !hops;
+        let s1 = min (s +. o) f in
+        for j = 0 to Array.length hs.h_send_ids - 1 do
+          arena_add t hs.h_send_ids.(j) s s1
+        done;
+        for j = 0 to Array.length hs.h_recv_ids - 1 do
+          arena_add t hs.h_recv_ids.(j) r0 f
+        done;
+        data_ready := f
+      done;
+      if !data_ready > !ready then ready := !data_ready
+    end
+  done;
+  let duration = Schedule.exec_duration t.sched ~task ~proc in
+  let est =
+    probe t ~tls:t.comp_tls.(proc) ~ids:t.comp_ids.(proc) ~after:!ready
+      ~duration
+  in
+  { proc; est; eft = est +. duration; hops = List.rev !hops; phase = None }
+
+let evaluate_opt ~floor t ~task ~proc =
+  Obs.Counters.evaluation ();
+  match t.regime with
+  | Comm_model.Port -> evaluate_port_opt ~floor t ~task ~proc
+  | Comm_model.Bsp { g; l } -> evaluate_bsp_opt ~floor t ~task ~proc ~g ~l
+  | Comm_model.Latency_overhead { o; l } ->
+      evaluate_latency_opt ~floor t ~task ~proc ~o ~l
 
 let evaluate ?(floor = 0.) t ~task ~proc =
   if !use_reference then Reference.evaluate ~floor t ~task ~proc
@@ -543,31 +824,53 @@ let best_proc_among ?(floor = 0.) t ~task procs =
 
 let best_proc ?floor t ~task = best_proc_among ?floor t ~task t.all_procs
 
-let log_push t ~task ~comms_before =
+let log_push t ~task ~comms_before ~phases_before =
   if t.log_len = Array.length t.log_task then begin
     let cap = Array.length t.log_task in
     let cap' = if cap = 0 then 16 else 2 * cap in
-    let lt = Array.make cap' 0 and lc = Array.make cap' 0 in
+    let lt = Array.make cap' 0
+    and lc = Array.make cap' 0
+    and lp = Array.make cap' 0 in
     Array.blit t.log_task 0 lt 0 t.log_len;
     Array.blit t.log_comms 0 lc 0 t.log_len;
+    Array.blit t.log_phases 0 lp 0 t.log_len;
     t.log_task <- lt;
-    t.log_comms <- lc
+    t.log_comms <- lc;
+    t.log_phases <- lp
   end;
   t.log_task.(t.log_len) <- task;
   t.log_comms.(t.log_len) <- comms_before;
+  t.log_phases.(t.log_len) <- phases_before;
   t.log_len <- t.log_len + 1
 
 let commit t ~task ev =
   Obs.Counters.commit ();
-  log_push t ~task ~comms_before:(Schedule.n_comm_events t.sched);
-  List.iter
-    (fun h ->
-      let (_ : float) =
-        Schedule.add_comm t.sched ~edge:h.edge ~src_proc:h.src_proc
-          ~dst_proc:h.dst_proc ~start:h.start
-      in
-      ())
-    ev.hops;
+  log_push t ~task
+    ~comms_before:(Schedule.n_comm_events t.sched)
+    ~phases_before:(Schedule.n_phases t.sched);
+  (match ev.phase with
+  | Some (c, f) ->
+      (* BSP: the phase window was chosen during evaluation; every hop
+         event spans it. *)
+      Schedule.add_phase t.sched ~start:c ~finish:f;
+      List.iter
+        (fun h ->
+          let (_ : float) =
+            Schedule.add_comm_in_window t.sched ~edge:h.edge
+              ~src_proc:h.src_proc ~dst_proc:h.dst_proc ~start:h.start
+              ~finish:f
+          in
+          ())
+        ev.hops
+  | None ->
+      List.iter
+        (fun h ->
+          let (_ : float) =
+            Schedule.add_comm t.sched ~edge:h.edge ~src_proc:h.src_proc
+              ~dst_proc:h.dst_proc ~start:h.start
+          in
+          ())
+        ev.hops);
   Schedule.place_task t.sched ~task ~proc:ev.proc ~start:ev.est
 
 let n_commits t = t.log_len
@@ -581,6 +884,7 @@ let rewind t ~to_ =
       let i = t.log_len - 1 in
       Schedule.unplace_task t.sched t.log_task.(i);
       Schedule.truncate_comms t.sched ~down_to:t.log_comms.(i);
+      Schedule.truncate_phases t.sched ~down_to:t.log_phases.(i);
       t.log_len <- i
     done;
     (* The incoming table depends on predecessor placements, which the

@@ -38,6 +38,10 @@ type eval = {
   est : float;  (** execution start *)
   eft : float;  (** execution finish *)
   hops : hop list;  (** communications to commit, in order *)
+  phase : (float * float) option;
+      (** under BSP, the fresh comm phase the hops travel in ([None]
+          when the task has no remote inputs, and in every other
+          regime) *)
 }
 
 val create : ?policy:policy -> Sched.Schedule.t -> t

@@ -9,6 +9,8 @@ type t = {
   efficiency : float;
   n_comm_events : int;
   total_comm_time : float;
+  n_phases : int;
+  total_phase_time : float;
   total_busy_time : float;
   mean_utilization : float;
   proc_loads : float array;
@@ -49,6 +51,8 @@ let compute s =
     efficiency = (if speedup_bound > 0. then speedup /. speedup_bound else 0.);
     n_comm_events = Schedule.n_comm_events s;
     total_comm_time = Schedule.total_comm_time s;
+    n_phases = Schedule.n_phases s;
+    total_phase_time = Schedule.total_phase_time s;
     total_busy_time;
     mean_utilization =
       (if makespan > 0. then total_busy_time /. (float_of_int p *. makespan)
@@ -57,12 +61,18 @@ let compute s =
     max_load_imbalance;
   }
 
+(* The phases line only appears when phases exist, so output under the
+   seven port-regime models is byte-identical to before the BSP rung. *)
 let pp fmt m =
   Format.fprintf fmt
     "@[<v>makespan: %g@ sequential: %g@ speedup: %.3f (bound %.2f, efficiency \
-     %.1f%%)@ comm events: %d (total time %g)@ mean utilization: %.1f%%@]"
+     %.1f%%)@ comm events: %d (total time %g)"
     m.makespan m.sequential_time m.speedup m.speedup_bound
-    (100. *. m.efficiency) m.n_comm_events m.total_comm_time
+    (100. *. m.efficiency) m.n_comm_events m.total_comm_time;
+  if m.n_phases > 0 then
+    Format.fprintf fmt "@ comm phases: %d (total time %g)" m.n_phases
+      m.total_phase_time;
+  Format.fprintf fmt "@ mean utilization: %.1f%%@]"
     (100. *. m.mean_utilization)
 
 let to_compact_string m =

@@ -15,6 +15,8 @@ type t = {
   efficiency : float;  (** speedup / speedup_bound *)
   n_comm_events : int;
   total_comm_time : float;
+  n_phases : int;  (** BSP comm phases (0 outside the BSP regime) *)
+  total_phase_time : float;  (** sum of phase durations *)
   total_busy_time : float;  (** sum over processors of task execution time *)
   mean_utilization : float;
       (** total_busy_time / (p * makespan) *)

@@ -16,6 +16,9 @@ type proc_state = {
 type t = {
   model : Comm_model.t;
   procs : proc_state array;
+  (* The platform-wide barrier timeline of BSP comm phases, with its
+     stable id; [None] outside the BSP regime. *)
+  barrier : (Timeline.t * int) option;
   (* Undirected-link timelines keyed by (min, max) processor pair; lazily
      created, only populated under link-contention models.  Each carries
      its stable id, handed out from [next_id]. *)
@@ -42,11 +45,17 @@ let create ~model ~p =
       recv_id;
     }
   in
+  let barrier, next_id =
+    match model.Comm_model.regime with
+    | Comm_model.Bsp _ -> (Some (Timeline.create (), 3 * p), (3 * p) + 1)
+    | Comm_model.Port | Comm_model.Latency_overhead _ -> (None, 3 * p)
+  in
   {
     model;
     procs = Array.init p make_proc;
+    barrier;
     links = Hashtbl.create 16;
-    next_id = 3 * p;
+    next_id;
   }
 
 let model t = t.model
@@ -71,6 +80,50 @@ let recv_busy t i =
   | Comm_model.One_port_unidirectional ->
       (* recv is physically the send port *)
       with_compute_if_no_overlap t i [ t.procs.(i).recv ]
+
+let send_busy_ids t i =
+  let with_compute_id rest =
+    if t.model.Comm_model.overlap then rest
+    else (t.procs.(i).compute, t.procs.(i).compute_id) :: rest
+  in
+  match t.model.Comm_model.ports with
+  | Comm_model.Unlimited -> with_compute_id []
+  | Comm_model.One_port_bidirectional | Comm_model.One_port_unidirectional ->
+      with_compute_id [ (t.procs.(i).send, t.procs.(i).send_id) ]
+
+let recv_busy_ids t i =
+  let with_compute_id rest =
+    if t.model.Comm_model.overlap then rest
+    else (t.procs.(i).compute, t.procs.(i).compute_id) :: rest
+  in
+  match t.model.Comm_model.ports with
+  | Comm_model.Unlimited -> with_compute_id []
+  | Comm_model.One_port_bidirectional | Comm_model.One_port_unidirectional ->
+      with_compute_id [ (t.procs.(i).recv, t.procs.(i).recv_id) ]
+
+(* A BSP comm phase excludes computation platform-wide and phases never
+   overlap each other: the joint busy set is the barrier timeline plus
+   every processor's compute timeline. *)
+let phase_busy t =
+  match t.barrier with
+  | None -> invalid_arg "Resource.phase_busy: not a BSP resource set"
+  | Some (tl, _) ->
+      tl :: Array.fold_right (fun ps acc -> ps.compute :: acc) t.procs []
+
+let phase_busy_ids t =
+  match t.barrier with
+  | None -> invalid_arg "Resource.phase_busy_ids: not a BSP resource set"
+  | Some (tl, id) ->
+      (tl, id)
+      :: Array.fold_right
+           (fun ps acc -> (ps.compute, ps.compute_id) :: acc)
+           t.procs []
+
+let commit_phase t ~start ~finish =
+  List.iter (fun tl -> Timeline.add tl ~start ~finish) (phase_busy t)
+
+let retract_phase t ~start ~finish =
+  List.iter (fun tl -> Timeline.remove tl ~start ~finish) (phase_busy t)
 
 let link_with_id t ~src ~dst =
   let key = (min src dst, max src dst) in
@@ -107,18 +160,38 @@ let comm_busy_ids t ~src ~dst =
   if t.model.Comm_model.link_contention then link_with_id t ~src ~dst :: base
   else base
 
+(* What a committed communication event actually occupies depends on the
+   regime:
+   - Port: the whole [start, finish) span on the joint busy set;
+   - Bsp: nothing — the enclosing phase owns the resources, so events
+     commit and retract freely as the phase's contents change;
+   - Latency_overhead: only the endpoint overheads — [o] on the sender's
+     ports at the front of the event, [o] on the receiver's at the back;
+     the flight in between occupies no resource. *)
+let comm_occupancy t ~src ~dst ~start ~finish =
+  match t.model.Comm_model.regime with
+  | Comm_model.Port ->
+      List.map (fun tl -> (tl, start, finish)) (comm_busy t ~src ~dst)
+  | Comm_model.Bsp _ -> []
+  | Comm_model.Latency_overhead { o; _ } ->
+      let s1 = min (start +. o) finish and r0 = max (finish -. o) start in
+      List.map (fun tl -> (tl, start, s1)) (send_busy t src)
+      @ List.map (fun tl -> (tl, r0, finish)) (recv_busy t dst)
+
 let commit_comm t ~src ~dst ~start ~finish =
   List.iter
-    (fun tl -> Timeline.add tl ~start ~finish)
-    (comm_busy t ~src ~dst)
+    (fun (tl, start, finish) ->
+      if finish > start then Timeline.add tl ~start ~finish)
+    (comm_occupancy t ~src ~dst ~start ~finish)
 
 let commit_task t ~proc ~start ~finish =
   Timeline.add t.procs.(proc).compute ~start ~finish
 
 let retract_comm t ~src ~dst ~start ~finish =
   List.iter
-    (fun tl -> Timeline.remove tl ~start ~finish)
-    (comm_busy t ~src ~dst)
+    (fun (tl, start, finish) ->
+      if finish > start then Timeline.remove tl ~start ~finish)
+    (comm_occupancy t ~src ~dst ~start ~finish)
 
 let retract_task t ~proc ~start ~finish =
   Timeline.remove t.procs.(proc).compute ~start ~finish
@@ -130,6 +203,7 @@ let retract_task t ~proc ~start ~finish =
    which is harmless — ids only need to remain stable. *)
 type snapshot = {
   proc_marks : Timeline.mark array;
+  barrier_mark : Timeline.mark;
   link_marks : ((int * int) * Timeline.mark) list;
 }
 
@@ -143,12 +217,17 @@ let snapshot t =
       if ps.recv != ps.send then
         proc_marks.((3 * i) + 2) <- Timeline.checkpoint ps.recv)
     t.procs;
+  let barrier_mark =
+    match t.barrier with
+    | Some (tl, _) -> Timeline.checkpoint tl
+    | None -> Timeline.origin
+  in
   let link_marks =
     Hashtbl.fold
       (fun key (tl, _id) acc -> (key, Timeline.checkpoint tl) :: acc)
       t.links []
   in
-  { proc_marks; link_marks }
+  { proc_marks; barrier_mark; link_marks }
 
 let restore t s =
   Array.iteri
@@ -158,6 +237,9 @@ let restore t s =
       if ps.recv != ps.send then
         Timeline.rollback ps.recv s.proc_marks.((3 * i) + 2))
     t.procs;
+  (match t.barrier with
+  | Some (tl, _) -> Timeline.rollback tl s.barrier_mark
+  | None -> ());
   Hashtbl.iter
     (fun key (tl, _id) ->
       match List.assoc_opt key s.link_marks with
@@ -171,8 +253,11 @@ let copy t =
     let recv = if ps.recv == ps.send then send else Timeline.copy ps.recv in
     { ps with compute = Timeline.copy ps.compute; send; recv }
   in
+  let barrier =
+    Option.map (fun (tl, id) -> (Timeline.copy tl, id)) t.barrier
+  in
   let links = Hashtbl.create (Hashtbl.length t.links) in
   Hashtbl.iter
     (fun key (tl, id) -> Hashtbl.add links key (Timeline.copy tl, id))
     t.links;
-  { t with procs = Array.map copy_proc t.procs; links }
+  { t with procs = Array.map copy_proc t.procs; barrier; links }

@@ -50,6 +50,29 @@ val send_busy : t -> int -> Prelude.Timeline.t list
     [i] occupies. *)
 val recv_busy : t -> int -> Prelude.Timeline.t list
 
+(** {!send_busy} / {!recv_busy} with each timeline paired with its stable
+    resource id — the form the engine's caches store. *)
+val send_busy_ids : t -> int -> (Prelude.Timeline.t * int) list
+
+val recv_busy_ids : t -> int -> (Prelude.Timeline.t * int) list
+
+(** The joint busy set of a BSP communication phase: the platform-wide
+    barrier timeline plus {e every} processor's compute timeline — a
+    phase excludes computation everywhere and phases never overlap.
+    @raise Invalid_argument outside the BSP regime. *)
+val phase_busy : t -> Prelude.Timeline.t list
+
+(** {!phase_busy} with stable resource ids (barrier first). *)
+val phase_busy_ids : t -> (Prelude.Timeline.t * int) list
+
+(** [commit_phase t ~start ~finish] marks a BSP comm phase busy on
+    {!phase_busy}; [retract_phase] is its exact inverse.
+    @raise Invalid_argument outside the BSP regime, or (like
+    {!commit_comm}) on an overlapping or absent interval. *)
+val commit_phase : t -> start:float -> finish:float -> unit
+
+val retract_phase : t -> start:float -> finish:float -> unit
+
 (** [link t ~src ~dst] — the shared timeline of the {e undirected direct
     link} between [src] and [dst], lazily created; only meaningful (and
     only occupied) under link-contention models, where a link carries one
@@ -68,8 +91,12 @@ val comm_busy : t -> src:int -> dst:int -> Prelude.Timeline.t list
 val comm_busy_ids :
   t -> src:int -> dst:int -> (Prelude.Timeline.t * int) list
 
-(** [commit_comm t ~src ~dst ~start ~finish] marks a hop busy on every
-    timeline of [comm_busy].
+(** [commit_comm t ~src ~dst ~start ~finish] marks a hop's {e occupancy}
+    busy, which depends on the model's regime: the whole span on
+    [comm_busy] under the port regimes; nothing under BSP (the enclosing
+    phase owns the resources); only the endpoint overhead sub-intervals
+    — [\[start, start+o)] on the sender's ports, [\[finish-o, finish)] on
+    the receiver's — under latency+overhead.
     @raise Invalid_argument if any timeline already overlaps (a scheduling
     bug — slots must come from gap search over the same busy set). *)
 val commit_comm : t -> src:int -> dst:int -> start:float -> finish:float -> unit

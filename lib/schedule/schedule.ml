@@ -24,6 +24,7 @@ type t = {
   finishes : float array;
   comms : comm Vec.t;
   edge_comms : int list array; (* comm indices per edge, reverse order *)
+  phases : (float * float) Vec.t; (* BSP comm phases, commit order *)
   mutable n_placed : int;
 }
 
@@ -40,6 +41,7 @@ let create ?exec_time ~graph ~platform ~model () =
     finishes = Array.make n 0.;
     comms = Vec.create ();
     edge_comms = Array.make (max (Graph.n_edges graph) 1) [];
+    phases = Vec.create ();
     n_placed = 0;
   }
 
@@ -71,15 +73,23 @@ let place_task t ~task ~proc ~start =
   t.finishes.(task) <- finish;
   t.n_placed <- t.n_placed + 1
 
-let add_comm t ~edge ~src_proc ~dst_proc ~start =
+let add_comm_in_window t ~edge ~src_proc ~dst_proc ~start ~finish =
   if src_proc = dst_proc then invalid_arg "Schedule.add_comm: src = dst";
-  let data = Graph.edge_data t.graph edge in
-  let duration = data *. Platform.hop_cost t.platform ~src:src_proc ~dst:dst_proc in
-  let finish = start +. duration in
   Resource.commit_comm t.resource ~src:src_proc ~dst:dst_proc ~start ~finish;
   Vec.push t.comms { edge; src_proc; dst_proc; start; finish };
   t.edge_comms.(edge) <- (Vec.length t.comms - 1) :: t.edge_comms.(edge);
   finish
+
+let add_comm t ~edge ~src_proc ~dst_proc ~start =
+  let data = Graph.edge_data t.graph edge in
+  let hop_cost = Platform.hop_cost t.platform ~src:src_proc ~dst:dst_proc in
+  let finish = start +. Comm_model.hop_span t.model ~data ~hop_cost in
+  add_comm_in_window t ~edge ~src_proc ~dst_proc ~start ~finish
+
+let add_phase t ~start ~finish =
+  if finish < start then invalid_arg "Schedule.add_phase: negative duration";
+  Resource.commit_phase t.resource ~start ~finish;
+  Vec.push t.phases (start, finish)
 
 let is_placed t task = t.procs.(task) >= 0
 
@@ -106,6 +116,12 @@ let n_comm_events t = Vec.length t.comms
 
 let total_comm_time t =
   Vec.fold (fun acc (c : comm) -> acc +. (c.finish -. c.start)) 0. t.comms
+
+let phases t = Vec.to_list t.phases
+let n_phases t = Vec.length t.phases
+
+let total_phase_time t =
+  Vec.fold (fun acc (s, f) -> acc +. (f -. s)) 0. t.phases
 
 let makespan t =
   if not (all_placed t) then invalid_arg "Schedule.makespan: unplaced tasks";
@@ -144,6 +160,17 @@ let truncate_comms t ~down_to =
     pop_comm t ~retract:true
   done
 
+let pop_phase t ~retract =
+  let start, finish = Vec.pop t.phases in
+  if retract then Resource.retract_phase t.resource ~start ~finish
+
+let truncate_phases t ~down_to =
+  if down_to < 0 || down_to > Vec.length t.phases then
+    invalid_arg "Schedule.truncate_phases: bad length";
+  while Vec.length t.phases > down_to do
+    pop_phase t ~retract:true
+  done
+
 let filter_comms t ~keep =
   let kept =
     Vec.fold
@@ -171,6 +198,7 @@ type snapshot = {
   s_finishes : float array;
   s_n_placed : int;
   s_n_comms : int;
+  s_n_phases : int;
 }
 
 let snapshot t =
@@ -181,11 +209,14 @@ let snapshot t =
     s_finishes = Array.copy t.finishes;
     s_n_placed = t.n_placed;
     s_n_comms = Vec.length t.comms;
+    s_n_phases = Vec.length t.phases;
   }
 
 let restore t s =
   if Vec.length t.comms < s.s_n_comms then
     invalid_arg "Schedule.restore: comms were truncated past the snapshot";
+  if Vec.length t.phases < s.s_n_phases then
+    invalid_arg "Schedule.restore: phases were truncated past the snapshot";
   Obs.Counters.rollback ();
   (* The resource restore already removes every post-snapshot interval, so
      the comm events are popped without retracting them a second time. *)
@@ -196,6 +227,9 @@ let restore t s =
   t.n_placed <- s.s_n_placed;
   while Vec.length t.comms > s.s_n_comms do
     pop_comm t ~retract:false
+  done;
+  while Vec.length t.phases > s.s_n_phases do
+    pop_phase t ~retract:false
   done
 
 let copy t =
@@ -208,6 +242,7 @@ let copy t =
     finishes = Array.copy t.finishes;
     comms = Vec.copy t.comms;
     edge_comms = Array.copy t.edge_comms;
+    phases = Vec.copy t.phases;
   }
 
 let pp fmt t =

@@ -48,10 +48,26 @@ val resource : t -> Resource.t
 val place_task : t -> task:int -> proc:int -> start:float -> unit
 
 (** [add_comm t ~edge ~src_proc ~dst_proc ~start] appends one hop of the
-    edge's route; duration is [data(edge) * hop_cost(src_proc, dst_proc)].
-    Hops must be added in route order.  Marks port timelines busy per the
-    model.  Returns the hop finish time. *)
+    edge's route; duration is
+    [Comm_model.hop_span ~data:(data edge) ~hop_cost:(hop_cost src dst)]
+    — [data × hop_cost] under the port regimes.  Hops must be added in
+    route order.  Marks port timelines busy per the model.  Returns the
+    hop finish time. *)
 val add_comm : t -> edge:int -> src_proc:int -> dst_proc:int -> start:float -> float
+
+(** [add_comm_in_window t ~edge ~src_proc ~dst_proc ~start ~finish]
+    records a communication event with an explicitly chosen window — the
+    form BSP scheduling uses, where an edge's event spans its enclosing
+    comm phase rather than a per-hop price.  Occupancy is still committed
+    per the model's regime ({!Resource.commit_comm}). *)
+val add_comm_in_window :
+  t -> edge:int -> src_proc:int -> dst_proc:int -> start:float -> finish:float -> float
+
+(** [add_phase t ~start ~finish] records a BSP communication phase and
+    commits it on the phase busy set ({!Resource.commit_phase}).
+    @raise Invalid_argument outside the BSP regime or on a negative
+    duration. *)
+val add_phase : t -> start:float -> finish:float -> unit
 
 val is_placed : t -> int -> bool
 val placement : t -> int -> placement option
@@ -76,6 +92,14 @@ val n_comm_events : t -> int
     (sum of hop durations over all events). *)
 val total_comm_time : t -> float
 
+(** BSP communication phases in commit order (empty outside BSP). *)
+val phases : t -> (float * float) list
+
+val n_phases : t -> int
+
+(** Sum of phase durations. *)
+val total_phase_time : t -> float
+
 (** Completion time of the last task (0 for an empty schedule).
     @raise Invalid_argument if some task is unplaced. *)
 val makespan : t -> float
@@ -99,8 +123,14 @@ val truncate_comms : t -> down_to:int -> unit
 
 (** [filter_comms t ~keep] retracts every communication event [c] with
     [not (keep c)], preserving the relative commit order (and therefore
-    the per-edge route order) of the kept events. *)
+    the per-edge route order) of the kept events.  Phases are left
+    untouched — under BSP a phase may end up with fewer events than its
+    [g·h + L] price accounts for, which the validator allows. *)
 val filter_comms : t -> keep:(comm -> bool) -> unit
+
+(** [truncate_phases t ~down_to] retracts BSP phases newest-first until
+    only the first [down_to] remain. *)
+val truncate_phases : t -> down_to:int -> unit
 
 (** A whole-schedule checkpoint: placement arrays plus one
     {!Resource.snapshot}.  O(n_tasks + p) to take — no timeline contents

@@ -47,7 +47,8 @@ let check s =
   done;
   if !errors <> [] then Error (List.rev !errors)
   else begin
-    (* 2. processor exclusivity (tasks; comms join under no-overlap) *)
+    (* 2. processor exclusivity (tasks; comms join under no-overlap; BSP
+       phases exclude computation on every processor) *)
     let p_count = Platform.p plat in
     let compute_intervals = Array.make p_count [] in
     for v = 0 to n - 1 do
@@ -58,6 +59,7 @@ let check s =
           :: compute_intervals.(pl.proc)
     done;
     let all_comms = Schedule.comms s in
+    let phases = Schedule.phases s in
     if not model.Comm_model.overlap then
       List.iter
         (fun (c : Schedule.comm) ->
@@ -69,6 +71,15 @@ let check s =
               (c.start, c.finish, label) :: compute_intervals.(c.dst_proc)
           end)
         all_comms;
+    List.iteri
+      (fun i (ps, pf) ->
+        if pf > ps then begin
+          let label = Printf.sprintf "comm phase %d" i in
+          for q = 0 to p_count - 1 do
+            compute_intervals.(q) <- (ps, pf, label) :: compute_intervals.(q)
+          done
+        end)
+      phases;
     Array.iteri
       (fun q intervals ->
         check_disjoint intervals ~on_overlap:(fun (s1, f1, l1) (s2, f2, l2) ->
@@ -76,6 +87,19 @@ let check s =
               f2))
       compute_intervals;
     (* 3. precedence and communication chains *)
+    let expected_hop_span ~data ~cost =
+      match model.Comm_model.regime with
+      | Comm_model.Latency_overhead { o; l } -> (2. *. o) +. (data *. cost) +. l
+      | Comm_model.Port | Comm_model.Bsp _ -> data *. cost
+    in
+    let in_phase (c : Schedule.comm) =
+      List.exists (fun (ps, pf) -> feq ps c.start && feq pf c.finish) phases
+    in
+    let is_bsp =
+      match model.Comm_model.regime with
+      | Comm_model.Bsp _ -> true
+      | Comm_model.Port | Comm_model.Latency_overhead _ -> false
+    in
     List.iter
       (fun (e : Graph.edge) ->
         let src = Schedule.placement_exn s e.src in
@@ -89,6 +113,40 @@ let check s =
             err "edge %d: task %d on processor %d starts at %g before its \
                  local predecessor %d finishes at %g"
               e.id e.dst dst.proc dst.start e.src src.finish
+        end
+        else if is_bsp then begin
+          (* BSP: a remote data edge travels in exactly one comm phase
+             between the source's finish and the destination's start;
+             zero-data edges need no event. *)
+          if e.data = 0. then begin
+            if hops <> [] then
+              err "edge %d: zero-data edge carries communication events" e.id;
+            if not (fle src.finish dst.start) then
+              err "edge %d: zero-data edge violates precedence (task %d \
+                   starts at %g, predecessor finishes at %g)"
+                e.id e.dst dst.start src.finish
+          end
+          else begin
+            (match hops with
+            | [ c ] ->
+                if not (in_phase c) then
+                  err "edge %d: event [%g,%g) matches no recorded comm phase"
+                    e.id c.start c.finish;
+                if not (fle src.finish c.start) then
+                  err "edge %d: phase starts at %g before source finishes at %g"
+                    e.id c.start src.finish;
+                if not (fle c.finish dst.start) then
+                  err "edge %d: task %d starts at %g before its phase ends at \
+                       %g"
+                    e.id e.dst dst.start c.finish
+            | [] ->
+                err "edge %d: remote edge %d->%d has no communication event"
+                  e.id src.proc dst.proc
+            | _ ->
+                err "edge %d: remote edge has %d events, BSP expects exactly \
+                     one"
+                  e.id (List.length hops))
+          end
         end
         else begin
           let route = Platform.route plat ~src:src.proc ~dst:dst.proc in
@@ -110,7 +168,8 @@ let check s =
               List.fold_left
                 (fun prev (c : Schedule.comm) ->
                   let expect =
-                    e.data *. Platform.hop_cost plat ~src:c.src_proc ~dst:c.dst_proc
+                    expected_hop_span ~data:e.data
+                      ~cost:(Platform.hop_cost plat ~src:c.src_proc ~dst:c.dst_proc)
                   in
                   if not (feq (c.finish -. c.start) expect) then
                     err "edge %d: hop %d->%d has duration %g over [%g,%g), \
@@ -130,6 +189,31 @@ let check s =
           end
         end)
       (Graph.edges g);
+    (* 3b. BSP phase pricing: a phase moving an h-relation of volume [h]
+       must span at least g·h + L.  Phases that lost events to
+       [filter_comms] may be over-provisioned; never under. *)
+    (match model.Comm_model.regime with
+    | Comm_model.Bsp { g = gp; l = lp } ->
+        List.iteri
+          (fun i (ps, pf) ->
+            let h =
+              List.fold_left
+                (fun acc (c : Schedule.comm) ->
+                  if feq ps c.start && feq pf c.finish then
+                    acc +. Graph.edge_data g c.edge
+                  else acc)
+                0. all_comms
+            in
+            let need = (gp *. h) +. lp in
+            if not (fle need (pf -. ps)) then
+              err "comm phase %d [%g,%g): spans %g but its h-relation of %g \
+                   needs g*h+L = %g"
+                i ps pf (pf -. ps) h need)
+          phases
+    | Comm_model.Port | Comm_model.Latency_overhead _ ->
+        if phases <> [] then
+          err "schedule records %d comm phases outside the BSP regime"
+            (List.length phases));
     (* 4b. link contention: one message per undirected direct link *)
     if model.Comm_model.link_contention then begin
       let by_link = Hashtbl.create 16 in
@@ -149,21 +233,31 @@ let check s =
                 s2 f2))
         by_link
     end;
-    (* 4. port discipline *)
+    (* 4. port discipline; under latency+overhead only the endpoint
+       overhead sub-windows occupy the ports *)
     (match model.Comm_model.ports with
     | Comm_model.Unlimited -> ()
     | Comm_model.One_port_bidirectional | Comm_model.One_port_unidirectional ->
+        let port_windows (c : Schedule.comm) =
+          match model.Comm_model.regime with
+          | Comm_model.Latency_overhead { o; _ } ->
+              ( (c.start, min (c.start +. o) c.finish),
+                (max (c.finish -. o) c.start, c.finish) )
+          | Comm_model.Port | Comm_model.Bsp _ ->
+              ((c.start, c.finish), (c.start, c.finish))
+        in
         let sends = Array.make p_count [] in
         let recvs = Array.make p_count [] in
         List.iter
           (fun (c : Schedule.comm) ->
-            if c.finish > c.start then begin
-              let label =
-                Printf.sprintf "e%d %d->%d" c.edge c.src_proc c.dst_proc
-              in
-              sends.(c.src_proc) <- (c.start, c.finish, label) :: sends.(c.src_proc);
-              recvs.(c.dst_proc) <- (c.start, c.finish, label) :: recvs.(c.dst_proc)
-            end)
+            let (ss, sf), (rs, rf) = port_windows c in
+            let label =
+              Printf.sprintf "e%d %d->%d" c.edge c.src_proc c.dst_proc
+            in
+            if sf > ss then
+              sends.(c.src_proc) <- (ss, sf, label) :: sends.(c.src_proc);
+            if rf > rs then
+              recvs.(c.dst_proc) <- (rs, rf, label) :: recvs.(c.dst_proc))
           all_comms;
         let report kind q (s1, f1, l1) (s2, f2, l2) =
           err "processor %d: %s port conflict: %s [%g,%g) overlaps %s [%g,%g)"

@@ -66,24 +66,29 @@ let run s =
     let pl = Schedule.placement_exn s v in
     occupy (Compute pl.Schedule.proc) v pl.Schedule.start
   done;
-  Array.iteri
-    (fun i (c : Schedule.comm) ->
-      let node = n + i in
-      (match model.Comm_model.ports with
-      | Comm_model.Unlimited -> ()
-      | Comm_model.One_port_bidirectional ->
-          occupy (Send c.src_proc) node c.start;
-          occupy (Recv c.dst_proc) node c.start
-      | Comm_model.One_port_unidirectional ->
-          occupy (Send c.src_proc) node c.start;
-          occupy (Send c.dst_proc) node c.start);
-      if model.Comm_model.link_contention then
-        occupy (Link (min c.src_proc c.dst_proc, max c.src_proc c.dst_proc)) node c.start;
-      if not model.Comm_model.overlap then begin
-        occupy (Compute c.src_proc) node c.start;
-        occupy (Compute c.dst_proc) node c.start
-      end)
-    comms;
+  (* Mirrors Pert: only port-regime events occupy whole-span resources;
+     BSP / latency+overhead events stay pure dependency events. *)
+  (match model.Comm_model.regime with
+  | Comm_model.Bsp _ | Comm_model.Latency_overhead _ -> ()
+  | Comm_model.Port ->
+      Array.iteri
+        (fun i (c : Schedule.comm) ->
+          let node = n + i in
+          (match model.Comm_model.ports with
+          | Comm_model.Unlimited -> ()
+          | Comm_model.One_port_bidirectional ->
+              occupy (Send c.src_proc) node c.start;
+              occupy (Recv c.dst_proc) node c.start
+          | Comm_model.One_port_unidirectional ->
+              occupy (Send c.src_proc) node c.start;
+              occupy (Send c.dst_proc) node c.start);
+          if model.Comm_model.link_contention then
+            occupy (Link (min c.src_proc c.dst_proc, max c.src_proc c.dst_proc)) node c.start;
+          if not model.Comm_model.overlap then begin
+            occupy (Compute c.src_proc) node c.start;
+            occupy (Compute c.dst_proc) node c.start
+          end)
+        comms);
   (* per-node resource list + per-resource FIFO (sorted by recorded start,
      ties by node id) and a cursor *)
   let node_resources = Array.make total [] in

@@ -57,27 +57,34 @@ let build sched =
     let pl = Schedule.placement_exn sched v in
     occupy (Compute pl.proc) v pl.start
   done;
-  Array.iteri
-    (fun i (c : Schedule.comm) ->
-      let node = n + i in
-      (match model.Comm_model.ports with
-      | Comm_model.Unlimited -> ()
-      | Comm_model.One_port_bidirectional ->
-          occupy (Send c.src_proc) node c.start;
-          occupy (Recv c.dst_proc) node c.start
-      | Comm_model.One_port_unidirectional ->
-          (* one physical port per processor: pool both directions *)
-          occupy (Send c.src_proc) node c.start;
-          occupy (Send c.dst_proc) node c.start);
-      if model.Comm_model.link_contention then
-        occupy
-          (Link (min c.src_proc c.dst_proc, max c.src_proc c.dst_proc))
-          node c.start;
-      if not model.Comm_model.overlap then begin
-        occupy (Compute c.src_proc) node c.start;
-        occupy (Compute c.dst_proc) node c.start
-      end)
-    comms;
+  (* Only port-regime events occupy whole-span resources.  BSP and
+     latency+overhead events carry partial or no occupancy over their
+     span, so chaining them on port streams would force compaction
+     {e above} the scheduled times; they stay pure dependency events. *)
+  (match model.Comm_model.regime with
+  | Comm_model.Bsp _ | Comm_model.Latency_overhead _ -> ()
+  | Comm_model.Port ->
+      Array.iteri
+        (fun i (c : Schedule.comm) ->
+          let node = n + i in
+          (match model.Comm_model.ports with
+          | Comm_model.Unlimited -> ()
+          | Comm_model.One_port_bidirectional ->
+              occupy (Send c.src_proc) node c.start;
+              occupy (Recv c.dst_proc) node c.start
+          | Comm_model.One_port_unidirectional ->
+              (* one physical port per processor: pool both directions *)
+              occupy (Send c.src_proc) node c.start;
+              occupy (Send c.dst_proc) node c.start);
+          if model.Comm_model.link_contention then
+            occupy
+              (Link (min c.src_proc c.dst_proc, max c.src_proc c.dst_proc))
+              node c.start;
+          if not model.Comm_model.overlap then begin
+            occupy (Compute c.src_proc) node c.start;
+            occupy (Compute c.dst_proc) node c.start
+          end)
+        comms);
   Hashtbl.iter
     (fun _ stream ->
       let sorted = List.sort compare stream in

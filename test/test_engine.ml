@@ -140,7 +140,9 @@ let fingerprint sched =
 let equivalence_tests =
   let models =
     [ ("one-port", O.Comm_model.one_port);
-      ("macro-dataflow", O.Comm_model.macro_dataflow) ]
+      ("macro-dataflow", O.Comm_model.macro_dataflow);
+      ("bsp", O.Comm_model.bsp ~g:1. ~l:5.);
+      ("logp", O.Comm_model.latency_overhead ~o:1. ~l:2.) ]
   in
   List.concat_map
     (fun (mname, model) ->

@@ -23,4 +23,5 @@ let () =
       ("faults", Test_faults.suite);
       ("pool", Test_pool.suite);
       ("oracle", Test_oracle.suite);
+      ("models", Test_models.suite);
     ]

@@ -50,10 +50,8 @@ let print_tiny (seed, n, p, hetero) =
 (* Commit every task in deterministic topological order onto a fixed
    allocation; communications place greedily exactly as in every
    heuristic. *)
-let schedule_allocation g plat alloc =
-  let sched =
-    O.Schedule.create ~graph:g ~platform:plat ~model:O.Comm_model.one_port ()
-  in
+let schedule_allocation ?(model = O.Comm_model.one_port) g plat alloc =
+  let sched = O.Schedule.create ~graph:g ~platform:plat ~model () in
   let engine = O.Engine.create sched in
   Array.iter
     (fun v -> O.Engine.schedule_on engine ~task:v ~proc:alloc.(v))
@@ -122,6 +120,61 @@ let heuristic_tests =
                    end
                    else true)
              O.Registry.all));
+  ]
+
+(* The oracle argument carries over to the new regimes unchanged: both
+   the brute-force search and every heuristic drive the same engine, so
+   on BSP and latency+overhead rungs too the search's makespan lower
+   bounds anything an allocation or a heuristic can produce. *)
+let regime_models =
+  [ O.Comm_model.bsp ~g:1. ~l:2.; O.Comm_model.latency_overhead ~o:1. ~l:1. ]
+
+let regime_tests =
+  [
+    QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ())
+      (QCheck2.Test.make ~count:10
+         ~name:"BSP/latency rungs: allocations and heuristics respect the oracle"
+         ~print:print_tiny tiny_gen (fun tparams ->
+           let g, plat = build_tiny tparams in
+           let n = O.Graph.n_tasks g and p = O.Platform.p plat in
+           List.for_all
+             (fun model ->
+               let params = O.Params.of_model model in
+               let oracle = O.Search.best_makespan ~params plat g in
+               let ok = ref true in
+               iter_allocations ~n ~p (fun alloc ->
+                   let sched = schedule_allocation ~model g plat alloc in
+                   (match O.Validate.check sched with
+                   | Ok () -> ()
+                   | Error es ->
+                       Printf.printf "INVALID allocation under %s: %s\n"
+                         (O.Comm_model.name model) (List.hd es);
+                       ok := false);
+                   if O.Schedule.makespan sched < oracle -. eps then begin
+                     Printf.printf "allocation beats oracle under %s: %g < %g\n"
+                       (O.Comm_model.name model)
+                       (O.Schedule.makespan sched) oracle;
+                     ok := false
+                   end);
+               List.iter
+                 (fun (e : O.Registry.entry) ->
+                   let sched = e.O.Registry.scheduler params plat g in
+                   match O.Validate.check sched with
+                   | Error es ->
+                       Printf.printf "%s INVALID under %s: %s\n"
+                         e.O.Registry.name (O.Comm_model.name model)
+                         (List.hd es);
+                       ok := false
+                   | Ok () ->
+                       let m = O.Schedule.makespan sched in
+                       if m < oracle -. eps then begin
+                         Printf.printf "%s beats the oracle under %s: %g < %g\n"
+                           e.O.Registry.name (O.Comm_model.name model) m oracle;
+                         ok := false
+                       end)
+                 O.Registry.all;
+               !ok)
+             regime_models));
   ]
 
 let fork_gen =
@@ -198,4 +251,5 @@ let search_tests =
               > 0)));
   ]
 
-let suite = allocation_tests @ heuristic_tests @ fork_tests @ search_tests
+let suite =
+  allocation_tests @ heuristic_tests @ regime_tests @ fork_tests @ search_tests

@@ -107,6 +107,7 @@ let build_spec (tb_mask, size_a, size_b, heur_mask) =
       O.Batch.heuristics = mask_filter heur_mask scalable;
       testbeds = mask_filter tb_mask O.Suite.all;
       sizes = cfg.O.Config.sizes;
+      models = [ O.Config.model cfg ];
       use_paper_b = true;
     }
   in
