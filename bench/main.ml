@@ -36,6 +36,7 @@ type options = {
   run_grid : bool;
   run_improvers : bool;
   run_models : bool;
+  run_online : bool;
   jobs : int;
   json : string option;
 }
@@ -49,6 +50,7 @@ let parse_args () =
   let run_grid = ref true in
   let run_improvers = ref true in
   let run_models = ref true in
+  let run_online = ref true in
   let jobs = ref (O.Pool.default_jobs ()) in
   let json = ref None in
   let rec eat = function
@@ -80,6 +82,9 @@ let parse_args () =
     | "--no-models" :: rest ->
         run_models := false;
         eat rest
+    | "--no-online" :: rest ->
+        run_online := false;
+        eat rest
     | "--jobs" :: v :: rest ->
         jobs := int_of_string v;
         eat rest
@@ -91,7 +96,7 @@ let parse_args () =
           "unknown argument %s\n\
            usage: main.exe [--quick] [--scale F] [--only ID]* [--no-figures] \
            [--no-bechamel] [--no-probes] [--no-grid] [--no-improvers] \
-           [--no-models] [--jobs N] [--json FILE]\n\
+           [--no-models] [--no-online] [--jobs N] [--json FILE]\n\
            experiment ids: %s\n"
           arg
           (String.concat ", " O.Figures.ids);
@@ -107,6 +112,7 @@ let parse_args () =
     run_grid = !run_grid;
     run_improvers = !run_improvers;
     run_models = !run_models;
+    run_online = !run_online;
     jobs = max 1 !jobs;
     json = !json;
   }
@@ -537,14 +543,145 @@ let run_models ~echo () =
   rows
 
 (* ------------------------------------------------------------------ *)
+(* Part 7: online rolling-horizon replan latency                        *)
+(* ------------------------------------------------------------------ *)
+
+type online_row = {
+  onl_n : int;
+  onl_tasks : int;
+  onl_replans : int;  (* steady-state replans per run (initial plan excluded) *)
+  onl_inc_p50_ms : float;
+  onl_inc_p99_ms : float;
+  onl_scr_p50_ms : float;
+  onl_scr_p99_ms : float;
+  onl_inc_total_s : float;
+  onl_scr_total_s : float;
+  onl_identical : bool;
+}
+
+(* The online driver under a crash + outage + rejoin trace against an LU
+   job, timed twice: with the commit-log rewind (incremental) and with
+   every re-plan rebuilt from scratch.  The initial plan is excluded
+   (both paths build it the same way); the remaining steady-state
+   re-plans give the p50/p99 latency columns and their total-time ratio
+   is the [incremental_replan_speedup] tracked in BENCH_*.json.  The
+   [identical] column checks the two paths agree on every intermediate
+   and final makespan — the bit-identical guarantee the test suite
+   proves in full. *)
+let run_online ~echo opts =
+  let repeats = 3 in
+  let sizes =
+    List.filter_map
+      (fun n ->
+        let n = int_of_float (float_of_int n *. opts.scale) in
+        if n >= 10 then Some n else None)
+      [ 100; 200; 300 ]
+  in
+  if echo then
+    Printf.printf
+      "\n=== online: steady-state replan latency, incremental vs \
+       from-scratch (best of %d) ===\n%!"
+      repeats;
+  let table =
+    O.Table.create
+      ~columns:
+        [ "testbed"; "n"; "tasks"; "replans"; "inc p50"; "inc p99";
+          "scratch p50"; "scratch p99"; "speedup"; "identical" ]
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let g = O.Kernels.lu ~n ~ccr:10. in
+        let nominal = O.Schedule.makespan (O.Heft.schedule plat g) in
+        let job = O.Online_event.job ~ccr:10. "lu" n in
+        let ev at kind = { O.Online_event.at; kind } in
+        let events =
+          [
+            ev 0. (O.Online_event.Arrive job);
+            ev (0.55 *. nominal) (O.Online_event.Crash 1);
+            ev (0.65 *. nominal) (O.Online_event.Down 2);
+            ev (0.72 *. nominal) (O.Online_event.Rejoin 2);
+            ev (0.80 *. nominal) (O.Online_event.Crash 3);
+            ev (0.90 *. nominal) (O.Online_event.Rejoin 3);
+          ]
+        in
+        let run incremental =
+          let config =
+            { O.Online_driver.default_config with O.Online_driver.incremental }
+          in
+          let best = ref None in
+          for _ = 1 to repeats do
+            let o = O.Online_driver.run ~config plat events in
+            let walls =
+              match o.O.Online_driver.replans with
+              | [] -> []
+              | _initial :: steady ->
+                  List.map (fun r -> r.O.Online_driver.wall_s) steady
+            in
+            let total = List.fold_left ( +. ) 0. walls in
+            match !best with
+            | Some (_, t, _) when t <= total -> ()
+            | _ -> best := Some (o, total, walls)
+          done;
+          match !best with Some b -> b | None -> assert false
+        in
+        let inc_o, inc_total, inc_walls = run true in
+        let scr_o, scr_total, scr_walls = run false in
+        let makespans (o : O.Online_driver.outcome) =
+          List.map
+            (fun (r : O.Online_driver.replan_report) ->
+              r.O.Online_driver.makespan)
+            o.O.Online_driver.replans
+        in
+        let identical =
+          inc_o.O.Online_driver.makespan = scr_o.O.Online_driver.makespan
+          && makespans inc_o = makespans scr_o
+        in
+        let ms p = function
+          | [] -> nan
+          | walls -> 1000. *. O.Stats.percentile p walls
+        in
+        let r =
+          {
+            onl_n = n;
+            onl_tasks = O.Graph.n_tasks g;
+            onl_replans = List.length inc_walls;
+            onl_inc_p50_ms = ms 50. inc_walls;
+            onl_inc_p99_ms = ms 99. inc_walls;
+            onl_scr_p50_ms = ms 50. scr_walls;
+            onl_scr_p99_ms = ms 99. scr_walls;
+            onl_inc_total_s = inc_total;
+            onl_scr_total_s = scr_total;
+            onl_identical = identical;
+          }
+        in
+        let pms x = Printf.sprintf "%.2f ms" x in
+        O.Table.add_row table
+          [
+            "lu"; string_of_int n; string_of_int r.onl_tasks;
+            string_of_int r.onl_replans;
+            pms r.onl_inc_p50_ms; pms r.onl_inc_p99_ms;
+            pms r.onl_scr_p50_ms; pms r.onl_scr_p99_ms;
+            (if inc_total > 0. then
+               Printf.sprintf "%.1fx" (scr_total /. inc_total)
+             else "-");
+            (if identical then "yes" else "NO");
+          ];
+        r)
+      sizes
+  in
+  if echo then print_string (O.Table.to_string table);
+  rows
+
+(* ------------------------------------------------------------------ *)
 (* JSON export                                                          *)
 (* ------------------------------------------------------------------ *)
 
 (* Hand-rolled writer (no JSON dependency): the schema is documented in
    doc/performance.md and the committed BENCH_*.json baselines follow
    it. *)
-let emit_json opts ~bech_rows ~probe_rows ~grid ~improver_rows ~model_rows file
-    =
+let emit_json opts ~bech_rows ~probe_rows ~grid ~improver_rows ~model_rows
+    ~online_rows file =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let json_float x =
@@ -621,6 +758,35 @@ let emit_json opts ~bech_rows ~probe_rows ~grid ~improver_rows ~model_rows file
       model_rows;
     add "  ]},\n"
   end;
+  if online_rows <> [] then begin
+    add "  \"online\": {\"cores\": %d, \"testbed\": \"lu\", \"heuristic\": \
+         %S, \"rows\": [\n"
+      (Domain.recommended_domain_count ())
+      O.Online_driver.default_config.O.Online_driver.heuristic;
+    List.iteri
+      (fun i r ->
+        add
+          "    {\"n\": %d, \"tasks\": %d, \"replans\": %d, \
+           \"incremental_p50_ms\": %s, \"incremental_p99_ms\": %s, \
+           \"scratch_p50_ms\": %s, \"scratch_p99_ms\": %s, \
+           \"incremental_total_s\": %s, \"scratch_total_s\": %s, \
+           \"incremental_replan_speedup\": %s, \"identical\": %b}%s\n"
+          r.onl_n r.onl_tasks r.onl_replans
+          (json_float r.onl_inc_p50_ms)
+          (json_float r.onl_inc_p99_ms)
+          (json_float r.onl_scr_p50_ms)
+          (json_float r.onl_scr_p99_ms)
+          (json_float r.onl_inc_total_s)
+          (json_float r.onl_scr_total_s)
+          (json_float
+             (if r.onl_inc_total_s > 0. then
+                r.onl_scr_total_s /. r.onl_inc_total_s
+              else nan))
+          r.onl_identical
+          (if i = List.length online_rows - 1 then "" else ","))
+      online_rows;
+    add "  ]},\n"
+  end;
   add "  \"probes\": [\n";
   List.iteri
     (fun i r ->
@@ -669,6 +835,10 @@ let () =
   let model_rows =
     if opts.run_models && opts.only = [] then run_models ~echo () else []
   in
+  let online_rows =
+    if opts.run_online && opts.only = [] then run_online ~echo opts else []
+  in
   Option.iter
-    (emit_json opts ~bech_rows ~probe_rows ~grid ~improver_rows ~model_rows)
+    (emit_json opts ~bech_rows ~probe_rows ~grid ~improver_rows ~model_rows
+       ~online_rows)
     opts.json

@@ -6,6 +6,7 @@
      analyze     print the structural summary of a testbed graph
      dot         emit Graphviz for a testbed (optionally coloured by mapping)
      robustness  Monte-Carlo jitter analysis of a heuristic's schedule
+     online      rolling-horizon event-driven scheduling with re-planning
      list        enumerate testbeds, heuristics, models and experiments *)
 
 open Cmdliner
@@ -454,7 +455,13 @@ let robustness_cmd =
           label (List.length stranded) events_fired total_events
           partial_makespan
   in
-  let fault_mode params trials task_jitter comm_jitter specs sched =
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"RNG seed for the Monte-Carlo trials (deterministic per seed).")
+  in
+  let fault_mode params trials task_jitter comm_jitter specs seed sched =
     let nominal = O.Schedule.makespan sched in
     let faults =
       List.map
@@ -493,7 +500,7 @@ let robustness_cmd =
     (* Monte-Carlo over the scenario: flaky draws and (optional) jitter. *)
     let tj = Option.value task_jitter ~default:0. in
     let cj = Option.value comm_jitter ~default:0. in
-    let rng = O.Rng.create ~seed:42 in
+    let rng = O.Rng.create ~seed in
     let survived = ref 0 in
     let retries = ref 0 in
     let backoff = ref 0. in
@@ -525,19 +532,19 @@ let robustness_cmd =
         !retries !backoff
   in
   let action testbed n ccr heuristic params jitter trials task_jitter
-      comm_jitter faults jobs =
+      comm_jitter faults jobs seed =
     let plat = O.Platform.paper_platform () in
     let g = build_graph testbed n ccr in
     let entry = O.Registry.find heuristic in
     let sched = entry.O.Registry.scheduler params plat g in
     match faults with
     | [] ->
-        let rng = O.Rng.create ~seed:42 in
+        let rng = O.Rng.create ~seed in
         Format.printf "%a@." O.Robustness.pp_stats
           (O.Robustness.monte_carlo ?task_jitter ?comm_jitter ~jobs sched rng
              ~jitter ~trials)
     | specs -> (
-        try fault_mode params trials task_jitter comm_jitter specs sched
+        try fault_mode params trials task_jitter comm_jitter specs seed sched
         with Invalid_argument msg ->
           Printf.eprintf "schedcli: %s\n" msg;
           exit 2)
@@ -551,7 +558,206 @@ let robustness_cmd =
     Term.(
       const action $ testbed_arg $ size_arg $ ccr_arg $ heuristic_arg
       $ params_term $ jitter $ trials $ task_jitter $ comm_jitter $ faults
-      $ jobs_arg)
+      $ jobs_arg $ seed_arg)
+
+let online_cmd =
+  let trace_file_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "trace-file" ] ~docv:"FILE"
+          ~doc:
+            "Read the event trace from $(docv) (one event per line; see \
+             doc/online.md).  Overrides --arrival.")
+  in
+  let arrival_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "arrival" ] ~docv:"PROC"
+          ~doc:
+            "Generate arrivals of the template job (-t/-n/-c): \
+             poisson:RATE[:COUNT] or bursty:RATE:BURST[:COUNT] (COUNT \
+             defaults to 5).  Deterministic per --seed.  Without \
+             --trace-file and --arrival, a single job arrives at t = 0.")
+  in
+  let fault_conv =
+    let parse s =
+      match O.Fault.of_string s with
+      | (_ : O.Fault.spec) -> Ok s
+      | exception Invalid_argument msg -> Error (`Msg msg)
+    in
+    Arg.conv (parse, Format.pp_print_string)
+  in
+  let faults_arg =
+    Arg.(
+      value & opt_all fault_conv []
+      & info [ "fault" ]
+          ~doc:
+            "Inject a fault as trace events (repeatable): crash:P\\@T, \
+             outage:P\\@T1-T2 (becomes down + rejoin), or rejoin:P\\@T.  \
+             Times must be absolute — there is no nominal makespan to \
+             anchor percentages against in an online run.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline" ] ~docv:"D"
+          ~doc:
+            "Deadline for generated arrivals, relative to each job's \
+             arrival instant.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"RNG seed for --arrival (runs are deterministic per seed).")
+  in
+  let max_active_arg =
+    Arg.(
+      value & opt int O.Online_driver.default_config.O.Online_driver.max_active
+      & info [ "max-active" ] ~doc:"Admission control: concurrent job cap.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int O.Online_driver.default_config.O.Online_driver.queue_cap
+      & info [ "queue" ] ~doc:"FIFO backlog capacity beyond --max-active.")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt int O.Online_driver.default_config.O.Online_driver.replan_budget
+      & info [ "replan-budget" ]
+          ~doc:"Re-plans allowed before arrivals are rejected.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int O.Online_driver.default_config.O.Online_driver.max_retries
+      & info [ "retries" ]
+          ~doc:"Probes before a down processor is declared dead.")
+  in
+  let backoff_arg =
+    Arg.(
+      value & opt float O.Online_driver.default_config.O.Online_driver.backoff
+      & info [ "backoff" ]
+          ~doc:"First probe delay for a down processor; doubles per retry.")
+  in
+  let from_scratch_arg =
+    Arg.(
+      value & flag
+      & info [ "from-scratch" ]
+          ~doc:
+            "Rebuild every re-plan from scratch instead of rewinding the \
+             commit log (the bench baseline).")
+  in
+  let parse_arrival spec rng job =
+    let num what conv s =
+      match conv s with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Printf.sprintf "--arrival: bad %s %S in %S" what s spec)
+    in
+    match String.split_on_char ':' spec with
+    | [ "poisson"; rate ] | [ "poisson"; rate; "" ] ->
+        O.Online_event.poisson ~rng
+          ~rate:(num "rate" float_of_string_opt rate)
+          ~count:5 job
+    | [ "poisson"; rate; count ] ->
+        O.Online_event.poisson ~rng
+          ~rate:(num "rate" float_of_string_opt rate)
+          ~count:(num "count" int_of_string_opt count)
+          job
+    | [ "bursty"; rate; burst ] ->
+        O.Online_event.bursty ~rng
+          ~rate:(num "rate" float_of_string_opt rate)
+          ~burst:(num "burst" int_of_string_opt burst)
+          ~count:5 job
+    | [ "bursty"; rate; burst; count ] ->
+        O.Online_event.bursty ~rng
+          ~rate:(num "rate" float_of_string_opt rate)
+          ~burst:(num "burst" int_of_string_opt burst)
+          ~count:(num "count" int_of_string_opt count)
+          job
+    | _ ->
+        invalid_arg
+          (Printf.sprintf
+             "--arrival: expected poisson:RATE[:COUNT] or \
+              bursty:RATE:BURST[:COUNT], got %S"
+             spec)
+  in
+  let action testbed n ccr heuristic params trace_file arrival faults deadline
+      seed max_active queue_cap replan_budget max_retries backoff from_scratch
+      stats trace =
+    try
+      let job = O.Online_event.job ~ccr ?deadline testbed n in
+      let arrivals =
+        match (trace_file, arrival) with
+        | Some path, _ -> O.Online_event.load path
+        | None, Some spec ->
+            parse_arrival spec (O.Rng.create ~seed) job
+        | None, None ->
+            [ { O.Online_event.at = 0.; kind = O.Online_event.Arrive job } ]
+      in
+      let fault_events =
+        List.concat_map
+          (fun s ->
+            let f =
+              try O.Fault.resolve ~makespan:0. (O.Fault.of_string s)
+              with Invalid_argument _ ->
+                invalid_arg
+                  (Printf.sprintf
+                     "--fault: online fault times must be absolute, got %S" s)
+            in
+            O.Online_event.of_fault f)
+          faults
+      in
+      let events = O.Online_event.sort (arrivals @ fault_events) in
+      let config =
+        {
+          O.Online_driver.default_config with
+          O.Online_driver.params;
+          heuristic;
+          max_active;
+          queue_cap;
+          replan_budget;
+          max_retries;
+          backoff;
+          incremental = not from_scratch;
+        }
+      in
+      let outcome =
+        with_observability ~stats ~trace (fun () ->
+            O.Online_driver.run ~config (O.Platform.paper_platform ()) events)
+      in
+      Format.printf "%a@." O.Online_driver.pp_outcome outcome;
+      let n_replans = List.length outcome.O.Online_driver.replans in
+      Printf.printf "validator:        ok (%d replans checked)\n" n_replans;
+      if n_replans > 0 then begin
+        let walls =
+          List.map
+            (fun r -> 1000. *. r.O.Online_driver.wall_s)
+            outcome.O.Online_driver.replans
+        in
+        Printf.printf "replan latency:   p50 %.3f ms  p99 %.3f ms\n"
+          (O.Stats.percentile 50. walls)
+          (O.Stats.percentile 99. walls)
+      end
+    with Invalid_argument msg | Failure msg ->
+      Printf.eprintf "schedcli: %s\n" msg;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "online"
+       ~doc:
+         "Rolling-horizon online scheduling: consume an event trace (job \
+          arrivals, crashes, outages, rejoins) against the template job, \
+          re-planning the un-executed suffix after each disruption.  Every \
+          re-plan is validated and the executed prefix is kept bit-identical; \
+          see doc/online.md.")
+    Term.(
+      const action $ testbed_arg $ size_arg $ ccr_arg $ heuristic_arg
+      $ params_term $ trace_file_arg $ arrival_arg $ faults_arg $ deadline_arg
+      $ seed_arg $ max_active_arg $ queue_arg $ budget_arg $ retries_arg
+      $ backoff_arg $ from_scratch_arg $ stats_arg $ trace_arg)
 
 let compare_cmd =
   let against_arg =
@@ -759,6 +965,6 @@ let () =
        (Cmd.group info
           [
             run_cmd; figures_cmd; analyze_cmd; dot_cmd; robustness_cmd;
-            export_cmd; autob_cmd; compare_cmd; batch_cmd; grid_cmd;
-            reproduce_cmd; list_cmd;
+            online_cmd; export_cmd; autob_cmd; compare_cmd; batch_cmd;
+            grid_cmd; reproduce_cmd; list_cmd;
           ]))

@@ -27,6 +27,7 @@
     - complexity: {!Two_partition}, {!Fork_sched}, {!Comm_sched};
     - analysis/robustness: {!Pert}, {!Robustness}, {!Utilization},
       {!Executor}, {!Fault}, {!Faulty_executor}, {!Repair};
+    - online scheduling: {!Online_event}, {!Online_driver};
     - experiments: {!Config}, {!Runner}, {!Figures};
     - observability: {!Obs_counters}, {!Obs_span}, {!Obs_report},
       {!Obs_trace}. *)
@@ -94,6 +95,10 @@ module Utilization = Simkit.Utilization
 module Executor = Simkit.Executor
 module Fault = Simkit.Fault
 module Faulty_executor = Simkit.Faulty_executor
+
+(* Rolling-horizon online scheduling *)
+module Online_event = Online.Event
+module Online_driver = Online.Driver
 
 (* Experiments *)
 module Config = Experiments.Config

@@ -11,6 +11,57 @@ type result = {
   repaired_makespan : float;
 }
 
+(* The suffix re-mapper shared by [crash] and the rolling-horizon online
+   driver: HEFT-style Kahn loop over the [todo] set — upward-rank
+   priority, earliest finish over [candidates], every decision floored —
+   committed through the engine so the commit log stays rewindable. *)
+let schedule_suffix ?(params = Params.default) ~floor ~candidates engine ~todo =
+  let sched = Engine.schedule engine in
+  let g = Schedule.graph sched in
+  let plat = Schedule.platform sched in
+  if candidates = [] then
+    invalid_arg "Repair.schedule_suffix: no candidate processor";
+  let n = Graph.n_tasks g in
+  let ranks = Ranking.upward ~averaging:params.Params.averaging g plat in
+  let remaining = Array.make n 0 in
+  let ready = ref [] in
+  for v = 0 to n - 1 do
+    if todo.(v) then begin
+      let r =
+        List.fold_left
+          (fun acc u -> if todo.(u) then acc + 1 else acc)
+          0 (Graph.preds g v)
+      in
+      remaining.(v) <- r;
+      if r = 0 then ready := v :: !ready
+    end
+  done;
+  let remapped = ref [] in
+  while !ready <> [] do
+    let task =
+      match !ready with
+      | [] -> assert false
+      | v0 :: rest ->
+          List.fold_left
+            (fun best v ->
+              if Ranking.compare_priority ranks v best < 0 then v else best)
+            v0 rest
+    in
+    ready := List.filter (fun v -> v <> task) !ready;
+    let ev = Engine.best_proc_among ~floor engine ~task candidates in
+    Engine.commit engine ~task ev;
+    Obs.Counters.repair ();
+    remapped := task :: !remapped;
+    List.iter
+      (fun u ->
+        if todo.(u) then begin
+          remaining.(u) <- remaining.(u) - 1;
+          if remaining.(u) = 0 then ready := u :: !ready
+        end)
+      (Graph.succs g task)
+  done;
+  List.sort compare !remapped
+
 (* Frozen tasks are closed under precedence: a predecessor of a task that
    started before [at] finished — hence started — even earlier, and a
    predecessor that ran on the dead processor finished before the
@@ -59,45 +110,9 @@ let crash ?(params = Params.default) ?(dead = []) ~proc ~at sched =
   (* Re-map the rest HEFT-style onto the survivors, every new decision
      floored at the crash instant. *)
   let engine = Engine.create ~policy:params.Params.policy fresh in
-  let ranks = Ranking.upward ~averaging:params.Params.averaging g plat in
-  let remaining = Array.make n 0 in
-  let ready = ref [] in
-  for v = 0 to n - 1 do
-    if remap.(v) then begin
-      let r =
-        List.fold_left
-          (fun acc u -> if remap.(u) then acc + 1 else acc)
-          0 (Graph.preds g v)
-      in
-      remaining.(v) <- r;
-      if r = 0 then ready := v :: !ready
-    end
-  done;
-  let remapped = ref [] in
-  while !ready <> [] do
-    let task =
-      match !ready with
-      | [] -> assert false
-      | v0 :: rest ->
-          List.fold_left
-            (fun best v ->
-              if Ranking.compare_priority ranks v best < 0 then v else best)
-            v0 rest
-    in
-    ready := List.filter (fun v -> v <> task) !ready;
-    let ev = Engine.best_proc_among ~floor:at engine ~task survivors in
-    Engine.commit engine ~task ev;
-    Obs.Counters.repair ();
-    remapped := task :: !remapped;
-    List.iter
-      (fun u ->
-        if remap.(u) then begin
-          remaining.(u) <- remaining.(u) - 1;
-          if remaining.(u) = 0 then ready := u :: !ready
-        end)
-      (Graph.succs g task)
-  done;
-  let remapped = List.sort compare !remapped in
+  let remapped =
+    schedule_suffix ~params ~floor:at ~candidates:survivors engine ~todo:remap
+  in
   {
     schedule = fresh;
     crash_proc = proc;

@@ -57,4 +57,23 @@ val crash :
   Sched.Schedule.t ->
   result
 
+(** [schedule_suffix ?params ~floor ~candidates engine ~todo] — the
+    suffix re-mapper [crash] is built on, exposed for the rolling-horizon
+    online driver ([lib/online]).  Schedules exactly the tasks with
+    [todo.(v) = true] — which must be unplaced in the engine's schedule,
+    with every predecessor either already placed or itself in [todo] —
+    in upward-rank priority order, each onto its earliest-finish
+    processor among [candidates], no event starting before [floor].
+    Every decision goes through {!Engine.commit}, so the commit log
+    stays rewindable, and bumps the [repairs] counter.  Returns the
+    scheduled tasks in ascending order.
+    @raise Invalid_argument if [candidates] is empty. *)
+val schedule_suffix :
+  ?params:Params.t ->
+  floor:float ->
+  candidates:int list ->
+  Engine.t ->
+  todo:bool array ->
+  int list
+
 val pp_result : Format.formatter -> result -> unit

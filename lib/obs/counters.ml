@@ -13,6 +13,10 @@ type snapshot = {
   rollbacks : int;
   replayed_tasks : int;
   search_pruned_nodes : int;
+  replans : int;
+  shed_jobs : int;
+  frozen_tasks : int;
+  deadline_misses : int;
 }
 
 let zero : snapshot =
@@ -31,6 +35,10 @@ let zero : snapshot =
     rollbacks = 0;
     replayed_tasks = 0;
     search_pruned_nodes = 0;
+    replans = 0;
+    shed_jobs = 0;
+    frozen_tasks = 0;
+    deadline_misses = 0;
   }
 
 (* One mutable record rather than eleven refs: a single cache line, and
@@ -50,6 +58,10 @@ type state = {
   mutable rollbacks : int;
   mutable replayed_tasks : int;
   mutable search_pruned_nodes : int;
+  mutable replans : int;
+  mutable shed_jobs : int;
+  mutable frozen_tasks : int;
+  mutable deadline_misses : int;
 }
 
 (* Domain-local scratch: every domain bumps its own record, so workers of
@@ -73,6 +85,10 @@ let key : state Domain.DLS.key =
         rollbacks = 0;
         replayed_tasks = 0;
         search_pruned_nodes = 0;
+        replans = 0;
+        shed_jobs = 0;
+        frozen_tasks = 0;
+        deadline_misses = 0;
       })
 
 let state () = Domain.DLS.get key
@@ -97,7 +113,11 @@ let reset () =
   s.backoff_s <- 0.;
   s.rollbacks <- 0;
   s.replayed_tasks <- 0;
-  s.search_pruned_nodes <- 0
+  s.search_pruned_nodes <- 0;
+  s.replans <- 0;
+  s.shed_jobs <- 0;
+  s.frozen_tasks <- 0;
+  s.deadline_misses <- 0
 
 let snapshot () : snapshot =
   let s = state () in
@@ -116,6 +136,10 @@ let snapshot () : snapshot =
     rollbacks = s.rollbacks;
     replayed_tasks = s.replayed_tasks;
     search_pruned_nodes = s.search_pruned_nodes;
+    replans = s.replans;
+    shed_jobs = s.shed_jobs;
+    frozen_tasks = s.frozen_tasks;
+    deadline_misses = s.deadline_misses;
   }
 
 let merge (d : snapshot) =
@@ -133,7 +157,11 @@ let merge (d : snapshot) =
   s.backoff_s <- s.backoff_s +. d.backoff_s;
   s.rollbacks <- s.rollbacks + d.rollbacks;
   s.replayed_tasks <- s.replayed_tasks + d.replayed_tasks;
-  s.search_pruned_nodes <- s.search_pruned_nodes + d.search_pruned_nodes
+  s.search_pruned_nodes <- s.search_pruned_nodes + d.search_pruned_nodes;
+  s.replans <- s.replans + d.replans;
+  s.shed_jobs <- s.shed_jobs + d.shed_jobs;
+  s.frozen_tasks <- s.frozen_tasks + d.frozen_tasks;
+  s.deadline_misses <- s.deadline_misses + d.deadline_misses
 
 let diff (a : snapshot) (b : snapshot) : snapshot =
   {
@@ -151,6 +179,10 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     rollbacks = b.rollbacks - a.rollbacks;
     replayed_tasks = b.replayed_tasks - a.replayed_tasks;
     search_pruned_nodes = b.search_pruned_nodes - a.search_pruned_nodes;
+    replans = b.replans - a.replans;
+    shed_jobs = b.shed_jobs - a.shed_jobs;
+    frozen_tasks = b.frozen_tasks - a.frozen_tasks;
+    deadline_misses = b.deadline_misses - a.deadline_misses;
   }
 
 (* The print order below is part of the CLI contract (cram tests pin it):
@@ -185,7 +217,18 @@ let pp fmt (c : snapshot) =
       "@,@[<v>rollbacks:        %d@,\
        replayed tasks:   %d@,\
        search pruned:    %d@]"
-      c.rollbacks c.replayed_tasks c.search_pruned_nodes
+      c.rollbacks c.replayed_tasks c.search_pruned_nodes;
+  (* rolling-horizon online counters: offline runs never print them *)
+  if
+    c.replans <> 0 || c.shed_jobs <> 0 || c.frozen_tasks <> 0
+    || c.deadline_misses <> 0
+  then
+    Format.fprintf fmt
+      "@,@[<v>replans:          %d@,\
+       shed jobs:        %d@,\
+       frozen tasks:     %d@,\
+       deadline misses:  %d@]"
+      c.replans c.shed_jobs c.frozen_tasks c.deadline_misses
 
 let evaluation () =
   if !on then
@@ -269,4 +312,28 @@ let search_pruned_node () =
   if !on then
     let s = state () in
     s.search_pruned_nodes <- s.search_pruned_nodes + 1
+[@@inline]
+
+let replan () =
+  if !on then
+    let s = state () in
+    s.replans <- s.replans + 1
+[@@inline]
+
+let shed_job () =
+  if !on then
+    let s = state () in
+    s.shed_jobs <- s.shed_jobs + 1
+[@@inline]
+
+let frozen_task () =
+  if !on then
+    let s = state () in
+    s.frozen_tasks <- s.frozen_tasks + 1
+[@@inline]
+
+let deadline_miss () =
+  if !on then
+    let s = state () in
+    s.deadline_misses <- s.deadline_misses + 1
 [@@inline]

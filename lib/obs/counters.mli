@@ -43,6 +43,18 @@
     - [search_pruned_nodes]: branch-and-bound nodes cut by the incumbent
       bound in [Search.best_schedule].
 
+    Four more trace the rolling-horizon online driver
+    ([Online.Driver]):
+
+    - [replans]: suffix re-plans triggered by arrivals, failures,
+      rejoins or predicted deadline misses;
+    - [shed_jobs]: pending jobs dropped by graceful degradation to
+      protect a higher-priority deadline;
+    - [frozen_tasks]: executed-prefix tasks whose decisions a re-plan
+      kept verbatim (summed over re-plans);
+    - [deadline_misses]: jobs that completed after their deadline (or
+      were shed while holding one).
+
     Counting is globally toggleable and off by default.  When disabled,
     every bump is a single load-and-branch; when enabled, a
     domain-local-storage lookup plus an in-place integer store — no
@@ -72,6 +84,10 @@ type snapshot = {
   rollbacks : int;
   replayed_tasks : int;
   search_pruned_nodes : int;
+  replans : int;
+  shed_jobs : int;
+  frozen_tasks : int;
+  deadline_misses : int;
 }
 
 val zero : snapshot
@@ -99,8 +115,10 @@ val merge : snapshot -> unit
     part of the CLI contract (cram tests pin it): evaluations, pruned
     evaluations, route-cache hits, gap probes, joint gap probes,
     tentative hops, commits, copies — then the fault block (retries,
-    repairs, backoff time) and the incremental-kernel block (rollbacks,
-    replayed tasks, search pruned), each printed only when nonzero. *)
+    repairs, backoff time), the incremental-kernel block (rollbacks,
+    replayed tasks, search pruned) and the online block (replans, shed
+    jobs, frozen tasks, deadline misses), each printed only when
+    nonzero. *)
 val pp : Format.formatter -> snapshot -> unit
 
 (** {2 Bump sites} — no-ops while disabled. *)
@@ -123,3 +141,7 @@ val backoff : float -> unit
 val rollback : unit -> unit
 val replayed_task : unit -> unit
 val search_pruned_node : unit -> unit
+val replan : unit -> unit
+val shed_job : unit -> unit
+val frozen_task : unit -> unit
+val deadline_miss : unit -> unit

@@ -1,0 +1,188 @@
+module Rng = Prelude.Rng
+
+type job = {
+  testbed : string;
+  n : int;
+  ccr : float;
+  priority : int;
+  deadline : float option;
+}
+
+type kind = Arrive of job | Crash of int | Down of int | Rejoin of int
+type t = { at : float; kind : kind }
+
+let grammar =
+  "arrive T TESTBED:N[:CCR] [prio=K] [deadline=D] | crash T P | down T P | \
+   rejoin T P (# starts a comment line)"
+
+let fail line reason =
+  invalid_arg
+    (Printf.sprintf "Online.Event.of_string: %S: %s (grammar: %s)" line reason
+       grammar)
+
+let job ?(ccr = 1.) ?(priority = 0) ?deadline testbed n =
+  if n <= 0 then invalid_arg "Online.Event.job: non-positive size";
+  if ccr < 0. then invalid_arg "Online.Event.job: negative ccr";
+  (match deadline with
+  | Some d when d <= 0. -> invalid_arg "Online.Event.job: non-positive deadline"
+  | _ -> ());
+  { testbed; n; ccr; priority; deadline }
+
+let parse_float line text =
+  match float_of_string_opt text with
+  | Some f -> f
+  | None -> fail line (Printf.sprintf "bad number %S" text)
+
+let parse_time line text =
+  let t = parse_float line text in
+  if t < 0. then fail line (Printf.sprintf "negative time %S" text) else t
+
+let parse_proc line text =
+  match int_of_string_opt text with
+  | Some q when q >= 0 -> q
+  | _ -> fail line (Printf.sprintf "bad processor id %S" text)
+
+let parse_job line spec opts =
+  let testbed, n, ccr =
+    match String.split_on_char ':' spec with
+    | [ tb; n ] -> (tb, n, 1.)
+    | [ tb; n; ccr ] -> (tb, n, parse_float line ccr)
+    | _ -> fail line (Printf.sprintf "expected TESTBED:N[:CCR], got %S" spec)
+  in
+  let n =
+    match int_of_string_opt n with
+    | Some k when k > 0 -> k
+    | _ -> fail line (Printf.sprintf "bad job size %S" n)
+  in
+  if ccr < 0. then fail line "negative ccr";
+  let priority = ref 0 and deadline = ref None in
+  List.iter
+    (fun opt ->
+      match String.index_opt opt '=' with
+      | Some i -> (
+          let k = String.sub opt 0 i in
+          let v = String.sub opt (i + 1) (String.length opt - i - 1) in
+          match k with
+          | "prio" -> (
+              match int_of_string_opt v with
+              | Some p -> priority := p
+              | None -> fail line (Printf.sprintf "bad priority %S" v))
+          | "deadline" ->
+              let d = parse_float line v in
+              if d <= 0. then fail line "non-positive deadline"
+              else deadline := Some d
+          | _ -> fail line (Printf.sprintf "unknown option %S" k))
+      | None -> fail line (Printf.sprintf "unknown option %S" opt))
+    opts;
+  { testbed; n; ccr; priority = !priority; deadline = !deadline }
+
+let of_string line =
+  let parts =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun s -> s <> "")
+  in
+  match parts with
+  | kind :: at :: rest -> (
+      let at = parse_time line at in
+      match (kind, rest) with
+      | "arrive", spec :: opts -> { at; kind = Arrive (parse_job line spec opts) }
+      | "arrive", [] -> fail line "expected a TESTBED:N[:CCR] job spec"
+      | "crash", [ q ] -> { at; kind = Crash (parse_proc line q) }
+      | "down", [ q ] -> { at; kind = Down (parse_proc line q) }
+      | "rejoin", [ q ] -> { at; kind = Rejoin (parse_proc line q) }
+      | ("crash" | "down" | "rejoin"), _ ->
+          fail line "expected exactly one processor id"
+      | _ -> fail line (Printf.sprintf "unknown event kind %S" kind))
+  | _ -> fail line "expected KIND T ..."
+
+let job_to_string j =
+  let spec =
+    if j.ccr = 1. then Printf.sprintf "%s:%d" j.testbed j.n
+    else Printf.sprintf "%s:%d:%g" j.testbed j.n j.ccr
+  in
+  let prio = if j.priority = 0 then "" else Printf.sprintf " prio=%d" j.priority in
+  let dl =
+    match j.deadline with
+    | None -> ""
+    | Some d -> Printf.sprintf " deadline=%g" d
+  in
+  spec ^ prio ^ dl
+
+let to_string e =
+  match e.kind with
+  | Arrive j -> Printf.sprintf "arrive %g %s" e.at (job_to_string j)
+  | Crash q -> Printf.sprintf "crash %g %d" e.at q
+  | Down q -> Printf.sprintf "down %g %d" e.at q
+  | Rejoin q -> Printf.sprintf "rejoin %g %d" e.at q
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+let of_trace_string text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None else Some (of_string line))
+
+let to_trace_string events =
+  String.concat "" (List.map (fun e -> to_string e ^ "\n") events)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_trace_string (really_input_string ic len))
+
+let save path events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_trace_string events))
+
+let sort events =
+  List.stable_sort (fun a b -> compare (a.at : float) b.at) events
+
+(* Exponential inter-arrival draw; 1 - u keeps the argument of [log] in
+   (0, 1] for u in [0, 1). *)
+let exp_draw rng ~rate = -.log (1. -. Rng.float rng 1.) /. rate
+
+let poisson ~rng ~rate ~count job_ =
+  if rate <= 0. then invalid_arg "Online.Event.poisson: non-positive rate";
+  if count < 0 then invalid_arg "Online.Event.poisson: negative count";
+  let rec go i t acc =
+    if i >= count then List.rev acc
+    else
+      let t = t +. exp_draw rng ~rate in
+      go (i + 1) t ({ at = t; kind = Arrive job_ } :: acc)
+  in
+  go 0 0. []
+
+let bursty ~rng ~rate ~burst ~count job_ =
+  if rate <= 0. then invalid_arg "Online.Event.bursty: non-positive rate";
+  if burst <= 0 then invalid_arg "Online.Event.bursty: non-positive burst";
+  if count < 0 then invalid_arg "Online.Event.bursty: negative count";
+  let rec go made t acc =
+    if made >= count then List.rev acc
+    else
+      let t = t +. exp_draw rng ~rate in
+      let k = min burst (count - made) in
+      let acc = ref acc in
+      for _ = 1 to k do
+        acc := { at = t; kind = Arrive job_ } :: !acc
+      done;
+      go (made + k) t !acc
+  in
+  go 0 0. []
+
+let of_fault = function
+  | Simkit.Fault.Crash { proc; at } -> [ { at; kind = Crash proc } ]
+  | Simkit.Fault.Rejoin { proc; at } -> [ { at; kind = Rejoin proc } ]
+  | Simkit.Fault.Outage { proc; from_; until } ->
+      { at = from_; kind = Down proc }
+      :: (if until = infinity then []
+          else [ { at = until; kind = Rejoin proc } ])
+  | Simkit.Fault.Degrade _ ->
+      invalid_arg "Online.Event.of_fault: degrade has no event-trace form"
+  | Simkit.Fault.Flaky _ ->
+      invalid_arg "Online.Event.of_fault: flaky has no event-trace form"

@@ -3,6 +3,7 @@ type t =
   | Outage of { proc : int; from_ : float; until : float }
   | Degrade of { proc : int; factor : float }
   | Flaky of { prob : float; max_retries : int; backoff : float }
+  | Rejoin of { proc : int; at : float }
 
 (* A time that may still be a fraction of the nominal makespan. *)
 type reltime = Abs of float | Frac of float
@@ -12,11 +13,12 @@ type spec =
   | S_outage of { proc : int; from_ : reltime; until : reltime }
   | S_degrade of { proc : int; factor : float }
   | S_flaky of { prob : float; max_retries : int; backoff : float }
+  | S_rejoin of { proc : int; at : reltime }
 
 let grammar =
   "crash:P@T | outage:P@T1-T2 | degrade:PxF | flaky:PROB[:RETRIES[:BACKOFF]] \
-   (times: absolute like 120, or a percentage of the nominal makespan like \
-   25%)"
+   | rejoin:P@T (times: absolute like 120, or a percentage of the nominal \
+   makespan like 25%)"
 
 let fail s reason =
   invalid_arg (Printf.sprintf "Fault.of_string: %S: %s (grammar: %s)" s reason grammar)
@@ -98,7 +100,26 @@ let of_string s =
                   backoff;
                 }
           | _ -> fail s "expected flaky:PROB[:RETRIES[:BACKOFF]]")
+      | "rejoin" ->
+          let proc, at = split2 s ~on:'@' rest "expected rejoin:P@T" in
+          S_rejoin { proc = parse_int s proc; at = parse_reltime s at }
       | _ -> fail s (Printf.sprintf "unknown fault kind %S" kind))
+
+let reltime_to_string = function
+  | Abs t -> Printf.sprintf "%g" t
+  | Frac f -> Printf.sprintf "%g%%" (f *. 100.)
+
+let spec_to_string = function
+  | S_crash { proc; at } ->
+      Printf.sprintf "crash:%d@%s" proc (reltime_to_string at)
+  | S_outage { proc; from_; until } ->
+      Printf.sprintf "outage:%d@%s-%s" proc (reltime_to_string from_)
+        (reltime_to_string until)
+  | S_degrade { proc; factor } -> Printf.sprintf "degrade:%dx%g" proc factor
+  | S_flaky { prob; max_retries; backoff } ->
+      Printf.sprintf "flaky:%g:%d:%g" prob max_retries backoff
+  | S_rejoin { proc; at } ->
+      Printf.sprintf "rejoin:%d@%s" proc (reltime_to_string at)
 
 let resolve ~makespan spec =
   let time = function
@@ -116,6 +137,7 @@ let resolve ~makespan spec =
       Outage { proc; from_; until }
   | S_degrade { proc; factor } -> Degrade { proc; factor }
   | S_flaky { prob; max_retries; backoff } -> Flaky { prob; max_retries; backoff }
+  | S_rejoin { proc; at } -> Rejoin { proc; at = time at }
 
 let crash ~proc ~at = Crash { proc; at }
 
@@ -144,6 +166,9 @@ let validate ~p fault =
       if prob < 0. || prob > 1. then invalid_arg "Fault.validate: probability out of [0,1]";
       if max_retries < 0 then invalid_arg "Fault.validate: negative retry budget";
       if backoff < 0. then invalid_arg "Fault.validate: negative backoff"
+  | Rejoin { proc; at } ->
+      proc_ok proc;
+      if at < 0. then invalid_arg "Fault.validate: negative rejoin time"
 
 let to_string = function
   | Crash { proc; at } -> Printf.sprintf "crash:%d@%g" proc at
@@ -151,5 +176,6 @@ let to_string = function
   | Degrade { proc; factor } -> Printf.sprintf "degrade:%dx%g" proc factor
   | Flaky { prob; max_retries; backoff } ->
       Printf.sprintf "flaky:%g:%d:%g" prob max_retries backoff
+  | Rejoin { proc; at } -> Printf.sprintf "rejoin:%d@%g" proc at
 
 let pp fmt f = Format.pp_print_string fmt (to_string f)

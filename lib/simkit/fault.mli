@@ -20,7 +20,11 @@
       probability [prob] per attempt and is retried with exponential
       backoff ([backoff], [2*backoff], [4*backoff], …) up to
       [max_retries] times; a hop that exhausts its retries is lost for
-      good and strands its dependents.
+      good and strands its dependents;
+    - {!Rejoin}: a previously crashed processor comes back at time [at]
+      with empty state.  Work stranded by the crash does {e not} resume
+      silently — a rejoined processor only receives work through an
+      explicit repair or re-plan decision (see [lib/online]).
 
     Specs are parsed from compact strings (the [--fault] grammar of
     [schedcli robustness], see [doc/robustness.md]):
@@ -32,6 +36,7 @@
     degrade:1x2.5      communications touching processor 1 take 2.5x
     flaky:0.05         hops fail with probability 5% (3 retries, backoff 1)
     flaky:0.05:6:0.5   … with 6 retries starting at backoff 0.5
+    rejoin:2@180       processor 2 comes back at t = 180
     v}
 
     Times may be absolute or makespan-relative ([25%]); a {!spec} holds
@@ -43,6 +48,7 @@ type t =
   | Outage of { proc : int; from_ : float; until : float }
   | Degrade of { proc : int; factor : float }
   | Flaky of { prob : float; max_retries : int; backoff : float }
+  | Rejoin of { proc : int; at : float }
 
 (** A fault whose times may still be makespan-relative. *)
 type spec
@@ -72,5 +78,9 @@ val validate : p:int -> t -> unit
 
 (** Round-trips through {!of_string} for absolute-time faults. *)
 val to_string : t -> string
+
+(** Prints the unresolved form — relative times keep their [%] suffix —
+    such that [of_string (spec_to_string s)] parses back to [s]. *)
+val spec_to_string : spec -> string
 
 val pp : Format.formatter -> t -> unit

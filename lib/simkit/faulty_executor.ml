@@ -27,13 +27,15 @@ let run ?rng ?(task_jitter = 0.) ?(comm_jitter = 0.) ~faults s =
   let p = Platform.p (Schedule.platform s) in
   List.iter (Fault.validate ~p) faults;
   (* --- scenario tables --- *)
-  let crash_at = Array.make p infinity in
+  let crashes = Array.make p [] in
+  let rejoins = Array.make p [] in
   let degrade = Array.make p 1. in
   let outages = Array.make p [] in
   let flaky = ref None in
   List.iter
     (function
-      | Fault.Crash { proc; at } -> crash_at.(proc) <- min crash_at.(proc) at
+      | Fault.Crash { proc; at } -> crashes.(proc) <- at :: crashes.(proc)
+      | Fault.Rejoin { proc; at } -> rejoins.(proc) <- at :: rejoins.(proc)
       | Fault.Outage { proc; from_; until } ->
           outages.(proc) <- (from_, until) :: outages.(proc)
       | Fault.Degrade { proc; factor } -> degrade.(proc) <- degrade.(proc) *. factor
@@ -41,6 +43,25 @@ let run ?rng ?(task_jitter = 0.) ?(comm_jitter = 0.) ~faults s =
           if !flaky = None then flaky := Some (prob, max_retries, backoff))
     faults;
   Array.iteri (fun q l -> outages.(q) <- List.sort compare l) outages;
+  (* Down windows per processor: each crash opens [c, r) where r is the
+     first rejoin strictly after c (or forever without one).  Crucially a
+     rejoin closes the window for *new* work only — anything the static
+     plan dispatched inside the window is lost, never silently resumed on
+     the rejoined processor; recovering it takes an explicit repair
+     decision (Repair / lib/online).  Without rejoins this degenerates to
+     the historical single [min crash, +inf) window. *)
+  let down = Array.make p [] in
+  for q = 0 to p - 1 do
+    let rec pair cs rs acc =
+      match cs with
+      | [] -> List.rev acc
+      | c :: cs' -> (
+          match List.filter (fun r -> r > c) rs with
+          | [] -> List.rev ((c, infinity) :: acc)
+          | r :: _ -> pair (List.filter (fun c2 -> c2 >= r) cs') rs ((c, r) :: acc))
+    in
+    down.(q) <- pair (List.sort compare crashes.(q)) (List.sort compare rejoins.(q)) []
+  done;
   let n = Graph.n_tasks g in
   let comms = Array.of_list (Schedule.comms s) in
   let k = Array.length comms in
@@ -204,13 +225,15 @@ let run ?rng ?(task_jitter = 0.) ?(comm_jitter = 0.) ~faults s =
           d *. degrade.(c.Schedule.src_proc) *. degrade.(c.Schedule.dst_proc)
         end
       in
-      (* a crashed compute element runs nothing at/after the crash and
-         kills whatever it is running when the crash hits *)
+      (* a crashed compute element kills whatever it is running when the
+         crash hits and runs nothing dispatched inside a down window —
+         even if the processor later rejoins, that work stays lost *)
       let killed =
         node < n
-        &&
-        let t = crash_at.(task_proc.(node)) in
-        start >= t || start +. d > t
+        && List.exists
+             (fun (a, b) ->
+               (start >= a && start < b) || (start < a && start +. d > a))
+             down.(task_proc.(node))
       in
       (* flaky transmission: bounded retries with exponential backoff;
          [None] = the hop exhausted its budget and the data is lost *)

@@ -7,11 +7,15 @@
     and every resource they occupy is free and reaches them in FIFO
     order — but each dispatch first consults the fault scenario:
 
-    - a {!Fault.Crash}ed processor executes no task at or beyond the
-      crash instant, and a task still running when the crash hits is
-      lost; completed outputs are durable and remain fetchable through
-      the dead node's ports (checkpoint-on-completion — see
-      [doc/robustness.md]);
+    - a {!Fault.Crash}ed processor executes no task dispatched at or
+      beyond the crash instant, and a task still running when the crash
+      hits is lost; completed outputs are durable and remain fetchable
+      through the dead node's ports (checkpoint-on-completion — see
+      [doc/robustness.md]).  A later {!Fault.Rejoin} of the same
+      processor closes the down window for {e new} work only: anything
+      the plan dispatched inside [[crash, rejoin)] stays lost and never
+      silently resumes — recovering it takes an explicit repair
+      decision ({!Heuristics.Repair}, [lib/online]);
     - a {!Fault.Outage} window delays any dispatch (task or hop) on the
       blacked-out processor to the window's end; in-flight work rides
       through;

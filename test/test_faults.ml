@@ -41,20 +41,58 @@ let spec_grammar () =
       check_int "explicit retries" 7 max_retries;
       check_float "explicit backoff" 0.25 backoff
   | _ -> Alcotest.fail "expected a flaky");
+  (match resolved "rejoin:2@180" 1. with
+  | O.Fault.Rejoin { proc; at } ->
+      check_int "rejoin proc" 2 proc;
+      check_float "rejoin at" 180. at
+  | _ -> Alcotest.fail "expected a rejoin");
+  (match resolved "rejoin:1@25%" 400. with
+  | O.Fault.Rejoin { at; _ } -> check_float "relative rejoin at" 100. at
+  | _ -> Alcotest.fail "expected a rejoin");
   List.iter
     (fun bad ->
       match O.Fault.of_string bad with
       | _ -> Alcotest.failf "accepted %S" bad
       | exception Invalid_argument _ -> ())
     [ ""; "crash"; "crash:x@3"; "crash:1@-5"; "outage:1@9"; "degrade:1x0.5";
-      "flaky:1.5"; "meteor:1@2" ]
+      "flaky:1.5"; "meteor:1@2"; "rejoin"; "rejoin:1"; "rejoin:x@3";
+      "rejoin:1@-5" ]
 
 let spec_roundtrip () =
   List.iter
     (fun s ->
       let f = O.Fault.resolve ~makespan:1. (O.Fault.of_string s) in
       Alcotest.(check string) s s (O.Fault.to_string f))
-    [ "crash:3@120"; "outage:1@10-50"; "degrade:2x1.5"; "flaky:0.25:3:1" ]
+    [ "crash:3@120"; "outage:1@10-50"; "degrade:2x1.5"; "flaky:0.25:3:1";
+      "rejoin:2@180" ]
+
+(* Unresolved specs — including makespan-relative times — survive
+   print -> parse -> print unchanged (quarter-integer times and integer
+   percentages print exactly under %g). *)
+let spec_print_roundtrip =
+  qtest "fault specs print/parse round-trip"
+    QCheck2.Gen.(
+      tup4 (int_bound 5) (int_bound 9)
+        (tup2 (int_bound 400) (int_bound 99))
+        (tup2 (int_bound 400) (int_bound 6)))
+    (fun (kind, proc, (t1i, pct), (t2i, retries)) ->
+      let q x = float_of_int x /. 4. in
+      let s =
+        match kind with
+        | 0 -> Printf.sprintf "crash:%d@%g" proc (q t1i)
+        | 1 -> Printf.sprintf "crash:%d@%d%%" proc pct
+        | 2 ->
+            Printf.sprintf "outage:%d@%g-%g" proc (q t1i)
+              (q t1i +. q t2i +. 1.)
+        | 3 -> Printf.sprintf "rejoin:%d@%g" proc (q t1i)
+        | 4 -> Printf.sprintf "degrade:%dx%g" proc (q t2i +. 1.25)
+        | _ ->
+            Printf.sprintf "flaky:%g:%d:%g"
+              (0.25 +. q (t2i mod 3))
+              retries
+              (q t1i +. 0.25)
+      in
+      O.Fault.spec_to_string (O.Fault.of_string s) = s)
 
 (* --- faulty executor --- *)
 
@@ -162,6 +200,70 @@ let flaky_retries () =
         Alcotest.fail "50-deep retry budget should absorb p=0.9 failures"
   done;
   check_bool "retries happened" true !saw_retry
+
+(* --- crash + rejoin windows --- *)
+
+let outcome_of faults sched =
+  match O.Faulty_executor.run ~faults sched with
+  | O.Faulty_executor.Completed { trace; _ } ->
+      `Completed trace.O.Executor.makespan
+  | O.Faulty_executor.Stranded { stranded; events_fired; _ } ->
+      `Stranded (List.sort compare stranded, events_fired)
+
+let rejoin_closes_the_window () =
+  let plat = O.Platform.homogeneous ~p:3 ~link_cost:1. in
+  let g = build_graph (7, 1, 16) in
+  let sched = default_sched plat g in
+  let nominal = O.Schedule.makespan sched in
+  let crash at = O.Fault.Crash { proc = 0; at } in
+  let rejoin at = O.Fault.Rejoin { proc = 0; at } in
+  (* a down window entirely past the makespan is harmless *)
+  check_bool "late window is harmless" true
+    (outcome_of [ crash (2. *. nominal); rejoin (3. *. nominal) ] sched
+    = `Completed nominal);
+  (* killed work must not silently resume: a rejoin after the last start
+     changes nothing about what the crash stranded *)
+  check_bool "stranded work stays stranded" true
+    (outcome_of [ crash 0. ] sched
+    = outcome_of [ crash 0.; rejoin (2. *. nominal) ] sched);
+  (* closing the window earlier can only let more of the schedule fire *)
+  let fired = function
+    | `Completed _ -> max_int
+    | `Stranded (_, events) -> events
+  in
+  check_bool "an earlier rejoin only helps" true
+    (fired (outcome_of [ crash 0.; rejoin (0.5 *. nominal) ] sched)
+    >= fired (outcome_of [ crash 0. ] sched))
+
+(* The window kills exactly the work inside it: crash at the last task's
+   start, rejoin at its finish — only that task is lost, everything
+   before it (and any work planned after the rejoin) runs. *)
+let rejoin_window_is_precise () =
+  let plat = O.Platform.homogeneous ~p:2 ~link_cost:1. in
+  let g = build_graph (11, 0, 12) in
+  let sched = default_sched plat g in
+  let victim =
+    let best = ref (O.Schedule.placement_exn sched 0) in
+    for t = 1 to O.Graph.n_tasks g - 1 do
+      let pl = O.Schedule.placement_exn sched t in
+      if pl.O.Schedule.start > !best.O.Schedule.start then best := pl
+    done;
+    !best
+  in
+  let faults =
+    [
+      O.Fault.Crash
+        { proc = victim.O.Schedule.proc; at = victim.O.Schedule.start };
+      O.Fault.Rejoin
+        { proc = victim.O.Schedule.proc; at = victim.O.Schedule.finish };
+    ]
+  in
+  match O.Faulty_executor.run ~faults sched with
+  | O.Faulty_executor.Stranded { stranded; _ } ->
+      check_bool "exactly the victim is lost" true
+        (stranded = [ victim.O.Schedule.task ])
+  | O.Faulty_executor.Completed _ ->
+      Alcotest.fail "the victim's window must strand it"
 
 (* --- online repair --- *)
 
@@ -282,9 +384,14 @@ let suite =
       spec_grammar;
     Alcotest.test_case "fault specs round-trip through to_string" `Quick
       spec_roundtrip;
+    spec_print_roundtrip;
     empty_scenario_matches;
     Alcotest.test_case "crashes strand dependents; late crashes are harmless"
       `Quick crash_strands;
+    Alcotest.test_case "rejoins close crash windows without resuming work"
+      `Quick rejoin_closes_the_window;
+    Alcotest.test_case "a crash-rejoin window kills exactly the work inside"
+      `Quick rejoin_window_is_precise;
     Alcotest.test_case "outages defer dispatches" `Quick outage_defers;
     Alcotest.test_case "degraded links stretch execution" `Quick
       degrade_stretches;

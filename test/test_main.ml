@@ -21,6 +21,7 @@ let () =
       ("rendering", Test_svg.suite);
       ("obs", Test_obs.suite);
       ("faults", Test_faults.suite);
+      ("online", Test_online.suite);
       ("pool", Test_pool.suite);
       ("oracle", Test_oracle.suite);
       ("models", Test_models.suite);
