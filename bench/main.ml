@@ -37,6 +37,8 @@ type options = {
   run_improvers : bool;
   run_models : bool;
   run_online : bool;
+  run_scale : bool;
+  scale_targets : int list;
   jobs : int;
   json : string option;
 }
@@ -51,6 +53,8 @@ let parse_args () =
   let run_improvers = ref true in
   let run_models = ref true in
   let run_online = ref true in
+  let run_scale = ref true in
+  let scale_targets = ref [] in
   let jobs = ref (O.Pool.default_jobs ()) in
   let json = ref None in
   let rec eat = function
@@ -85,6 +89,12 @@ let parse_args () =
     | "--no-online" :: rest ->
         run_online := false;
         eat rest
+    | "--no-scale" :: rest ->
+        run_scale := false;
+        eat rest
+    | "--scale-tasks" :: v :: rest ->
+        scale_targets := int_of_string v :: !scale_targets;
+        eat rest
     | "--jobs" :: v :: rest ->
         jobs := int_of_string v;
         eat rest
@@ -96,7 +106,8 @@ let parse_args () =
           "unknown argument %s\n\
            usage: main.exe [--quick] [--scale F] [--only ID]* [--no-figures] \
            [--no-bechamel] [--no-probes] [--no-grid] [--no-improvers] \
-           [--no-models] [--no-online] [--jobs N] [--json FILE]\n\
+           [--no-models] [--no-online] [--no-scale] [--scale-tasks N]* \
+           [--jobs N] [--json FILE]\n\
            experiment ids: %s\n"
           arg
           (String.concat ", " O.Figures.ids);
@@ -113,6 +124,11 @@ let parse_args () =
     run_improvers = !run_improvers;
     run_models = !run_models;
     run_online = !run_online;
+    run_scale = !run_scale;
+    scale_targets =
+      (match List.rev !scale_targets with
+      | [] -> [ 100_000; 500_000; 1_000_000 ]
+      | ts -> ts);
     jobs = max 1 !jobs;
     json = !json;
   }
@@ -213,6 +229,41 @@ let engine_benches =
         O.Engine.with_reference (fun () -> O.Heft.schedule plat lu));
   ]
 
+(* The ready-set representation on its own: pushing and draining every
+   task of the LU instance in priority order through the int-keyed
+   monomorphic heap versus the generic closure-compared Pqueue over
+   (rank, id) float pairs it replaced.  The ratio is the per-decision
+   overhead the schedulers shed (boxing one float pair per push plus a
+   closure call per sift step). *)
+let heap_benches =
+  let lu = O.Kernels.lu ~n:bench_size ~ccr:10. in
+  let n = O.Graph.n_tasks lu in
+  let ranks = O.Ranking.upward lu plat in
+  let ord = O.Ranking.priority_order ranks in
+  [
+    schedule_test "engine/ready-heap" (fun () ->
+        let h = O.Pqueue.Int_heap.create ~rank:ord () in
+        for v = 0 to n - 1 do
+          O.Pqueue.Int_heap.add h v
+        done;
+        while not (O.Pqueue.Int_heap.is_empty h) do
+          ignore (O.Pqueue.Int_heap.pop_exn h : int)
+        done);
+    schedule_test "engine/ready-heap-ref" (fun () ->
+        let compare (ra, va) (rb, vb) =
+          match Float.compare (rb : float) ra with
+          | 0 -> Int.compare va vb
+          | c -> c
+        in
+        let h = O.Pqueue.create ~compare in
+        for v = 0 to n - 1 do
+          O.Pqueue.add h (ranks.(v), v)
+        done;
+        while not (O.Pqueue.is_empty h) do
+          ignore (O.Pqueue.pop_exn h : float * int)
+        done);
+  ]
+
 (* Runs the Bechamel suite, prints the human table (unless [echo] is
    off — [--json -] keeps stdout pure JSON), and returns the sorted
    [(name, ns_per_run)] rows for the JSON export. *)
@@ -222,7 +273,7 @@ let run_bechamel ~echo () =
       bench_size;
   let test =
     Test.make_grouped ~name:"onesched"
-      (figure_benches @ support_benches @ engine_benches)
+      (figure_benches @ support_benches @ engine_benches @ heap_benches)
   in
   let cfg =
     Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None
@@ -674,6 +725,170 @@ let run_online ~echo opts =
   rows
 
 (* ------------------------------------------------------------------ *)
+(* Part 8: million-task scale                                           *)
+(* ------------------------------------------------------------------ *)
+
+type scale_row = {
+  scl_heuristic : string;
+  scl_n : int;
+  scl_tasks : int;
+  scl_edges : int;
+  scl_build_s : float;
+  scl_schedule_s : float;
+  scl_tasks_per_s : float;
+  scl_makespan : float;
+  scl_peak_rss_kb : int;
+}
+
+(* Peak resident set in kB: the kernel's VmHWM high-water mark where
+   /proc exists, otherwise the GC's top-of-heap high-water — a lower
+   bound that still tracks the schedule arenas, which dominate at 10^6
+   tasks.  Both are process-lifetime maxima, so within one bench run the
+   column is non-decreasing and the last (largest) row is the ceiling
+   that matters. *)
+let peak_rss_kb () =
+  let from_proc () =
+    let ic = open_in "/proc/self/status" in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go () =
+          let line = input_line ic in
+          match Scanf.sscanf line "VmHWM: %d kB" Fun.id with
+          | kb -> kb
+          | exception _ -> go ()
+        in
+        go ())
+  in
+  match from_proc () with
+  | kb -> kb
+  | exception _ ->
+      (Gc.quick_stat ()).Gc.top_heap_words / 1024 * (Sys.word_size / 8)
+
+(* Smallest LU size whose triangle holds at least [target] tasks
+   (tasks = n (n - 1) / 2). *)
+let lu_n_for ~target =
+  let n =
+    int_of_float
+      (Float.ceil ((1. +. sqrt (1. +. (8. *. float_of_int target))) /. 2.))
+  in
+  max n 2
+
+(* Everything the scheduler sees at once is fingerprinted: makespan,
+   every placement, every communication event — the same contract the
+   eval_jobs determinism tests assert, hashed so that two 10^5-task
+   schedules compare in one string. *)
+let schedule_digest sched =
+  let buf = Buffer.create (1 lsl 16) in
+  let g = O.Schedule.graph sched in
+  Buffer.add_string buf (Printf.sprintf "m=%h" (O.Schedule.makespan sched));
+  for v = 0 to O.Graph.n_tasks g - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf ";%d:%h:%h"
+         (O.Schedule.proc_of_exn sched v)
+         (O.Schedule.start_of_exn sched v)
+         (O.Schedule.finish_of_exn sched v))
+  done;
+  O.Schedule.iter_comms sched ~f:(fun (c : O.Schedule.comm) ->
+      Buffer.add_string buf
+        (Printf.sprintf ";c%d=%d>%d:%h:%h" c.edge c.src_proc c.dst_proc c.start
+           c.finish));
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* HEFT and ILHA on LU instances sized to [opts.scale_targets] tasks
+   (default 10^5 / 5x10^5 / 10^6): wall-clock to build the CSR graph,
+   wall-clock to schedule, scheduling throughput in tasks/second and the
+   process RSS high-water.  The [identical] flag re-runs the smallest
+   instance with the candidate scan sharded over domains
+   ([Params.eval_jobs]) and checks the schedule digest against the
+   serial run — the bit-identical guarantee the test suite proves, here
+   checked at scale-bench size. *)
+let run_scale ~echo opts =
+  let targets = List.sort_uniq compare opts.scale_targets in
+  let suite = O.Suite.find "lu" in
+  let b = suite.O.Suite.paper_b in
+  if echo then
+    Printf.printf
+      "\n=== scale: heft / ilha[b=%d] on lu at %s tasks (ccr 10) ===\n%!" b
+      (String.concat " / " (List.map string_of_int targets));
+  let table =
+    O.Table.create
+      ~columns:
+        [ "heuristic"; "n"; "tasks"; "edges"; "build"; "schedule"; "tasks/s";
+          "peak rss" ]
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    (x, Unix.gettimeofday () -. t0)
+  in
+  let ilha_params = O.Params.make ~b () in
+  let rows =
+    List.concat_map
+      (fun target ->
+        let n = lu_n_for ~target in
+        let g, build_s = time (fun () -> O.Kernels.lu ~n ~ccr:10.) in
+        let tasks = O.Graph.n_tasks g in
+        let edges = O.Graph.n_edges g in
+        let row name schedule =
+          let sched, schedule_s = time schedule in
+          let r =
+            {
+              scl_heuristic = name;
+              scl_n = n;
+              scl_tasks = tasks;
+              scl_edges = edges;
+              scl_build_s = build_s;
+              scl_schedule_s = schedule_s;
+              scl_tasks_per_s =
+                (if schedule_s > 0. then float_of_int tasks /. schedule_s
+                 else nan);
+              scl_makespan = O.Schedule.makespan sched;
+              scl_peak_rss_kb = peak_rss_kb ();
+            }
+          in
+          O.Table.add_row table
+            [
+              name; string_of_int n; string_of_int tasks; string_of_int edges;
+              Printf.sprintf "%.2fs" build_s;
+              Printf.sprintf "%.2fs" schedule_s;
+              Printf.sprintf "%.0f" r.scl_tasks_per_s;
+              Printf.sprintf "%d MB" (r.scl_peak_rss_kb / 1024);
+            ];
+          r
+        in
+        (* Bind in sequence: list literals evaluate right to left, and
+           the rows must run (and read the RSS high-water) in order. *)
+        let heft_row = row "heft" (fun () -> O.Heft.schedule plat g) in
+        let ilha_row =
+          row
+            (Printf.sprintf "ilha[b=%d]" b)
+            (fun () -> O.Ilha.schedule ~params:ilha_params plat g)
+        in
+        [ heft_row; ilha_row ])
+      targets
+  in
+  if echo then print_string (O.Table.to_string table);
+  let identical =
+    let n = lu_n_for ~target:(List.hd targets) in
+    let g = O.Kernels.lu ~n ~ccr:10. in
+    let jobs = max 2 opts.jobs in
+    let pair serial parallel = schedule_digest serial = schedule_digest parallel in
+    pair
+      (O.Heft.schedule plat g)
+      (O.Heft.schedule ~params:(O.Params.make ~eval_jobs:jobs ()) plat g)
+    && pair
+         (O.Ilha.schedule ~params:ilha_params plat g)
+         (O.Ilha.schedule
+            ~params:(O.Params.with_eval_jobs ilha_params jobs)
+            plat g)
+  in
+  if echo then
+    Printf.printf "parallel candidate scan identical to serial: %s\n%!"
+      (if identical then "yes" else "NO");
+  (rows, identical)
+
+(* ------------------------------------------------------------------ *)
 (* JSON export                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -681,16 +896,18 @@ let run_online ~echo opts =
    doc/performance.md and the committed BENCH_*.json baselines follow
    it. *)
 let emit_json opts ~bech_rows ~probe_rows ~grid ~improver_rows ~model_rows
-    ~online_rows file =
+    ~online_rows ~scale file =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let json_float x =
     if Float.is_nan x then "null" else Printf.sprintf "%.3f" x
   in
   add "{\n";
-  add "  \"schema\": \"onesched-bench/1\",\n";
+  (* /2: the problem-size factor moved from "scale" to "figure_scale";
+     "scale" is now the million-task throughput object. *)
+  add "  \"schema\": \"onesched-bench/2\",\n";
   add "  \"bench_size\": %d,\n" bench_size;
-  add "  \"scale\": %s,\n" (json_float opts.scale);
+  add "  \"figure_scale\": %s,\n" (json_float opts.scale);
   add "  \"bechamel\": [\n";
   List.iteri
     (fun i (name, ns) ->
@@ -787,6 +1004,29 @@ let emit_json opts ~bech_rows ~probe_rows ~grid ~improver_rows ~model_rows
       online_rows;
     add "  ]},\n"
   end;
+  (match scale with
+  | Some (rows, identical) when rows <> [] ->
+      add
+        "  \"scale\": {\"cores\": %d, \"testbed\": \"lu\", \"ccr\": 10, \
+         \"identical\": %b, \"rows\": [\n"
+        (Domain.recommended_domain_count ())
+        identical;
+      List.iteri
+        (fun i r ->
+          add
+            "    {\"heuristic\": %S, \"n\": %d, \"tasks\": %d, \"edges\": %d, \
+             \"build_s\": %s, \"schedule_s\": %s, \"tasks_per_s\": %s, \
+             \"makespan\": %s, \"peak_rss_kb\": %d}%s\n"
+            r.scl_heuristic r.scl_n r.scl_tasks r.scl_edges
+            (json_float r.scl_build_s)
+            (json_float r.scl_schedule_s)
+            (json_float r.scl_tasks_per_s)
+            (json_float r.scl_makespan)
+            r.scl_peak_rss_kb
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      add "  ]},\n"
+  | _ -> ());
   add "  \"probes\": [\n";
   List.iteri
     (fun i r ->
@@ -838,7 +1078,11 @@ let () =
   let online_rows =
     if opts.run_online && opts.only = [] then run_online ~echo opts else []
   in
+  let scale =
+    if opts.run_scale && opts.only = [] then Some (run_scale ~echo opts)
+    else None
+  in
   Option.iter
     (emit_json opts ~bech_rows ~probe_rows ~grid ~improver_rows ~model_rows
-       ~online_rows)
+       ~online_rows ~scale)
     opts.json

@@ -29,9 +29,20 @@ let model_arg =
 
 let testbed_arg =
   let doc =
-    Printf.sprintf "Testbed: %s." (String.concat ", " O.Suite.names)
+    Printf.sprintf "Testbed: %s, or layered:LAYERS:WIDTH for a random layered DAG."
+      (String.concat ", " O.Suite.names)
   in
-  Arg.(value & opt string "lu" & info [ "testbed"; "t" ] ~doc)
+  (* Validate eagerly through [Suite.find] so an unknown name or a
+     malformed layered:L:W spec is a parse error, not a crash later. *)
+  let testbed_conv =
+    let parse s =
+      match O.Suite.find s with
+      | (_ : O.Suite.t) -> Ok s
+      | exception Invalid_argument msg -> Error (`Msg msg)
+    in
+    Arg.conv (parse, Format.pp_print_string)
+  in
+  Arg.(value & opt testbed_conv "lu" & info [ "testbed"; "t" ] ~doc)
 
 let size_arg =
   Arg.(value & opt int 50 & info [ "size"; "n" ] ~doc:"Problem size n.")

@@ -119,3 +119,4 @@ module Rng = Prelude.Rng
 module Stats = Prelude.Stats
 module Table = Prelude.Table
 module Pool = Prelude.Pool
+module Pqueue = Prelude.Pqueue

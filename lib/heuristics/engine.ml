@@ -86,9 +86,14 @@ type t = {
   mutable log_comms : int array;
   mutable log_phases : int array;
   mutable log_len : int;
+  (* parallel candidate evaluation: worker count and the lazily-built
+     per-helper scratch engines (sharing [sched]; see [ensure_clones]) *)
+  eval_jobs : int;
+  mutable clones : t array;
 }
 
-let create ?(policy = Insertion) sched =
+let create ?(policy = Insertion) ?(eval_jobs = 1) sched =
+  if eval_jobs < 1 then invalid_arg "Engine.create: eval_jobs < 1";
   let plat = Schedule.platform sched in
   let res = Schedule.resource sched in
   let p = Platform.p plat in
@@ -133,6 +138,8 @@ let create ?(policy = Insertion) sched =
     log_comms = [||];
     log_phases = [||];
     log_len = 0;
+    eval_jobs;
+    clones = [||];
   }
 
 let schedule t = t.sched
@@ -788,6 +795,95 @@ let rec is_sorted_strict = function
   | a :: (b :: _ as rest) -> a < b && is_sorted_strict rest
   | _ -> true
 
+(* ------------------------------------------------------------------ *)
+(* Parallel candidate evaluation                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* [ensure_clones t] lazily builds the per-helper scratch engines.  Each
+   clone shares [t.sched] — evaluation reads only committed schedule
+   state and mutates private scratch, so concurrent clones never race —
+   but the shared [Resource] hands out link timelines lazily, so every
+   route is materialised on the calling domain first; afterwards helper
+   domains only read the resource tables. *)
+let ensure_clones t =
+  if Array.length t.clones < t.eval_jobs - 1 then begin
+    for src = 0 to t.p - 1 do
+      for dst = 0 to t.p - 1 do
+        if src <> dst then ignore (route_for t ~src ~dst : hop_set array)
+      done
+    done;
+    t.clones <-
+      Array.init (t.eval_jobs - 1) (fun _ -> create ~policy:t.policy t.sched)
+  end
+
+(* Below this many live candidates a parallel scan cannot win: the
+   barrier costs more than the evaluations. *)
+let parallel_min_candidates = 4
+
+(* Earliest-best scan of candidates [procs.(lo .. hi-1)], with the same
+   lower-bound pruning and keep-the-incumbent tie-break as the serial
+   loop.  Returns the winning candidate index alongside its eval so the
+   reduction can break ties by index. *)
+let scan_candidates ~floor t ~task ~ready_lb procs lo hi =
+  let best = ref None in
+  for i = lo to hi - 1 do
+    let proc = procs.(i) in
+    match !best with
+    | Some (_, b)
+      when ready_lb +. Schedule.exec_duration t.sched ~task ~proc >= b.eft ->
+        Obs.Counters.pruned_evaluation ()
+    | _ -> (
+        let ev = evaluate_opt ~floor t ~task ~proc in
+        match !best with
+        | Some (_, b) when b.eft <= ev.eft -> ()
+        | _ -> best := Some (i, ev))
+  done;
+  !best
+
+(* Reduce per-chunk winners in ascending chunk order with a strict
+   improvement test: chunk ranges are ascending, so the global winner is
+   the earliest candidate index achieving the minimum EFT — exactly the
+   serial scan's keep-the-incumbent rule.  Chunk boundaries depend on the
+   worker count, but the argmin does not, so any [eval_jobs] places
+   identically (only the pruning {e counters} may differ). *)
+let reduce_chunks slots =
+  let best = ref None in
+  Array.iter
+    (fun s ->
+      match (s, !best) with
+      | None, _ -> ()
+      | Some _, None -> best := s
+      | Some (_, ev), Some (_, b) -> if ev.eft < b.eft then best := s)
+    slots;
+  !best
+
+let clone_engine t ~worker = if worker = 0 then t else t.clones.(worker - 1)
+
+(* Parallel argmin over a sorted candidate array; [None] when the shared
+   team is unavailable (the caller then runs the serial scan, which by
+   construction computes the same winner). *)
+let best_proc_among_parallel ~floor t ~task procs =
+  match Pool.Team.try_acquire_shared ~jobs:t.eval_jobs with
+  | None -> None
+  | Some team ->
+      Fun.protect
+        ~finally:(fun () -> Pool.Team.release_shared team)
+        (fun () ->
+          ensure_clones t;
+          prepare_incoming t ~task;
+          let ready_lb =
+            if t.inc_max_fin > floor then t.inc_max_fin else floor
+          in
+          let n = Array.length procs in
+          let w = min t.eval_jobs n in
+          let slots = Array.make w None in
+          Pool.Team.run team ~jobs:w ~n:w (fun ~worker k ->
+              let eng = clone_engine t ~worker in
+              slots.(k) <-
+                scan_candidates ~floor eng ~task ~ready_lb procs (k * n / w)
+                  ((k + 1) * n / w));
+          Option.map snd (reduce_chunks slots))
+
 let best_proc_among ?(floor = 0.) t ~task procs =
   if !use_reference then Reference.best_proc_among ~floor t ~task procs
   else
@@ -800,29 +896,100 @@ let best_proc_among ?(floor = 0.) t ~task procs =
           if is_sorted_strict procs then procs
           else List.sort_uniq compare procs
         in
-        prepare_incoming t ~task;
-        (* A candidate cannot start before any predecessor finishes (nor
-           before the floor), whatever the communications do, so
-           [ready_lb + execution] lower-bounds its EFT.  Ties keep the
-           incumbent, exactly like the full scan. *)
-        let ready_lb = if t.inc_max_fin > floor then t.inc_max_fin else floor in
-        let best = ref None in
-        List.iter
-          (fun proc ->
-            match !best with
-            | Some b
-              when ready_lb +. Schedule.exec_duration t.sched ~task ~proc
-                   >= b.eft ->
-                Obs.Counters.pruned_evaluation ()
-            | _ -> (
-                let ev = evaluate_opt ~floor t ~task ~proc in
+        let par =
+          if
+            t.eval_jobs > 1
+            && List.compare_length_with procs parallel_min_candidates >= 0
+          then
+            best_proc_among_parallel ~floor t ~task (Array.of_list procs)
+          else None
+        in
+        match par with
+        | Some ev -> ev
+        | None ->
+            prepare_incoming t ~task;
+            (* A candidate cannot start before any predecessor finishes
+               (nor before the floor), whatever the communications do, so
+               [ready_lb + execution] lower-bounds its EFT.  Ties keep
+               the incumbent, exactly like the full scan. *)
+            let ready_lb =
+              if t.inc_max_fin > floor then t.inc_max_fin else floor
+            in
+            let best = ref None in
+            List.iter
+              (fun proc ->
                 match !best with
-                | Some b when b.eft <= ev.eft -> ()
-                | _ -> best := Some ev))
-          procs;
-        Option.get !best
+                | Some b
+                  when ready_lb +. Schedule.exec_duration t.sched ~task ~proc
+                       >= b.eft ->
+                    Obs.Counters.pruned_evaluation ()
+                | _ -> (
+                    let ev = evaluate_opt ~floor t ~task ~proc in
+                    match !best with
+                    | Some b when b.eft <= ev.eft -> ()
+                    | _ -> best := Some ev))
+              procs;
+            Option.get !best
 
 let best_proc ?floor t ~task = best_proc_among ?floor t ~task t.all_procs
+
+(* Earliest-best scan over the alive rows of a pending (task, proc)
+   table — ILHA's reschedule step.  Same shape as [scan_candidates]
+   minus the pruning (rows price different tasks, whose lower bounds are
+   unrelated). *)
+let scan_pending ~floor t ~tasks ~procs ~alive lo hi =
+  let best = ref None in
+  for i = lo to hi - 1 do
+    if alive.(i) then begin
+      let ev = evaluate_opt ~floor t ~task:tasks.(i) ~proc:procs.(i) in
+      match !best with
+      | Some (_, b) when b.eft <= ev.eft -> ()
+      | _ -> best := Some (i, ev)
+    end
+  done;
+  !best
+
+let best_pending ?(floor = 0.) t ~tasks ~procs ~alive =
+  let n = Array.length tasks in
+  if Array.length procs <> n || Array.length alive <> n then
+    invalid_arg "Engine.best_pending: array length mismatch";
+  let n_alive = ref 0 in
+  for i = 0 to n - 1 do
+    if alive.(i) then incr n_alive
+  done;
+  let serial () =
+    let best = ref None in
+    for i = 0 to n - 1 do
+      if alive.(i) then begin
+        let ev = evaluate ~floor t ~task:tasks.(i) ~proc:procs.(i) in
+        match !best with
+        | Some (_, b) when b.eft <= ev.eft -> ()
+        | _ -> best := Some (i, ev)
+      end
+    done;
+    !best
+  in
+  if
+    t.eval_jobs > 1
+    && (not !use_reference)
+    && !n_alive >= parallel_min_candidates
+  then
+    match Pool.Team.try_acquire_shared ~jobs:t.eval_jobs with
+    | None -> serial ()
+    | Some team ->
+        Fun.protect
+          ~finally:(fun () -> Pool.Team.release_shared team)
+          (fun () ->
+            ensure_clones t;
+            let w = min t.eval_jobs n in
+            let slots = Array.make w None in
+            Pool.Team.run team ~jobs:w ~n:w (fun ~worker k ->
+                let eng = clone_engine t ~worker in
+                slots.(k) <-
+                  scan_pending ~floor eng ~tasks ~procs ~alive (k * n / w)
+                    ((k + 1) * n / w));
+            reduce_chunks slots)
+  else serial ()
 
 let log_push t ~task ~comms_before ~phases_before =
   if t.log_len = Array.length t.log_task then begin

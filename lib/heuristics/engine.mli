@@ -44,7 +44,17 @@ type eval = {
           regime) *)
 }
 
-val create : ?policy:policy -> Sched.Schedule.t -> t
+(** [create ?policy ?eval_jobs sched] — an engine over [sched].
+    [eval_jobs] (default 1) is the number of domains used to evaluate
+    candidate processors inside one decision: above 1,
+    {!best_proc_among} and {!best_pending} shard their candidate scans
+    over the process-wide {!Prelude.Pool.Team} with per-worker scratch
+    engines (built lazily, sharing [sched]) and reduce with an
+    index-ordered argmin, so placements are bit-identical to the serial
+    scan at any job count.  Only the [evaluations]/[pruned evaluations]
+    counters may differ — each shard prunes against its own incumbent.
+    @raise Invalid_argument when [eval_jobs < 1]. *)
+val create : ?policy:policy -> ?eval_jobs:int -> Sched.Schedule.t -> t
 val schedule : t -> Sched.Schedule.t
 val policy : t -> policy
 
@@ -69,6 +79,21 @@ val best_proc : ?floor:float -> t -> task:int -> eval
     changes the result because ties keep the incumbent.
     @raise Invalid_argument on an empty list. *)
 val best_proc_among : ?floor:float -> t -> task:int -> int list -> eval
+
+(** [best_pending t ~tasks ~procs ~alive] — the earliest alive row [i]
+    minimising [evaluate ~task:tasks.(i) ~proc:procs.(i)].eft] (ties to
+    the lowest index), or [None] when no row is alive.  ILHA's
+    reschedule step calls this once per commit over its whole ready
+    chunk; with [eval_jobs > 1] the rows are priced in parallel, with
+    the same result.
+    @raise Invalid_argument on mismatched array lengths. *)
+val best_pending :
+  ?floor:float ->
+  t ->
+  tasks:int array ->
+  procs:int array ->
+  alive:bool array ->
+  (int * eval) option
 
 (** [commit t ~task ev] places the task and its communications, and
     appends an entry to the engine's {e commit log}, enabling

@@ -93,27 +93,24 @@ let map_chunk ~scan engine g plat chunk =
 
 (* Reschedule variant: run the two scans on a scratch copy to learn the
    allocation, then commit chunk tasks for real in order of globally
-   smallest finish time on their allocated processor. *)
+   smallest finish time on their allocated processor.  The pending set is
+   a flat (task, proc) table with alive flags — [Engine.best_pending]
+   scans it in chunk order (in parallel under [eval_jobs]), which keeps
+   the earliest-row tie-break of the original list walk. *)
 let map_chunk_reschedule ~scan ~policy engine g plat chunk =
   let scratch_sched = Schedule.copy (Engine.schedule engine) in
   let scratch = Engine.create ~policy scratch_sched in
   map_chunk ~scan scratch g plat chunk;
-  let alloc v = Schedule.proc_of_exn scratch_sched v in
-  let pending = ref chunk in
-  while !pending <> [] do
-    let best = ref None in
-    List.iter
-      (fun v ->
-        let ev = Engine.evaluate engine ~task:v ~proc:(alloc v) in
-        match !best with
-        | Some (_, b) when b.Engine.eft <= ev.Engine.eft -> ()
-        | _ -> best := Some (v, ev))
-      !pending;
-    match !best with
+  let tasks = Array.of_list chunk in
+  let n = Array.length tasks in
+  let procs = Array.map (Schedule.proc_of_exn scratch_sched) tasks in
+  let alive = Array.make n true in
+  for _ = 1 to n do
+    match Engine.best_pending engine ~tasks ~procs ~alive with
     | None -> ()
-    | Some (v, ev) ->
-        Engine.commit engine ~task:v ev;
-        pending := List.filter (fun u -> u <> v) !pending
+    | Some (i, ev) ->
+        Engine.commit engine ~task:tasks.(i) ev;
+        alive.(i) <- false
   done
 
 let schedule ?(params = Params.default) plat g =
@@ -122,17 +119,22 @@ let schedule ?(params = Params.default) plat g =
   if b < 1 then invalid_arg "Ilha.schedule: b < 1";
   Obs.Span.with_ "ilha" (fun () ->
       let sched = Schedule.create ~graph:g ~platform:plat ~model () in
-      let engine = Engine.create ~policy sched in
+      let engine =
+        Engine.create ~policy ~eval_jobs:params.Params.eval_jobs sched
+      in
       let rank = Obs.Span.with_ "rank" (fun () -> Ranking.upward g plat) in
-      let ready = Prelude.Pqueue.create ~compare:(Ranking.compare_priority rank) in
+      let ord = Ranking.priority_order rank in
+      let ready = Prelude.Pqueue.Int_heap.create ~rank:ord () in
       let remaining = Array.init (Graph.n_tasks g) (Graph.in_degree g) in
       for v = 0 to Graph.n_tasks g - 1 do
-        if remaining.(v) = 0 then Prelude.Pqueue.add ready v
+        if remaining.(v) = 0 then Prelude.Pqueue.Int_heap.add ready v
       done;
-      while not (Prelude.Pqueue.is_empty ready) do
+      while not (Prelude.Pqueue.Int_heap.is_empty ready) do
         let chunk = ref [] in
-        while List.length !chunk < b && not (Prelude.Pqueue.is_empty ready) do
-          chunk := Prelude.Pqueue.pop_exn ready :: !chunk
+        let len = ref 0 in
+        while !len < b && not (Prelude.Pqueue.Int_heap.is_empty ready) do
+          chunk := Prelude.Pqueue.Int_heap.pop_exn ready :: !chunk;
+          incr len
         done;
         let chunk = List.rev !chunk in
         Obs.Span.with_ "chunk" (fun () ->
@@ -144,7 +146,7 @@ let schedule ?(params = Params.default) plat g =
             Graph.iter_succ_edges g v ~f:(fun e ->
                 let u = Graph.edge_dst g e in
                 remaining.(u) <- remaining.(u) - 1;
-                if remaining.(u) = 0 then Prelude.Pqueue.add ready u))
+                if remaining.(u) = 0 then Prelude.Pqueue.Int_heap.add ready u))
           chunk
       done;
       sched)

@@ -11,15 +11,16 @@ let default_handle engine v =
    rebuild arbitrary suffixes of it. *)
 let decision_order ~priority g =
   let n = Graph.n_tasks g in
-  let ready = Prelude.Pqueue.create ~compare:(Ranking.compare_priority priority) in
+  let ord = Ranking.priority_order priority in
+  let ready = Prelude.Pqueue.Int_heap.create ~rank:ord () in
   let remaining = Array.init n (Graph.in_degree g) in
   for v = 0 to n - 1 do
-    if remaining.(v) = 0 then Prelude.Pqueue.add ready v
+    if remaining.(v) = 0 then Prelude.Pqueue.Int_heap.add ready v
   done;
   let order = Array.make n 0 in
   let k = ref 0 in
   let rec drain () =
-    match Prelude.Pqueue.pop ready with
+    match Prelude.Pqueue.Int_heap.pop ready with
     | None -> ()
     | Some v ->
         order.(!k) <- v;
@@ -27,7 +28,7 @@ let decision_order ~priority g =
         Graph.iter_succ_edges g v ~f:(fun e ->
             let u = Graph.edge_dst g e in
             remaining.(u) <- remaining.(u) - 1;
-            if remaining.(u) = 0 then Prelude.Pqueue.add ready u);
+            if remaining.(u) = 0 then Prelude.Pqueue.Int_heap.add ready u);
         drain ()
   in
   drain ();
@@ -38,7 +39,10 @@ let run ?(params = Params.default) ~priority ?(handle = default_handle) plat g =
   let sched =
     Schedule.create ~graph:g ~platform:plat ~model:params.Params.model ()
   in
-  let engine = Engine.create ~policy:params.Params.policy sched in
+  let engine =
+    Engine.create ~policy:params.Params.policy
+      ~eval_jobs:params.Params.eval_jobs sched
+  in
   let order = decision_order ~priority g in
   Obs.Span.with_ "map" (fun () ->
       Array.iter

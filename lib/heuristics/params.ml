@@ -8,6 +8,7 @@ type t = {
   scan : scan;
   reschedule : bool;
   candidates : int list option;
+  eval_jobs : int;
 }
 
 let default =
@@ -19,12 +20,15 @@ let default =
     scan = Scan_zero_comm;
     reschedule = false;
     candidates = None;
+    eval_jobs = 1;
   }
 
 let make ?(model = default.model) ?(policy = default.policy)
     ?(averaging = default.averaging) ?b ?(scan = default.scan)
-    ?(reschedule = default.reschedule) ?candidates () =
-  { model; policy; averaging; b; scan; reschedule; candidates }
+    ?(reschedule = default.reschedule) ?candidates
+    ?(eval_jobs = default.eval_jobs) () =
+  if eval_jobs < 1 then invalid_arg "Params.make: eval_jobs < 1";
+  { model; policy; averaging; b; scan; reschedule; candidates; eval_jobs }
 
 let of_model model = { default with model }
 let with_model t model = { t with model }
@@ -33,6 +37,10 @@ let with_averaging t averaging = { t with averaging }
 let with_b t b = { t with b }
 let with_scan t scan = { t with scan }
 let with_reschedule t reschedule = { t with reschedule }
+
+let with_eval_jobs t eval_jobs =
+  if eval_jobs < 1 then invalid_arg "Params.with_eval_jobs: eval_jobs < 1";
+  { t with eval_jobs }
 
 let to_string t =
   String.concat ","

@@ -31,6 +31,13 @@ type t = {
   reschedule : bool;  (** ILHA's §4.4 third step; default [false] *)
   candidates : int list option;
       (** ilha-auto's chunk ladder; [None] = {!Auto_b.candidates} *)
+  eval_jobs : int;
+      (** domains used to evaluate candidate processors inside one
+          scheduling decision (default 1 = serial).  Placements are
+          bit-identical at any value — the engine's parallel argmin
+          reduces with the same index-ordered tie-break as the serial
+          scan — so, like the sweep-level [--jobs], this knob is
+          excluded from {!to_string} labels. *)
 }
 
 val default : t
@@ -44,6 +51,7 @@ val make :
   ?scan:scan ->
   ?reschedule:bool ->
   ?candidates:int list ->
+  ?eval_jobs:int ->
   unit ->
   t
 
@@ -54,6 +62,9 @@ val with_averaging : t -> Ranking.averaging -> t
 val with_b : t -> int option -> t
 val with_scan : t -> scan -> t
 val with_reschedule : t -> bool -> t
+
+(** @raise Invalid_argument when [eval_jobs < 1]. *)
+val with_eval_jobs : t -> int -> t
 
 (** Compact label of the non-default fields, e.g. ["b=4,scan=1comm"];
     [""] for {!default}.  Used in experiment rows and traces. *)

@@ -65,3 +65,16 @@ let static_level g plat =
 
 let compare_priority ranks a b =
   match compare ranks.(b) ranks.(a) with 0 -> compare a b | c -> c
+
+let priority_order ranks =
+  let n = Array.length ranks in
+  let idx = Array.init n (fun v -> v) in
+  Array.sort
+    (fun a b ->
+      match Float.compare ranks.(b) ranks.(a) with
+      | 0 -> Int.compare a b
+      | c -> c)
+    idx;
+  let ord = Array.make n 0 in
+  Array.iteri (fun pos v -> ord.(v) <- pos) idx;
+  ord

@@ -41,3 +41,10 @@ val static_level : Taskgraph.Graph.t -> Platform.t -> float array
     increasing task id — the deterministic order every list heuristic in
     this library uses. *)
 val compare_priority : float array -> int -> int -> int
+
+(** [priority_order ranks] maps each task to its position in the total
+    order of {!compare_priority}: [ord.(v) < ord.(u)] iff
+    [compare_priority ranks v u < 0].  Computed once (an [O(n log n)]
+    index sort), it lets the ready set run on {!Prelude.Pqueue.Int_heap}
+    with pure int comparisons — no float is re-boxed per push. *)
+val priority_order : float array -> int array

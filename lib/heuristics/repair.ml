@@ -23,42 +23,34 @@ let schedule_suffix ?(params = Params.default) ~floor ~candidates engine ~todo =
     invalid_arg "Repair.schedule_suffix: no candidate processor";
   let n = Graph.n_tasks g in
   let ranks = Ranking.upward ~averaging:params.Params.averaging g plat in
+  (* Int-keyed ready heap in [compare_priority] order — the same total
+     order the old list fold selected by, without the O(ready²) scans. *)
+  let ord = Ranking.priority_order ranks in
+  let ready = Prelude.Pqueue.Int_heap.create ~rank:ord () in
   let remaining = Array.make n 0 in
-  let ready = ref [] in
   for v = 0 to n - 1 do
     if todo.(v) then begin
       let r =
-        List.fold_left
-          (fun acc u -> if todo.(u) then acc + 1 else acc)
-          0 (Graph.preds g v)
+        Graph.fold_pred_edges g v ~init:0 ~f:(fun acc e ->
+            if todo.(Graph.edge_src g e) then acc + 1 else acc)
       in
       remaining.(v) <- r;
-      if r = 0 then ready := v :: !ready
+      if r = 0 then Prelude.Pqueue.Int_heap.add ready v
     end
   done;
   let remapped = ref [] in
-  while !ready <> [] do
-    let task =
-      match !ready with
-      | [] -> assert false
-      | v0 :: rest ->
-          List.fold_left
-            (fun best v ->
-              if Ranking.compare_priority ranks v best < 0 then v else best)
-            v0 rest
-    in
-    ready := List.filter (fun v -> v <> task) !ready;
+  while not (Prelude.Pqueue.Int_heap.is_empty ready) do
+    let task = Prelude.Pqueue.Int_heap.pop_exn ready in
     let ev = Engine.best_proc_among ~floor engine ~task candidates in
     Engine.commit engine ~task ev;
     Obs.Counters.repair ();
     remapped := task :: !remapped;
-    List.iter
-      (fun u ->
+    Graph.iter_succ_edges g task ~f:(fun e ->
+        let u = Graph.edge_dst g e in
         if todo.(u) then begin
           remaining.(u) <- remaining.(u) - 1;
-          if remaining.(u) = 0 then ready := u :: !ready
+          if remaining.(u) = 0 then Prelude.Pqueue.Int_heap.add ready u
         end)
-      (Graph.succs g task)
   done;
   List.sort compare !remapped
 
@@ -90,8 +82,10 @@ let crash ?(params = Params.default) ?(dead = []) ~proc ~at sched =
   let nominal_makespan = Schedule.makespan sched in
   let remap = Array.make n false in
   for v = 0 to n - 1 do
-    let pl = Schedule.placement_exn sched v in
-    if pl.Schedule.start >= at || (pl.Schedule.proc = proc && pl.Schedule.finish > at)
+    if
+      Schedule.start_of_exn sched v >= at
+      || (Schedule.proc_of_exn sched v = proc
+         && Schedule.finish_of_exn sched v > at)
     then remap.(v) <- true
   done;
   (* Keep the frozen prefix by copying the schedule and retracting the

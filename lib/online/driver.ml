@@ -181,16 +181,16 @@ let run ?(config = default_config) plat (events : Event.t list) =
   let job_finish pl (j, off) =
     let fin = ref 0. in
     for local = 0 to job_tasks j - 1 do
-      let q = Schedule.placement_exn pl.psched (off + local) in
-      if q.Schedule.finish > !fin then fin := q.Schedule.finish
+      let f = Schedule.finish_of_exn pl.psched (off + local) in
+      if f > !fin then fin := f
     done;
     !fin
   in
   let job_started pl (j, off) =
     let started = ref false in
     for local = 0 to job_tasks j - 1 do
-      let q = Schedule.placement_exn pl.psched (off + local) in
-      if q.Schedule.start < !last_now then started := true
+      if Schedule.start_of_exn pl.psched (off + local) < !last_now then
+        started := true
     done;
     !started
   in
@@ -218,43 +218,40 @@ let run ?(config = default_config) plat (events : Event.t list) =
             let n = Graph.n_tasks g in
             let remap = Array.make n false in
             for v = 0 to n - 1 do
-              let q = Schedule.placement_exn s v in
+              let vproc = Schedule.proc_of_exn s v in
+              let vfinish = Schedule.finish_of_exn s v in
               if
-                q.Schedule.start >= now
+                Schedule.start_of_exn s v >= now
                 || List.exists
-                     (fun (k, since) ->
-                       q.Schedule.proc = k && q.Schedule.finish > since)
+                     (fun (k, since) -> vproc = k && vfinish > since)
                      kills
               then remap.(v) <- true
             done;
             (* a hop that would have travelled through a down window never
                delivered: its destination must be re-planned too *)
-            List.iter
-              (fun (c : Schedule.comm) ->
+            Schedule.iter_comms s ~f:(fun (c : Schedule.comm) ->
                 if
                   List.exists
                     (fun (k, since) ->
                       (c.src_proc = k || c.dst_proc = k) && c.finish > since)
                     kills
-                then remap.(Graph.edge_dst g c.edge) <- true)
-              (Schedule.comms s);
-            (* close under precedence *)
+                then remap.(Graph.edge_dst g c.edge) <- true);
+            (* close under precedence: a forward successor scan over the
+               topological order — marking propagates transitively because
+               every task is visited before its successors *)
             Array.iter
               (fun v ->
-                if
-                  (not remap.(v))
-                  && List.exists (fun u -> remap.(u)) (Graph.preds g v)
-                then remap.(v) <- true)
+                if remap.(v) then
+                  Graph.iter_succ_edges g v ~f:(fun e ->
+                      remap.(Graph.edge_dst g e) <- true))
               (Graph.topological_order g);
             old_remap := remap;
             let hops = Array.make n [] in
-            List.iter
-              (fun (c : Schedule.comm) ->
-                let e = Graph.edge g c.edge in
-                hops.(e.Graph.dst) <-
-                  (e.Graph.src, e.Graph.dst, c.src_proc, c.dst_proc, c.start)
-                  :: hops.(e.Graph.dst))
-              (Schedule.comms s);
+            Schedule.iter_comms s ~f:(fun (c : Schedule.comm) ->
+                let src = Graph.edge_src g c.edge in
+                let dst = Graph.edge_dst g c.edge in
+                hops.(dst) <-
+                  (src, dst, c.src_proc, c.dst_proc, c.start) :: hops.(dst));
             List.iter
               (fun ((j, off) : jrec * int) ->
                 for local = 0 to job_tasks j - 1 do

@@ -45,6 +45,17 @@ let parse_proc line text =
 let parse_job line spec opts =
   let testbed, n, ccr =
     match String.split_on_char ':' spec with
+    (* The layered generator's name itself contains colons
+       (layered:<layers>:<width>), so its job specs carry two extra
+       fields: layered:L:W:N[:CCR]. *)
+    | "layered" :: rest -> (
+        match rest with
+        | [ l; w; n ] -> (Printf.sprintf "layered:%s:%s" l w, n, 1.)
+        | [ l; w; n; ccr ] ->
+            (Printf.sprintf "layered:%s:%s" l w, n, parse_float line ccr)
+        | _ ->
+            fail line
+              (Printf.sprintf "expected layered:L:W:N[:CCR], got %S" spec))
     | [ tb; n ] -> (tb, n, 1.)
     | [ tb; n; ccr ] -> (tb, n, parse_float line ccr)
     | _ -> fail line (Printf.sprintf "expected TESTBED:N[:CCR], got %S" spec)

@@ -152,3 +152,200 @@ let map_array ?jobs f a =
   end
 
 let map ?jobs f l = Array.to_list (map_array ?jobs f (Array.of_list l))
+
+(* Persistent helper team for fine-grained parallelism.
+
+   [iter] spawns domains per call, which is fine for sweeps that run for
+   milliseconds but prohibitive inside a scheduler decision that takes
+   microseconds.  A [Team.t] parks [helpers] long-lived domains on a
+   condition variable; [run] publishes a job (an index range and a
+   worker-indexed function), wakes them, and waits at a barrier.  The
+   split is static — worker [k] of [w] owns [k*n/w, (k+1)*n/w) — so which
+   worker computes which index is a pure function of [(jobs, n)]: callers
+   that index results by cell get byte-identical output at any team size,
+   the same contract as [iter].
+
+   Counter increments made by helpers are snapshotted per run and merged
+   into the caller's domain at the barrier. *)
+module Team = struct
+  type t = {
+    helpers : int;
+    mutex : Mutex.t;
+    work_ready : Condition.t;
+    work_done : Condition.t;
+    (* Protected by [mutex].  [epoch] increments once per published job;
+       helpers idle until they see a fresh epoch. *)
+    mutable epoch : int;
+    mutable active : int; (* helpers participating in the current job *)
+    mutable job_n : int;
+    mutable job_w : int;
+    mutable job_f : worker:int -> int -> unit;
+    mutable pending : int;
+    mutable failure : (exn * Printexc.raw_backtrace) option;
+    snaps : Obs.Counters.snapshot array;
+    mutable stopped : bool;
+    mutable domains : unit Domain.t array;
+  }
+
+  let size t = t.helpers + 1
+
+  let worker_range ~n ~w k = (k * n / w, (k + 1) * n / w)
+
+  let helper_loop t me () =
+    let seen = ref 0 in
+    let running = ref true in
+    while !running do
+      Mutex.lock t.mutex;
+      while t.epoch = !seen && not t.stopped do
+        Condition.wait t.work_ready t.mutex
+      done;
+      if t.stopped then begin
+        Mutex.unlock t.mutex;
+        running := false
+      end
+      else begin
+        seen := t.epoch;
+        let active = t.active
+        and n = t.job_n
+        and w = t.job_w
+        and f = t.job_f in
+        Mutex.unlock t.mutex;
+        if me < active then begin
+          Obs.Counters.reset ();
+          (* Helper [me] is worker [me + 1]; the caller is worker 0. *)
+          let lo, hi = worker_range ~n ~w (me + 1) in
+          (try
+             for i = lo to hi - 1 do
+               f ~worker:(me + 1) i
+             done
+           with exn ->
+             let bt = Printexc.get_raw_backtrace () in
+             Mutex.lock t.mutex;
+             if t.failure = None then t.failure <- Some (exn, bt);
+             Mutex.unlock t.mutex);
+          t.snaps.(me) <- Obs.Counters.snapshot ();
+          Mutex.lock t.mutex;
+          t.pending <- t.pending - 1;
+          if t.pending = 0 then Condition.signal t.work_done;
+          Mutex.unlock t.mutex
+        end
+      end
+    done
+
+  let create ~helpers =
+    if helpers < 0 then invalid_arg "Pool.Team.create: negative helpers";
+    let t =
+      {
+        helpers;
+        mutex = Mutex.create ();
+        work_ready = Condition.create ();
+        work_done = Condition.create ();
+        epoch = 0;
+        active = 0;
+        job_n = 0;
+        job_w = 1;
+        job_f = (fun ~worker:_ _ -> ());
+        pending = 0;
+        failure = None;
+        snaps = Array.make (max helpers 1) Obs.Counters.zero;
+        stopped = false;
+        domains = [||];
+      }
+    in
+    t.domains <- Array.init helpers (fun me -> Domain.spawn (helper_loop t me));
+    t
+
+  let stop t =
+    Mutex.lock t.mutex;
+    if not t.stopped then begin
+      t.stopped <- true;
+      Condition.broadcast t.work_ready
+    end;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.domains;
+    t.domains <- [||]
+
+  let run t ~jobs ~n f =
+    if n <= 0 then ()
+    else begin
+      let w = max 1 (min jobs (min n (t.helpers + 1))) in
+      if w = 1 then
+        for i = 0 to n - 1 do
+          f ~worker:0 i
+        done
+      else begin
+        Mutex.lock t.mutex;
+        if t.stopped then begin
+          Mutex.unlock t.mutex;
+          invalid_arg "Pool.Team.run: stopped team"
+        end;
+        t.job_n <- n;
+        t.job_w <- w;
+        t.job_f <- f;
+        t.active <- w - 1;
+        t.pending <- w - 1;
+        t.failure <- None;
+        t.epoch <- t.epoch + 1;
+        Condition.broadcast t.work_ready;
+        Mutex.unlock t.mutex;
+        (* The caller is worker 0. *)
+        let caller_failure = ref None in
+        (let lo, hi = worker_range ~n ~w 0 in
+         try
+           for i = lo to hi - 1 do
+             f ~worker:0 i
+           done
+         with exn -> caller_failure := Some (exn, Printexc.get_raw_backtrace ()));
+        Mutex.lock t.mutex;
+        while t.pending > 0 do
+          Condition.wait t.work_done t.mutex
+        done;
+        let helper_failure = t.failure in
+        Mutex.unlock t.mutex;
+        for me = 0 to w - 2 do
+          Obs.Counters.merge t.snaps.(me)
+        done;
+        match (!caller_failure, helper_failure) with
+        | Some (exn, bt), _ | None, Some (exn, bt) ->
+            Printexc.raise_with_backtrace exn bt
+        | None, None -> ()
+      end
+    end
+
+  (* One shared team per process, grown on demand and guarded by a lock
+     that doubles as the busy flag: a caller that finds the team in use
+     (a nested parallel region, or another domain's scheduler) simply
+     runs its scan serially — which by the determinism contract computes
+     the same answer. *)
+  let shared : t option ref = ref None
+  let shared_lock = Mutex.create ()
+  let at_exit_registered = ref false
+
+  let try_acquire_shared ~jobs =
+    let jobs = min (clamp_jobs jobs) (1 + Domain.recommended_domain_count ()) in
+    if jobs <= 1 then None
+    else if not (Mutex.try_lock shared_lock) then None
+    else begin
+      let t =
+        match !shared with
+        | Some t when size t >= jobs -> t
+        | prev ->
+            Option.iter stop prev;
+            let t = create ~helpers:(jobs - 1) in
+            shared := Some t;
+            if not !at_exit_registered then begin
+              at_exit_registered := true;
+              Stdlib.at_exit (fun () ->
+                  if Mutex.try_lock shared_lock then begin
+                    Option.iter stop !shared;
+                    shared := None;
+                    Mutex.unlock shared_lock
+                  end)
+            end;
+            t
+      in
+      Some t
+    end
+
+  let release_shared (_ : t) = Mutex.unlock shared_lock
+end

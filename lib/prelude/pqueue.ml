@@ -60,3 +60,84 @@ let to_sorted_list q =
     match pop q' with None -> List.rev acc | Some x -> drain (x :: acc)
   in
   drain []
+
+(* A monomorphic min-heap of small ints ordered by a precomputed integer
+   key array: one int comparison per sift step, no closure call and no
+   float (un)boxing.  The schedulers' ready sets live here — the key array
+   is the task's position in the (priority desc, id asc) order, so the heap
+   order is exactly [Ranking.compare_priority] at a fraction of the cost. *)
+module Int_heap = struct
+  type t = { rank : int array option; mutable heap : int array; mutable len : int }
+
+  let create ?rank () = { rank; heap = Array.make 16 0; len = 0 }
+
+  let length q = q.len
+  let is_empty q = q.len = 0
+
+  let key q v = match q.rank with None -> v | Some r -> r.(v)
+
+  let add q x =
+    if q.len = Array.length q.heap then begin
+      let bigger = Array.make (2 * q.len) 0 in
+      Array.blit q.heap 0 bigger 0 q.len;
+      q.heap <- bigger
+    end;
+    let h = q.heap in
+    (* Sift up in place: move the hole, write once. *)
+    let kx = key q x in
+    let i = ref q.len in
+    q.len <- q.len + 1;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if key q h.(parent) > kx then begin
+        h.(!i) <- h.(parent);
+        i := parent
+      end
+      else continue := false
+    done;
+    h.(!i) <- x
+
+  let peek q = if q.len = 0 then None else Some q.heap.(0)
+
+  let pop_exn q =
+    if q.len = 0 then invalid_arg "Pqueue.Int_heap.pop_exn: empty";
+    let h = q.heap in
+    let top = h.(0) in
+    q.len <- q.len - 1;
+    if q.len > 0 then begin
+      let x = h.(q.len) in
+      let kx = key q x in
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i and ks = ref kx in
+        if l < q.len then begin
+          let kl = key q h.(l) in
+          if kl < !ks then begin
+            smallest := l;
+            ks := kl
+          end
+        end;
+        if r < q.len then begin
+          let kr = key q h.(r) in
+          if kr < !ks then begin
+            smallest := r;
+            ks := kr
+          end
+        end;
+        if !smallest = !i then begin
+          h.(!i) <- x;
+          continue := false
+        end
+        else begin
+          h.(!i) <- h.(!smallest);
+          i := !smallest
+        end
+      done
+    end;
+    top
+
+  let pop q = if q.len = 0 then None else Some (pop_exn q)
+end

@@ -30,3 +30,29 @@ val of_list : compare:('a -> 'a -> int) -> 'a list -> 'a t
 
 (** [to_sorted_list q] drains a copy of [q] in priority order. *)
 val to_sorted_list : 'a t -> 'a list
+
+(** Monomorphic min-heap of non-negative ints ordered by a precomputed
+    integer key array — one int comparison per sift step, no closure call,
+    no float re-boxing per push.  This is the ready-set representation of
+    the list schedulers at scale: keys come from
+    [Ranking.priority_order], whose positions encode the full
+    (priority desc, id asc) order, so popping reproduces
+    [Ranking.compare_priority] bit for bit. *)
+module Int_heap : sig
+  type t
+
+  (** [create ?rank ()] — elements [v] are served in increasing
+      [rank.(v)]; without [rank], in increasing [v] itself.  The key array
+      is read on every heap operation and must not be mutated while the
+      heap is non-empty. *)
+  val create : ?rank:int array -> unit -> t
+
+  val length : t -> int
+  val is_empty : t -> bool
+  val add : t -> int -> unit
+  val peek : t -> int option
+  val pop : t -> int option
+
+  (** @raise Invalid_argument on an empty heap. *)
+  val pop_exn : t -> int
+end

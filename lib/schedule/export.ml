@@ -14,67 +14,92 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-(* Chrome trace "complete" event. *)
-let complete_event ~name ~pid ~tid ~ts ~dur ~args =
-  Printf.sprintf
-    {|{"name":"%s","ph":"X","ts":%g,"dur":%g,"pid":%d,"tid":%d,"args":{%s}}|}
-    (json_escape name) ts dur pid tid args
+(* Chrome trace "complete" event, appended straight to [buf]. *)
+let add_complete_event buf ~name ~pid ~tid ~ts ~dur ~args =
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|{"name":"%s","ph":"X","ts":%g,"dur":%g,"pid":%d,"tid":%d,"args":{%s}}|}
+       (json_escape name) ts dur pid tid args)
 
 (* Thread ids inside a processor's trace group. *)
 let tid_cpu = 0
 let tid_send = 1
 let tid_recv = 2
 
+(* Body events are ordered by start time.  Rather than materializing
+   (ts, line) pairs and sorting them, events are packed int tags —
+   [v] for task v, [n + 2i] / [n + 2i + 1] for the send/recv views of
+   comm [i] — and an index sort orders them before a single formatting
+   pass into the output buffer.  Ties keep the historical order of the
+   previous implementation (a stable sort over a prepend-built list):
+   reverse emission order, i.e. descending tag. *)
 let to_chrome_trace ?(time_unit = 1.0) s =
   let g = Schedule.graph s in
-  let events = ref [] in
-  let emit ts line = events := (ts, line) :: !events in
-  for v = 0 to Graph.n_tasks g - 1 do
-    let pl = Schedule.placement_exn s v in
-    emit pl.Schedule.start
-      (complete_event
-         ~name:(Printf.sprintf "v%d" v)
-         ~pid:pl.Schedule.proc ~tid:tid_cpu
-         ~ts:(time_unit *. pl.Schedule.start)
-         ~dur:(time_unit *. (pl.Schedule.finish -. pl.Schedule.start))
-         ~args:(Printf.sprintf {|"task":%d,"weight":%g|} v (Graph.weight g v)))
-  done;
-  List.iter
-    (fun (c : Schedule.comm) ->
-      let dur = time_unit *. (c.finish -. c.start) in
-      let args =
-        Printf.sprintf {|"edge":%d,"src":%d,"dst":%d|} c.edge c.src_proc
-          c.dst_proc
-      in
-      let name = Printf.sprintf "e%d:%d->%d" c.edge c.src_proc c.dst_proc in
-      emit c.start
-        (complete_event ~name ~pid:c.src_proc ~tid:tid_send
-           ~ts:(time_unit *. c.start) ~dur ~args);
-      emit c.start
-        (complete_event ~name ~pid:c.dst_proc ~tid:tid_recv
-           ~ts:(time_unit *. c.start) ~dur ~args))
-    (Schedule.comms s);
-  (* Thread name metadata makes the ports readable in the viewer. *)
+  let n = Graph.n_tasks g in
+  let nc = Schedule.n_comms s in
+  let total = n + (2 * nc) in
+  let ts_of tag =
+    if tag < n then (Schedule.placement_exn s tag).Schedule.start
+    else (Schedule.comm_at s ((tag - n) / 2)).Schedule.start
+  in
+  let order = Array.init total Fun.id in
+  Array.sort
+    (fun a b ->
+      match compare (ts_of a) (ts_of b) with
+      | 0 -> Int.compare b a
+      | c -> c)
+    order;
   let p = Platform.p (Schedule.platform s) in
-  let metadata =
-    List.concat_map
-      (fun q ->
-        List.map
-          (fun (tid, label) ->
-            Printf.sprintf
-              {|{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"%s"}}|}
-              q tid label)
-          [ (tid_cpu, "cpu"); (tid_send, "send port"); (tid_recv, "recv port") ])
-      (List.init p Fun.id)
+  let buf = Buffer.create (256 + (total * 96)) in
+  Buffer.add_char buf '[';
+  (* Thread name metadata makes the ports readable in the viewer. *)
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_string buf ",\n"
   in
-  let body =
-    List.map snd (List.sort (fun (a, _) (b, _) -> compare a b) !events)
-  in
-  "[" ^ String.concat ",\n" (metadata @ body) ^ "]\n"
+  for q = 0 to p - 1 do
+    List.iter
+      (fun (tid, label) ->
+        sep ();
+        Buffer.add_string buf
+          (Printf.sprintf
+             {|{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"%s"}}|}
+             q tid label))
+      [ (tid_cpu, "cpu"); (tid_send, "send port"); (tid_recv, "recv port") ]
+  done;
+  Array.iter
+    (fun tag ->
+      sep ();
+      if tag < n then begin
+        let pl = Schedule.placement_exn s tag in
+        add_complete_event buf
+          ~name:(Printf.sprintf "v%d" tag)
+          ~pid:pl.Schedule.proc ~tid:tid_cpu
+          ~ts:(time_unit *. pl.Schedule.start)
+          ~dur:(time_unit *. (pl.Schedule.finish -. pl.Schedule.start))
+          ~args:
+            (Printf.sprintf {|"task":%d,"weight":%g|} tag (Graph.weight g tag))
+      end
+      else begin
+        let c = Schedule.comm_at s ((tag - n) / 2) in
+        let recv = (tag - n) land 1 = 1 in
+        add_complete_event buf
+          ~name:(Printf.sprintf "e%d:%d->%d" c.edge c.src_proc c.dst_proc)
+          ~pid:(if recv then c.dst_proc else c.src_proc)
+          ~tid:(if recv then tid_recv else tid_send)
+          ~ts:(time_unit *. c.start)
+          ~dur:(time_unit *. (c.finish -. c.start))
+          ~args:
+            (Printf.sprintf {|"edge":%d,"src":%d,"dst":%d|} c.edge c.src_proc
+               c.dst_proc)
+      end)
+    order;
+  Buffer.add_string buf "]\n";
+  Buffer.contents buf
 
 let to_csv s =
   let g = Schedule.graph s in
-  let buf = Buffer.create 1024 in
+  let buf = Buffer.create (1024 + ((Graph.n_tasks g + Schedule.n_comms s) * 48)) in
   Buffer.add_string buf "kind,name,processor,resource,start,finish,duration\n";
   let row kind name proc resource start finish =
     Buffer.add_string buf
@@ -86,12 +111,10 @@ let to_csv s =
     row "task" (Printf.sprintf "v%d" v) pl.Schedule.proc "cpu" pl.Schedule.start
       pl.Schedule.finish
   done;
-  List.iter
-    (fun (c : Schedule.comm) ->
+  Schedule.iter_comms s ~f:(fun (c : Schedule.comm) ->
       let name = Printf.sprintf "e%d" c.edge in
       row "comm" name c.src_proc "send" c.start c.finish;
-      row "comm" name c.dst_proc "recv" c.start c.finish)
-    (Schedule.comms s);
+      row "comm" name c.dst_proc "recv" c.start c.finish);
   Buffer.contents buf
 
 let write_file path contents =

@@ -15,6 +15,8 @@ let paint row c0 c1 label =
     Bytes.blit_string lbl 0 row (c0 + ((avail - String.length lbl) / 2))
       (String.length lbl)
 
+(* All rows are painted in two passes — one over tasks, one over the
+   comm events — instead of rescanning every event list per processor. *)
 let render ?(width = 72) ?show_ports s =
   let plat = Schedule.platform s in
   let model = Schedule.model s in
@@ -30,57 +32,71 @@ let render ?(width = 72) ?show_ports s =
     (Printf.sprintf "makespan = %g   (one column = %g time units)\n" span
        (span /. float_of_int width));
   let p = Platform.p plat in
-  for q = 0 to p - 1 do
-    let row = Bytes.make width '.' in
-    for v = 0 to Graph.n_tasks (Schedule.graph s) - 1 do
-      match Schedule.placement s v with
-      | Some pl when pl.proc = q && pl.finish > pl.start ->
-          paint row (col pl.start) (max (col pl.finish) (col pl.start + 1))
-            (string_of_int v)
-      | Some _ | None -> ()
-    done;
-    Buffer.add_string buf (Printf.sprintf "P%-2d cpu  |%s|\n" q (Bytes.to_string row));
-    if show_ports then begin
-      let send_row = Bytes.make width '.' in
-      let recv_row = Bytes.make width '.' in
-      List.iter
-        (fun (c : Schedule.comm) ->
+  let cpu_rows = Array.init p (fun _ -> Bytes.make width '.') in
+  for v = 0 to Graph.n_tasks (Schedule.graph s) - 1 do
+    match Schedule.placement s v with
+    | Some pl when pl.finish > pl.start ->
+        paint cpu_rows.(pl.proc) (col pl.start)
+          (max (col pl.finish) (col pl.start + 1))
+          (string_of_int v)
+    | Some _ | None -> ()
+  done;
+  let send_rows, recv_rows =
+    if not show_ports then ([||], [||])
+    else begin
+      let sends = Array.init p (fun _ -> Bytes.make width '.') in
+      let recvs = Array.init p (fun _ -> Bytes.make width '.') in
+      Schedule.iter_comms s ~f:(fun (c : Schedule.comm) ->
           if c.finish > c.start then begin
-            if c.src_proc = q then
-              paint send_row (col c.start)
-                (max (col c.finish) (col c.start + 1))
-                (Printf.sprintf ">%d" c.dst_proc);
-            if c.dst_proc = q then
-              paint recv_row (col c.start)
-                (max (col c.finish) (col c.start + 1))
-                (Printf.sprintf "<%d" c.src_proc)
-          end)
-        (Schedule.comms s);
-      Buffer.add_string buf (Printf.sprintf "    send |%s|\n" (Bytes.to_string send_row));
-      Buffer.add_string buf (Printf.sprintf "    recv |%s|\n" (Bytes.to_string recv_row))
+            paint sends.(c.src_proc) (col c.start)
+              (max (col c.finish) (col c.start + 1))
+              (Printf.sprintf ">%d" c.dst_proc);
+            paint recvs.(c.dst_proc) (col c.start)
+              (max (col c.finish) (col c.start + 1))
+              (Printf.sprintf "<%d" c.src_proc)
+          end);
+      (sends, recvs)
+    end
+  in
+  for q = 0 to p - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "P%-2d cpu  |%s|\n" q (Bytes.to_string cpu_rows.(q)));
+    if show_ports then begin
+      Buffer.add_string buf
+        (Printf.sprintf "    send |%s|\n" (Bytes.to_string send_rows.(q)));
+      Buffer.add_string buf
+        (Printf.sprintf "    recv |%s|\n" (Bytes.to_string recv_rows.(q)))
     end
   done;
   Buffer.contents buf
 
 let listing s =
-  let buf = Buffer.create 1024 in
-  let events = ref [] in
-  for v = 0 to Graph.n_tasks (Schedule.graph s) - 1 do
-    match Schedule.placement s v with
-    | Some pl ->
-        events :=
-          (pl.start, Printf.sprintf "[%10.3f, %10.3f) P%d  exec v%d" pl.start pl.finish pl.proc v)
-          :: !events
-    | None -> events := (infinity, Printf.sprintf "unplaced v%d" v) :: !events
+  let n = Graph.n_tasks (Schedule.graph s) in
+  let nc = Schedule.n_comms s in
+  let events = Array.make (n + nc) (0., "") in
+  for v = 0 to n - 1 do
+    events.(v) <-
+      (match Schedule.placement s v with
+      | Some pl ->
+          ( pl.start,
+            Printf.sprintf "[%10.3f, %10.3f) P%d  exec v%d" pl.start pl.finish
+              pl.proc v )
+      | None -> (infinity, Printf.sprintf "unplaced v%d" v))
   done;
-  List.iter
-    (fun (c : Schedule.comm) ->
-      events :=
-        ( c.start,
-          Printf.sprintf "[%10.3f, %10.3f) P%d->P%d  comm e%d" c.start c.finish
-            c.src_proc c.dst_proc c.edge )
-        :: !events)
-    (Schedule.comms s);
-  let sorted = List.sort compare !events in
-  List.iter (fun (_, line) -> Buffer.add_string buf (line ^ "\n")) sorted;
+  for i = 0 to nc - 1 do
+    let c = Schedule.comm_at s i in
+    events.(n + i) <-
+      ( c.start,
+        Printf.sprintf "[%10.3f, %10.3f) P%d->P%d  comm e%d" c.start c.finish
+          c.src_proc c.dst_proc c.edge )
+  done;
+  (* Same order as the historical list sort: polymorphic compare on
+     (start, line) pairs — equal starts tie-break on the line text. *)
+  Array.sort compare events;
+  let buf = Buffer.create (64 * (n + nc)) in
+  Array.iter
+    (fun (_, line) ->
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    events;
   Buffer.contents buf

@@ -103,8 +103,22 @@ let placement_exn t task =
   | Some p -> p
   | None -> invalid_arg (Printf.sprintf "Schedule: task %d not placed" task)
 
-let proc_of_exn t task = (placement_exn t task).proc
-let finish_of_exn t task = (placement_exn t task).finish
+let check_placed t task =
+  if task < 0 || task >= Graph.n_tasks t.graph || t.procs.(task) < 0 then
+    invalid_arg (Printf.sprintf "Schedule: task %d not placed" task)
+
+let proc_of_exn t task =
+  check_placed t task;
+  t.procs.(task)
+
+let start_of_exn t task =
+  check_placed t task;
+  t.starts.(task)
+
+let finish_of_exn t task =
+  check_placed t task;
+  t.finishes.(task)
+
 let n_placed t = t.n_placed
 let all_placed t = t.n_placed = Graph.n_tasks t.graph
 let comms t = Vec.to_list t.comms
@@ -113,6 +127,19 @@ let comms_of_edge t edge =
   List.rev_map (fun i -> Vec.get t.comms i) t.edge_comms.(edge)
 
 let n_comm_events t = Vec.length t.comms
+let n_comms = n_comm_events
+let comm_at t i = Vec.get t.comms i
+let iter_comms t ~f = Vec.iter f t.comms
+
+let n_comms_of_edge t edge = List.length t.edge_comms.(edge)
+
+let fold_comms_of_edge t edge ~init ~f =
+  (* [edge_comms] keeps indices newest-first; fold right restores route
+     order without materializing the hop list. *)
+  List.fold_right (fun i acc -> f acc (Vec.get t.comms i)) t.edge_comms.(edge) init
+
+let phase_at t i = Vec.get t.phases i
+let iter_phases t ~f = Vec.iter (fun (s, fin) -> f s fin) t.phases
 
 let total_comm_time t =
   Vec.fold (fun acc (c : comm) -> acc +. (c.finish -. c.start)) 0. t.comms

@@ -75,18 +75,40 @@ val placement : t -> int -> placement option
 (** @raise Invalid_argument when the task is not placed. *)
 val placement_exn : t -> int -> placement
 
+(** Non-allocating placement reads; same [Invalid_argument] as
+    {!placement_exn} on unplaced tasks. *)
 val proc_of_exn : t -> int -> int
+
+val start_of_exn : t -> int -> float
 val finish_of_exn : t -> int -> float
 val n_placed : t -> int
 val all_placed : t -> bool
 
-(** All communication events in commit order. *)
+(** All communication events in commit order.  O(events) allocation —
+    million-task consumers should stream with {!iter_comms} /
+    {!comm_at} instead. *)
 val comms : t -> comm list
+
+(** [comm_at t i] is the [i]-th communication event in commit order,
+    [0 <= i < n_comms t]. *)
+val comm_at : t -> int -> comm
+
+(** [iter_comms t ~f] applies [f] to every communication event in commit
+    order without materializing the list. *)
+val iter_comms : t -> f:(comm -> unit) -> unit
 
 (** Hops recorded for one edge, in route order. *)
 val comms_of_edge : t -> int -> comm list
 
+(** [fold_comms_of_edge t edge ~init ~f] folds over the edge's hops in
+    route order without building the list. *)
+val fold_comms_of_edge : t -> int -> init:'a -> f:('a -> comm -> 'a) -> 'a
+
+val n_comms_of_edge : t -> int -> int
 val n_comm_events : t -> int
+
+(** Alias of {!n_comm_events}. *)
+val n_comms : t -> int
 
 (** Total time during which at least the given edge hop occupies a port
     (sum of hop durations over all events). *)
@@ -94,6 +116,13 @@ val total_comm_time : t -> float
 
 (** BSP communication phases in commit order (empty outside BSP). *)
 val phases : t -> (float * float) list
+
+(** [phase_at t i] is the [i]-th phase in commit order. *)
+val phase_at : t -> int -> float * float
+
+(** [iter_phases t ~f] applies [f start finish] to every phase in commit
+    order. *)
+val iter_phases : t -> f:(float -> float -> unit) -> unit
 
 val n_phases : t -> int
 

@@ -7,23 +7,59 @@ let eps = 1e-9
 let feq a b = Prelude.Stats.fequal ~eps a b
 let fle a b = a <= b +. (eps *. max 1. (max (abs_float a) (abs_float b)))
 
-(* Check that sorted-by-start intervals are pairwise disjoint; report via
-   [on_overlap a b] with both full intervals. *)
-let check_disjoint intervals ~on_overlap =
-  let sorted =
-    List.sort (fun (s1, _, _) (s2, _, _) -> compare s1 s2) intervals
-  in
-  let rec walk = function
-    | (s1, f1, l1) :: ((s2, f2, l2) :: _ as rest) ->
-        if s2 < f1 -. eps then on_overlap (s1, f1, l1) (s2, f2, l2);
-        walk rest
-    | [ _ ] | [] -> ()
-  in
-  walk sorted
-
 let pp_route route =
   String.concat ", "
     (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) route)
+
+(* ------------------------------------------------------------------ *)
+(* The streaming checker.                                              *)
+(*                                                                     *)
+(* Occupancy constraints (processor exclusivity, link contention, port *)
+(* discipline) all reduce to "intervals on a resource are pairwise     *)
+(* disjoint".  Instead of materializing per-resource lists of labelled *)
+(* intervals — one tuple and one formatted string per event, even on   *)
+(* success — events are packed int tags bucketed per resource id in    *)
+(* CSR form, one permutation is sorted by (resource, start), and a     *)
+(* single linear sweep compares adjacent events; labels are formatted  *)
+(* only for offending pairs.                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* [sweep ~n_res ~emit ~start_of ~finish_of ~on_overlap] — [emit yield]
+   must produce the same (resource, tag) sequence on both calls: the
+   first sizes the buckets, the second fills them. *)
+let sweep ~n_res ~emit ~start_of ~finish_of ~on_overlap =
+  if n_res > 0 then begin
+    let off = Array.make (n_res + 1) 0 in
+    emit (fun res _tag -> off.(res + 1) <- off.(res + 1) + 1);
+    for r = 0 to n_res - 1 do
+      off.(r + 1) <- off.(r + 1) + off.(r)
+    done;
+    let total = off.(n_res) in
+    if total > 1 then begin
+      let tags = Array.make total 0 in
+      let res_of = Array.make total 0 in
+      let cursor = Array.sub off 0 n_res in
+      emit (fun res tag ->
+          let i = cursor.(res) in
+          tags.(i) <- tag;
+          res_of.(i) <- res;
+          cursor.(res) <- i + 1);
+      let idx = Array.init total Fun.id in
+      Array.sort
+        (fun a b ->
+          match Int.compare res_of.(a) res_of.(b) with
+          | 0 -> Float.compare (start_of tags.(a)) (start_of tags.(b))
+          | c -> c)
+        idx;
+      for k = 0 to total - 2 do
+        let a = idx.(k) and b = idx.(k + 1) in
+        if
+          res_of.(a) = res_of.(b)
+          && start_of tags.(b) < finish_of tags.(a) -. eps
+        then on_overlap res_of.(a) tags.(a) tags.(b)
+      done
+    end
+  end
 
 let check s =
   let g = Schedule.graph s in
@@ -34,246 +70,637 @@ let check s =
   let n = Graph.n_tasks g in
   (* 1. placements and durations *)
   for v = 0 to n - 1 do
-    match Schedule.placement s v with
-    | None -> err "task %d is not placed" v
-    | Some p ->
-        if p.start < -.eps then
-          err "task %d on processor %d starts at negative time %g" v p.proc
-            p.start;
-        let expect = Schedule.exec_duration s ~task:v ~proc:p.proc in
-        if not (feq (p.finish -. p.start) expect) then
-          err "task %d on processor %d has duration %g over [%g,%g), expected %g"
-            v p.proc (p.finish -. p.start) p.start p.finish expect
+    if not (Schedule.is_placed s v) then err "task %d is not placed" v
+    else begin
+      let proc = Schedule.proc_of_exn s v in
+      let start = Schedule.start_of_exn s v in
+      let finish = Schedule.finish_of_exn s v in
+      if start < -.eps then
+        err "task %d on processor %d starts at negative time %g" v proc start;
+      let expect = Schedule.exec_duration s ~task:v ~proc in
+      if not (feq (finish -. start) expect) then
+        err "task %d on processor %d has duration %g over [%g,%g), expected %g"
+          v proc (finish -. start) start finish expect
+    end
   done;
   if !errors <> [] then Error (List.rev !errors)
   else begin
-    (* 2. processor exclusivity (tasks; comms join under no-overlap; BSP
-       phases exclude computation on every processor) *)
     let p_count = Platform.p plat in
-    let compute_intervals = Array.make p_count [] in
-    for v = 0 to n - 1 do
-      let pl = Schedule.placement_exn s v in
-      if pl.finish > pl.start then
-        compute_intervals.(pl.proc) <-
-          (pl.start, pl.finish, Printf.sprintf "task %d" v)
-          :: compute_intervals.(pl.proc)
-    done;
-    let all_comms = Schedule.comms s in
-    let phases = Schedule.phases s in
-    if not model.Comm_model.overlap then
-      List.iter
-        (fun (c : Schedule.comm) ->
-          if c.finish > c.start then begin
-            let label = Printf.sprintf "comm e%d" c.edge in
-            compute_intervals.(c.src_proc) <-
-              (c.start, c.finish, label) :: compute_intervals.(c.src_proc);
-            compute_intervals.(c.dst_proc) <-
-              (c.start, c.finish, label) :: compute_intervals.(c.dst_proc)
-          end)
-        all_comms;
-    List.iteri
-      (fun i (ps, pf) ->
-        if pf > ps then begin
-          let label = Printf.sprintf "comm phase %d" i in
+    let nc = Schedule.n_comms s in
+    let nph = Schedule.n_phases s in
+    (* 2. processor exclusivity (tasks; comms join under no-overlap; BSP
+       phases exclude computation on every processor).  Tag encoding:
+       [0, n) tasks, [n, n+nc) comm events, [n+nc, n+nc+nph) phases. *)
+    let start_of tag =
+      if tag < n then Schedule.start_of_exn s tag
+      else if tag < n + nc then (Schedule.comm_at s (tag - n)).Schedule.start
+      else fst (Schedule.phase_at s (tag - n - nc))
+    in
+    let finish_of tag =
+      if tag < n then Schedule.finish_of_exn s tag
+      else if tag < n + nc then (Schedule.comm_at s (tag - n)).Schedule.finish
+      else snd (Schedule.phase_at s (tag - n - nc))
+    in
+    let label_of tag =
+      if tag < n then Printf.sprintf "task %d" tag
+      else if tag < n + nc then
+        Printf.sprintf "comm e%d" (Schedule.comm_at s (tag - n)).Schedule.edge
+      else Printf.sprintf "comm phase %d" (tag - n - nc)
+    in
+    let emit yield =
+      for v = 0 to n - 1 do
+        if Schedule.finish_of_exn s v > Schedule.start_of_exn s v then
+          yield (Schedule.proc_of_exn s v) v
+      done;
+      if not model.Comm_model.overlap then
+        for i = 0 to nc - 1 do
+          let c = Schedule.comm_at s i in
+          if c.Schedule.finish > c.Schedule.start then begin
+            yield c.Schedule.src_proc (n + i);
+            yield c.Schedule.dst_proc (n + i)
+          end
+        done;
+      for i = 0 to nph - 1 do
+        let ps, pf = Schedule.phase_at s i in
+        if pf > ps then
           for q = 0 to p_count - 1 do
-            compute_intervals.(q) <- (ps, pf, label) :: compute_intervals.(q)
+            yield q (n + nc + i)
           done
-        end)
-      phases;
-    Array.iteri
-      (fun q intervals ->
-        check_disjoint intervals ~on_overlap:(fun (s1, f1, l1) (s2, f2, l2) ->
-            err "processor %d: %s [%g,%g) overlaps %s [%g,%g)" q l1 s1 f1 l2 s2
-              f2))
-      compute_intervals;
+      done
+    in
+    sweep ~n_res:p_count ~emit ~start_of ~finish_of
+      ~on_overlap:(fun q a b ->
+        err "processor %d: %s [%g,%g) overlaps %s [%g,%g)" q (label_of a)
+          (start_of a) (finish_of a) (label_of b) (start_of b) (finish_of b));
+    (* Phase lookup by start for BSP: phase indices sorted by start.
+       Every phase whose start is [feq] to [x] lies within the band
+       [x ± 2·eps·(1+|x|)], so a binary search plus a short scan visits
+       (a superset of) the candidates the old linear [List.exists] did;
+       the exact [feq] test runs inside the callback's caller. *)
+    let ph_starts = Array.init nph (fun i -> fst (Schedule.phase_at s i)) in
+    let ph_order = Array.init nph Fun.id in
+    Array.sort (fun a b -> Float.compare ph_starts.(a) ph_starts.(b)) ph_order;
+    let iter_phases_matching x ~f =
+      let band = eps *. 2. *. (1. +. abs_float x) in
+      let lo = ref 0 and hi = ref nph in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if ph_starts.(ph_order.(mid)) < x -. band then lo := mid + 1
+        else hi := mid
+      done;
+      let k = ref !lo in
+      while !k < nph && ph_starts.(ph_order.(!k)) <= x +. band do
+        f ph_order.(!k);
+        incr k
+      done
+    in
+    let in_phase (c : Schedule.comm) =
+      let found = ref false in
+      iter_phases_matching c.start ~f:(fun i ->
+          let ps, pf = Schedule.phase_at s i in
+          if feq ps c.start && feq pf c.finish then found := true);
+      !found
+    in
     (* 3. precedence and communication chains *)
     let expected_hop_span ~data ~cost =
       match model.Comm_model.regime with
       | Comm_model.Latency_overhead { o; l } -> (2. *. o) +. (data *. cost) +. l
       | Comm_model.Port | Comm_model.Bsp _ -> data *. cost
     in
-    let in_phase (c : Schedule.comm) =
-      List.exists (fun (ps, pf) -> feq ps c.start && feq pf c.finish) phases
-    in
     let is_bsp =
       match model.Comm_model.regime with
       | Comm_model.Bsp _ -> true
       | Comm_model.Port | Comm_model.Latency_overhead _ -> false
     in
-    List.iter
-      (fun (e : Graph.edge) ->
-        let src = Schedule.placement_exn s e.src in
-        let dst = Schedule.placement_exn s e.dst in
-        let hops = Schedule.comms_of_edge s e.id in
-        if src.proc = dst.proc then begin
-          if hops <> [] then
-            err "edge %d: local edge on processor %d carries communication \
-                 events" e.id src.proc;
-          if not (fle src.finish dst.start) then
-            err "edge %d: task %d on processor %d starts at %g before its \
-                 local predecessor %d finishes at %g"
-              e.id e.dst dst.proc dst.start e.src src.finish
+    for e = 0 to Graph.n_edges g - 1 do
+      let u = Graph.edge_src g e and v = Graph.edge_dst g e in
+      let data = Graph.edge_data g e in
+      let up = Schedule.proc_of_exn s u and vp = Schedule.proc_of_exn s v in
+      let ufin = Schedule.finish_of_exn s u in
+      let vstart = Schedule.start_of_exn s v in
+      let hop_count = Schedule.n_comms_of_edge s e in
+      if up = vp then begin
+        if hop_count > 0 then
+          err "edge %d: local edge on processor %d carries communication \
+               events" e up;
+        if not (fle ufin vstart) then
+          err "edge %d: task %d on processor %d starts at %g before its \
+               local predecessor %d finishes at %g"
+            e v vp vstart u ufin
+      end
+      else if is_bsp then begin
+        (* BSP: a remote data edge travels in exactly one comm phase
+           between the source's finish and the destination's start;
+           zero-data edges need no event. *)
+        if data = 0. then begin
+          if hop_count > 0 then
+            err "edge %d: zero-data edge carries communication events" e;
+          if not (fle ufin vstart) then
+            err "edge %d: zero-data edge violates precedence (task %d \
+                 starts at %g, predecessor finishes at %g)"
+              e v vstart ufin
         end
-        else if is_bsp then begin
-          (* BSP: a remote data edge travels in exactly one comm phase
-             between the source's finish and the destination's start;
-             zero-data edges need no event. *)
-          if e.data = 0. then begin
-            if hops <> [] then
-              err "edge %d: zero-data edge carries communication events" e.id;
-            if not (fle src.finish dst.start) then
-              err "edge %d: zero-data edge violates precedence (task %d \
-                   starts at %g, predecessor finishes at %g)"
-                e.id e.dst dst.start src.finish
-          end
-          else begin
-            (match hops with
-            | [ c ] ->
-                if not (in_phase c) then
-                  err "edge %d: event [%g,%g) matches no recorded comm phase"
-                    e.id c.start c.finish;
-                if not (fle src.finish c.start) then
-                  err "edge %d: phase starts at %g before source finishes at %g"
-                    e.id c.start src.finish;
-                if not (fle c.finish dst.start) then
-                  err "edge %d: task %d starts at %g before its phase ends at \
-                       %g"
-                    e.id e.dst dst.start c.finish
-            | [] ->
-                err "edge %d: remote edge %d->%d has no communication event"
-                  e.id src.proc dst.proc
-            | _ ->
-                err "edge %d: remote edge has %d events, BSP expects exactly \
-                     one"
-                  e.id (List.length hops))
-          end
-        end
+        else if hop_count = 0 then
+          err "edge %d: remote edge %d->%d has no communication event" e up vp
+        else if hop_count > 1 then
+          err "edge %d: remote edge has %d events, BSP expects exactly one" e
+            hop_count
         else begin
-          let route = Platform.route plat ~src:src.proc ~dst:dst.proc in
-          if e.data = 0. && hops = [] then begin
-            (* zero-volume edges may omit events but still wait for source *)
-            if not (fle src.finish dst.start) then
-              err "edge %d: zero-data edge violates precedence (task %d on \
-                   processor %d starts at %g, predecessor %d on processor %d \
-                   finishes at %g)"
-                e.id e.dst dst.proc dst.start e.src src.proc src.finish
-          end
-          else begin
-            let hop_pairs = List.map (fun (c : Schedule.comm) -> (c.src_proc, c.dst_proc)) hops in
-            if hop_pairs <> route then
-              err "edge %d: communication hops [%s] do not follow the \
-                   platform route %d->%d [%s]"
-                e.id (pp_route hop_pairs) src.proc dst.proc (pp_route route);
-            let arrival =
-              List.fold_left
-                (fun prev (c : Schedule.comm) ->
-                  let expect =
-                    expected_hop_span ~data:e.data
-                      ~cost:(Platform.hop_cost plat ~src:c.src_proc ~dst:c.dst_proc)
-                  in
-                  if not (feq (c.finish -. c.start) expect) then
-                    err "edge %d: hop %d->%d has duration %g over [%g,%g), \
-                         expected %g"
-                      e.id c.src_proc c.dst_proc (c.finish -. c.start) c.start
-                      c.finish expect;
-                  if not (fle prev c.start) then
-                    err "edge %d: hop %d->%d starts at %g before data is ready at %g"
-                      e.id c.src_proc c.dst_proc c.start prev;
-                  c.finish)
-                src.finish hops
-            in
-            if not (fle arrival dst.start) then
-              err "edge %d: task %d on processor %d starts at %g before data \
-                   arrives at %g"
-                e.id e.dst dst.proc dst.start arrival
-          end
-        end)
-      (Graph.edges g);
+          let c =
+            Schedule.fold_comms_of_edge s e ~init:None ~f:(fun _ c -> Some c)
+            |> Option.get
+          in
+          if not (in_phase c) then
+            err "edge %d: event [%g,%g) matches no recorded comm phase" e
+              c.start c.finish;
+          if not (fle ufin c.start) then
+            err "edge %d: phase starts at %g before source finishes at %g" e
+              c.start ufin;
+          if not (fle c.finish vstart) then
+            err "edge %d: task %d starts at %g before its phase ends at %g" e
+              v vstart c.finish
+        end
+      end
+      else if data = 0. && hop_count = 0 then begin
+        (* zero-volume edges may omit events but still wait for source *)
+        if not (fle ufin vstart) then
+          err "edge %d: zero-data edge violates precedence (task %d on \
+               processor %d starts at %g, predecessor %d on processor %d \
+               finishes at %g)"
+            e v vp vstart u up ufin
+      end
+      else begin
+        (* Route conformance, streamed: walk the platform route alongside
+           the hop fold; the hop list is only materialized on error. *)
+        let route = Platform.route plat ~src:up ~dst:vp in
+        let rest, ok =
+          Schedule.fold_comms_of_edge s e ~init:(route, true)
+            ~f:(fun (rest, ok) (c : Schedule.comm) ->
+              match rest with
+              | (a, b) :: tl when a = c.src_proc && b = c.dst_proc -> (tl, ok)
+              | _ -> ([], false))
+        in
+        if (not ok) || rest <> [] then begin
+          let hop_pairs =
+            List.map
+              (fun (c : Schedule.comm) -> (c.src_proc, c.dst_proc))
+              (Schedule.comms_of_edge s e)
+          in
+          err "edge %d: communication hops [%s] do not follow the platform \
+               route %d->%d [%s]"
+            e (pp_route hop_pairs) up vp (pp_route route)
+        end;
+        let arrival =
+          Schedule.fold_comms_of_edge s e ~init:ufin
+            ~f:(fun prev (c : Schedule.comm) ->
+              let expect =
+                expected_hop_span ~data
+                  ~cost:
+                    (Platform.hop_cost plat ~src:c.src_proc ~dst:c.dst_proc)
+              in
+              if not (feq (c.finish -. c.start) expect) then
+                err "edge %d: hop %d->%d has duration %g over [%g,%g), \
+                     expected %g"
+                  e c.src_proc c.dst_proc (c.finish -. c.start) c.start
+                  c.finish expect;
+              if not (fle prev c.start) then
+                err
+                  "edge %d: hop %d->%d starts at %g before data is ready at %g"
+                  e c.src_proc c.dst_proc c.start prev;
+              c.finish)
+        in
+        if not (fle arrival vstart) then
+          err "edge %d: task %d on processor %d starts at %g before data \
+               arrives at %g"
+            e v vp vstart arrival
+      end
+    done;
     (* 3b. BSP phase pricing: a phase moving an h-relation of volume [h]
        must span at least g·h + L.  Phases that lost events to
        [filter_comms] may be over-provisioned; never under. *)
     (match model.Comm_model.regime with
     | Comm_model.Bsp { g = gp; l = lp } ->
-        List.iteri
-          (fun i (ps, pf) ->
-            let h =
-              List.fold_left
-                (fun acc (c : Schedule.comm) ->
-                  if feq ps c.start && feq pf c.finish then
-                    acc +. Graph.edge_data g c.edge
-                  else acc)
-                0. all_comms
-            in
-            let need = (gp *. h) +. lp in
-            if not (fle need (pf -. ps)) then
-              err "comm phase %d [%g,%g): spans %g but its h-relation of %g \
-                   needs g*h+L = %g"
-                i ps pf (pf -. ps) h need)
-          phases
+        let h = Array.make (max 1 nph) 0. in
+        Schedule.iter_comms s ~f:(fun (c : Schedule.comm) ->
+            iter_phases_matching c.start ~f:(fun i ->
+                let ps, pf = Schedule.phase_at s i in
+                if feq ps c.start && feq pf c.finish then
+                  h.(i) <- h.(i) +. Graph.edge_data g c.edge));
+        for i = 0 to nph - 1 do
+          let ps, pf = Schedule.phase_at s i in
+          let need = (gp *. h.(i)) +. lp in
+          if not (fle need (pf -. ps)) then
+            err "comm phase %d [%g,%g): spans %g but its h-relation of %g \
+                 needs g*h+L = %g"
+              i ps pf (pf -. ps) h.(i) need
+        done
     | Comm_model.Port | Comm_model.Latency_overhead _ ->
-        if phases <> [] then
-          err "schedule records %d comm phases outside the BSP regime"
-            (List.length phases));
-    (* 4b. link contention: one message per undirected direct link *)
+        if nph > 0 then
+          err "schedule records %d comm phases outside the BSP regime" nph);
+    (* 4b. link contention: one message per undirected direct link.
+       Links get dense resource ids in first-seen order. *)
     if model.Comm_model.link_contention then begin
-      let by_link = Hashtbl.create 16 in
-      List.iter
-        (fun (c : Schedule.comm) ->
-          if c.finish > c.start then begin
-            let key = (min c.src_proc c.dst_proc, max c.src_proc c.dst_proc) in
-            let label = Printf.sprintf "e%d %d->%d" c.edge c.src_proc c.dst_proc in
-            let old = Option.value ~default:[] (Hashtbl.find_opt by_link key) in
-            Hashtbl.replace by_link key ((c.start, c.finish, label) :: old)
-          end)
-        all_comms;
-      Hashtbl.iter
-        (fun (a, b) intervals ->
-          check_disjoint intervals ~on_overlap:(fun (s1, f1, l1) (s2, f2, l2) ->
-              err "link %d-%d: %s [%g,%g) overlaps %s [%g,%g)" a b l1 s1 f1 l2
-                s2 f2))
-        by_link
+      let link_ids = Hashtbl.create 16 in
+      let link_pairs = Prelude.Vec.create () in
+      let id_of a b =
+        let key = (min a b * p_count) + max a b in
+        match Hashtbl.find_opt link_ids key with
+        | Some id -> id
+        | None ->
+            let id = Prelude.Vec.length link_pairs in
+            Hashtbl.add link_ids key id;
+            Prelude.Vec.push link_pairs (min a b, max a b);
+            id
+      in
+      Schedule.iter_comms s ~f:(fun (c : Schedule.comm) ->
+          if c.finish > c.start then
+            ignore (id_of c.src_proc c.dst_proc : int));
+      let cstart tag = (Schedule.comm_at s tag).Schedule.start in
+      let cfinish tag = (Schedule.comm_at s tag).Schedule.finish in
+      let clabel tag =
+        let c = Schedule.comm_at s tag in
+        Printf.sprintf "e%d %d->%d" c.edge c.src_proc c.dst_proc
+      in
+      sweep
+        ~n_res:(Prelude.Vec.length link_pairs)
+        ~emit:(fun yield ->
+          for i = 0 to nc - 1 do
+            let c = Schedule.comm_at s i in
+            if c.Schedule.finish > c.Schedule.start then
+              yield (id_of c.Schedule.src_proc c.Schedule.dst_proc) i
+          done)
+        ~start_of:cstart ~finish_of:cfinish
+        ~on_overlap:(fun r t1 t2 ->
+          let a, b = Prelude.Vec.get link_pairs r in
+          err "link %d-%d: %s [%g,%g) overlaps %s [%g,%g)" a b (clabel t1)
+            (cstart t1) (cfinish t1) (clabel t2) (cstart t2) (cfinish t2))
     end;
     (* 4. port discipline; under latency+overhead only the endpoint
-       overhead sub-windows occupy the ports *)
+       overhead sub-windows occupy the ports.  Tag encoding: [2i] the
+       send window of comm [i], [2i+1] its receive window.  Resources:
+       bidirectional keeps send port [q] and receive port [p+q]
+       independent; unidirectional pools both on [q]. *)
     (match model.Comm_model.ports with
     | Comm_model.Unlimited -> ()
-    | Comm_model.One_port_bidirectional | Comm_model.One_port_unidirectional ->
-        let port_windows (c : Schedule.comm) =
+    | Comm_model.One_port_bidirectional | Comm_model.One_port_unidirectional
+      ->
+        let bidir =
+          model.Comm_model.ports = Comm_model.One_port_bidirectional
+        in
+        let window tag =
+          let c = Schedule.comm_at s (tag / 2) in
           match model.Comm_model.regime with
           | Comm_model.Latency_overhead { o; _ } ->
-              ( (c.start, min (c.start +. o) c.finish),
-                (max (c.finish -. o) c.start, c.finish) )
+              if tag land 1 = 0 then
+                (c.Schedule.start, min (c.Schedule.start +. o) c.Schedule.finish)
+              else
+                ( max (c.Schedule.finish -. o) c.Schedule.start,
+                  c.Schedule.finish )
           | Comm_model.Port | Comm_model.Bsp _ ->
-              ((c.start, c.finish), (c.start, c.finish))
+              (c.Schedule.start, c.Schedule.finish)
         in
-        let sends = Array.make p_count [] in
-        let recvs = Array.make p_count [] in
-        List.iter
-          (fun (c : Schedule.comm) ->
-            let (ss, sf), (rs, rf) = port_windows c in
-            let label =
-              Printf.sprintf "e%d %d->%d" c.edge c.src_proc c.dst_proc
+        let wstart tag = fst (window tag) in
+        let wfinish tag = snd (window tag) in
+        let wlabel tag =
+          let c = Schedule.comm_at s (tag / 2) in
+          Printf.sprintf "e%d %d->%d" c.Schedule.edge c.Schedule.src_proc
+            c.Schedule.dst_proc
+        in
+        sweep
+          ~n_res:(if bidir then 2 * p_count else p_count)
+          ~emit:(fun yield ->
+            for i = 0 to nc - 1 do
+              let c = Schedule.comm_at s i in
+              let ss, sf = window (2 * i) in
+              if sf > ss then yield c.Schedule.src_proc (2 * i);
+              let rs, rf = window ((2 * i) + 1) in
+              if rf > rs then
+                yield
+                  (if bidir then p_count + c.Schedule.dst_proc
+                   else c.Schedule.dst_proc)
+                  ((2 * i) + 1)
+            done)
+          ~start_of:wstart ~finish_of:wfinish
+          ~on_overlap:(fun r t1 t2 ->
+            let q = if bidir && r >= p_count then r - p_count else r in
+            let kind =
+              if not bidir then "uni"
+              else if r < p_count then "send"
+              else "recv"
             in
-            if sf > ss then
-              sends.(c.src_proc) <- (ss, sf, label) :: sends.(c.src_proc);
-            if rf > rs then
-              recvs.(c.dst_proc) <- (rs, rf, label) :: recvs.(c.dst_proc))
-          all_comms;
-        let report kind q (s1, f1, l1) (s2, f2, l2) =
-          err "processor %d: %s port conflict: %s [%g,%g) overlaps %s [%g,%g)"
-            q kind l1 s1 f1 l2 s2 f2
-        in
-        for q = 0 to p_count - 1 do
-          match model.Comm_model.ports with
-          | Comm_model.One_port_bidirectional ->
-              check_disjoint sends.(q) ~on_overlap:(report "send" q);
-              check_disjoint recvs.(q) ~on_overlap:(report "recv" q)
-          | Comm_model.One_port_unidirectional ->
-              check_disjoint (sends.(q) @ recvs.(q)) ~on_overlap:(report "uni" q)
-          | Comm_model.Unlimited -> ()
-        done);
+            err "processor %d: %s port conflict: %s [%g,%g) overlaps %s \
+                 [%g,%g)"
+              q kind (wlabel t1) (wstart t1) (wfinish t1) (wlabel t2)
+              (wstart t2) (wfinish t2)));
     match List.rev !errors with [] -> Ok () | es -> Error es
   end
+
+(* ------------------------------------------------------------------ *)
+(* The original list-based checker — the executable specification the  *)
+(* streaming sweep is tested against.  Same verdicts; it materializes  *)
+(* labelled interval lists per resource and is O(phases·comms) under   *)
+(* BSP, so it stays off the million-task path.                         *)
+(* ------------------------------------------------------------------ *)
+module Reference = struct
+  (* Check that sorted-by-start intervals are pairwise disjoint; report via
+     [on_overlap a b] with both full intervals. *)
+  let check_disjoint intervals ~on_overlap =
+    let sorted =
+      List.sort (fun (s1, _, _) (s2, _, _) -> compare s1 s2) intervals
+    in
+    let rec walk = function
+      | (s1, f1, l1) :: ((s2, f2, l2) :: _ as rest) ->
+          if s2 < f1 -. eps then on_overlap (s1, f1, l1) (s2, f2, l2);
+          walk rest
+      | [ _ ] | [] -> ()
+    in
+    walk sorted
+
+  let check s =
+    let g = Schedule.graph s in
+    let plat = Schedule.platform s in
+    let model = Schedule.model s in
+    let errors = ref [] in
+    let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+    let n = Graph.n_tasks g in
+    (* 1. placements and durations *)
+    for v = 0 to n - 1 do
+      match Schedule.placement s v with
+      | None -> err "task %d is not placed" v
+      | Some p ->
+          if p.start < -.eps then
+            err "task %d on processor %d starts at negative time %g" v p.proc
+              p.start;
+          let expect = Schedule.exec_duration s ~task:v ~proc:p.proc in
+          if not (feq (p.finish -. p.start) expect) then
+            err
+              "task %d on processor %d has duration %g over [%g,%g), \
+               expected %g"
+              v p.proc (p.finish -. p.start) p.start p.finish expect
+    done;
+    if !errors <> [] then Error (List.rev !errors)
+    else begin
+      (* 2. processor exclusivity (tasks; comms join under no-overlap; BSP
+         phases exclude computation on every processor) *)
+      let p_count = Platform.p plat in
+      let compute_intervals = Array.make p_count [] in
+      for v = 0 to n - 1 do
+        let pl = Schedule.placement_exn s v in
+        if pl.finish > pl.start then
+          compute_intervals.(pl.proc) <-
+            (pl.start, pl.finish, Printf.sprintf "task %d" v)
+            :: compute_intervals.(pl.proc)
+      done;
+      let all_comms = Schedule.comms s in
+      let phases = Schedule.phases s in
+      if not model.Comm_model.overlap then
+        List.iter
+          (fun (c : Schedule.comm) ->
+            if c.finish > c.start then begin
+              let label = Printf.sprintf "comm e%d" c.edge in
+              compute_intervals.(c.src_proc) <-
+                (c.start, c.finish, label) :: compute_intervals.(c.src_proc);
+              compute_intervals.(c.dst_proc) <-
+                (c.start, c.finish, label) :: compute_intervals.(c.dst_proc)
+            end)
+          all_comms;
+      List.iteri
+        (fun i (ps, pf) ->
+          if pf > ps then begin
+            let label = Printf.sprintf "comm phase %d" i in
+            for q = 0 to p_count - 1 do
+              compute_intervals.(q) <- (ps, pf, label) :: compute_intervals.(q)
+            done
+          end)
+        phases;
+      Array.iteri
+        (fun q intervals ->
+          check_disjoint intervals ~on_overlap:(fun (s1, f1, l1) (s2, f2, l2) ->
+              err "processor %d: %s [%g,%g) overlaps %s [%g,%g)" q l1 s1 f1 l2
+                s2 f2))
+        compute_intervals;
+      (* 3. precedence and communication chains *)
+      let expected_hop_span ~data ~cost =
+        match model.Comm_model.regime with
+        | Comm_model.Latency_overhead { o; l } ->
+            (2. *. o) +. (data *. cost) +. l
+        | Comm_model.Port | Comm_model.Bsp _ -> data *. cost
+      in
+      let in_phase (c : Schedule.comm) =
+        List.exists (fun (ps, pf) -> feq ps c.start && feq pf c.finish) phases
+      in
+      let is_bsp =
+        match model.Comm_model.regime with
+        | Comm_model.Bsp _ -> true
+        | Comm_model.Port | Comm_model.Latency_overhead _ -> false
+      in
+      List.iter
+        (fun (e : Graph.edge) ->
+          let src = Schedule.placement_exn s e.src in
+          let dst = Schedule.placement_exn s e.dst in
+          let hops = Schedule.comms_of_edge s e.id in
+          if src.proc = dst.proc then begin
+            if hops <> [] then
+              err
+                "edge %d: local edge on processor %d carries communication \
+                 events"
+                e.id src.proc;
+            if not (fle src.finish dst.start) then
+              err
+                "edge %d: task %d on processor %d starts at %g before its \
+                 local predecessor %d finishes at %g"
+                e.id e.dst dst.proc dst.start e.src src.finish
+          end
+          else if is_bsp then begin
+            (* BSP: a remote data edge travels in exactly one comm phase
+               between the source's finish and the destination's start;
+               zero-data edges need no event. *)
+            if e.data = 0. then begin
+              if hops <> [] then
+                err "edge %d: zero-data edge carries communication events" e.id;
+              if not (fle src.finish dst.start) then
+                err
+                  "edge %d: zero-data edge violates precedence (task %d \
+                   starts at %g, predecessor finishes at %g)"
+                  e.id e.dst dst.start src.finish
+            end
+            else begin
+              match hops with
+              | [ c ] ->
+                  if not (in_phase c) then
+                    err "edge %d: event [%g,%g) matches no recorded comm phase"
+                      e.id c.start c.finish;
+                  if not (fle src.finish c.start) then
+                    err
+                      "edge %d: phase starts at %g before source finishes at \
+                       %g"
+                      e.id c.start src.finish;
+                  if not (fle c.finish dst.start) then
+                    err
+                      "edge %d: task %d starts at %g before its phase ends \
+                       at %g"
+                      e.id e.dst dst.start c.finish
+              | [] ->
+                  err "edge %d: remote edge %d->%d has no communication event"
+                    e.id src.proc dst.proc
+              | _ ->
+                  err
+                    "edge %d: remote edge has %d events, BSP expects exactly \
+                     one"
+                    e.id (List.length hops)
+            end
+          end
+          else begin
+            let route = Platform.route plat ~src:src.proc ~dst:dst.proc in
+            if e.data = 0. && hops = [] then begin
+              (* zero-volume edges may omit events but still wait for source *)
+              if not (fle src.finish dst.start) then
+                err
+                  "edge %d: zero-data edge violates precedence (task %d on \
+                   processor %d starts at %g, predecessor %d on processor %d \
+                   finishes at %g)"
+                  e.id e.dst dst.proc dst.start e.src src.proc src.finish
+            end
+            else begin
+              let hop_pairs =
+                List.map
+                  (fun (c : Schedule.comm) -> (c.src_proc, c.dst_proc))
+                  hops
+              in
+              if hop_pairs <> route then
+                err
+                  "edge %d: communication hops [%s] do not follow the \
+                   platform route %d->%d [%s]"
+                  e.id (pp_route hop_pairs) src.proc dst.proc (pp_route route);
+              let arrival =
+                List.fold_left
+                  (fun prev (c : Schedule.comm) ->
+                    let expect =
+                      expected_hop_span ~data:e.data
+                        ~cost:
+                          (Platform.hop_cost plat ~src:c.src_proc
+                             ~dst:c.dst_proc)
+                    in
+                    if not (feq (c.finish -. c.start) expect) then
+                      err
+                        "edge %d: hop %d->%d has duration %g over [%g,%g), \
+                         expected %g"
+                        e.id c.src_proc c.dst_proc (c.finish -. c.start)
+                        c.start c.finish expect;
+                    if not (fle prev c.start) then
+                      err
+                        "edge %d: hop %d->%d starts at %g before data is \
+                         ready at %g"
+                        e.id c.src_proc c.dst_proc c.start prev;
+                    c.finish)
+                  src.finish hops
+              in
+              if not (fle arrival dst.start) then
+                err
+                  "edge %d: task %d on processor %d starts at %g before data \
+                   arrives at %g"
+                  e.id e.dst dst.proc dst.start arrival
+            end
+          end)
+        (Graph.edges g);
+      (* 3b. BSP phase pricing: a phase moving an h-relation of volume [h]
+         must span at least g·h + L.  Phases that lost events to
+         [filter_comms] may be over-provisioned; never under. *)
+      (match model.Comm_model.regime with
+      | Comm_model.Bsp { g = gp; l = lp } ->
+          List.iteri
+            (fun i (ps, pf) ->
+              let h =
+                List.fold_left
+                  (fun acc (c : Schedule.comm) ->
+                    if feq ps c.start && feq pf c.finish then
+                      acc +. Graph.edge_data g c.edge
+                    else acc)
+                  0. all_comms
+              in
+              let need = (gp *. h) +. lp in
+              if not (fle need (pf -. ps)) then
+                err
+                  "comm phase %d [%g,%g): spans %g but its h-relation of %g \
+                   needs g*h+L = %g"
+                  i ps pf (pf -. ps) h need)
+            phases
+      | Comm_model.Port | Comm_model.Latency_overhead _ ->
+          if phases <> [] then
+            err "schedule records %d comm phases outside the BSP regime"
+              (List.length phases));
+      (* 4b. link contention: one message per undirected direct link *)
+      if model.Comm_model.link_contention then begin
+        let by_link = Hashtbl.create 16 in
+        List.iter
+          (fun (c : Schedule.comm) ->
+            if c.finish > c.start then begin
+              let key =
+                (min c.src_proc c.dst_proc, max c.src_proc c.dst_proc)
+              in
+              let label =
+                Printf.sprintf "e%d %d->%d" c.edge c.src_proc c.dst_proc
+              in
+              let old =
+                Option.value ~default:[] (Hashtbl.find_opt by_link key)
+              in
+              Hashtbl.replace by_link key ((c.start, c.finish, label) :: old)
+            end)
+          all_comms;
+        Hashtbl.iter
+          (fun (a, b) intervals ->
+            check_disjoint intervals
+              ~on_overlap:(fun (s1, f1, l1) (s2, f2, l2) ->
+                err "link %d-%d: %s [%g,%g) overlaps %s [%g,%g)" a b l1 s1 f1
+                  l2 s2 f2))
+          by_link
+      end;
+      (* 4. port discipline; under latency+overhead only the endpoint
+         overhead sub-windows occupy the ports *)
+      (match model.Comm_model.ports with
+      | Comm_model.Unlimited -> ()
+      | Comm_model.One_port_bidirectional | Comm_model.One_port_unidirectional
+        ->
+          let port_windows (c : Schedule.comm) =
+            match model.Comm_model.regime with
+            | Comm_model.Latency_overhead { o; _ } ->
+                ( (c.start, min (c.start +. o) c.finish),
+                  (max (c.finish -. o) c.start, c.finish) )
+            | Comm_model.Port | Comm_model.Bsp _ ->
+                ((c.start, c.finish), (c.start, c.finish))
+          in
+          let sends = Array.make p_count [] in
+          let recvs = Array.make p_count [] in
+          List.iter
+            (fun (c : Schedule.comm) ->
+              let (ss, sf), (rs, rf) = port_windows c in
+              let label =
+                Printf.sprintf "e%d %d->%d" c.edge c.src_proc c.dst_proc
+              in
+              if sf > ss then
+                sends.(c.src_proc) <- (ss, sf, label) :: sends.(c.src_proc);
+              if rf > rs then
+                recvs.(c.dst_proc) <- (rs, rf, label) :: recvs.(c.dst_proc))
+            all_comms;
+          let report kind q (s1, f1, l1) (s2, f2, l2) =
+            err
+              "processor %d: %s port conflict: %s [%g,%g) overlaps %s [%g,%g)"
+              q kind l1 s1 f1 l2 s2 f2
+          in
+          for q = 0 to p_count - 1 do
+            match model.Comm_model.ports with
+            | Comm_model.One_port_bidirectional ->
+                check_disjoint sends.(q) ~on_overlap:(report "send" q);
+                check_disjoint recvs.(q) ~on_overlap:(report "recv" q)
+            | Comm_model.One_port_unidirectional ->
+                check_disjoint
+                  (sends.(q) @ recvs.(q))
+                  ~on_overlap:(report "uni" q)
+            | Comm_model.Unlimited -> ()
+          done);
+      match List.rev !errors with [] -> Ok () | es -> Error es
+    end
+end
 
 let check_exn s =
   match check s with

@@ -20,10 +20,23 @@
       task executions on both endpoint processors. *)
 
 (** [check s] is [Ok ()] or [Error messages] listing every violation found
-    (human-readable, deterministic order). *)
+    (human-readable, deterministic order).
+
+    The checker streams: occupancy constraints bucket packed int event
+    tags per resource and run one sorted sweep each, with labels
+    formatted only for offending pairs, so validating a clean
+    million-task schedule allocates O(events) ints and no strings. *)
 val check : Schedule.t -> (unit, string list) result
 
 (** @raise Failure with the first violations when invalid. *)
 val check_exn : Schedule.t -> unit
 
 val is_valid : Schedule.t -> bool
+
+(** The original list-based checker — the executable specification the
+    streaming sweep is property-tested against.  Same verdicts on every
+    schedule; materializes per-resource labelled interval lists, so it
+    stays off the large-instance paths. *)
+module Reference : sig
+  val check : Schedule.t -> (unit, string list) result
+end

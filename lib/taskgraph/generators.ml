@@ -12,23 +12,29 @@ let layered rng ~layers ~width ~edge_prob ~max_weight ~max_data =
   done;
   let n = offsets.(layers) in
   let weights = Array.init n (fun _ -> rand_weight rng max_weight) in
-  let edges = ref [] in
+  (* Edge columns grow in flat vectors and go straight to the CSR
+     constructor — at 10^6 tasks an association list of boxed triples
+     would dominate generation time. *)
+  let srcs = Vec.create () and dsts = Vec.create () and datas = Vec.create () in
+  let add i j =
+    Vec.push srcs i;
+    Vec.push dsts j;
+    Vec.push datas (rand_data rng max_data)
+  in
   for l = 1 to layers - 1 do
     for j = offsets.(l) to offsets.(l + 1) - 1 do
       let linked = ref false in
       for i = offsets.(l - 1) to offsets.(l) - 1 do
         if Rng.float rng 1. < edge_prob then begin
-          edges := (i, j, rand_data rng max_data) :: !edges;
+          add i j;
           linked := true
         end
       done;
-      if not !linked then begin
-        let i = Rng.int_in rng offsets.(l - 1) (offsets.(l) - 1) in
-        edges := (i, j, rand_data rng max_data) :: !edges
-      end
+      if not !linked then add (Rng.int_in rng offsets.(l - 1) (offsets.(l) - 1)) j
     done
   done;
-  Graph.create ~name:"random-layered" ~weights ~edges:(List.rev !edges) ()
+  Graph.of_arrays ~name:"random-layered" ~weights ~edge_srcs:(Vec.to_array srcs)
+    ~edge_dsts:(Vec.to_array dsts) ~edge_datas:(Vec.to_array datas) ()
 
 let erdos_renyi rng ~n ~edge_prob ~max_weight ~max_data =
   if n < 1 then invalid_arg "Generators.erdos_renyi";

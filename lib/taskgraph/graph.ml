@@ -90,51 +90,48 @@ let edges g =
 let compute_topo ~n ~in_degree ~iter_succ =
   let order = Array.make n 0 in
   let remaining = Array.init n in_degree in
-  let heap = Prelude.Pqueue.create ~compare:Int.compare in
+  let heap = Prelude.Pqueue.Int_heap.create () in
   for v = 0 to n - 1 do
-    if remaining.(v) = 0 then Prelude.Pqueue.add heap v
+    if remaining.(v) = 0 then Prelude.Pqueue.Int_heap.add heap v
   done;
   let count = ref 0 in
   let rec drain () =
-    match Prelude.Pqueue.pop heap with
+    match Prelude.Pqueue.Int_heap.pop heap with
     | None -> ()
     | Some v ->
         order.(!count) <- v;
         incr count;
         iter_succ v (fun u ->
             remaining.(u) <- remaining.(u) - 1;
-            if remaining.(u) = 0 then Prelude.Pqueue.add heap u);
+            if remaining.(u) = 0 then Prelude.Pqueue.Int_heap.add heap u);
         drain ()
   in
   drain ();
   if !count <> n then invalid_arg "Graph.create: cycle detected";
   order
 
-let create ?(name = "graph") ~weights ~edges () =
+let of_arrays ?(name = "graph") ~weights ~edge_srcs ~edge_dsts ~edge_datas () =
   let n = Array.length weights in
   Array.iteri
     (fun v w ->
       if w < 0. || Float.is_nan w then
         invalid_arg (Printf.sprintf "Graph.create: negative weight on task %d" v))
     weights;
-  let m = List.length edges in
-  let edge_srcs = Array.make m 0
-  and edge_dsts = Array.make m 0
-  and edge_datas = Array.make m 0. in
-  List.iteri
-    (fun i (src, dst, data) ->
-      if src < 0 || src >= n || dst < 0 || dst >= n then
-        invalid_arg "Graph.create: edge endpoint out of range";
-      if src = dst then invalid_arg "Graph.create: self-loop";
-      if data < 0. || Float.is_nan data then
-        invalid_arg "Graph.create: negative edge data";
-      edge_srcs.(i) <- src;
-      edge_dsts.(i) <- dst;
-      edge_datas.(i) <- data)
-    edges;
-  (* Duplicate-edge detection via sorting (src, dst) pairs. *)
-  (let keys = Array.init m (fun i -> (edge_srcs.(i), edge_dsts.(i))) in
-   Array.sort compare keys;
+  let m = Array.length edge_srcs in
+  if Array.length edge_dsts <> m || Array.length edge_datas <> m then
+    invalid_arg "Graph.of_arrays: edge array length mismatch";
+  for i = 0 to m - 1 do
+    let src = edge_srcs.(i) and dst = edge_dsts.(i) and data = edge_datas.(i) in
+    if src < 0 || src >= n || dst < 0 || dst >= n then
+      invalid_arg "Graph.create: edge endpoint out of range";
+    if src = dst then invalid_arg "Graph.create: self-loop";
+    if data < 0. || Float.is_nan data then
+      invalid_arg "Graph.create: negative edge data"
+  done;
+  (* Duplicate-edge detection via sorting packed (src, dst) keys: endpoints
+     fit an int pair in one word for any graph that fits in memory. *)
+  (let keys = Array.init m (fun i -> (edge_srcs.(i) * n) + edge_dsts.(i)) in
+   Array.sort Int.compare keys;
    for i = 1 to m - 1 do
      if keys.(i) = keys.(i - 1) then invalid_arg "Graph.create: duplicate edge"
    done);
@@ -166,6 +163,19 @@ let create ?(name = "graph") ~weights ~edges () =
   in
   { name; weights; edge_srcs; edge_dsts; edge_datas; succ_off; succ_ids;
     pred_off; pred_ids; topo }
+
+let create ?name ~weights ~edges () =
+  let m = List.length edges in
+  let edge_srcs = Array.make m 0
+  and edge_dsts = Array.make m 0
+  and edge_datas = Array.make m 0. in
+  List.iteri
+    (fun i (src, dst, data) ->
+      edge_srcs.(i) <- src;
+      edge_dsts.(i) <- dst;
+      edge_datas.(i) <- data)
+    edges;
+  of_arrays ?name ~weights ~edge_srcs ~edge_dsts ~edge_datas ()
 
 let with_data g ~f =
   let datas =

@@ -17,6 +17,22 @@ type edge = { id : int; src : int; dst : int; data : float }
 val create :
   ?name:string -> weights:float array -> edges:(int * int * float) list -> unit -> t
 
+(** [of_arrays ?name ~weights ~edge_srcs ~edge_dsts ~edge_datas ()] builds the
+    same validated graph from parallel edge arrays, taking ownership of all
+    four arrays (callers must not mutate them afterwards).  This is the
+    constructor the large-instance generators use: no intermediate edge
+    lists, so a 10⁶-task graph costs only its CSR footprint.
+    @raise Invalid_argument as {!create}, plus on edge-array length
+    mismatch. *)
+val of_arrays :
+  ?name:string ->
+  weights:float array ->
+  edge_srcs:int array ->
+  edge_dsts:int array ->
+  edge_datas:float array ->
+  unit ->
+  t
+
 val name : t -> string
 val n_tasks : t -> int
 val n_edges : t -> int

@@ -6,6 +6,24 @@ let build ~name ~weights ~links ~ccr =
   let edges = List.map (fun (src, dst) -> (src, dst, ccr *. weights.(src))) links in
   Graph.create ~name ~weights ~edges ()
 
+(* The large-instance kernels (lu / laplace / stencil are the testbeds
+   the scale bench pushes to 10^6 tasks) fill flat edge arrays in a
+   count-then-fill pass and hand them to [Graph.of_arrays] — no
+   association lists, no per-edge boxing.  [emit] must yield exactly
+   [n_edges] (src, dst) pairs. *)
+let build_arrays ~name ~weights ~n_edges ~emit ~ccr =
+  let edge_srcs = Array.make n_edges 0 in
+  let edge_dsts = Array.make n_edges 0 in
+  let edge_datas = Array.make n_edges 0. in
+  let k = ref 0 in
+  emit (fun src dst ->
+      edge_srcs.(!k) <- src;
+      edge_dsts.(!k) <- dst;
+      edge_datas.(!k) <- ccr *. weights.(src);
+      incr k);
+  assert (!k = n_edges);
+  Graph.of_arrays ~name ~weights ~edge_srcs ~edge_dsts ~edge_datas ()
+
 let fork_join ~n ~ccr =
   if n < 1 then invalid_arg "Kernels.fork_join: n < 1";
   (* task 0 = source, 1..n = intermediate, n+1 = sink *)
@@ -20,29 +38,36 @@ let grid_id ~n i j = (i * n) + j
 let laplace ~n ~ccr =
   if n < 1 then invalid_arg "Kernels.laplace: n < 1";
   let weights = Array.make (n * n) 1. in
-  let links = ref [] in
-  for i = 0 to n - 1 do
-    for j = 0 to n - 1 do
-      if i > 0 then links := (grid_id ~n (i - 1) j, grid_id ~n i j) :: !links;
-      if j > 0 then links := (grid_id ~n i (j - 1), grid_id ~n i j) :: !links
-    done
-  done;
-  build ~name:(Printf.sprintf "laplace-%d" n) ~weights ~links:(List.rev !links) ~ccr
+  build_arrays
+    ~name:(Printf.sprintf "laplace-%d" n)
+    ~weights
+    ~n_edges:(2 * n * (n - 1))
+    ~emit:(fun add ->
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if i > 0 then add (grid_id ~n (i - 1) j) (grid_id ~n i j);
+          if j > 0 then add (grid_id ~n i (j - 1)) (grid_id ~n i j)
+        done
+      done)
+    ~ccr
 
 let stencil ~n ~ccr =
   if n < 1 then invalid_arg "Kernels.stencil: n < 1";
   let weights = Array.make (n * n) 1. in
-  let links = ref [] in
-  for i = 1 to n - 1 do
-    for j = 0 to n - 1 do
-      for dj = -1 to 1 do
-        let j' = j + dj in
-        if j' >= 0 && j' < n then
-          links := (grid_id ~n (i - 1) j', grid_id ~n i j) :: !links
-      done
-    done
-  done;
-  build ~name:(Printf.sprintf "stencil-%d" n) ~weights ~links:(List.rev !links) ~ccr
+  build_arrays
+    ~name:(Printf.sprintf "stencil-%d" n)
+    ~weights
+    ~n_edges:(if n = 1 then 0 else (n - 1) * ((3 * n) - 2))
+    ~emit:(fun add ->
+      for i = 1 to n - 1 do
+        for j = 0 to n - 1 do
+          for dj = -1 to 1 do
+            let j' = j + dj in
+            if j' >= 0 && j' < n then add (grid_id ~n (i - 1) j') (grid_id ~n i j)
+          done
+        done
+      done)
+    ~ccr
 
 (* Triangular update family over tasks (k, j), 1 <= k < j <= n: level k
    updates columns k+1..n.  The pivot information travels as a pipeline
@@ -67,14 +92,24 @@ let triangular ~name ~n ~level_weight ~ccr =
       weights.(id k j) <- level_weight k
     done
   done;
-  let links = ref [] in
+  let n_edges = ref 0 in
   for k = 1 to n - 1 do
     for j = k + 1 to n do
-      if j + 1 <= n then links := (id k j, id k (j + 1)) :: !links;
-      if k + 1 < j then links := (id k j, id (k + 1) j) :: !links
+      if j + 1 <= n then incr n_edges;
+      if k + 1 < j then incr n_edges
     done
   done;
-  build ~name:(Printf.sprintf "%s-%d" name n) ~weights ~links:(List.rev !links) ~ccr
+  build_arrays
+    ~name:(Printf.sprintf "%s-%d" name n)
+    ~weights ~n_edges:!n_edges
+    ~emit:(fun add ->
+      for k = 1 to n - 1 do
+        for j = k + 1 to n do
+          if j + 1 <= n then add (id k j) (id k (j + 1));
+          if k + 1 < j then add (id k j) (id (k + 1) j)
+        done
+      done)
+    ~ccr
 
 let lu ~n ~ccr =
   triangular ~name:"lu" ~n ~level_weight:(fun k -> float_of_int (n - k)) ~ccr

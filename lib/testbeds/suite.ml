@@ -42,11 +42,63 @@ let all =
 
 let names = List.map (fun t -> t.name) all
 
+(* "layered:L:W" — a random layered DAG with L layers of up to W tasks,
+   seeded deterministically from (L, W) so the same spec always builds
+   the same graph.  [~n] is ignored (the spec fixes the size); [~ccr]
+   scales the edge volumes.  The edge probability shrinks with the
+   width so the expected in-degree stays bounded and 10^6-task
+   instances stay schedulable. *)
+let layered_of_spec spec l w =
+  let bad reason =
+    invalid_arg
+      (Printf.sprintf
+         "Suite.find: malformed layered spec %S (%s); expected \
+          layered:<layers>:<width> with positive integers"
+         spec reason)
+  in
+  let layers =
+    match int_of_string_opt l with
+    | Some k when k >= 1 -> k
+    | Some _ -> bad "layers must be >= 1"
+    | None -> bad (Printf.sprintf "bad layer count %S" l)
+  in
+  let width =
+    match int_of_string_opt w with
+    | Some k when k >= 1 -> k
+    | Some _ -> bad "width must be >= 1"
+    | None -> bad (Printf.sprintf "bad width %S" w)
+  in
+  let max_weight = 9 in
+  {
+    name = String.lowercase_ascii spec;
+    build =
+      (fun ~n:_ ~ccr ->
+        let rng = Prelude.Rng.create ~seed:((layers * 1_000_003) + width) in
+        let edge_prob = min 0.4 (8. /. float_of_int width) in
+        let max_data =
+          int_of_float (Float.ceil (ccr *. float_of_int (max_weight + 1)))
+        in
+        Taskgraph.Generators.layered rng ~layers ~width ~edge_prob ~max_weight ~max_data);
+    paper_b = 20;
+    min_n = 1;
+  }
+
 let find name =
   let lower = String.lowercase_ascii name in
-  match List.find_opt (fun t -> t.name = lower) all with
-  | Some t -> t
-  | None ->
+  match String.split_on_char ':' lower with
+  | [ "layered"; l; w ] -> layered_of_spec name l w
+  | "layered" :: _ ->
       invalid_arg
-        (Printf.sprintf "Suite.find: unknown testbed %S (known: %s)" name
-           (String.concat ", " names))
+        (Printf.sprintf
+           "Suite.find: malformed layered spec %S; expected \
+            layered:<layers>:<width> with positive integers"
+           name)
+  | _ -> (
+      match List.find_opt (fun t -> t.name = lower) all with
+      | Some t -> t
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Suite.find: unknown testbed %S (known: %s, layered:<layers>:<width>)"
+               name
+               (String.concat ", " names)))

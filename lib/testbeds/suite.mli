@@ -15,5 +15,11 @@ val all : t list
 
 val names : string list
 
-(** @raise Invalid_argument on an unknown name (case-insensitive lookup). *)
+(** Case-insensitive lookup.  Besides the six paper testbeds, accepts
+    synthetic specs of the form ["layered:<layers>:<width>"] — a random
+    layered DAG seeded deterministically from the two integers, whose
+    [build] ignores [~n] (the spec fixes the size) and scales edge
+    volumes by [~ccr].
+    @raise Invalid_argument on an unknown name or a malformed layered
+    spec. *)
 val find : string -> t

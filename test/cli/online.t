@@ -72,3 +72,19 @@ relative times are rejected, as are malformed arrival specs:
   $ ../../bin/schedcli.exe online -t lu -n 12 --arrival 'poisson'
   schedcli: --arrival: expected poisson:RATE[:COUNT] or bursty:RATE:BURST[:COUNT], got "poisson"
   [2]
+
+The layered generator's colon-ridden job specs parse in traces
+(layered:LAYERS:WIDTH:N, with an optional :CCR), and malformed ones
+report the expected shape:
+
+  $ cat > layered.txt <<'EOF2'
+  > arrive 0 layered:6:4:1
+  > EOF2
+  $ ../../bin/schedcli.exe online --trace-file layered.txt | head -2
+  events processed: 1
+  jobs:             1 (1 completed, 0 shed, 0 rejected)
+  $ cat > badlayered.txt <<'EOF2'
+  > arrive 0 layered:6
+  > EOF2
+  $ ../../bin/schedcli.exe online --trace-file badlayered.txt | head -2
+  schedcli: Online.Event.of_string: "arrive 0 layered:6": expected layered:L:W:N[:CCR], got "layered:6" (grammar: arrive T TESTBED:N[:CCR] [prio=K] [deadline=D] | crash T P | down T P | rejoin T P (# starts a comment line))

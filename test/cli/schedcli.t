@@ -102,3 +102,25 @@ Annealing is deterministic per seed:
   balanced
   $ grep -o '"ph":"C"' lu.trace.json
   "ph":"C"
+
+The layered:<layers>:<width> synthetic testbed is accepted everywhere a
+paper testbed is, is deterministic per spec, and malformed specs fail
+at option parsing with a pointed message:
+
+  $ ../../bin/schedcli.exe analyze -t layered:6:4 -n 1 | head -3
+  graph "random-layered": 15 tasks, 13 edges, total weight 71
+  tasks: 15
+  edges: 13
+  $ ../../bin/schedcli.exe run -t layered:6:4 -n 1 -H heft 2>&1 | grep -E "makespan|schedule:"
+  makespan: 240
+  schedule: VALID
+  $ ../../bin/schedcli.exe robustness -t layered:6:4 -n 1 --trials 5 2>&1 | head -2
+  nominal: 312
+  mean: 364.554
+  $ ../../bin/schedcli.exe run -t layered:abc -n 1 2>&1 | head -2
+  schedcli: option '-t': Suite.find: malformed layered spec "layered:abc";
+            expected layered:<layers>:<width> with positive integers
+  $ ../../bin/schedcli.exe run -t layered:0:5 -n 1 2>&1 | head -3
+  schedcli: option '-t': Suite.find: malformed layered spec "layered:0:5"
+            (layers must be >= 1); expected layered:<layers>:<width> with
+            positive integers

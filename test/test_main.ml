@@ -25,4 +25,5 @@ let () =
       ("pool", Test_pool.suite);
       ("oracle", Test_oracle.suite);
       ("models", Test_models.suite);
+      ("scale", Test_scale.suite);
     ]

@@ -1,0 +1,296 @@
+(* The determinism contract of in-decision parallelism, and the
+   supporting structures of the million-task path.
+
+   [Params.eval_jobs] shards the candidate scan of one scheduling
+   decision over the persistent domain team; the contract mirrors the
+   sweep-level pool's: makespan, every placement and every communication
+   event are bit-identical at any job count (only the pruning counters
+   may differ, since each shard prunes against its own incumbent).  The
+   suite proves it on every testbed x HEFT/ILHA (both scans, with and
+   without reschedule) x one-port + macro-dataflow.
+
+   Also here: the int-keyed ready heap against the generic Pqueue, and
+   [Graph.of_arrays] against the list-based constructor. *)
+
+module O = Onesched
+open Util
+
+let jobs_axis = [ 2; 4; 8 ]
+
+let fingerprint sched =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "m=%h" (O.Schedule.makespan sched));
+  let g = O.Schedule.graph sched in
+  for v = 0 to O.Graph.n_tasks g - 1 do
+    let pl = O.Schedule.placement_exn sched v in
+    Buffer.add_string buf
+      (Printf.sprintf ";t%d=%d:%h:%h" v pl.O.Schedule.proc pl.O.Schedule.start
+         pl.O.Schedule.finish)
+  done;
+  List.iter
+    (fun (c : O.Schedule.comm) ->
+      Buffer.add_string buf
+        (Printf.sprintf ";c%d=%d>%d:%h:%h" c.edge c.src_proc c.dst_proc c.start
+           c.finish))
+    (O.Schedule.comms sched);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* ---------------- eval_jobs determinism ---------------- *)
+
+let models = [ O.Comm_model.one_port; O.Comm_model.macro_dataflow ]
+
+let heuristics =
+  [
+    ("heft", fun params plat g -> O.Heft.schedule ~params plat g);
+    ("ilha", fun params plat g -> O.Ilha.schedule ~params plat g);
+    ( "ilha-resched",
+      fun params plat g ->
+        let params =
+          O.Params.with_scan
+            (O.Params.with_reschedule params true)
+            O.Params.Scan_one_comm
+        in
+        O.Ilha.schedule ~params plat g );
+  ]
+
+let eval_jobs_tests =
+  [
+    Alcotest.test_case
+      "eval_jobs is bit-identical on every testbed x heuristic x model"
+      `Slow
+      (fun () ->
+        let plat = O.Platform.paper_platform () in
+        List.iter
+          (fun suite ->
+            let n = max 8 suite.O.Suite.min_n in
+            let g = suite.O.Suite.build ~n ~ccr:0.5 in
+            List.iter
+              (fun model ->
+                List.iter
+                  (fun (hname, run) ->
+                    let schedule jobs =
+                      let params =
+                        O.Params.with_eval_jobs (O.Params.of_model model) jobs
+                      in
+                      fingerprint (run params plat g)
+                    in
+                    let baseline = schedule 1 in
+                    List.iter
+                      (fun jobs ->
+                        Alcotest.(check string)
+                          (Printf.sprintf "%s/%s/%s jobs=%d"
+                             suite.O.Suite.name
+                             (O.Comm_model.name model)
+                             hname jobs)
+                          baseline (schedule jobs))
+                      jobs_axis)
+                  heuristics)
+              models)
+          O.Suite.all);
+    qtest ~count:12 "eval_jobs is bit-identical on random layered graphs"
+      QCheck2.Gen.(
+        let* seed = int_bound 10_000 in
+        let* layers = int_range 2 6 in
+        let* width = int_range 2 8 in
+        let* jobs = QCheck2.Gen.oneofl [ 2; 4; 8 ] in
+        return (seed, layers, width, jobs))
+      (fun (seed, layers, width, jobs) ->
+        let rng = O.Rng.create ~seed in
+        let g =
+          O.Generators.layered rng ~layers ~width ~edge_prob:0.4 ~max_weight:9
+            ~max_data:20
+        in
+        let plat = O.Platform.paper_platform () in
+        let run j =
+          let params =
+            O.Params.with_eval_jobs
+              (O.Params.with_reschedule O.Params.default true)
+              j
+          in
+          fingerprint (O.Ilha.schedule ~params plat g)
+        in
+        run 1 = run jobs);
+  ]
+
+(* ---------------- int-keyed ready heap ---------------- *)
+
+let int_heap_tests =
+  [
+    qtest ~count:200 "Int_heap drains in Ranking.compare_priority order"
+      QCheck2.Gen.(list_size (int_range 1 64) (int_bound 30))
+      (fun ranks_l ->
+        (* small int range forces rank ties, exercising the id tie-break *)
+        let ranks = Array.of_list (List.map float_of_int ranks_l) in
+        let n = Array.length ranks in
+        let ord = O.Ranking.priority_order ranks in
+        let heap = Prelude.Pqueue.Int_heap.create ~rank:ord () in
+        for v = 0 to n - 1 do
+          Prelude.Pqueue.Int_heap.add heap v
+        done;
+        let drained = ref [] in
+        let rec drain () =
+          match Prelude.Pqueue.Int_heap.pop heap with
+          | None -> ()
+          | Some v ->
+              drained := v :: !drained;
+              drain ()
+        in
+        drain ();
+        let got = List.rev !drained in
+        let expected =
+          List.sort (O.Ranking.compare_priority ranks) (List.init n Fun.id)
+        in
+        got = expected);
+    Alcotest.test_case "Int_heap without keys serves ascending ints" `Quick
+      (fun () ->
+        let heap = Prelude.Pqueue.Int_heap.create () in
+        List.iter (Prelude.Pqueue.Int_heap.add heap) [ 5; 1; 4; 1 + 2; 2 ];
+        let out = ref [] in
+        let rec drain () =
+          match Prelude.Pqueue.Int_heap.pop heap with
+          | None -> ()
+          | Some v ->
+              out := v :: !out;
+              drain ()
+        in
+        drain ();
+        Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] (List.rev !out))
+  ]
+
+(* ---------------- Graph.of_arrays ---------------- *)
+
+let graph_arrays_tests =
+  [
+    qtest ~count:100 "of_arrays builds the same graph as create"
+      QCheck2.Gen.(
+        let* seed = int_bound 10_000 in
+        let* layers = int_range 1 5 in
+        let* width = int_range 1 6 in
+        return (seed, layers, width))
+      (fun (seed, layers, width) ->
+        let rng = O.Rng.create ~seed in
+        let g =
+          O.Generators.layered rng ~layers ~width ~edge_prob:0.5 ~max_weight:9
+            ~max_data:20
+        in
+        let n = O.Graph.n_tasks g and m = O.Graph.n_edges g in
+        let weights = Array.init n (O.Graph.weight g) in
+        let edge_srcs = Array.init m (O.Graph.edge_src g) in
+        let edge_dsts = Array.init m (O.Graph.edge_dst g) in
+        let edge_datas = Array.init m (O.Graph.edge_data g) in
+        let g' =
+          O.Graph.of_arrays ~weights ~edge_srcs ~edge_dsts ~edge_datas ()
+        in
+        O.Graph.check_invariants g';
+        O.Graph.edges g' = O.Graph.edges g
+        && O.Graph.topological_order g' = O.Graph.topological_order g);
+    Alcotest.test_case "of_arrays rejects mismatched arrays" `Quick (fun () ->
+        Alcotest.check_raises "mismatch"
+          (Invalid_argument "Graph.of_arrays: edge array length mismatch")
+          (fun () ->
+            ignore
+              (O.Graph.of_arrays ~weights:[| 1.; 1. |] ~edge_srcs:[| 0 |]
+                 ~edge_dsts:[||] ~edge_datas:[||] ())))
+  ]
+
+(* ---------------- streaming Validate vs Reference ---------------- *)
+
+(* The two checkers word their messages differently (and may report a
+   different witness pair for the same overlap), so equivalence means
+   verdict agreement. *)
+let verdicts_agree sched =
+  let streaming = Result.is_ok (O.Validate.check sched) in
+  let reference = Result.is_ok (O.Validate.Reference.check sched) in
+  streaming = reference
+
+let validate_tests =
+  [
+    qtest ~count:40 "streaming validator agrees with Reference"
+      QCheck2.Gen.(
+        let* seed = int_bound 10_000 in
+        let* layers = int_range 2 6 in
+        let* width = int_range 2 8 in
+        let* model_i = int_bound (List.length O.Comm_model.all - 1) in
+        let* heft = bool in
+        let* mutation = int_bound 2 in
+        return (seed, layers, width, model_i, heft, mutation))
+      (fun (seed, layers, width, model_i, heft, mutation) ->
+        let rng = O.Rng.create ~seed in
+        let g =
+          O.Generators.layered rng ~layers ~width ~edge_prob:0.4 ~max_weight:9
+            ~max_data:20
+        in
+        let plat = O.Platform.paper_platform () in
+        let model = List.nth O.Comm_model.all model_i in
+        let params = O.Params.of_model model in
+        let sched =
+          if heft then O.Heft.schedule ~params plat g
+          else O.Ilha.schedule ~params plat g
+        in
+        match mutation with
+        | 0 ->
+            (* pristine: both checkers must accept *)
+            Result.is_ok (O.Validate.check sched) && verdicts_agree sched
+        | 1 ->
+            (* drop one communication event (when any): a remote edge
+               loses a hop, or a BSP phase loses its event *)
+            let nc = O.Schedule.n_comms sched in
+            if nc = 0 then true
+            else begin
+              let victim = seed mod nc in
+              let i = ref (-1) in
+              O.Schedule.filter_comms sched ~keep:(fun _ ->
+                  incr i;
+                  !i <> victim);
+              verdicts_agree sched
+            end
+        | _ ->
+            (* unplace one task: both must flag it *)
+            O.Schedule.unplace_task sched (seed mod O.Graph.n_tasks g);
+            verdicts_agree sched);
+    Alcotest.test_case "streaming validator catches handmade violations"
+      `Quick
+      (fun () ->
+        (* the broken-schedule constructions of test_schedule, re-checked
+           against both implementations *)
+        let g =
+          O.Graph.create ~name:"chain"
+            ~weights:[| 1.; 1. |]
+            ~edges:[ (0, 1, 2.) ]
+            ()
+        in
+        let make () =
+          O.Schedule.create ~graph:g
+            ~platform:(O.Platform.homogeneous ~p:2 ~link_cost:1.)
+            ~model:O.Comm_model.one_port ()
+        in
+        let check_both name s expect_ok =
+          Alcotest.(check bool)
+            (name ^ " (streaming)") expect_ok
+            (Result.is_ok (O.Validate.check s));
+          Alcotest.(check bool)
+            (name ^ " (reference)") expect_ok
+            (Result.is_ok (O.Validate.Reference.check s))
+        in
+        let s = make () in
+        O.Schedule.place_task s ~task:0 ~proc:0 ~start:0.;
+        let a = O.Schedule.add_comm s ~edge:0 ~src_proc:0 ~dst_proc:1 ~start:1. in
+        O.Schedule.place_task s ~task:1 ~proc:1 ~start:a;
+        check_both "valid chain" s true;
+        let s = make () in
+        O.Schedule.place_task s ~task:1 ~proc:0 ~start:0.;
+        O.Schedule.place_task s ~task:0 ~proc:0 ~start:3.;
+        check_both "local precedence violation" s false;
+        let s = make () in
+        O.Schedule.place_task s ~task:0 ~proc:0 ~start:0.;
+        O.Schedule.place_task s ~task:1 ~proc:1 ~start:1.;
+        check_both "missing communication" s false;
+        let s = make () in
+        O.Schedule.place_task s ~task:0 ~proc:0 ~start:0.;
+        let _ = O.Schedule.add_comm s ~edge:0 ~src_proc:0 ~dst_proc:1 ~start:1. in
+        O.Schedule.place_task s ~task:1 ~proc:1 ~start:2.;
+        check_both "start before arrival" s false);
+  ]
+
+let suite =
+  eval_jobs_tests @ int_heap_tests @ graph_arrays_tests @ validate_tests
