@@ -38,6 +38,7 @@ type options = {
   run_models : bool;
   run_online : bool;
   run_scale : bool;
+  run_serve : bool;
   scale_targets : int list;
   jobs : int;
   json : string option;
@@ -54,6 +55,7 @@ let parse_args () =
   let run_models = ref true in
   let run_online = ref true in
   let run_scale = ref true in
+  let run_serve = ref true in
   let scale_targets = ref [] in
   let jobs = ref (O.Pool.default_jobs ()) in
   let json = ref None in
@@ -92,6 +94,9 @@ let parse_args () =
     | "--no-scale" :: rest ->
         run_scale := false;
         eat rest
+    | "--no-serve" :: rest ->
+        run_serve := false;
+        eat rest
     | "--scale-tasks" :: v :: rest ->
         scale_targets := int_of_string v :: !scale_targets;
         eat rest
@@ -106,8 +111,8 @@ let parse_args () =
           "unknown argument %s\n\
            usage: main.exe [--quick] [--scale F] [--only ID]* [--no-figures] \
            [--no-bechamel] [--no-probes] [--no-grid] [--no-improvers] \
-           [--no-models] [--no-online] [--no-scale] [--scale-tasks N]* \
-           [--jobs N] [--json FILE]\n\
+           [--no-models] [--no-online] [--no-scale] [--no-serve] \
+           [--scale-tasks N]* [--jobs N] [--json FILE]\n\
            experiment ids: %s\n"
           arg
           (String.concat ", " O.Figures.ids);
@@ -125,6 +130,7 @@ let parse_args () =
     run_models = !run_models;
     run_online = !run_online;
     run_scale = !run_scale;
+    run_serve = !run_serve;
     scale_targets =
       (match List.rev !scale_targets with
       | [] -> [ 100_000; 500_000; 1_000_000 ]
@@ -889,6 +895,130 @@ let run_scale ~echo opts =
   (rows, identical)
 
 (* ------------------------------------------------------------------ *)
+(* Part 9: scheduld offered load vs throughput                          *)
+(* ------------------------------------------------------------------ *)
+
+type serve_row = {
+  srv_clients : int;
+  srv_jobs : int;
+  srv_batches : int;
+  srv_wall_s : float;
+  srv_jobs_per_s : float;
+  srv_p50_ms : float;
+  srv_p99_ms : float;
+  srv_all_valid : bool;
+}
+
+let serve_jobs_per_client = 4
+
+(* The layered generator's size is fixed by the L:W prefix (the N field
+   is ignored for layered specs), so [--quick] shrinks the width. *)
+let serve_spec opts =
+  let width = max 8 (int_of_float (24. *. opts.scale)) in
+  Printf.sprintf "layered:6:%d:%d" width (6 * width)
+
+(* The daemon's pure core over an in-memory loopback (no sockets, so
+   the numbers are the scheduler's, not the kernel's): [c] concurrent
+   clients each submit [serve_jobs_per_client] layered jobs, then the
+   backlog is flushed in coalesced batches of up to [c] jobs priced on
+   the domain team.  Service latency (submit to first placement) comes
+   from the daemon's own stats reply — the same percentiles a [Stats]
+   request reports in production. *)
+let run_serve ~echo opts =
+  let spec = serve_spec opts in
+  let client_counts =
+    if opts.scale < 1. then [ 10; 50 ] else [ 10; 25; 50; 100 ]
+  in
+  if echo then
+    Printf.printf
+      "\n=== serve: scheduld loopback, %d x %s per client (heft, %d jobs) \
+       ===\n%!"
+      serve_jobs_per_client spec opts.jobs;
+  let table =
+    O.Table.create
+      ~columns:
+        [ "clients"; "jobs"; "batches"; "wall"; "jobs/s"; "p50"; "p99";
+          "valid" ]
+  in
+  let rows =
+    List.map
+      (fun c ->
+        let config =
+          {
+            O.Scheduld.default_config with
+            O.Scheduld.jobs = opts.jobs;
+            max_batch = c;
+            queue_cap = c * serve_jobs_per_client;
+            replan_budget = max_int;
+          }
+        in
+        let t = O.Scheduld.create ~config plat in
+        let clients = List.init c (fun _ -> O.Scheduld.connect t) in
+        let line =
+          O.Scheduld_proto.print_request
+            (O.Scheduld_proto.Submit
+               {
+                 O.Scheduld_proto.spec = O.Scheduld_proto.Testbed spec;
+                 heuristic = None;
+                 model = None;
+                 priority = 0;
+                 deadline = None;
+                 placements = false;
+               })
+        in
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to serve_jobs_per_client do
+          List.iter (fun cid -> O.Scheduld.input t ~client:cid line) clients
+        done;
+        while O.Scheduld.pending t > 0 do
+          ignore (O.Scheduld.flush t)
+        done;
+        let wall_s = Unix.gettimeofday () -. t0 in
+        let all_valid = ref true in
+        let placed = ref 0 in
+        List.iter
+          (fun (_, l) ->
+            match O.Scheduld_proto.response_of_line l with
+            | Ok (O.Scheduld_proto.Placed { valid; _ }) ->
+                incr placed;
+                if not valid then all_valid := false
+            | Ok _ | Error _ -> ())
+          (O.Scheduld.take_outputs t);
+        let st = O.Scheduld.stats t in
+        O.Scheduld.shutdown t;
+        let total = c * serve_jobs_per_client in
+        if !placed <> total then all_valid := false;
+        let ms = function Some x -> x | None -> nan in
+        let r =
+          {
+            srv_clients = c;
+            srv_jobs = total;
+            srv_batches = st.O.Scheduld_proto.batches;
+            srv_wall_s = wall_s;
+            srv_jobs_per_s =
+              (if wall_s > 0. then float_of_int total /. wall_s else nan);
+            srv_p50_ms = ms st.O.Scheduld_proto.p50_ms;
+            srv_p99_ms = ms st.O.Scheduld_proto.p99_ms;
+            srv_all_valid = !all_valid;
+          }
+        in
+        O.Table.add_row table
+          [
+            string_of_int c; string_of_int total;
+            string_of_int r.srv_batches;
+            Printf.sprintf "%.2fs" wall_s;
+            Printf.sprintf "%.0f" r.srv_jobs_per_s;
+            Printf.sprintf "%.1f ms" r.srv_p50_ms;
+            Printf.sprintf "%.1f ms" r.srv_p99_ms;
+            (if r.srv_all_valid then "yes" else "NO");
+          ];
+        r)
+      client_counts
+  in
+  if echo then print_string (O.Table.to_string table);
+  rows
+
+(* ------------------------------------------------------------------ *)
 (* JSON export                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -896,7 +1026,7 @@ let run_scale ~echo opts =
    doc/performance.md and the committed BENCH_*.json baselines follow
    it. *)
 let emit_json opts ~bech_rows ~probe_rows ~grid ~improver_rows ~model_rows
-    ~online_rows ~scale file =
+    ~online_rows ~scale ~serve_rows file =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let json_float x =
@@ -1027,6 +1157,28 @@ let emit_json opts ~bech_rows ~probe_rows ~grid ~improver_rows ~model_rows
         rows;
       add "  ]},\n"
   | _ -> ());
+  if serve_rows <> [] then begin
+    add
+      "  \"serve\": {\"cores\": %d, \"sched_jobs\": %d, \"spec\": %S, \
+       \"jobs_per_client\": %d, \"heuristic\": \"heft\", \"rows\": [\n"
+      (Domain.recommended_domain_count ())
+      opts.jobs (serve_spec opts) serve_jobs_per_client;
+    List.iteri
+      (fun i r ->
+        add
+          "    {\"clients\": %d, \"jobs\": %d, \"batches\": %d, \"wall_s\": \
+           %s, \"jobs_per_s\": %s, \"p50_ms\": %s, \"p99_ms\": %s, \
+           \"all_valid\": %b}%s\n"
+          r.srv_clients r.srv_jobs r.srv_batches
+          (json_float r.srv_wall_s)
+          (json_float r.srv_jobs_per_s)
+          (json_float r.srv_p50_ms)
+          (json_float r.srv_p99_ms)
+          r.srv_all_valid
+          (if i = List.length serve_rows - 1 then "" else ","))
+      serve_rows;
+    add "  ]},\n"
+  end;
   add "  \"probes\": [\n";
   List.iteri
     (fun i r ->
@@ -1082,7 +1234,10 @@ let () =
     if opts.run_scale && opts.only = [] then Some (run_scale ~echo opts)
     else None
   in
+  let serve_rows =
+    if opts.run_serve && opts.only = [] then run_serve ~echo opts else []
+  in
   Option.iter
     (emit_json opts ~bech_rows ~probe_rows ~grid ~improver_rows ~model_rows
-       ~online_rows ~scale)
+       ~online_rows ~scale ~serve_rows)
     opts.json

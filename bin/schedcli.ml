@@ -7,6 +7,8 @@
      dot         emit Graphviz for a testbed (optionally coloured by mapping)
      robustness  Monte-Carlo jitter analysis of a heuristic's schedule
      online      rolling-horizon event-driven scheduling with re-planning
+     serve       run the scheduld scheduler-as-a-service daemon
+     client      submit/status/watch/drain against a running daemon
      list        enumerate testbeds, heuristics, models and experiments *)
 
 open Cmdliner
@@ -232,8 +234,16 @@ let run_cmd =
       value & flag
       & info [ "utilization" ] ~doc:"Print per-resource utilization profiles.")
   in
+  let fingerprint_arg =
+    Arg.(
+      value & flag
+      & info [ "fingerprint" ]
+          ~doc:
+            "Print the schedule's MD5 fingerprint (bit-exact plan digest; \
+             what scheduld reports for the same submission).")
+  in
   let action testbed n ccr heuristic params homogeneous gantt refine anneal
-      anneal_steps seed util stats trace graph_file platform_file =
+      anneal_steps seed util fingerprint stats trace graph_file platform_file =
     let plat = resolve_platform platform_file homogeneous in
     let g = resolve_graph graph_file testbed n ccr in
     let entry = O.Registry.find heuristic in
@@ -283,6 +293,8 @@ let run_cmd =
     | Error es ->
         Printf.printf "schedule: INVALID (%d violations)\n" (List.length es);
         List.iteri (fun i e -> if i < 5 then print_endline ("  " ^ e)) es);
+    if fingerprint then
+      Printf.printf "fingerprint: %s\n" (O.Export.fingerprint sched);
     if gantt then print_string (O.Gantt.render sched);
     if util then print_string (O.Utilization.render (O.Utilization.profile sched))
   in
@@ -290,8 +302,8 @@ let run_cmd =
     Term.(
       const action $ testbed_arg $ size_arg $ ccr_arg $ heuristic_arg
       $ params_term $ homogeneous_arg $ gantt_arg $ refine_arg $ anneal_arg
-      $ anneal_steps_arg $ seed_arg $ util_arg $ stats_arg $ trace_arg
-      $ graph_file_arg $ platform_file_arg)
+      $ anneal_steps_arg $ seed_arg $ util_arg $ fingerprint_arg $ stats_arg
+      $ trace_arg $ graph_file_arg $ platform_file_arg)
   in
   Cmd.v
     (Cmd.info "run"
@@ -966,6 +978,333 @@ let list_cmd =
     (Cmd.info "list" ~doc:"Enumerate testbeds, heuristics, models, experiments.")
     Term.(const action $ const ())
 
+(* ---------------- scheduld: serve + client ---------------- *)
+
+let socket_arg =
+  Arg.(
+    value & opt string "scheduld.sock"
+    & info [ "socket"; "s" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path the daemon listens on.")
+
+let port_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "port"; "p" ] ~docv:"PORT"
+        ~doc:"Listen on loopback TCP $(docv) instead of a Unix socket.")
+
+let endpoint_of socket port =
+  match port with
+  | Some p -> O.Scheduld.Tcp p
+  | None -> O.Scheduld.Unix_path socket
+
+let serve_cmd =
+  let queue_arg =
+    Arg.(
+      value & opt int O.Scheduld.default_config.O.Scheduld.queue_cap
+      & info [ "queue" ] ~doc:"Backlog capacity before shedding kicks in.")
+  in
+  let max_batch_arg =
+    Arg.(
+      value & opt int O.Scheduld.default_config.O.Scheduld.max_batch
+      & info [ "max-batch" ] ~doc:"Submissions coalesced into one re-plan.")
+  in
+  let window_arg =
+    Arg.(
+      value & opt float O.Scheduld.default_config.O.Scheduld.batch_window
+      & info [ "batch-window" ] ~docv:"SECONDS"
+          ~doc:"Coalescing window: a batch runs this long after its first \
+                pending submission arrived.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int O.Scheduld.default_config.O.Scheduld.replan_budget
+      & info [ "replan-budget" ]
+          ~doc:"Batches allowed before submissions get budget errors.")
+  in
+  let serve_jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Schedule each batch's jobs across $(docv) domains \
+                (placements are byte-identical at any value).")
+  in
+  let action socket port heuristic params jobs queue_cap max_batch
+      batch_window replan_budget stats =
+    try
+      let config =
+        {
+          O.Scheduld.default_config with
+          O.Scheduld.params;
+          heuristic;
+          jobs;
+          max_batch;
+          queue_cap;
+          replan_budget;
+          batch_window;
+        }
+      in
+      let endpoint = endpoint_of socket port in
+      if stats then begin
+        O.Obs_counters.enable ();
+        O.Obs_counters.reset ()
+      end;
+      let final =
+        O.Scheduld.serve ~config
+          ~ready:(fun () ->
+            Printf.printf "scheduld: listening on %s (heuristic %s, %d jobs)\n%!"
+              (O.Scheduld.endpoint_to_string endpoint)
+              heuristic jobs)
+          endpoint
+          (O.Platform.paper_platform ())
+      in
+      Printf.printf
+        "scheduld: served %d jobs in %d batches (%d submitted, %d shed, %d \
+         failed, %d cancelled, %d errors)\n"
+        final.O.Scheduld_proto.completed final.O.Scheduld_proto.batches
+        final.O.Scheduld_proto.submitted final.O.Scheduld_proto.shed
+        final.O.Scheduld_proto.failed final.O.Scheduld_proto.cancelled
+        final.O.Scheduld_proto.errors;
+      if stats then begin
+        Format.printf "%a@." O.Obs_counters.pp (O.Obs_counters.snapshot ());
+        O.Obs_counters.disable ()
+      end
+    with Invalid_argument msg | Failure msg ->
+      Printf.eprintf "schedcli: %s\n" msg;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the scheduld daemon: accept task-graph submissions over a \
+          newline-delimited JSON protocol, coalesce them into batched \
+          re-plans and stream placement events back (see doc/scheduld.md).")
+    Term.(
+      const action $ socket_arg $ port_arg $ heuristic_arg $ params_term
+      $ serve_jobs_arg $ queue_arg $ max_batch_arg $ window_arg $ budget_arg
+      $ stats_arg)
+
+let client_connect socket port =
+  try O.Scheduld_client.connect (endpoint_of socket port)
+  with Failure msg ->
+    Printf.eprintf "schedcli: %s\n" msg;
+    exit 2
+
+let die_error code msg =
+  Printf.eprintf "schedcli: %s: %s\n"
+    (O.Scheduld_proto.error_code_to_string code)
+    msg;
+  exit 2
+
+let print_event (resp : O.Scheduld_proto.response) =
+  match resp with
+  | Accepted { id; queued } -> Printf.printf "accepted job %d (queued %d)\n" id queued
+  | Placed { id; makespan; tasks; valid; fingerprint; batch; placements } ->
+      Printf.printf "placed job %d: makespan %g tasks %d %s (batch of %d)\n" id
+        makespan tasks
+        (if valid then "valid" else "INVALID")
+        batch;
+      Printf.printf "fingerprint: %s\n" fingerprint;
+      Option.iter
+        (List.iter (fun (r : O.Scheduld_proto.placement_row) ->
+             Printf.printf "  task %d -> P%d @ %g..%g\n" r.task r.proc r.start
+               r.finish))
+        placements
+  | Done { id; makespan; missed } ->
+      Printf.printf "done job %d: makespan %g%s\n" id makespan
+        (if missed then " (deadline missed)" else "")
+  | Failed { id; msg } -> Printf.printf "failed job %d: %s\n" id msg
+  | Shed { id; by } -> Printf.printf "shed job %d in favour of job %d\n" id by
+  | Cancelled_reply { id } -> Printf.printf "cancelled job %d\n" id
+  | Status_reply jobs ->
+      List.iter
+        (fun (v : O.Scheduld_proto.job_view) ->
+          Printf.printf "job %d: %s %s%s%s\n" v.id
+            (O.Scheduld_proto.job_state_to_string v.state)
+            v.spec
+            (if v.priority = 0 then ""
+             else Printf.sprintf " prio=%d" v.priority)
+            (match v.makespan with
+            | None -> ""
+            | Some m -> Printf.sprintf " makespan %g" m))
+        jobs
+  | Stats_reply s ->
+      Printf.printf "requests:    %d\n" s.requests;
+      Printf.printf "submitted:   %d\n" s.submitted;
+      Printf.printf "completed:   %d\n" s.completed;
+      Printf.printf "cancelled:   %d\n" s.cancelled;
+      Printf.printf "shed:        %d\n" s.shed;
+      Printf.printf "failed:      %d\n" s.failed;
+      Printf.printf "errors:      %d\n" s.errors;
+      Printf.printf "batches:     %d\n" s.batches;
+      Printf.printf "queue depth: %d\n" s.queue_depth;
+      Printf.printf "queue peak:  %d\n" s.queue_peak;
+      Printf.printf "clients:     %d\n" s.clients;
+      (match (s.p50_ms, s.p99_ms) with
+      | Some p50, Some p99 ->
+          Printf.printf "latency:     p50 %.3f ms  p99 %.3f ms\n" p50 p99
+      | _ -> Printf.printf "latency:     -\n")
+  | Draining_reply { pending } -> Printf.printf "draining (%d pending)\n" pending
+  | Watching -> print_endline "watching"
+  | Bye -> print_endline "bye"
+  | Pong -> print_endline "pong"
+  | Error { code; msg } -> die_error code msg
+
+let client_cmd =
+  let submit_cmd =
+    let job_arg =
+      Arg.(
+        value & opt (some string) None
+        & info [ "job" ] ~docv:"SPEC"
+            ~doc:"Job spec TESTBED:N[:CCR] (layered:L:W:N[:CCR] for a \
+                  random layered DAG).")
+    in
+    let graph_arg =
+      Arg.(
+        value & opt (some file) None
+        & info [ "graph" ] ~docv:"FILE"
+            ~doc:"Submit the task graph in $(docv) (Graph_io text format) \
+                  instead of a testbed spec.")
+    in
+    let heuristic_opt_arg =
+      Arg.(
+        value & opt (some string) None
+        & info [ "heuristic"; "H" ]
+            ~doc:"Registry heuristic (default: the daemon's).")
+    in
+    let model_opt_arg =
+      Arg.(
+        value & opt (some string) None
+        & info [ "model" ] ~doc:"Communication model (default: the daemon's).")
+    in
+    let prio_arg =
+      Arg.(
+        value & opt int 0
+        & info [ "prio" ] ~doc:"Shedding rank: higher survives longer.")
+    in
+    let deadline_arg =
+      Arg.(
+        value & opt (some float) None
+        & info [ "deadline" ] ~docv:"D" ~doc:"Report a miss past this makespan.")
+    in
+    let placements_arg =
+      Arg.(
+        value & flag
+        & info [ "placements" ] ~doc:"Print the full placement table.")
+    in
+    let action socket port job graph heuristic model prio deadline placements =
+      let spec =
+        match (job, graph) with
+        | Some j, None -> O.Scheduld_proto.Testbed j
+        | None, Some path ->
+            O.Scheduld_proto.Inline
+              (O.Graph_io.to_string (O.Graph_io.load path))
+        | Some _, Some _ ->
+            Printf.eprintf "schedcli: --job and --graph are exclusive\n";
+            exit 2
+        | None, None ->
+            Printf.eprintf "schedcli: submit needs --job SPEC or --graph FILE\n";
+            exit 2
+      in
+      let c = client_connect socket port in
+      O.Scheduld_client.send c
+        (O.Scheduld_proto.Submit
+           { spec; heuristic; model; priority = prio; deadline; placements });
+      let rec wait id =
+        match O.Scheduld_client.recv c with
+        | O.Scheduld_proto.Done _ as r when id >= 0 ->
+            print_event r;
+            O.Scheduld_client.close c
+        | (O.Scheduld_proto.Failed _ | O.Scheduld_proto.Shed _) as r
+          when id >= 0 ->
+            print_event r;
+            O.Scheduld_client.close c;
+            exit 1
+        | O.Scheduld_proto.Accepted { id; _ } as r ->
+            print_event r;
+            wait id
+        | r ->
+            print_event r;
+            wait id
+      in
+      wait (-1)
+    in
+    Cmd.v
+      (Cmd.info "submit"
+         ~doc:"Submit a job and wait for its placement events.")
+      Term.(
+        const action $ socket_arg $ port_arg $ job_arg $ graph_arg
+        $ heuristic_opt_arg $ model_opt_arg $ prio_arg $ deadline_arg
+        $ placements_arg)
+  in
+  let simple name doc req ~wait_bye =
+    let action socket port =
+      let c = client_connect socket port in
+      print_event (O.Scheduld_client.request c req);
+      if wait_bye then begin
+        let rec loop () =
+          match O.Scheduld_client.recv c with
+          | O.Scheduld_proto.Bye ->
+              print_endline "bye";
+              O.Scheduld_client.close c
+          | r ->
+              print_event r;
+              loop ()
+          | exception End_of_file -> ()
+        in
+        loop ()
+      end
+      else O.Scheduld_client.close c
+    in
+    Cmd.v (Cmd.info name ~doc) Term.(const action $ socket_arg $ port_arg)
+  in
+  let status_cmd =
+    let id_arg =
+      Arg.(
+        value & opt (some int) None
+        & info [ "id" ] ~doc:"Show one job instead of all.")
+    in
+    let action socket port id =
+      let c = client_connect socket port in
+      print_event (O.Scheduld_client.request c (O.Scheduld_proto.Status id));
+      O.Scheduld_client.close c
+    in
+    Cmd.v
+      (Cmd.info "status" ~doc:"List submitted jobs and their states.")
+      Term.(const action $ socket_arg $ port_arg $ id_arg)
+  in
+  let cancel_cmd =
+    let id_arg =
+      Arg.(
+        required & opt (some int) None
+        & info [ "id" ] ~doc:"Job to cancel (queued jobs only).")
+    in
+    let action socket port id =
+      let c = client_connect socket port in
+      print_event (O.Scheduld_client.request c (O.Scheduld_proto.Cancel id));
+      O.Scheduld_client.close c
+    in
+    Cmd.v
+      (Cmd.info "cancel" ~doc:"Cancel a queued job.")
+      Term.(const action $ socket_arg $ port_arg $ id_arg)
+  in
+  Cmd.group
+    (Cmd.info "client" ~doc:"Talk to a running scheduld daemon.")
+    [
+      submit_cmd;
+      status_cmd;
+      cancel_cmd;
+      simple "watch"
+        "Subscribe to every job's placement events until the daemon drains."
+        O.Scheduld_proto.Watch ~wait_bye:true;
+      simple "drain"
+        "Ask the daemon to finish its backlog and shut down; waits for bye."
+        O.Scheduld_proto.Drain ~wait_bye:true;
+      simple "stats" "Print the daemon's service counters."
+        O.Scheduld_proto.Stats ~wait_bye:false;
+      simple "ping" "Check the daemon is alive." O.Scheduld_proto.Ping
+        ~wait_bye:false;
+    ]
+
 let () =
   let info =
     Cmd.info "schedcli" ~version:"1.0.0"
@@ -977,5 +1316,5 @@ let () =
           [
             run_cmd; figures_cmd; analyze_cmd; dot_cmd; robustness_cmd;
             online_cmd; export_cmd; autob_cmd; compare_cmd; batch_cmd;
-            grid_cmd; reproduce_cmd; list_cmd;
+            grid_cmd; reproduce_cmd; serve_cmd; client_cmd; list_cmd;
           ]))

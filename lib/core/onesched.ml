@@ -28,6 +28,8 @@
     - analysis/robustness: {!Pert}, {!Robustness}, {!Utilization},
       {!Executor}, {!Fault}, {!Faulty_executor}, {!Repair};
     - online scheduling: {!Online_event}, {!Online_driver};
+    - service daemon: {!Scheduld}, {!Scheduld_proto}, {!Scheduld_client},
+      {!Scheduld_wire};
     - experiments: {!Config}, {!Runner}, {!Figures};
     - observability: {!Obs_counters}, {!Obs_span}, {!Obs_report},
       {!Obs_trace}. *)
@@ -99,6 +101,12 @@ module Faulty_executor = Simkit.Faulty_executor
 (* Rolling-horizon online scheduling *)
 module Online_event = Online.Event
 module Online_driver = Online.Driver
+
+(* Scheduler-as-a-service daemon *)
+module Scheduld = Server.Scheduld
+module Scheduld_proto = Server.Proto
+module Scheduld_client = Server.Client
+module Scheduld_wire = Server.Wire
 
 (* Experiments *)
 module Config = Experiments.Config

@@ -17,6 +17,9 @@ type snapshot = {
   shed_jobs : int;
   frozen_tasks : int;
   deadline_misses : int;
+  requests : int;
+  batched_replans : int;
+  queued_jobs : int;
 }
 
 let zero : snapshot =
@@ -39,6 +42,9 @@ let zero : snapshot =
     shed_jobs = 0;
     frozen_tasks = 0;
     deadline_misses = 0;
+    requests = 0;
+    batched_replans = 0;
+    queued_jobs = 0;
   }
 
 (* One mutable record rather than eleven refs: a single cache line, and
@@ -62,6 +68,9 @@ type state = {
   mutable shed_jobs : int;
   mutable frozen_tasks : int;
   mutable deadline_misses : int;
+  mutable requests : int;
+  mutable batched_replans : int;
+  mutable queued_jobs : int;
 }
 
 (* Domain-local scratch: every domain bumps its own record, so workers of
@@ -89,6 +98,9 @@ let key : state Domain.DLS.key =
         shed_jobs = 0;
         frozen_tasks = 0;
         deadline_misses = 0;
+        requests = 0;
+        batched_replans = 0;
+        queued_jobs = 0;
       })
 
 let state () = Domain.DLS.get key
@@ -117,7 +129,10 @@ let reset () =
   s.replans <- 0;
   s.shed_jobs <- 0;
   s.frozen_tasks <- 0;
-  s.deadline_misses <- 0
+  s.deadline_misses <- 0;
+  s.requests <- 0;
+  s.batched_replans <- 0;
+  s.queued_jobs <- 0
 
 let snapshot () : snapshot =
   let s = state () in
@@ -140,6 +155,9 @@ let snapshot () : snapshot =
     shed_jobs = s.shed_jobs;
     frozen_tasks = s.frozen_tasks;
     deadline_misses = s.deadline_misses;
+    requests = s.requests;
+    batched_replans = s.batched_replans;
+    queued_jobs = s.queued_jobs;
   }
 
 let merge (d : snapshot) =
@@ -161,7 +179,10 @@ let merge (d : snapshot) =
   s.replans <- s.replans + d.replans;
   s.shed_jobs <- s.shed_jobs + d.shed_jobs;
   s.frozen_tasks <- s.frozen_tasks + d.frozen_tasks;
-  s.deadline_misses <- s.deadline_misses + d.deadline_misses
+  s.deadline_misses <- s.deadline_misses + d.deadline_misses;
+  s.requests <- s.requests + d.requests;
+  s.batched_replans <- s.batched_replans + d.batched_replans;
+  s.queued_jobs <- s.queued_jobs + d.queued_jobs
 
 let diff (a : snapshot) (b : snapshot) : snapshot =
   {
@@ -183,6 +204,9 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     shed_jobs = b.shed_jobs - a.shed_jobs;
     frozen_tasks = b.frozen_tasks - a.frozen_tasks;
     deadline_misses = b.deadline_misses - a.deadline_misses;
+    requests = b.requests - a.requests;
+    batched_replans = b.batched_replans - a.batched_replans;
+    queued_jobs = b.queued_jobs - a.queued_jobs;
   }
 
 (* The print order below is part of the CLI contract (cram tests pin it):
@@ -228,7 +252,14 @@ let pp fmt (c : snapshot) =
        shed jobs:        %d@,\
        frozen tasks:     %d@,\
        deadline misses:  %d@]"
-      c.replans c.shed_jobs c.frozen_tasks c.deadline_misses
+      c.replans c.shed_jobs c.frozen_tasks c.deadline_misses;
+  (* scheduld daemon counters: anything else never prints them *)
+  if c.requests <> 0 || c.batched_replans <> 0 || c.queued_jobs <> 0 then
+    Format.fprintf fmt
+      "@,@[<v>requests:         %d@,\
+       batched replans:  %d@,\
+       queued jobs:      %d@]"
+      c.requests c.batched_replans c.queued_jobs
 
 let evaluation () =
   if !on then
@@ -336,4 +367,22 @@ let deadline_miss () =
   if !on then
     let s = state () in
     s.deadline_misses <- s.deadline_misses + 1
+[@@inline]
+
+let server_request () =
+  if !on then
+    let s = state () in
+    s.requests <- s.requests + 1
+[@@inline]
+
+let batched_replan () =
+  if !on then
+    let s = state () in
+    s.batched_replans <- s.batched_replans + 1
+[@@inline]
+
+let queued_job () =
+  if !on then
+    let s = state () in
+    s.queued_jobs <- s.queued_jobs + 1
 [@@inline]

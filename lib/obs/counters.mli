@@ -55,6 +55,15 @@
     - [deadline_misses]: jobs that completed after their deadline (or
       were shed while holding one).
 
+    Three more trace the scheduler-as-a-service daemon
+    ([Server.Scheduld]):
+
+    - [requests]: protocol request lines processed (including malformed
+      ones answered with an error reply);
+    - [batched_replans]: coalesced re-plans — each one schedules a whole
+      batch of queued submissions in a single pass;
+    - [queued_jobs]: submissions admitted to the backlog.
+
     Counting is globally toggleable and off by default.  When disabled,
     every bump is a single load-and-branch; when enabled, a
     domain-local-storage lookup plus an in-place integer store — no
@@ -88,6 +97,9 @@ type snapshot = {
   shed_jobs : int;
   frozen_tasks : int;
   deadline_misses : int;
+  requests : int;
+  batched_replans : int;
+  queued_jobs : int;
 }
 
 val zero : snapshot
@@ -117,7 +129,8 @@ val merge : snapshot -> unit
     tentative hops, commits, copies — then the fault block (retries,
     repairs, backoff time), the incremental-kernel block (rollbacks,
     replayed tasks, search pruned) and the online block (replans, shed
-    jobs, frozen tasks, deadline misses), each printed only when
+    jobs, frozen tasks, deadline misses) and the scheduld block
+    (requests, batched replans, queued jobs), each printed only when
     nonzero. *)
 val pp : Format.formatter -> snapshot -> unit
 
@@ -145,3 +158,6 @@ val replan : unit -> unit
 val shed_job : unit -> unit
 val frozen_task : unit -> unit
 val deadline_miss : unit -> unit
+val server_request : unit -> unit
+val batched_replan : unit -> unit
+val queued_job : unit -> unit

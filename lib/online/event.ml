@@ -87,6 +87,12 @@ let parse_job line spec opts =
     opts;
   { testbed; n; ccr; priority = !priority; deadline = !deadline }
 
+let job_of_spec spec = parse_job spec spec []
+
+let spec_of_job j =
+  if j.ccr = 1. then Printf.sprintf "%s:%d" j.testbed j.n
+  else Printf.sprintf "%s:%d:%g" j.testbed j.n j.ccr
+
 let of_string line =
   let parts =
     String.split_on_char ' ' (String.trim line)
@@ -107,10 +113,7 @@ let of_string line =
   | _ -> fail line "expected KIND T ..."
 
 let job_to_string j =
-  let spec =
-    if j.ccr = 1. then Printf.sprintf "%s:%d" j.testbed j.n
-    else Printf.sprintf "%s:%d:%g" j.testbed j.n j.ccr
-  in
+  let spec = spec_of_job j in
   let prio = if j.priority = 0 then "" else Printf.sprintf " prio=%d" j.priority in
   let dl =
     match j.deadline with

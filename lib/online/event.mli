@@ -50,6 +50,17 @@ val job : ?ccr:float -> ?priority:int -> ?deadline:float -> string -> int -> job
 (** One-line help string for the trace grammar. *)
 val grammar : string
 
+(** [job_of_spec spec] parses a bare job spec ([TESTBED:N[:CCR]],
+    including [layered:L:W:N[:CCR]]) with no trailing options — the form
+    [scheduld] submissions and bench traces use.
+    @raise Invalid_argument on a malformed spec. *)
+val job_of_spec : string -> job
+
+(** The spec part of {!to_string} alone, with no [prio=]/[deadline=]
+    options; [job_of_spec (spec_of_job j)] recovers the job's testbed,
+    size and (exactly-printing) ccr. *)
+val spec_of_job : job -> string
+
 (** [of_string line] parses one event line.
     @raise Invalid_argument with a grammar reminder on malformed input. *)
 val of_string : string -> t

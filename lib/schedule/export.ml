@@ -122,3 +122,25 @@ let write_file path contents =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc contents)
+
+let fingerprint s =
+  let g = Schedule.graph s in
+  let buf = Buffer.create (64 + ((Graph.n_tasks g + Schedule.n_comms s) * 32)) in
+  (if Schedule.all_placed s then
+     Buffer.add_string buf (Printf.sprintf "m=%h" (Schedule.makespan s))
+   else Buffer.add_string buf "m=-");
+  for v = 0 to Graph.n_tasks g - 1 do
+    match Schedule.placement s v with
+    | None -> Buffer.add_string buf (Printf.sprintf ";t%d=-" v)
+    | Some pl ->
+        Buffer.add_string buf
+          (Printf.sprintf ";t%d=%d:%h:%h" v pl.Schedule.proc pl.Schedule.start
+             pl.Schedule.finish)
+  done;
+  Schedule.iter_comms s ~f:(fun (c : Schedule.comm) ->
+      Buffer.add_string buf
+        (Printf.sprintf ";c%d=%d>%d:%h:%h" c.Schedule.edge c.Schedule.src_proc
+           c.Schedule.dst_proc c.Schedule.start c.Schedule.finish));
+  Schedule.iter_phases s ~f:(fun start finish ->
+      Buffer.add_string buf (Printf.sprintf ";p=%h:%h" start finish));
+  Digest.to_hex (Digest.string (Buffer.contents buf))

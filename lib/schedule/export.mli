@@ -21,3 +21,12 @@ val to_csv : Schedule.t -> string
 
 (** [write_file path contents] — tiny convenience used by the CLI. *)
 val write_file : string -> string -> unit
+
+(** MD5 hex digest of the complete plan: makespan, every placement
+    ([%h], so bit-exact), every communication hop in commit order and
+    every BSP phase.  Two schedules fingerprint equal iff they are the
+    same plan bit for bit — the determinism and offline-equivalence
+    contract of [scheduld] (see [doc/scheduld.md]) and of
+    [schedcli run --fingerprint] compare on this.  Unplaced tasks
+    render as ["-"], so partial schedules are fingerprintable too. *)
+val fingerprint : Schedule.t -> string

@@ -1,0 +1,46 @@
+type t = { ic : in_channel; oc : out_channel }
+
+let addr_of_endpoint = function
+  | Scheduld.Unix_path path -> Unix.ADDR_UNIX path
+  | Scheduld.Tcp port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+
+let connect ?(retries = 100) ?(delay = 0.05) endpoint =
+  let addr = addr_of_endpoint endpoint in
+  let rec attempt left =
+    let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+    | exception
+        Unix.Unix_error
+          ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET), _, _)
+      when left > 0 ->
+        Unix.close fd;
+        Unix.sleepf delay;
+        attempt (left - 1)
+    | exception e ->
+        Unix.close fd;
+        raise e
+  in
+  try attempt retries
+  with Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+    failwith
+      (Printf.sprintf "no scheduld daemon at %s"
+         (Scheduld.endpoint_to_string endpoint))
+
+let send t req =
+  output_string t.oc (Proto.print_request req);
+  output_char t.oc '\n';
+  flush t.oc
+
+let recv t =
+  let line = input_line t.ic in
+  match Proto.response_of_line line with
+  | Ok resp -> resp
+  | Error msg -> failwith (Printf.sprintf "bad response line: %s" msg)
+
+let request t req =
+  send t req;
+  recv t
+
+let close t =
+  try close_out t.oc with Sys_error _ -> ()

@@ -1,0 +1,27 @@
+(** Blocking line-oriented client for a running [scheduld] daemon.
+
+    Thin by design: the CLI's [schedcli client] subcommands and the CI
+    smoke test drive one request/reply (or request/event-stream)
+    exchange at a time over a single connection.  {!connect} retries
+    while the daemon is still starting up, so
+    [schedcli serve & schedcli client ping] races are safe in scripts. *)
+
+type t
+
+(** [connect ?retries ?delay endpoint] — retry a refused/absent
+    endpoint [retries] times (default 100), sleeping [delay] seconds
+    (default 0.05) between attempts, to cover daemon start-up.
+    @raise Failure when the daemon never comes up. *)
+val connect : ?retries:int -> ?delay:float -> Scheduld.endpoint -> t
+
+val send : t -> Proto.request -> unit
+
+(** Next response line (blocking).
+    @raise End_of_file when the daemon closed the connection;
+    @raise Failure on a line that does not parse as a response. *)
+val recv : t -> Proto.response
+
+(** [request t r] = [send] then [recv]. *)
+val request : t -> Proto.request -> Proto.response
+
+val close : t -> unit

@@ -1,0 +1,395 @@
+type spec = Testbed of string | Inline of string
+
+type submit = {
+  spec : spec;
+  heuristic : string option;
+  model : string option;
+  priority : int;
+  deadline : float option;
+  placements : bool;
+}
+
+type request =
+  | Submit of submit
+  | Status of int option
+  | Cancel of int
+  | Watch
+  | Drain
+  | Stats
+  | Ping
+
+type error_code =
+  | Parse
+  | Bad_request
+  | Unknown_id
+  | Draining
+  | Queue_full
+  | Budget
+
+type job_state =
+  | Queued
+  | Placed_state
+  | Done_state
+  | Cancelled
+  | Shed_state
+  | Failed_state
+
+type job_view = {
+  id : int;
+  state : job_state;
+  spec : string;
+  priority : int;
+  makespan : float option;
+}
+
+type stats_view = {
+  requests : int;
+  submitted : int;
+  completed : int;
+  cancelled : int;
+  shed : int;
+  failed : int;
+  errors : int;
+  batches : int;
+  queue_depth : int;
+  queue_peak : int;
+  clients : int;
+  p50_ms : float option;
+  p99_ms : float option;
+}
+
+type placement_row = { task : int; proc : int; start : float; finish : float }
+
+type response =
+  | Accepted of { id : int; queued : int }
+  | Placed of {
+      id : int;
+      makespan : float;
+      tasks : int;
+      valid : bool;
+      fingerprint : string;
+      batch : int;
+      placements : placement_row list option;
+    }
+  | Done of { id : int; makespan : float; missed : bool }
+  | Failed of { id : int; msg : string }
+  | Shed of { id : int; by : int }
+  | Cancelled_reply of { id : int }
+  | Status_reply of job_view list
+  | Stats_reply of stats_view
+  | Draining_reply of { pending : int }
+  | Watching
+  | Bye
+  | Pong
+  | Error of { code : error_code; msg : string }
+
+let error_code_to_string = function
+  | Parse -> "parse"
+  | Bad_request -> "bad-request"
+  | Unknown_id -> "unknown-id"
+  | Draining -> "draining"
+  | Queue_full -> "queue-full"
+  | Budget -> "budget"
+
+let error_code_of_string = function
+  | "parse" -> Some Parse
+  | "bad-request" -> Some Bad_request
+  | "unknown-id" -> Some Unknown_id
+  | "draining" -> Some Draining
+  | "queue-full" -> Some Queue_full
+  | "budget" -> Some Budget
+  | _ -> None
+
+let job_state_to_string = function
+  | Queued -> "queued"
+  | Placed_state -> "placed"
+  | Done_state -> "done"
+  | Cancelled -> "cancelled"
+  | Shed_state -> "shed"
+  | Failed_state -> "failed"
+
+let job_state_of_string = function
+  | "queued" -> Some Queued
+  | "placed" -> Some Placed_state
+  | "done" -> Some Done_state
+  | "cancelled" -> Some Cancelled
+  | "shed" -> Some Shed_state
+  | "failed" -> Some Failed_state
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Defaulted fields are omitted when they hold the default, so the
+   common messages stay short; decoding restores the default, which
+   keeps parse ∘ print = id. *)
+
+let num i = Wire.Num (float_of_int i)
+let opt k f = function None -> [] | Some v -> [ (k, f v) ]
+
+let print_request r =
+  Wire.print
+    (match r with
+    | Submit s ->
+        Wire.Obj
+          (("op", Wire.Str "submit")
+           :: (match s.spec with
+              | Testbed spec -> [ ("job", Wire.Str spec) ]
+              | Inline text -> [ ("graph", Wire.Str text) ])
+          @ opt "heuristic" (fun h -> Wire.Str h) s.heuristic
+          @ opt "model" (fun m -> Wire.Str m) s.model
+          @ (if s.priority = 0 then [] else [ ("prio", num s.priority) ])
+          @ opt "deadline" (fun d -> Wire.Num d) s.deadline
+          @ if s.placements then [ ("placements", Wire.Bool true) ] else [])
+    | Status id -> Wire.Obj (("op", Wire.Str "status") :: opt "id" num id)
+    | Cancel id -> Wire.Obj [ ("op", Wire.Str "cancel"); ("id", num id) ]
+    | Watch -> Wire.Obj [ ("op", Wire.Str "watch") ]
+    | Drain -> Wire.Obj [ ("op", Wire.Str "drain") ]
+    | Stats -> Wire.Obj [ ("op", Wire.Str "stats") ]
+    | Ping -> Wire.Obj [ ("op", Wire.Str "ping") ])
+
+let placement_to_wire p =
+  Wire.Arr [ num p.task; num p.proc; Wire.Num p.start; Wire.Num p.finish ]
+
+let job_view_to_wire v =
+  Wire.Obj
+    ([
+       ("id", num v.id);
+       ("state", Wire.Str (job_state_to_string v.state));
+       ("job", Wire.Str v.spec);
+     ]
+    @ (if v.priority = 0 then [] else [ ("prio", num v.priority) ])
+    @ opt "makespan" (fun m -> Wire.Num m) v.makespan)
+
+let print_response r =
+  Wire.print
+    (match r with
+    | Accepted { id; queued } ->
+        Wire.Obj
+          [ ("ev", Wire.Str "accepted"); ("id", num id); ("queued", num queued) ]
+    | Placed { id; makespan; tasks; valid; fingerprint; batch; placements } ->
+        Wire.Obj
+          ([
+             ("ev", Wire.Str "placed");
+             ("id", num id);
+             ("makespan", Wire.Num makespan);
+             ("tasks", num tasks);
+             ("valid", Wire.Bool valid);
+             ("fingerprint", Wire.Str fingerprint);
+             ("batch", num batch);
+           ]
+          @ opt "placements"
+              (fun rows -> Wire.Arr (List.map placement_to_wire rows))
+              placements)
+    | Done { id; makespan; missed } ->
+        Wire.Obj
+          ([
+             ("ev", Wire.Str "done");
+             ("id", num id);
+             ("makespan", Wire.Num makespan);
+           ]
+          @ if missed then [ ("missed", Wire.Bool true) ] else [])
+    | Failed { id; msg } ->
+        Wire.Obj
+          [ ("ev", Wire.Str "failed"); ("id", num id); ("msg", Wire.Str msg) ]
+    | Shed { id; by } ->
+        Wire.Obj [ ("ev", Wire.Str "shed"); ("id", num id); ("by", num by) ]
+    | Cancelled_reply { id } ->
+        Wire.Obj [ ("ev", Wire.Str "cancelled"); ("id", num id) ]
+    | Status_reply jobs ->
+        Wire.Obj
+          [
+            ("ev", Wire.Str "status");
+            ("jobs", Wire.Arr (List.map job_view_to_wire jobs));
+          ]
+    | Stats_reply s ->
+        let onum = function None -> Wire.Null | Some x -> Wire.Num x in
+        Wire.Obj
+          [
+            ("ev", Wire.Str "stats");
+            ("requests", num s.requests);
+            ("submitted", num s.submitted);
+            ("completed", num s.completed);
+            ("cancelled", num s.cancelled);
+            ("shed", num s.shed);
+            ("failed", num s.failed);
+            ("errors", num s.errors);
+            ("batches", num s.batches);
+            ("queue_depth", num s.queue_depth);
+            ("queue_peak", num s.queue_peak);
+            ("clients", num s.clients);
+            ("p50_ms", onum s.p50_ms);
+            ("p99_ms", onum s.p99_ms);
+          ]
+    | Draining_reply { pending } ->
+        Wire.Obj [ ("ev", Wire.Str "draining"); ("pending", num pending) ]
+    | Watching -> Wire.Obj [ ("ev", Wire.Str "watching") ]
+    | Bye -> Wire.Obj [ ("ev", Wire.Str "bye") ]
+    | Pong -> Wire.Obj [ ("ev", Wire.Str "pong") ]
+    | Error { code; msg } ->
+        Wire.Obj
+          [
+            ("ev", Wire.Str "error");
+            ("code", Wire.Str (error_code_to_string code));
+            ("msg", Wire.Str msg);
+          ])
+
+(* ------------------------------------------------------------------ *)
+(* decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let field v k conv what =
+  match Option.bind (Wire.member k v) conv with
+  | Some x -> x
+  | None -> bad "missing or invalid %S (%s)" k what
+
+let opt_field v k conv what =
+  match Wire.member k v with
+  | None | Some Wire.Null -> None
+  | Some w -> (
+      match conv w with
+      | Some x -> Some x
+      | None -> bad "invalid %S (%s)" k what)
+
+let flag v k = Option.value ~default:false (opt_field v k Wire.to_bool "bool")
+let int0 v k = Option.value ~default:0 (opt_field v k Wire.to_int "int")
+
+let decode_request v =
+  match Option.bind (Wire.member "op" v) Wire.to_str with
+  | None -> bad "missing %S" "op"
+  | Some "submit" ->
+      let spec =
+        match
+          ( opt_field v "job" Wire.to_str "string",
+            opt_field v "graph" Wire.to_str "string" )
+        with
+        | Some j, None -> Testbed j
+        | None, Some g -> Inline g
+        | Some _, Some _ -> bad "submit takes %S or %S, not both" "job" "graph"
+        | None, None -> bad "submit needs a %S spec or an inline %S" "job" "graph"
+      in
+      Submit
+        {
+          spec;
+          heuristic = opt_field v "heuristic" Wire.to_str "string";
+          model = opt_field v "model" Wire.to_str "string";
+          priority = int0 v "prio";
+          deadline = opt_field v "deadline" Wire.to_float "number";
+          placements = flag v "placements";
+        }
+  | Some "status" -> Status (opt_field v "id" Wire.to_int "int")
+  | Some "cancel" -> Cancel (field v "id" Wire.to_int "int")
+  | Some "watch" -> Watch
+  | Some "drain" -> Drain
+  | Some "stats" -> Stats
+  | Some "ping" -> Ping
+  | Some op -> bad "unknown op %S" op
+
+let decode_placement w =
+  match Option.map (List.map Wire.to_float) (Wire.to_list w) with
+  | Some [ Some task; Some proc; Some start; Some finish ]
+    when Float.is_integer task && Float.is_integer proc ->
+      { task = int_of_float task; proc = int_of_float proc; start; finish }
+  | _ -> bad "invalid placement row"
+
+let decode_job_view w =
+  {
+    id = field w "id" Wire.to_int "int";
+    state =
+      (let s = field w "state" Wire.to_str "string" in
+       match job_state_of_string s with
+       | Some st -> st
+       | None -> bad "unknown job state %S" s);
+    spec = field w "job" Wire.to_str "string";
+    priority = int0 w "prio";
+    makespan = opt_field w "makespan" Wire.to_float "number";
+  }
+
+let decode_response v =
+  match Option.bind (Wire.member "ev" v) Wire.to_str with
+  | None -> bad "missing %S" "ev"
+  | Some "accepted" ->
+      Accepted
+        {
+          id = field v "id" Wire.to_int "int";
+          queued = field v "queued" Wire.to_int "int";
+        }
+  | Some "placed" ->
+      Placed
+        {
+          id = field v "id" Wire.to_int "int";
+          makespan = field v "makespan" Wire.to_float "number";
+          tasks = field v "tasks" Wire.to_int "int";
+          valid = field v "valid" Wire.to_bool "bool";
+          fingerprint = field v "fingerprint" Wire.to_str "string";
+          batch = field v "batch" Wire.to_int "int";
+          placements =
+            Option.map (List.map decode_placement)
+              (opt_field v "placements" Wire.to_list "array");
+        }
+  | Some "done" ->
+      Done
+        {
+          id = field v "id" Wire.to_int "int";
+          makespan = field v "makespan" Wire.to_float "number";
+          missed = flag v "missed";
+        }
+  | Some "failed" ->
+      Failed
+        {
+          id = field v "id" Wire.to_int "int";
+          msg = field v "msg" Wire.to_str "string";
+        }
+  | Some "shed" ->
+      Shed
+        { id = field v "id" Wire.to_int "int"; by = field v "by" Wire.to_int "int" }
+  | Some "cancelled" -> Cancelled_reply { id = field v "id" Wire.to_int "int" }
+  | Some "status" ->
+      Status_reply
+        (List.map decode_job_view (field v "jobs" Wire.to_list "array"))
+  | Some "stats" ->
+      Stats_reply
+        {
+          requests = field v "requests" Wire.to_int "int";
+          submitted = field v "submitted" Wire.to_int "int";
+          completed = field v "completed" Wire.to_int "int";
+          cancelled = field v "cancelled" Wire.to_int "int";
+          shed = field v "shed" Wire.to_int "int";
+          failed = field v "failed" Wire.to_int "int";
+          errors = field v "errors" Wire.to_int "int";
+          batches = field v "batches" Wire.to_int "int";
+          queue_depth = field v "queue_depth" Wire.to_int "int";
+          queue_peak = field v "queue_peak" Wire.to_int "int";
+          clients = field v "clients" Wire.to_int "int";
+          p50_ms = opt_field v "p50_ms" Wire.to_float "number";
+          p99_ms = opt_field v "p99_ms" Wire.to_float "number";
+        }
+  | Some "draining" ->
+      Draining_reply { pending = field v "pending" Wire.to_int "int" }
+  | Some "watching" -> Watching
+  | Some "bye" -> Bye
+  | Some "pong" -> Pong
+  | Some "error" ->
+      Error
+        {
+          code =
+            (let c = field v "code" Wire.to_str "string" in
+             match error_code_of_string c with
+             | Some code -> code
+             | None -> bad "unknown error code %S" c);
+          msg = field v "msg" Wire.to_str "string";
+        }
+  | Some ev -> bad "unknown event %S" ev
+
+let of_line decode line =
+  match Wire.parse line with
+  | Stdlib.Error msg -> Stdlib.Error msg
+  | Stdlib.Ok v -> ( try Stdlib.Ok (decode v) with Bad msg -> Stdlib.Error msg)
+
+let request_of_line line = of_line decode_request line
+let response_of_line line = of_line decode_response line

@@ -1,0 +1,685 @@
+module Counters = Obs.Counters
+module Graph = Taskgraph.Graph
+module Graph_io = Taskgraph.Io
+module Schedule = Sched.Schedule
+module Validate = Sched.Validate
+module Export = Sched.Export
+module Params = Heuristics.Params
+module Registry = Heuristics.Registry
+module Suite = Testbeds.Suite
+module Event = Online.Event
+module Team = Prelude.Pool.Team
+
+type config = {
+  params : Params.t;
+  heuristic : string;
+  jobs : int;
+  max_batch : int;
+  queue_cap : int;
+  replan_budget : int;
+  batch_window : float;
+  validate : bool;
+}
+
+let default_config =
+  {
+    params = Params.default;
+    heuristic = "heft";
+    jobs = 1;
+    max_batch = 16;
+    queue_cap = 64;
+    replan_budget = max_int;
+    batch_window = 0.02;
+    validate = true;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* the pure core                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type job = {
+  jid : int;
+  owner : int;
+  jspec : string;  (** canonical display spec *)
+  run : unit -> Schedule.t;  (** captures graph, params and scheduler *)
+  jgraph : Graph.t;
+  jpriority : int;
+  jdeadline : float option;
+  want_placements : bool;
+  submitted_at : float;
+  mutable jstate : Proto.job_state;
+  mutable jmakespan : float option;
+}
+
+type client = { mutable watcher : bool; mutable gone : bool }
+
+type t = {
+  cfg : config;
+  platform : Platform.t;
+  clock : unit -> float;
+  graphs : (string, Graph.t) Hashtbl.t;  (** warm testbed-graph cache *)
+  team : Team.t option;
+  clients : (int, client) Hashtbl.t;
+  mutable next_client : int;
+  mutable next_job : int;
+  jobs_tbl : (int, job) Hashtbl.t;
+  mutable order : int list;  (** submission order, newest first *)
+  mutable queue : job list;  (** backlog, arrival order *)
+  outbox : (int * string) Queue.t;
+  mutable is_draining : bool;
+  mutable is_stopped : bool;
+  mutable n_requests : int;
+  mutable n_errors : int;
+  mutable n_batches : int;
+  mutable n_submitted : int;
+  mutable n_completed : int;
+  mutable n_cancelled : int;
+  mutable n_shed : int;
+  mutable n_failed : int;
+  mutable queue_peak : int;
+  mutable latencies_ms : float list;
+}
+
+let config t = t.cfg
+
+let create ?(config = default_config) ?(clock = Unix.gettimeofday) platform =
+  if config.jobs < 1 then invalid_arg "Scheduld.create: jobs must be >= 1";
+  if config.max_batch < 1 then
+    invalid_arg "Scheduld.create: max_batch must be >= 1";
+  if config.queue_cap < 1 then
+    invalid_arg "Scheduld.create: queue_cap must be >= 1";
+  if config.batch_window < 0. then
+    invalid_arg "Scheduld.create: negative batch_window";
+  ignore (Registry.find config.heuristic);
+  {
+    cfg = config;
+    platform;
+    clock;
+    graphs = Hashtbl.create 16;
+    team =
+      (if config.jobs > 1 then Some (Team.create ~helpers:(config.jobs - 1))
+       else None);
+    clients = Hashtbl.create 16;
+    next_client = 0;
+    next_job = 0;
+    jobs_tbl = Hashtbl.create 64;
+    order = [];
+    queue = [];
+    outbox = Queue.create ();
+    is_draining = false;
+    is_stopped = false;
+    n_requests = 0;
+    n_errors = 0;
+    n_batches = 0;
+    n_submitted = 0;
+    n_completed = 0;
+    n_cancelled = 0;
+    n_shed = 0;
+    n_failed = 0;
+    queue_peak = 0;
+    latencies_ms = [];
+  }
+
+let connect t =
+  let cid = t.next_client in
+  t.next_client <- cid + 1;
+  Hashtbl.replace t.clients cid { watcher = false; gone = false };
+  cid
+
+let disconnect t cid =
+  match Hashtbl.find_opt t.clients cid with
+  | Some c -> c.gone <- true
+  | None -> ()
+
+let live_clients t =
+  Hashtbl.fold (fun cid c acc -> if c.gone then acc else cid :: acc) t.clients []
+  |> List.sort compare
+
+let emit t cid resp =
+  match Hashtbl.find_opt t.clients cid with
+  | Some c when not c.gone ->
+      Queue.add (cid, Proto.print_response resp) t.outbox
+  | _ -> ()
+
+let emit_error t cid code msg =
+  t.n_errors <- t.n_errors + 1;
+  emit t cid (Proto.Error { code; msg })
+
+(* Job events go to the owner and then to every watcher, in client-id
+   order — a deterministic fan-out whatever the Hashtbl layout. *)
+let broadcast t ~owner resp =
+  emit t owner resp;
+  List.iter
+    (fun cid ->
+      if cid <> owner then
+        match Hashtbl.find_opt t.clients cid with
+        | Some c when c.watcher && not c.gone -> emit t cid resp
+        | _ -> ())
+    (live_clients t)
+
+let pending t = List.length t.queue
+let draining t = t.is_draining
+let stopped t = t.is_stopped
+
+let take_outputs t =
+  let out = List.rev (Queue.fold (fun acc x -> x :: acc) [] t.outbox) in
+  Queue.clear t.outbox;
+  out
+
+let stats t : Proto.stats_view =
+  let pct p =
+    match t.latencies_ms with
+    | [] -> None
+    | xs -> Some (Prelude.Stats.percentile p xs)
+  in
+  {
+    requests = t.n_requests;
+    submitted = t.n_submitted;
+    completed = t.n_completed;
+    cancelled = t.n_cancelled;
+    shed = t.n_shed;
+    failed = t.n_failed;
+    errors = t.n_errors;
+    batches = t.n_batches;
+    queue_depth = pending t;
+    queue_peak = t.queue_peak;
+    clients = List.length (live_clients t);
+    p50_ms = pct 50.;
+    p99_ms = pct 99.;
+  }
+
+let job_view (j : job) : Proto.job_view =
+  {
+    id = j.jid;
+    state = j.jstate;
+    spec = j.jspec;
+    priority = j.jpriority;
+    makespan = j.jmakespan;
+  }
+
+(* ---------------- submission ---------------- *)
+
+let resolve_graph t (spec : Proto.spec) =
+  match spec with
+  | Proto.Inline text ->
+      let g = Graph_io.of_string text in
+      (Printf.sprintf "inline:%d" (Graph.n_tasks g), g)
+  | Proto.Testbed spec ->
+      let job = Event.job_of_spec spec in
+      let canonical = Event.spec_of_job job in
+      let g =
+        match Hashtbl.find_opt t.graphs canonical with
+        | Some g -> g
+        | None ->
+            let suite = Suite.find job.testbed in
+            let g =
+              suite.Suite.build
+                ~n:(max job.Event.n suite.Suite.min_n)
+                ~ccr:job.Event.ccr
+            in
+            Hashtbl.replace t.graphs canonical g;
+            g
+      in
+      (canonical, g)
+
+(* Admission control mirrors the online driver: a full backlog sheds the
+   lowest-priority queued job strictly below the newcomer — the newest
+   among equals — before refusing outright. *)
+let try_shed t ~for_id ~priority =
+  let victim =
+    List.fold_left
+      (fun best j ->
+        if j.jpriority >= priority then best
+        else
+          match best with
+          | Some b when b.jpriority < j.jpriority -> best
+          | Some b when b.jpriority = j.jpriority && b.jid > j.jid -> best
+          | _ -> Some j)
+      None t.queue
+  in
+  match victim with
+  | None -> false
+  | Some v ->
+      t.queue <- List.filter (fun j -> j.jid <> v.jid) t.queue;
+      v.jstate <- Proto.Shed_state;
+      t.n_shed <- t.n_shed + 1;
+      Counters.shed_job ();
+      if v.jdeadline <> None then Counters.deadline_miss ();
+      broadcast t ~owner:v.owner (Proto.Shed { id = v.jid; by = for_id });
+      true
+
+let handle_submit t ~client (s : Proto.submit) =
+  if t.is_draining then
+    emit_error t client Proto.Draining "daemon is draining; submission refused"
+  else if t.n_batches >= t.cfg.replan_budget then
+    emit_error t client Proto.Budget "re-plan budget exhausted"
+  else
+    match
+      let heuristic =
+        Option.value ~default:t.cfg.heuristic s.Proto.heuristic
+      in
+      let entry = Registry.find heuristic in
+      let params =
+        match s.Proto.model with
+        | None -> t.cfg.params
+        | Some m ->
+            Params.with_model t.cfg.params (Commmodel.Comm_model.of_name m)
+      in
+      let spec, graph = resolve_graph t s.Proto.spec in
+      (entry, params, spec, graph)
+    with
+    | exception Invalid_argument msg -> emit_error t client Proto.Bad_request msg
+    | entry, params, spec, graph ->
+        let id = t.next_job in
+        if
+          List.length t.queue >= t.cfg.queue_cap
+          && not (try_shed t ~for_id:id ~priority:s.Proto.priority)
+        then
+          emit_error t client Proto.Queue_full
+            (Printf.sprintf "backlog full (%d jobs) and nothing sheddable"
+               t.cfg.queue_cap)
+        else begin
+          t.next_job <- id + 1;
+          let job =
+            {
+              jid = id;
+              owner = client;
+              jspec = spec;
+              run = (fun () -> entry.Registry.scheduler params t.platform graph);
+              jgraph = graph;
+              jpriority = s.Proto.priority;
+              jdeadline = s.Proto.deadline;
+              want_placements = s.Proto.placements;
+              submitted_at = t.clock ();
+              jstate = Proto.Queued;
+              jmakespan = None;
+            }
+          in
+          Hashtbl.replace t.jobs_tbl id job;
+          t.order <- id :: t.order;
+          t.queue <- t.queue @ [ job ];
+          t.n_submitted <- t.n_submitted + 1;
+          Counters.queued_job ();
+          t.queue_peak <- max t.queue_peak (List.length t.queue);
+          emit t client
+            (Proto.Accepted { id; queued = List.length t.queue })
+        end
+
+(* ---------------- the other requests ---------------- *)
+
+let handle_status t ~client = function
+  | Some id -> (
+      match Hashtbl.find_opt t.jobs_tbl id with
+      | None ->
+          emit_error t client Proto.Unknown_id
+            (Printf.sprintf "no such job %d" id)
+      | Some j -> emit t client (Proto.Status_reply [ job_view j ]))
+  | None ->
+      let views =
+        List.rev_map
+          (fun id -> job_view (Hashtbl.find t.jobs_tbl id))
+          t.order
+      in
+      emit t client (Proto.Status_reply views)
+
+let handle_cancel t ~client id =
+  match Hashtbl.find_opt t.jobs_tbl id with
+  | None ->
+      emit_error t client Proto.Unknown_id (Printf.sprintf "no such job %d" id)
+  | Some j when j.jstate = Proto.Queued ->
+      t.queue <- List.filter (fun q -> q.jid <> id) t.queue;
+      j.jstate <- Proto.Cancelled;
+      t.n_cancelled <- t.n_cancelled + 1;
+      emit t client (Proto.Cancelled_reply { id })
+  | Some j ->
+      emit_error t client Proto.Bad_request
+        (Printf.sprintf "job %d is %s; only queued jobs can be cancelled" id
+           (Proto.job_state_to_string j.jstate))
+
+let drain t = t.is_draining <- true
+
+let input t ~client line =
+  if not t.is_stopped then begin
+    t.n_requests <- t.n_requests + 1;
+    Counters.server_request ();
+    match Proto.request_of_line line with
+    | Error msg -> emit_error t client Proto.Parse msg
+    | Ok (Proto.Submit s) -> handle_submit t ~client s
+    | Ok (Proto.Status id) -> handle_status t ~client id
+    | Ok (Proto.Cancel id) -> handle_cancel t ~client id
+    | Ok Proto.Watch ->
+        (match Hashtbl.find_opt t.clients client with
+        | Some c -> c.watcher <- true
+        | None -> ());
+        emit t client Proto.Watching
+    | Ok Proto.Drain ->
+        drain t;
+        emit t client (Proto.Draining_reply { pending = pending t })
+    | Ok Proto.Stats -> emit t client (Proto.Stats_reply (stats t))
+    | Ok Proto.Ping -> emit t client Proto.Pong
+  end
+
+(* ---------------- batch flush ---------------- *)
+
+let placement_rows sched g =
+  List.init (Graph.n_tasks g) (fun v ->
+      let pl = Schedule.placement_exn sched v in
+      {
+        Proto.task = v;
+        proc = pl.Schedule.proc;
+        start = pl.Schedule.start;
+        finish = pl.Schedule.finish;
+      })
+
+let split_batch t =
+  let rec take k acc rest =
+    match rest with
+    | j :: tl when k > 0 -> take (k - 1) (j :: acc) tl
+    | _ -> (Array.of_list (List.rev acc), rest)
+  in
+  let batch, rest = take t.cfg.max_batch [] t.queue in
+  t.queue <- rest;
+  batch
+
+let maybe_finish t =
+  if t.is_draining && t.queue = [] && not t.is_stopped then begin
+    List.iter (fun cid -> emit t cid Proto.Bye) (live_clients t);
+    t.is_stopped <- true
+  end
+
+let flush t =
+  let batch = split_batch t in
+  let n = Array.length batch in
+  if n > 0 then begin
+    t.n_batches <- t.n_batches + 1;
+    Counters.batched_replan ();
+    (* Workers never raise: each slot holds the job's own verdict. *)
+    let results = Array.make n (Error "not scheduled") in
+    let run_one i =
+      let j = batch.(i) in
+      results.(i) <-
+        (try Ok (j.run ()) with
+        | Invalid_argument msg | Failure msg -> Error msg
+        | exn -> Error (Printexc.to_string exn))
+    in
+    (match t.team with
+    | Some team when n > 1 ->
+        Team.run team ~jobs:t.cfg.jobs ~n (fun ~worker:_ i -> run_one i)
+    | _ ->
+        for i = 0 to n - 1 do
+          run_one i
+        done);
+    Array.iteri
+      (fun i j ->
+        match results.(i) with
+        | Error msg ->
+            j.jstate <- Proto.Failed_state;
+            t.n_failed <- t.n_failed + 1;
+            broadcast t ~owner:j.owner (Proto.Failed { id = j.jid; msg })
+        | Ok sched ->
+            let makespan = Schedule.makespan sched in
+            let valid =
+              if t.cfg.validate then Validate.is_valid sched else true
+            in
+            let missed =
+              match j.jdeadline with
+              | Some d when makespan > d ->
+                  Counters.deadline_miss ();
+                  true
+              | _ -> false
+            in
+            j.jstate <- Proto.Done_state;
+            j.jmakespan <- Some makespan;
+            t.n_completed <- t.n_completed + 1;
+            t.latencies_ms <-
+              ((t.clock () -. j.submitted_at) *. 1000.) :: t.latencies_ms;
+            broadcast t ~owner:j.owner
+              (Proto.Placed
+                 {
+                   id = j.jid;
+                   makespan;
+                   tasks = Graph.n_tasks j.jgraph;
+                   valid;
+                   fingerprint = Export.fingerprint sched;
+                   batch = n;
+                   placements =
+                     (if j.want_placements then
+                        Some (placement_rows sched j.jgraph)
+                      else None);
+                 });
+            broadcast t ~owner:j.owner
+              (Proto.Done { id = j.jid; makespan; missed }))
+      batch
+  end;
+  maybe_finish t;
+  n
+
+let shutdown t = match t.team with Some team -> Team.stop team | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* the transport shell                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type endpoint = Unix_path of string | Tcp of int
+
+let endpoint_to_string = function
+  | Unix_path path -> path
+  | Tcp port -> Printf.sprintf "tcp:%d" port
+
+(* A stale socket file from a crashed daemon must not block restarts,
+   but a live daemon must: probe with a connect before unlinking. *)
+let claim_unix_path path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      try
+        Unix.connect probe (Unix.ADDR_UNIX path);
+        true
+      with Unix.Unix_error (_, _, _) -> false
+    in
+    Unix.close probe;
+    if live then
+      failwith (Printf.sprintf "already listening on %s" path)
+    else try Unix.unlink path with Unix.Unix_error (_, _, _) -> ()
+  end
+
+let bind_endpoint endpoint =
+  match endpoint with
+  | Unix_path path ->
+      claim_unix_path path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      fd
+  | Tcp port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      (try Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+       with Unix.Unix_error (Unix.EADDRINUSE, _, _) ->
+         Unix.close fd;
+         failwith (Printf.sprintf "already listening on tcp:%d" port));
+      fd
+
+type conn = {
+  fd : Unix.file_descr;
+  cid : int;
+  rbuf : Buffer.t;  (** partial line carried between reads *)
+  mutable wbuf : string;  (** bytes not yet written *)
+}
+
+let drain_signal = ref false
+
+let serve ?config ?clock ?(ready = fun () -> ()) endpoint platform =
+  let core = create ?config ?clock platform in
+  let window = core.cfg.batch_window in
+  let listen_fd = bind_endpoint endpoint in
+  Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  drain_signal := false;
+  let on_signal = Sys.Signal_handle (fun _ -> drain_signal := true) in
+  Sys.set_signal Sys.sigint on_signal;
+  Sys.set_signal Sys.sigterm on_signal;
+  ready ();
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 64 in
+  let by_cid : (int, conn) Hashtbl.t = Hashtbl.create 64 in
+  let scratch = Bytes.create 4096 in
+  let batch_deadline = ref None in
+  let close_conn c =
+    disconnect core c.cid;
+    Hashtbl.remove conns c.fd;
+    Hashtbl.remove by_cid c.cid;
+    try Unix.close c.fd with Unix.Unix_error (_, _, _) -> ()
+  in
+  let accept_all () =
+    let continue = ref true in
+    while !continue do
+      match Unix.accept listen_fd with
+      | fd, _ ->
+          Unix.set_nonblock fd;
+          let cid = connect core in
+          let c = { fd; cid; rbuf = Buffer.create 256; wbuf = "" } in
+          Hashtbl.replace conns fd c;
+          Hashtbl.replace by_cid cid c
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          continue := false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done
+  in
+  let feed_lines c =
+    (* split complete lines out of the connection buffer; a trailing
+       partial line stays buffered for the next read *)
+    let data = Buffer.contents c.rbuf in
+    Buffer.clear c.rbuf;
+    let n = String.length data in
+    let start = ref 0 in
+    for i = 0 to n - 1 do
+      if data.[i] = '\n' then begin
+        let line = String.sub data !start (i - !start) in
+        let line =
+          let k = String.length line in
+          if k > 0 && line.[k - 1] = '\r' then String.sub line 0 (k - 1)
+          else line
+        in
+        if line <> "" then input core ~client:c.cid line;
+        start := i + 1
+      end
+    done;
+    if !start < n then Buffer.add_substring c.rbuf data !start (n - !start)
+  in
+  let read_conn c =
+    match Unix.read c.fd scratch 0 (Bytes.length scratch) with
+    | 0 -> close_conn c
+    | k ->
+        Buffer.add_subbytes c.rbuf scratch 0 k;
+        feed_lines c
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        close_conn c
+  in
+  let try_write c =
+    if c.wbuf <> "" then
+      match
+        Unix.write_substring c.fd c.wbuf 0 (String.length c.wbuf)
+      with
+      | k ->
+          c.wbuf <- String.sub c.wbuf k (String.length c.wbuf - k)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          close_conn c
+  in
+  let ship_outputs () =
+    List.iter
+      (fun (cid, line) ->
+        match Hashtbl.find_opt by_cid cid with
+        | Some c -> c.wbuf <- c.wbuf ^ line ^ "\n"
+        | None -> ())
+      (take_outputs core);
+    Hashtbl.iter (fun _ c -> try_write c) conns
+  in
+  let all_conns () = Hashtbl.fold (fun _ c acc -> c :: acc) conns [] in
+  while not (stopped core) do
+    if !drain_signal && not (draining core) then drain core;
+    (* first pending submission arms the coalescing timer; the batch
+       runs when the window closes (immediately while draining) *)
+    (if pending core > 0 then begin
+       if !batch_deadline = None then
+         batch_deadline := Some (Unix.gettimeofday () +. window)
+     end
+     else batch_deadline := None);
+    let timeout =
+      if draining core then 0.05
+      else
+        match !batch_deadline with
+        | Some d -> Float.max 0. (d -. Unix.gettimeofday ())
+        | None -> 0.5
+    in
+    let rds = listen_fd :: List.map (fun c -> c.fd) (all_conns ()) in
+    let wrs =
+      List.filter_map
+        (fun c -> if c.wbuf <> "" then Some c.fd else None)
+        (all_conns ())
+    in
+    (match Unix.select rds wrs [] timeout with
+    | rready, wready, _ ->
+        if List.mem listen_fd rready then accept_all ();
+        List.iter
+          (fun fd ->
+            if fd <> listen_fd then
+              match Hashtbl.find_opt conns fd with
+              | Some c -> read_conn c
+              | None -> ())
+          rready;
+        List.iter
+          (fun fd ->
+            match Hashtbl.find_opt conns fd with
+            | Some c -> try_write c
+            | None -> ())
+          wready
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    let due =
+      draining core
+      || match !batch_deadline with
+         | Some d -> Unix.gettimeofday () >= d
+         | None -> false
+    in
+    if due then begin
+      while pending core > 0 do
+        ignore (flush core)
+      done;
+      batch_deadline := None
+    end;
+    if draining core && pending core = 0 then ignore (flush core);
+    ship_outputs ()
+  done;
+  (* best-effort delivery of the goodbye lines before closing *)
+  let rounds = ref 0 in
+  while
+    !rounds < 100
+    && List.exists (fun c -> c.wbuf <> "") (all_conns ())
+  do
+    incr rounds;
+    let wrs =
+      List.filter_map
+        (fun c -> if c.wbuf <> "" then Some c.fd else None)
+        (all_conns ())
+    in
+    (match Unix.select [] wrs [] 0.05 with
+    | _, wready, _ ->
+        List.iter
+          (fun fd ->
+            match Hashtbl.find_opt conns fd with
+            | Some c -> try_write c
+            | None -> ())
+          wready
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+  done;
+  List.iter close_conn (all_conns ());
+  (try Unix.close listen_fd with Unix.Unix_error (_, _, _) -> ());
+  (match endpoint with
+  | Unix_path path -> (
+      try Unix.unlink path with Unix.Unix_error (_, _, _) -> ())
+  | Tcp _ -> ());
+  let final = stats core in
+  shutdown core;
+  final

@@ -1,0 +1,43 @@
+(** Minimal newline-delimited JSON for the scheduld wire protocol.
+
+    The repo carries no JSON dependency, and the daemon only needs a
+    tiny, {e total} reader: every byte string either parses to a value
+    or returns [Error] — malformed input must become a structured
+    protocol error, never an exception (the fuzz harness in
+    [test_scheduld.ml] feeds random junk and asserts the daemon
+    survives).  The printer emits a single line (no raw newlines can
+    escape a string, they are [\n]-encoded), so one message = one line
+    holds by construction.
+
+    Round trip: [parse (print v) = Ok v] for every value, including
+    arbitrary bytes inside strings (control characters are emitted as
+    [\u00XX] escapes and decoded back to the same byte) — property
+    tested. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float  (** finite; integers print without a decimal point *)
+  | Str of string  (** arbitrary bytes *)
+  | Arr of t list
+  | Obj of (string * t) list  (** field order is preserved *)
+
+(** One line, no trailing newline. *)
+val print : t -> string
+
+(** Total: never raises, never loops.  Rejects trailing garbage,
+    unterminated literals and nesting deeper than 64 levels. *)
+val parse : string -> (t, string) result
+
+(** {2 Accessors} — all return [None] on a shape mismatch. *)
+
+val member : string -> t -> t option
+
+val to_float : t -> float option
+
+(** Integral [Num]s only. *)
+val to_int : t -> int option
+
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option

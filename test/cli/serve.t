@@ -1,0 +1,70 @@
+scheduld end to end on a temp Unix socket: the daemon in the
+background, the client subcommands against it.  Everything below is
+deterministic — the plan, its fingerprint and the service counters are
+pinned (the socket lives in the cram sandbox cwd, so the path stays
+under the AF_UNIX length limit).
+
+  $ ../../bin/schedcli.exe serve -s s.sock -H heft --stats > server.log 2>&1 &
+  $ ../../bin/schedcli.exe client ping -s s.sock
+  pong
+
+A watcher subscribed before the submission sees the job's events too:
+
+  $ ../../bin/schedcli.exe client watch -s s.sock > watch.out &
+  $ sleep 0.5
+
+Submit lu:20 (job-spec ccr defaults to 1) and wait for its events:
+
+  $ ../../bin/schedcli.exe client submit -s s.sock --job lu:20
+  accepted job 0 (queued 1)
+  placed job 0: makespan 3393 tasks 190 valid (batch of 1)
+  fingerprint: 46c8f0fbc7770eda88bfd06c883c350e
+  done job 0: makespan 3393
+
+Offline equivalence: the same spec through `run` is bit-identical:
+
+  $ ../../bin/schedcli.exe run -t lu -n 20 -c 1 -H heft --fingerprint | grep fingerprint
+  fingerprint: 46c8f0fbc7770eda88bfd06c883c350e
+
+  $ ../../bin/schedcli.exe client status -s s.sock
+  job 0: done lu:20 makespan 3393
+
+A second daemon on the same socket must refuse, not steal it:
+
+  $ ../../bin/schedcli.exe serve -s s.sock
+  schedcli: already listening on s.sock
+  [2]
+
+Drain finishes the backlog, says goodbye to every connected client and
+shuts the daemon down:
+
+  $ ../../bin/schedcli.exe client drain -s s.sock
+  draining (0 pending)
+  bye
+  $ wait
+
+  $ cat watch.out
+  watching
+  placed job 0: makespan 3393 tasks 190 valid (batch of 1)
+  fingerprint: 46c8f0fbc7770eda88bfd06c883c350e
+  done job 0: makespan 3393
+  bye
+
+The daemon's exit summary and --stats counters, including the scheduld
+block (requests counts ping + watch + submit + status + drain; the one
+submission was one queued job served by one batched re-plan):
+
+  $ cat server.log
+  scheduld: listening on s.sock (heuristic heft, 1 jobs)
+  scheduld: served 1 jobs in 1 batches (1 submitted, 0 shed, 0 failed, 0 cancelled, 0 errors)
+  evaluations:      878
+  pruned evaluations: 1022
+  route-cache hits: 1252
+  gap probes:       0
+  joint gap probes: 2186
+  tentative hops:   1308
+  commits:          190
+  copies:           0
+  requests:         5
+  batched replans:  1
+  queued jobs:      1

@@ -26,4 +26,5 @@ let () =
       ("oracle", Test_oracle.suite);
       ("models", Test_models.suite);
       ("scale", Test_scale.suite);
+      ("scheduld", Test_scheduld.suite);
     ]
