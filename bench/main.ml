@@ -39,6 +39,7 @@ type options = {
   run_online : bool;
   run_scale : bool;
   run_serve : bool;
+  run_dup : bool;
   scale_targets : int list;
   jobs : int;
   json : string option;
@@ -56,6 +57,7 @@ let parse_args () =
   let run_online = ref true in
   let run_scale = ref true in
   let run_serve = ref true in
+  let run_dup = ref true in
   let scale_targets = ref [] in
   let jobs = ref (O.Pool.default_jobs ()) in
   let json = ref None in
@@ -97,6 +99,9 @@ let parse_args () =
     | "--no-serve" :: rest ->
         run_serve := false;
         eat rest
+    | "--no-dup" :: rest ->
+        run_dup := false;
+        eat rest
     | "--scale-tasks" :: v :: rest ->
         scale_targets := int_of_string v :: !scale_targets;
         eat rest
@@ -111,7 +116,7 @@ let parse_args () =
           "unknown argument %s\n\
            usage: main.exe [--quick] [--scale F] [--only ID]* [--no-figures] \
            [--no-bechamel] [--no-probes] [--no-grid] [--no-improvers] \
-           [--no-models] [--no-online] [--no-scale] [--no-serve] \
+           [--no-models] [--no-online] [--no-scale] [--no-serve] [--no-dup] \
            [--scale-tasks N]* [--jobs N] [--json FILE]\n\
            experiment ids: %s\n"
           arg
@@ -131,6 +136,7 @@ let parse_args () =
     run_online = !run_online;
     run_scale = !run_scale;
     run_serve = !run_serve;
+    run_dup = !run_dup;
     scale_targets =
       (match List.rev !scale_targets with
       | [] -> [ 100_000; 500_000; 1_000_000 ]
@@ -1019,6 +1025,82 @@ let run_serve ~echo opts =
   rows
 
 (* ------------------------------------------------------------------ *)
+(* Part 10: task duplication — HEFT vs heft-dup on FORK-JOIN            *)
+(* ------------------------------------------------------------------ *)
+
+type dup_row = {
+  dup_n : int;
+  dup_tasks : int;
+  dup_heft_makespan : float;
+  dup_dup_makespan : float;
+  dup_copies : int;
+  dup_heft_wall_s : float;
+  dup_dup_wall_s : float;
+  dup_heft_valid : bool;
+  dup_dup_valid : bool;
+}
+
+(* FORK-JOIN at ccr 1 is duplication's home turf: every join edge
+   crosses processors, so replicating the fork root next to its children
+   deletes whole bottleneck communications.  The makespan ratio
+   (heft-dup / heft, < 1 is a win) is the headline number tracked in
+   BENCH_*.json; at ccr 10 the copies no longer pay and heft-dup falls
+   back to plain HEFT. *)
+let run_dup ~echo () =
+  if echo then
+    Printf.printf
+      "\n=== duplication: HEFT vs heft-dup, FORK-JOIN ccr 1 ===\n%!";
+  let table =
+    O.Table.create
+      ~columns:
+        [ "n"; "tasks"; "heft"; "heft-dup"; "ratio"; "copies"; "wall";
+          "valid" ]
+  in
+  let tb = O.Suite.find "fork-join" in
+  let params = O.Params.with_dup_limit O.Params.default 1 in
+  let rows =
+    List.map
+      (fun n ->
+        let g = tb.O.Suite.build ~n ~ccr:1. in
+        let time f =
+          let t0 = Unix.gettimeofday () in
+          let s = f () in
+          (s, Unix.gettimeofday () -. t0)
+        in
+        let heft, heft_s = time (fun () -> O.Heft.schedule ~params plat g) in
+        let dup, dup_s = time (fun () -> O.Heft_dup.schedule ~params plat g)
+        in
+        let valid s = O.Validate.check s = Ok () in
+        let r =
+          {
+            dup_n = n;
+            dup_tasks = O.Graph.n_tasks g;
+            dup_heft_makespan = O.Schedule.makespan heft;
+            dup_dup_makespan = O.Schedule.makespan dup;
+            dup_copies = O.Schedule.n_dup_copies dup;
+            dup_heft_wall_s = heft_s;
+            dup_dup_wall_s = dup_s;
+            dup_heft_valid = valid heft;
+            dup_dup_valid = valid dup;
+          }
+        in
+        O.Table.add_row table
+          [
+            string_of_int n; string_of_int r.dup_tasks;
+            Printf.sprintf "%g" r.dup_heft_makespan;
+            Printf.sprintf "%g" r.dup_dup_makespan;
+            Printf.sprintf "%.3f" (r.dup_dup_makespan /. r.dup_heft_makespan);
+            string_of_int r.dup_copies;
+            Printf.sprintf "%.3fs" (heft_s +. dup_s);
+            (if r.dup_heft_valid && r.dup_dup_valid then "yes" else "NO");
+          ];
+        r)
+      [ 100; 300; 500 ]
+  in
+  if echo then print_string (O.Table.to_string table);
+  rows
+
+(* ------------------------------------------------------------------ *)
 (* JSON export                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1026,7 +1108,7 @@ let run_serve ~echo opts =
    doc/performance.md and the committed BENCH_*.json baselines follow
    it. *)
 let emit_json opts ~bech_rows ~probe_rows ~grid ~improver_rows ~model_rows
-    ~online_rows ~scale ~serve_rows file =
+    ~online_rows ~scale ~serve_rows ~dup_rows file =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let json_float x =
@@ -1179,6 +1261,29 @@ let emit_json opts ~bech_rows ~probe_rows ~grid ~improver_rows ~model_rows
       serve_rows;
     add "  ]},\n"
   end;
+  if dup_rows <> [] then begin
+    add
+      "  \"duplication\": {\"testbed\": \"fork-join\", \"ccr\": 1, \
+       \"dup_limit\": 1, \"rows\": [\n";
+    List.iteri
+      (fun i r ->
+        add
+          "    {\"n\": %d, \"tasks\": %d, \"heft_makespan\": %s, \
+           \"heft_dup_makespan\": %s, \"makespan_ratio\": %s, \"copies\": \
+           %d, \"heft_wall_s\": %s, \"heft_dup_wall_s\": %s, \
+           \"heft_valid\": %b, \"heft_dup_valid\": %b}%s\n"
+          r.dup_n r.dup_tasks
+          (json_float r.dup_heft_makespan)
+          (json_float r.dup_dup_makespan)
+          (json_float (r.dup_dup_makespan /. r.dup_heft_makespan))
+          r.dup_copies
+          (Printf.sprintf "%.4f" r.dup_heft_wall_s)
+          (Printf.sprintf "%.4f" r.dup_dup_wall_s)
+          r.dup_heft_valid r.dup_dup_valid
+          (if i = List.length dup_rows - 1 then "" else ","))
+      dup_rows;
+    add "  ]},\n"
+  end;
   add "  \"probes\": [\n";
   List.iteri
     (fun i r ->
@@ -1237,7 +1342,10 @@ let () =
   let serve_rows =
     if opts.run_serve && opts.only = [] then run_serve ~echo opts else []
   in
+  let dup_rows =
+    if opts.run_dup && opts.only = [] then run_dup ~echo () else []
+  in
   Option.iter
     (emit_json opts ~bech_rows ~probe_rows ~grid ~improver_rows ~model_rows
-       ~online_rows ~scale ~serve_rows)
+       ~online_rows ~scale ~serve_rows ~dup_rows)
     opts.json

@@ -102,15 +102,40 @@ let averaging_arg =
     & info [ "averaging" ]
         ~doc:"HEFT rank-averaging rule: balanced (par. 4.1), arithmetic, optimistic.")
 
+let duplication_arg =
+  let limit_conv =
+    let parse s =
+      match int_of_string_opt s with
+      | Some d when d >= 0 -> Ok d
+      | _ ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "invalid duplication limit %S (expected a non-negative \
+                   integer)"
+                  s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some 1) (some limit_conv) None
+    & info [ "duplication" ] ~docv:"LIMIT"
+        ~doc:"Allow task duplication, with at most $(docv) extra copies per \
+              task (defaults to 1 when given without a value).  Only \
+              duplication-aware heuristics such as heft-dup use it; 0 \
+              disables duplication.")
+
 (* One Params.t value assembled from the shared flags; every subcommand
    that schedules takes this single term. *)
 let params_term =
-  let make model policy averaging b scan reschedule =
-    O.Params.make ~model ~policy ~averaging ?b ~scan ~reschedule ()
+  let make model policy averaging b scan reschedule duplication =
+    let p = O.Params.make ~model ~policy ~averaging ?b ~scan ~reschedule () in
+    match duplication with None -> p | Some d -> O.Params.with_dup_limit p d
   in
   Term.(
     const make $ model_arg $ policy_arg $ averaging_arg $ b_arg $ scan_arg
-    $ reschedule_arg)
+    $ reschedule_arg $ duplication_arg)
 
 let stats_arg =
   Arg.(
@@ -255,8 +280,15 @@ let run_cmd =
     let sched =
       with_observability ~stats ~trace (fun () ->
           let sched = entry.O.Registry.scheduler params plat g in
+          (* the allocation improvers move whole tasks and do not
+             understand copy-sets; skip them on duplicated schedules *)
           let sched =
             if not refine then sched
+            else if O.Schedule.has_dups sched then begin
+              print_endline
+                "refine: skipped (schedule holds duplicate copies)";
+              sched
+            end
             else begin
               let r = O.Refine.improve sched in
               Printf.printf "refine: %g -> %g (%d moves, %d evaluations)\n"
@@ -266,6 +298,10 @@ let run_cmd =
             end
           in
           if not anneal then sched
+          else if O.Schedule.has_dups sched then begin
+            print_endline "anneal: skipped (schedule holds duplicate copies)";
+            sched
+          end
           else begin
             let aparams =
               { O.Anneal.default_params with
@@ -555,9 +591,9 @@ let robustness_cmd =
         !retries !backoff
   in
   let action testbed n ccr heuristic params jitter trials task_jitter
-      comm_jitter faults jobs seed =
-    let plat = O.Platform.paper_platform () in
-    let g = build_graph testbed n ccr in
+      comm_jitter faults jobs seed homogeneous graph_file platform_file =
+    let plat = resolve_platform platform_file homogeneous in
+    let g = resolve_graph graph_file testbed n ccr in
     let entry = O.Registry.find heuristic in
     let sched = entry.O.Registry.scheduler params plat g in
     match faults with
@@ -581,7 +617,8 @@ let robustness_cmd =
     Term.(
       const action $ testbed_arg $ size_arg $ ccr_arg $ heuristic_arg
       $ params_term $ jitter $ trials $ task_jitter $ comm_jitter $ faults
-      $ jobs_arg $ seed_arg)
+      $ jobs_arg $ seed_arg $ homogeneous_arg $ graph_file_arg
+      $ platform_file_arg)
 
 let online_cmd =
   let trace_file_arg =

@@ -20,7 +20,7 @@
     - schedules: {!Schedule}, {!Resource}, {!Validate}, {!Gantt},
       {!Metrics}, {!Bounds}, {!Export};
     - heuristics: {!Params}, {!Ranking}, {!Load_balance}, {!Engine}, {!Heft},
-      {!Ilha}, {!Cpop}, {!Pct}, {!Bil}, {!Gdl}, {!Etf}, {!Auto_b},
+      {!Heft_dup}, {!Ilha}, {!Cpop}, {!Pct}, {!Bil}, {!Gdl}, {!Etf}, {!Auto_b},
       {!Prefix_replay}, {!Refine}, {!Anneal}, {!Fork_exact}, {!Search},
       {!Registry};
     - testbeds: {!Kernels}, {!Fork}, {!Toy}, {!Suite};
@@ -63,6 +63,7 @@ module Ranking = Heuristics.Ranking
 module Load_balance = Heuristics.Load_balance
 module Engine = Heuristics.Engine
 module Heft = Heuristics.Heft
+module Heft_dup = Heuristics.Heft_dup
 module Ilha = Heuristics.Ilha
 module Cpop = Heuristics.Cpop
 module Pct = Heuristics.Pct

@@ -85,6 +85,9 @@ type t = {
   mutable log_task : int array;
   mutable log_comms : int array;
   mutable log_phases : int array;
+  (* -1 for a whole-task commit; the copy's processor for a
+     [commit_copy] entry (rewound with [Schedule.unplace_copy]) *)
+  mutable log_proc : int array;
   mutable log_len : int;
   (* parallel candidate evaluation: worker count and the lazily-built
      per-helper scratch engines (sharing [sched]; see [ensure_clones]) *)
@@ -137,6 +140,7 @@ let create ?(policy = Insertion) ?(eval_jobs = 1) sched =
     log_task = [||];
     log_comms = [||];
     log_phases = [||];
+    log_proc = [||];
     log_len = 0;
     eval_jobs;
     clones = [||];
@@ -306,6 +310,33 @@ let route_for t ~src ~dst =
       t.routes.(key) <- Some r;
       r
 
+(* The copy of [src] that feeds remote consumers: the earliest-finishing
+   one, ties to the lowest processor.  For single-copy schedules this is
+   exactly the primary placement — same floats, no allocation. *)
+let rep_fin_proc sched src =
+  let fin = Schedule.finish_of_exn sched src in
+  let proc = Schedule.proc_of_exn sched src in
+  if not (Schedule.has_dups sched) then (fin, proc)
+  else
+    List.fold_left
+      (fun ((bf, bp) as acc) (c : Schedule.placement) ->
+        if c.finish < bf || (c.finish = bf && c.proc < bp) then
+          (c.finish, c.proc)
+        else acc)
+      (fin, proc)
+      (Schedule.dup_copies sched src)
+
+(* The finish of a copy of [src] local to [proc], if any — consulted by
+   the port evaluators before pricing a remote transfer.  [None] on every
+   single-copy schedule (the primary case is handled by the [q = proc]
+   test), keeping the historical path branch-for-branch identical. *)
+let dup_local_finish sched ~src ~proc =
+  if not (Schedule.has_dups sched) then None
+  else
+    match Schedule.copy_on sched ~task:src ~proc with
+    | Some c -> Some c.Schedule.finish
+    | None -> None
+
 (* Fill the [inc_*] table for [task]: one row per incoming edge, sorted
    by (source finish, source id, edge id) — the greedy order in which
    §4.3 serialises incoming communications.  The table only depends on
@@ -327,10 +358,11 @@ let prepare_incoming t ~task =
     Graph.fold_pred_edges g task ~init:() ~f:(fun () e ->
         let src = Graph.edge_src g e in
         let i = !n in
-        t.inc_fin.(i) <- Schedule.finish_of_exn t.sched src;
+        let fin, proc = rep_fin_proc t.sched src in
+        t.inc_fin.(i) <- fin;
         t.inc_src.(i) <- src;
         t.inc_edge.(i) <- e;
-        t.inc_proc.(i) <- Schedule.proc_of_exn t.sched src;
+        t.inc_proc.(i) <- proc;
         t.inc_data.(i) <- Graph.edge_data g e;
         incr n);
     let n = !n in
@@ -430,7 +462,7 @@ module Reference = struct
     let edges =
       Graph.fold_pred_edges g task ~init:[] ~f:(fun acc e ->
           let src = Graph.edge_src g e in
-          let fin = Schedule.finish_of_exn t.sched src in
+          let fin, _ = rep_fin_proc t.sched src in
           (fin, src, e) :: acc)
     in
     List.sort compare edges
@@ -443,29 +475,36 @@ module Reference = struct
     let scratch = ref ([] : scratch) in
     let ready =
       List.fold_left
-        (fun ready (fin, _src, e) ->
-          let q = Schedule.proc_of_exn t.sched (Graph.edge_src g e) in
+        (fun ready (fin, src, e) ->
+          let _, q = rep_fin_proc t.sched src in
           let data = Graph.edge_data g e in
           if q = proc || data = 0. then max ready fin
-          else begin
-            let arrival =
-              List.fold_left
-                (fun data_ready (a, b) ->
-                  let duration = data *. Platform.hop_cost plat ~src:a ~dst:b in
-                  let tls = Resource.comm_busy res ~src:a ~dst:b in
-                  let start =
-                    slot t ~tls ~scratch:!scratch ~after:data_ready ~duration
-                  in
-                  Obs.Counters.tentative_hop ();
-                  hops :=
-                    { edge = e; src_proc = a; dst_proc = b; start } :: !hops;
-                  scratch := scratch_add !scratch tls (start, start +. duration);
-                  start +. duration)
-                (max fin floor)
-                (Platform.route plat ~src:q ~dst:proc)
-            in
-            max ready arrival
-          end)
+          else
+            match dup_local_finish t.sched ~src ~proc with
+            | Some f -> max ready f
+            | None ->
+                let arrival =
+                  List.fold_left
+                    (fun data_ready (a, b) ->
+                      let duration =
+                        data *. Platform.hop_cost plat ~src:a ~dst:b
+                      in
+                      let tls = Resource.comm_busy res ~src:a ~dst:b in
+                      let start =
+                        slot t ~tls ~scratch:!scratch ~after:data_ready
+                          ~duration
+                      in
+                      Obs.Counters.tentative_hop ();
+                      hops :=
+                        { edge = e; src_proc = a; dst_proc = b; start }
+                        :: !hops;
+                      scratch :=
+                        scratch_add !scratch tls (start, start +. duration);
+                      start +. duration)
+                    (max fin floor)
+                    (Platform.route plat ~src:q ~dst:proc)
+                in
+                max ready arrival)
         floor (incoming t task)
     in
     let duration = Schedule.exec_duration t.sched ~task ~proc in
@@ -637,24 +676,29 @@ let evaluate_port_opt ~floor t ~task ~proc =
       if fin > !ready then ready := fin
     end
     else begin
-      let e = t.inc_edge.(i) in
-      let route = route_for t ~src:q ~dst:proc in
-      let data_ready = ref (if fin > floor then fin else floor) in
-      for h = 0 to Array.length route - 1 do
-        let hs = route.(h) in
-        let duration = data *. hs.h_cost in
-        let start =
-          probe t ~tls:hs.h_tls ~ids:hs.h_ids ~after:!data_ready ~duration
-        in
-        Obs.Counters.tentative_hop ();
-        hops := { edge = e; src_proc = hs.h_src; dst_proc = hs.h_dst; start } :: !hops;
-        let finish = start +. duration in
-        for j = 0 to Array.length hs.h_ids - 1 do
-          arena_add t hs.h_ids.(j) start finish
-        done;
-        data_ready := finish
-      done;
-      if !data_ready > !ready then ready := !data_ready
+      match dup_local_finish t.sched ~src:t.inc_src.(i) ~proc with
+      | Some f -> if f > !ready then ready := f
+      | None ->
+          let e = t.inc_edge.(i) in
+          let route = route_for t ~src:q ~dst:proc in
+          let data_ready = ref (if fin > floor then fin else floor) in
+          for h = 0 to Array.length route - 1 do
+            let hs = route.(h) in
+            let duration = data *. hs.h_cost in
+            let start =
+              probe t ~tls:hs.h_tls ~ids:hs.h_ids ~after:!data_ready ~duration
+            in
+            Obs.Counters.tentative_hop ();
+            hops :=
+              { edge = e; src_proc = hs.h_src; dst_proc = hs.h_dst; start }
+              :: !hops;
+            let finish = start +. duration in
+            for j = 0 to Array.length hs.h_ids - 1 do
+              arena_add t hs.h_ids.(j) start finish
+            done;
+            data_ready := finish
+          done;
+          if !data_ready > !ready then ready := !data_ready
     end
   done;
   let duration = Schedule.exec_duration t.sched ~task ~proc in
@@ -991,28 +1035,32 @@ let best_pending ?(floor = 0.) t ~tasks ~procs ~alive =
             reduce_chunks slots)
   else serial ()
 
-let log_push t ~task ~comms_before ~phases_before =
+let log_push t ~task ~proc ~comms_before ~phases_before =
   if t.log_len = Array.length t.log_task then begin
     let cap = Array.length t.log_task in
     let cap' = if cap = 0 then 16 else 2 * cap in
     let lt = Array.make cap' 0
     and lc = Array.make cap' 0
-    and lp = Array.make cap' 0 in
+    and lp = Array.make cap' 0
+    and lq = Array.make cap' 0 in
     Array.blit t.log_task 0 lt 0 t.log_len;
     Array.blit t.log_comms 0 lc 0 t.log_len;
     Array.blit t.log_phases 0 lp 0 t.log_len;
+    Array.blit t.log_proc 0 lq 0 t.log_len;
     t.log_task <- lt;
     t.log_comms <- lc;
-    t.log_phases <- lp
+    t.log_phases <- lp;
+    t.log_proc <- lq
   end;
   t.log_task.(t.log_len) <- task;
   t.log_comms.(t.log_len) <- comms_before;
   t.log_phases.(t.log_len) <- phases_before;
+  t.log_proc.(t.log_len) <- proc;
   t.log_len <- t.log_len + 1
 
 let commit t ~task ev =
   Obs.Counters.commit ();
-  log_push t ~task
+  log_push t ~task ~proc:(-1)
     ~comms_before:(Schedule.n_comm_events t.sched)
     ~phases_before:(Schedule.n_phases t.sched);
   (match ev.phase with
@@ -1030,33 +1078,77 @@ let commit t ~task ev =
           ())
         ev.hops
   | None ->
+      (* Within one evaluation each edge contributes one route-following
+         chain, so an edge's first hop here is a chain head — stated
+         explicitly because with duplication a new chain may begin on the
+         processor where a previous chain of the same edge ended. *)
+      let seen = ref [] in
       List.iter
         (fun h ->
+          let head = not (List.mem h.edge !seen) in
+          if head then seen := h.edge :: !seen;
           let (_ : float) =
-            Schedule.add_comm t.sched ~edge:h.edge ~src_proc:h.src_proc
+            Schedule.add_comm ~head t.sched ~edge:h.edge ~src_proc:h.src_proc
               ~dst_proc:h.dst_proc ~start:h.start
           in
           ())
         ev.hops);
   Schedule.place_task t.sched ~task ~proc:ev.proc ~start:ev.est
 
+(* Drop every cached incoming table that might mention [task] as a
+   predecessor — its feeding copy set just changed.  Clones share the
+   schedule, so their caches go stale too. *)
+let invalidate_incoming t =
+  t.inc_task <- -1;
+  Array.iter (fun c -> c.inc_task <- -1) t.clones
+
+let commit_copy t ~task ev =
+  if not (Schedule.is_placed t.sched task) then
+    invalid_arg "Engine.commit_copy: task has no primary copy yet";
+  (match ev.phase with
+  | Some _ -> invalid_arg "Engine.commit_copy: duplication is port-regime only"
+  | None -> ());
+  Obs.Counters.commit ();
+  log_push t ~task ~proc:ev.proc
+    ~comms_before:(Schedule.n_comm_events t.sched)
+    ~phases_before:(Schedule.n_phases t.sched);
+  let seen = ref [] in
+  List.iter
+    (fun h ->
+      let head = not (List.mem h.edge !seen) in
+      if head then seen := h.edge :: !seen;
+      let (_ : float) =
+        Schedule.add_comm ~head t.sched ~edge:h.edge ~src_proc:h.src_proc
+          ~dst_proc:h.dst_proc ~start:h.start
+      in
+      ())
+    ev.hops;
+  Schedule.place_copy t.sched ~task ~proc:ev.proc ~start:ev.est;
+  invalidate_incoming t
+
 let n_commits t = t.log_len
 let commit_task_at t i = t.log_task.(i)
+let commit_proc_at t i = t.log_proc.(i)
 
 let rewind t ~to_ =
   if to_ < 0 || to_ > t.log_len then invalid_arg "Engine.rewind: bad index";
   if to_ < t.log_len then begin
     Obs.Counters.rollback ();
+    let had_dups = Schedule.has_dups t.sched in
     while t.log_len > to_ do
       let i = t.log_len - 1 in
-      Schedule.unplace_task t.sched t.log_task.(i);
+      if t.log_proc.(i) >= 0 then
+        Schedule.unplace_copy t.sched ~task:t.log_task.(i)
+          ~proc:t.log_proc.(i)
+      else Schedule.unplace_task t.sched t.log_task.(i);
       Schedule.truncate_comms t.sched ~down_to:t.log_comms.(i);
       Schedule.truncate_phases t.sched ~down_to:t.log_phases.(i);
       t.log_len <- i
     done;
     (* The incoming table depends on predecessor placements, which the
        rewind may just have retracted. *)
-    t.inc_task <- -1
+    t.inc_task <- -1;
+    if had_dups then invalidate_incoming t
   end
 
 let schedule_on ?floor t ~task ~proc =

@@ -100,12 +100,26 @@ val best_pending :
     {!rewind}. *)
 val commit : t -> task:int -> eval -> unit
 
+(** [commit_copy t ~task ev] places a {e duplicate} copy of an
+    already-placed task on [ev.proc] (with the communications feeding
+    that copy) and logs a copy entry, rewound with
+    {!Sched.Schedule.unplace_copy}.  Cached incoming tables are
+    invalidated on this engine and its clones — the task's feeding copy
+    set just changed.
+    @raise Invalid_argument if the task has no primary copy yet or the
+    evaluation carries a BSP phase (duplication is port-regime only). *)
+val commit_copy : t -> task:int -> eval -> unit
+
 (** Number of commits performed through this engine — the length of the
     commit log, and the upper bound for {!rewind}'s [to_]. *)
 val n_commits : t -> int
 
 (** [commit_task_at t i] is the task of the [i]-th commit (0-based). *)
 val commit_task_at : t -> int -> int
+
+(** [commit_proc_at t i] is [-1] for a whole-task commit and the copy's
+    processor for a {!commit_copy} entry. *)
+val commit_proc_at : t -> int -> int
 
 (** [rewind t ~to_:k] retracts commits [k, k+1, ...] in reverse order,
     returning the schedule to its state after the first [k] commits, in

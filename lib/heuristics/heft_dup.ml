@@ -1,0 +1,108 @@
+module Graph = Taskgraph.Graph
+module Schedule = Sched.Schedule
+module Comm_model = Commmodel.Comm_model
+
+(* The copy of [u] feeding consumers by default: earliest finish, ties to
+   the lowest processor — the engine's representative-copy rule. *)
+let rep_copy sched u =
+  match Schedule.copies sched u with
+  | [] -> invalid_arg "Heft_dup: predecessor not placed"
+  | c :: rest ->
+      List.fold_left
+        (fun (b : Schedule.placement) (c : Schedule.placement) ->
+          if c.finish < b.finish || (c.finish = b.finish && c.proc < b.proc)
+          then c
+          else b)
+        c rest
+
+(* The predecessor of [v] whose remote delivery onto [proc] looks most
+   expensive: maximum representative finish plus direct-link price, ties
+   to the lowest task id.  Predecessors already running on [proc] (any
+   copy) and zero-data edges feed locally/freely and are skipped. *)
+let critical_remote_pred sched plat g v ~proc =
+  Graph.fold_pred_edges g v ~init:None ~f:(fun acc e ->
+      let u = Graph.edge_src g e in
+      let data = Graph.edge_data g e in
+      if data <= 0. || Schedule.copy_on sched ~task:u ~proc <> None then acc
+      else
+        let rep = rep_copy sched u in
+        let price =
+          List.fold_left
+            (fun acc (s, d) -> acc +. Platform.hop_cost plat ~src:s ~dst:d)
+            0.
+            (Platform.route plat ~src:rep.proc ~dst:proc)
+        in
+        let key = rep.finish +. (data *. price) in
+        match acc with
+        | Some (k, u') when k > key || (k = key && u' <= u) -> acc
+        | _ -> Some (key, u))
+
+(* Evaluate [v] on [q], then greedily duplicate up to [limit] critical
+   remote predecessors onto [q] while each copy strictly lowers v's EFT.
+   Kept duplications stay committed (the caller rewinds to its own mark
+   when merely exploring); a failed attempt is rewound here. *)
+let explore engine sched plat g limit v q =
+  let ev = ref (Engine.evaluate engine ~task:v ~proc:q) in
+  (try
+     for _ = 1 to limit do
+       match critical_remote_pred sched plat g v ~proc:q with
+       | None -> raise Exit
+       | Some (_, u) ->
+           let mark = Engine.n_commits engine in
+           let evu = Engine.evaluate engine ~task:u ~proc:q in
+           Engine.commit_copy engine ~task:u evu;
+           let ev' = Engine.evaluate engine ~task:v ~proc:q in
+           if ev'.Engine.eft < !ev.Engine.eft then ev := ev'
+           else begin
+             Engine.rewind engine ~to_:mark;
+             raise Exit
+           end
+     done
+   with Exit -> ());
+  !ev
+
+let schedule ?(params = Params.default) plat g =
+  match params.Params.model.Comm_model.regime with
+  | Comm_model.Bsp _ | Comm_model.Latency_overhead _ ->
+      (* phase accounting has no provenance rule for replicated producers;
+         fall back to the single-copy algorithm *)
+      Heft.schedule ~params plat g
+  | Comm_model.Port ->
+      Obs.Span.with_ "heft-dup" (fun () ->
+          let priority =
+            Obs.Span.with_ "rank" (fun () ->
+                Ranking.upward ~averaging:params.Params.averaging g plat)
+          in
+          let limit = max 1 params.Params.dup_limit in
+          let sched =
+            Schedule.create ~graph:g ~platform:plat ~model:params.Params.model
+              ()
+          in
+          let engine = Engine.create ~policy:params.Params.policy sched in
+          let order = List_loop.decision_order ~priority g in
+          let p = Platform.p plat in
+          Obs.Span.with_ "map" (fun () ->
+              Array.iter
+                (fun v ->
+                  let best = ref None in
+                  for q = 0 to p - 1 do
+                    let mark = Engine.n_commits engine in
+                    let ev = explore engine sched plat g limit v q in
+                    Engine.rewind engine ~to_:mark;
+                    match !best with
+                    | Some (b : Engine.eval) when b.eft <= ev.Engine.eft -> ()
+                    | _ -> best := Some ev
+                  done;
+                  let bq =
+                    match !best with
+                    | Some b -> b.Engine.proc
+                    | None -> assert false
+                  in
+                  (* replay the winning exploration, keeping its copies *)
+                  let ev = explore engine sched plat g limit v bq in
+                  Engine.commit engine ~task:v ev)
+                order);
+          (* duplication must never lose to plain single-copy HEFT *)
+          let plain = Heft.schedule ~params plat g in
+          if Schedule.makespan plain < Schedule.makespan sched then plain
+          else sched)

@@ -9,6 +9,7 @@ type t = {
   reschedule : bool;
   candidates : int list option;
   eval_jobs : int;
+  dup_limit : int;
 }
 
 let default =
@@ -21,14 +22,26 @@ let default =
     reschedule = false;
     candidates = None;
     eval_jobs = 1;
+    dup_limit = 0;
   }
 
 let make ?(model = default.model) ?(policy = default.policy)
     ?(averaging = default.averaging) ?b ?(scan = default.scan)
     ?(reschedule = default.reschedule) ?candidates
-    ?(eval_jobs = default.eval_jobs) () =
+    ?(eval_jobs = default.eval_jobs) ?(dup_limit = default.dup_limit) () =
   if eval_jobs < 1 then invalid_arg "Params.make: eval_jobs < 1";
-  { model; policy; averaging; b; scan; reschedule; candidates; eval_jobs }
+  if dup_limit < 0 then invalid_arg "Params.make: dup_limit < 0";
+  {
+    model;
+    policy;
+    averaging;
+    b;
+    scan;
+    reschedule;
+    candidates;
+    eval_jobs;
+    dup_limit;
+  }
 
 let of_model model = { default with model }
 let with_model t model = { t with model }
@@ -41,6 +54,10 @@ let with_reschedule t reschedule = { t with reschedule }
 let with_eval_jobs t eval_jobs =
   if eval_jobs < 1 then invalid_arg "Params.with_eval_jobs: eval_jobs < 1";
   { t with eval_jobs }
+
+let with_dup_limit t dup_limit =
+  if dup_limit < 0 then invalid_arg "Params.with_dup_limit: dup_limit < 0";
+  { t with dup_limit }
 
 let to_string t =
   String.concat ","
@@ -56,4 +73,6 @@ let to_string t =
          (match t.b with Some b -> [ Printf.sprintf "b=%d" b ] | None -> []);
          (match t.scan with Scan_zero_comm -> [] | Scan_one_comm -> [ "scan=1comm" ]);
          (if t.reschedule then [ "resched" ] else []);
+         (if t.dup_limit = 0 then []
+          else [ Printf.sprintf "dup=%d" t.dup_limit ]);
        ])

@@ -38,6 +38,11 @@ type t = {
           reduces with the same index-ordered tie-break as the serial
           scan — so, like the sweep-level [--jobs], this knob is
           excluded from {!to_string} labels. *)
+  dup_limit : int;
+      (** maximum duplicate copies a duplication-aware heuristic may add
+          per scheduling decision (default 0 = duplication off; heft-dup
+          treats 0 as "one duplication per decision").  Ignored by the
+          single-copy heuristics. *)
 }
 
 val default : t
@@ -52,6 +57,7 @@ val make :
   ?reschedule:bool ->
   ?candidates:int list ->
   ?eval_jobs:int ->
+  ?dup_limit:int ->
   unit ->
   t
 
@@ -65,6 +71,9 @@ val with_reschedule : t -> bool -> t
 
 (** @raise Invalid_argument when [eval_jobs < 1]. *)
 val with_eval_jobs : t -> int -> t
+
+(** @raise Invalid_argument when [dup_limit < 0]. *)
+val with_dup_limit : t -> int -> t
 
 (** Compact label of the non-default fields, e.g. ["b=4,scan=1comm"];
     [""] for {!default}.  Used in experiment rows and traces. *)

@@ -58,6 +58,12 @@ let all =
       scheduler = (fun params -> Auto_b.schedule ~params);
       scalable = true;
     };
+    {
+      name = "heft-dup";
+      description = "HEFT with task duplication (Wang-Sinnen style)";
+      scheduler = (fun params -> Heft_dup.schedule ~params);
+      scalable = true;
+    };
   ]
 
 let names = List.map (fun e -> e.name) all

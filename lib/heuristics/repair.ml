@@ -80,14 +80,26 @@ let crash ?(params = Params.default) ?(dead = []) ~proc ~at sched =
     invalid_arg "Repair.crash: no surviving processor to re-map onto";
   let n = Graph.n_tasks g in
   let nominal_makespan = Schedule.makespan sched in
+  let is_dead q = q = proc || List.mem q dead in
+  (* A copy is lost when it had not started by the crash instant, or was
+     mid-flight on a dead processor.  A task must be re-mapped only when
+     {e every} copy is lost — a surviving duplicate satisfies the task. *)
+  let copy_lost (c : Schedule.placement) =
+    c.start >= at || (is_dead c.proc && c.finish > at)
+  in
   let remap = Array.make n false in
-  for v = 0 to n - 1 do
-    if
-      Schedule.start_of_exn sched v >= at
-      || (Schedule.proc_of_exn sched v = proc
-         && Schedule.finish_of_exn sched v > at)
-    then remap.(v) <- true
-  done;
+  if not (Schedule.has_dups sched) then
+    for v = 0 to n - 1 do
+      if
+        Schedule.start_of_exn sched v >= at
+        || (Schedule.proc_of_exn sched v = proc
+           && Schedule.finish_of_exn sched v > at)
+      then remap.(v) <- true
+    done
+  else
+    for v = 0 to n - 1 do
+      remap.(v) <- List.for_all copy_lost (Schedule.copies sched v)
+    done;
   (* Keep the frozen prefix by copying the schedule and retracting the
      non-frozen suffix in place — the communications feeding re-mapped
      tasks and the re-mapped placements — instead of replaying every
@@ -96,10 +108,56 @@ let crash ?(params = Params.default) ?(dead = []) ~proc ~at sched =
      way; the cost drops from O(whole schedule) to
      O(frozen copy + work undone). *)
   let fresh = Schedule.copy sched in
-  Schedule.filter_comms fresh ~keep:(fun (c : Schedule.comm) ->
-      not remap.(Graph.edge_dst g c.edge));
+  if not (Schedule.has_dups sched) then
+    Schedule.filter_comms fresh ~keep:(fun (c : Schedule.comm) ->
+        not remap.(Graph.edge_dst g c.edge))
+  else begin
+    (* Copy-set schedules drop whole provenance chains: a chain is dead
+       when its destination task is re-mapped, or when the copy it feeds
+       or the copy it departs from is lost. *)
+    let lost_on ~task ~p =
+      match Schedule.copy_on fresh ~task ~proc:p with
+      | Some c -> copy_lost c
+      | None -> true
+    in
+    let m = Schedule.n_comms fresh in
+    let keep = Array.make m true in
+    let i = ref 0 in
+    while !i < m do
+      let first = !i in
+      incr i;
+      while !i < m && not (Schedule.comm_head_at fresh !i) do
+        incr i
+      done;
+      let h0 = Schedule.comm_at fresh first in
+      let hk = Schedule.comm_at fresh (!i - 1) in
+      let u = Graph.edge_src g h0.Schedule.edge in
+      let v = Graph.edge_dst g h0.Schedule.edge in
+      let dead_chain =
+        remap.(v)
+        || lost_on ~task:v ~p:hk.Schedule.dst_proc
+        || lost_on ~task:u ~p:h0.Schedule.src_proc
+      in
+      if dead_chain then
+        for j = first to !i - 1 do
+          keep.(j) <- false
+        done
+    done;
+    Schedule.filter_commsi fresh ~keep:(fun j _ -> keep.(j))
+  end;
   for v = 0 to n - 1 do
-    if remap.(v) then Schedule.unplace_task fresh v
+    if remap.(v) then begin
+      List.iter
+        (fun (c : Schedule.placement) ->
+          Schedule.unplace_copy fresh ~task:v ~proc:c.proc)
+        (Schedule.dup_copies fresh v);
+      Schedule.unplace_task fresh v
+    end
+    else
+      List.iter
+        (fun (c : Schedule.placement) ->
+          if copy_lost c then Schedule.unplace_copy fresh ~task:v ~proc:c.proc)
+        (Schedule.copies fresh v)
   done;
   (* Re-map the rest HEFT-style onto the survivors, every new decision
      floored at the crash instant. *)

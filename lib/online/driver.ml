@@ -100,12 +100,18 @@ type dhop = {
   h_start : float;
 }
 
-type decision = {
-  d_proc : int;
-  d_start : float;
-  d_finish : float;
-  d_hops : dhop list;
+(* One surviving copy of a frozen task, with the provenance chains that
+   fed it. *)
+type dcopy = {
+  c_proc : int;
+  c_start : float;
+  c_finish : float;
+  c_hops : dhop list;
 }
+
+(* A frozen task may survive as several copies (duplication-aware plans);
+   the head of [d_copies] is the primary the re-plan re-commits first. *)
+type decision = { d_copies : dcopy list }
 
 type plan = {
   pgraph : Graph.t;
@@ -178,10 +184,11 @@ let run ?(config = default_config) plat (events : Event.t list) =
     List.length (List.filter (fun j -> j.jstate = Active) !members)
   in
   let job_tasks j = Graph.n_tasks j.jgraph in
+  (* a duplicated task completes at its earliest copy's finish *)
   let job_finish pl (j, off) =
     let fin = ref 0. in
     for local = 0 to job_tasks j - 1 do
-      let f = Schedule.finish_of_exn pl.psched (off + local) in
+      let f = Schedule.earliest_finish pl.psched (off + local) in
       if f > !fin then fin := f
     done;
     !fin
@@ -189,8 +196,10 @@ let run ?(config = default_config) plat (events : Event.t list) =
   let job_started pl (j, off) =
     let started = ref false in
     for local = 0 to job_tasks j - 1 do
-      if Schedule.start_of_exn pl.psched (off + local) < !last_now then
-        started := true
+      List.iter
+        (fun (c : Schedule.placement) ->
+          if c.start < !last_now then started := true)
+        (Schedule.copies pl.psched (off + local))
     done;
     !started
   in
@@ -211,21 +220,27 @@ let run ?(config = default_config) plat (events : Event.t list) =
           Hashtbl.create 256
         in
         let old_remap = ref [||] in
+        let old_kept : Schedule.placement list array ref = ref [||] in
         (match !plan with
         | None -> ()
         | Some pl ->
             let g = pl.pgraph and s = pl.psched in
             let n = Graph.n_tasks g in
+            (* a copy survives when it started before [now] and no down
+               window kills it; a task needs re-planning only when no copy
+               survives — a live replica satisfies a crashed task *)
+            let copy_kept (c : Schedule.placement) =
+              c.start < now
+              && not
+                   (List.exists
+                      (fun (k, since) -> c.proc = k && c.finish > since)
+                      kills)
+            in
+            let kept = Array.make n [] in
             let remap = Array.make n false in
             for v = 0 to n - 1 do
-              let vproc = Schedule.proc_of_exn s v in
-              let vfinish = Schedule.finish_of_exn s v in
-              if
-                Schedule.start_of_exn s v >= now
-                || List.exists
-                     (fun (k, since) -> vproc = k && vfinish > since)
-                     kills
-              then remap.(v) <- true
+              kept.(v) <- List.filter copy_kept (Schedule.copies s v);
+              remap.(v) <- kept.(v) = []
             done;
             (* a hop that would have travelled through a down window never
                delivered: its destination must be re-planned too *)
@@ -245,13 +260,62 @@ let run ?(config = default_config) plat (events : Event.t list) =
                   Graph.iter_succ_edges g v ~f:(fun e ->
                       remap.(Graph.edge_dst g e) <- true))
               (Graph.topological_order g);
+            for v = 0 to n - 1 do
+              if remap.(v) then kept.(v) <- []
+            done;
             old_remap := remap;
-            let hops = Array.make n [] in
-            Schedule.iter_comms s ~f:(fun (c : Schedule.comm) ->
-                let src = Graph.edge_src g c.edge in
-                let dst = Graph.edge_dst g c.edge in
-                hops.(dst) <-
-                  (src, dst, c.src_proc, c.dst_proc, c.start) :: hops.(dst));
+            old_kept := kept;
+            (* provenance chains, assigned to the consumer copy they feed;
+               chains are contiguous runs in commit order *)
+            let chain_tbl : (int * int, (int * int * int * int * float) list list)
+                Hashtbl.t =
+              Hashtbl.create 64
+            in
+            let nc = Schedule.n_comms s in
+            let i = ref 0 in
+            while !i < nc do
+              let first = !i in
+              incr i;
+              while !i < nc && not (Schedule.comm_head_at s !i) do
+                incr i
+              done;
+              let h0 = Schedule.comm_at s first in
+              let hk = Schedule.comm_at s (!i - 1) in
+              let e = h0.Schedule.edge in
+              let u = Graph.edge_src g e and v = Graph.edge_dst g e in
+              let dst = hk.Schedule.dst_proc in
+              (* a chain survives only when both endpoint copies do *)
+              let chain_kept =
+                (not remap.(v))
+                && List.exists
+                     (fun (c : Schedule.placement) -> c.proc = dst)
+                     kept.(v)
+                && List.exists
+                     (fun (c : Schedule.placement) ->
+                       c.proc = h0.Schedule.src_proc)
+                     kept.(u)
+              in
+              if chain_kept then begin
+                let chain = ref [] in
+                for j = !i - 1 downto first do
+                  let c = Schedule.comm_at s j in
+                  chain :=
+                    (u, v, c.Schedule.src_proc, c.Schedule.dst_proc,
+                     c.Schedule.start)
+                    :: !chain
+                done;
+                let key = (v, dst) in
+                let prev =
+                  try Hashtbl.find chain_tbl key with Not_found -> []
+                in
+                Hashtbl.replace chain_tbl key (!chain :: prev)
+              end
+            done;
+            let copy_hops v q =
+              match Hashtbl.find_opt chain_tbl (v, q) with
+              | None -> []
+              | Some chains -> List.concat (List.rev chains)
+            in
             List.iter
               (fun ((j, off) : jrec * int) ->
                 for local = 0 to job_tasks j - 1 do
@@ -263,14 +327,25 @@ let run ?(config = default_config) plat (events : Event.t list) =
                     if q.Schedule.start < now then
                       Hashtbl.remove executed (j.jid, local)
                   end
-                  else
-                    Hashtbl.replace frozen_tbl (j.jid, local)
+                  else begin
+                    (* the primary stays first when it survives; otherwise
+                       the earliest surviving replica takes over and the
+                       dead primary's executed record is void *)
+                    let primary_kept =
+                      List.exists
+                        (fun (c : Schedule.placement) ->
+                          c.proc = q.Schedule.proc)
+                        kept.(v)
+                    in
+                    if (not primary_kept) && q.Schedule.start < now then
+                      Hashtbl.remove executed (j.jid, local);
+                    let to_copy (c : Schedule.placement) =
                       {
-                        d_proc = q.Schedule.proc;
-                        d_start = q.Schedule.start;
-                        d_finish = q.Schedule.finish;
-                        d_hops =
-                          List.rev_map
+                        c_proc = c.proc;
+                        c_start = c.start;
+                        c_finish = c.finish;
+                        c_hops =
+                          List.map
                             (fun (src, dst, sp, dp, st) ->
                               {
                                 h_src_local = src - off;
@@ -279,14 +354,42 @@ let run ?(config = default_config) plat (events : Event.t list) =
                                 h_dst_proc = dp;
                                 h_start = st;
                               })
-                            hops.(v);
+                            (copy_hops v c.proc);
                       }
+                    in
+                    Hashtbl.replace frozen_tbl (j.jid, local)
+                      { d_copies = List.map to_copy kept.(v) }
+                  end
                 done)
               pl.playout);
         let n_frozen = Hashtbl.length frozen_tbl in
         for _ = 1 to n_frozen do
           Obs.Counters.frozen_task ()
         done;
+        (* rebuild an engine eval from one frozen copy, against [graph] *)
+        let eval_of graph off (c : dcopy) =
+          {
+            Engine.proc = c.c_proc;
+            est = c.c_start;
+            eft = c.c_finish;
+            hops =
+              List.map
+                (fun h ->
+                  let edge =
+                    Option.get
+                      (Graph.find_edge graph ~src:(off + h.h_src_local)
+                         ~dst:(off + h.h_dst_local))
+                  in
+                  {
+                    Engine.edge = edge.Graph.id;
+                    src_proc = h.h_src_proc;
+                    dst_proc = h.h_dst_proc;
+                    start = h.h_start;
+                  })
+                c.c_hops;
+            phase = None;
+          }
+        in
         (* -- incremental: rewind the engine's commit log to the longest
            all-frozen prefix, replay the frozen stragglers, re-plan only
            the suffix.  Falls back to a from-scratch rebuild when the
@@ -302,63 +405,67 @@ let run ?(config = default_config) plat (events : Event.t list) =
            let pl = Option.get !plan in
            let e = Option.get pl.pengine in
            let remap = !old_remap in
+           let kept = !old_kept in
+           let s = pl.psched in
+           (* a commit is dropped when its task is re-planned or the
+              specific copy it placed did not survive *)
+           let entry_dropped i =
+             let v = Engine.commit_task_at e i in
+             remap.(v)
+             ||
+             let q = Engine.commit_proc_at e i in
+             let qq = if q >= 0 then q else Schedule.proc_of_exn s v in
+             not
+               (List.exists
+                  (fun (c : Schedule.placement) -> c.proc = qq)
+                  kept.(v))
+           in
            let nc = Engine.n_commits e in
            let k = ref nc in
            (try
               for i = 0 to nc - 1 do
-                if remap.(Engine.commit_task_at e i) then begin
+                if entry_dropped i then begin
                   k := i;
                   raise Exit
                 end
               done
             with Exit -> ());
-           (* frozen decisions past the rewind point must be replayed *)
-           let stragglers = ref [] in
+           (* surviving commits past the rewind point must be replayed,
+              copy by copy, in their original order; capture them before
+              the rewind erases their placements *)
+           let suffix = ref [] in
            for i = nc - 1 downto !k do
              let v = Engine.commit_task_at e i in
-             if not remap.(v) then stragglers := v :: !stragglers
+             let q = Engine.commit_proc_at e i in
+             let qq = if q >= 0 then q else Schedule.proc_of_exn s v in
+             suffix := (v, qq) :: !suffix
            done;
            let owner v =
              List.find
                (fun (j, off) -> v >= off && v < off + job_tasks j)
                pl.playout
            in
-           let evals =
-             List.map
-               (fun v ->
-                 let j, off = owner v in
-                 let d = Hashtbl.find frozen_tbl (j.jid, v - off) in
-                 ( v,
-                   {
-                     Engine.proc = d.d_proc;
-                     est = d.d_start;
-                     eft = d.d_finish;
-                     hops =
-                       List.map
-                         (fun h ->
-                           let edge =
-                             Option.get
-                               (Graph.find_edge pl.pgraph
-                                  ~src:(off + h.h_src_local)
-                                  ~dst:(off + h.h_dst_local))
-                           in
-                           {
-                             Engine.edge = edge.Graph.id;
-                             src_proc = h.h_src_proc;
-                             dst_proc = h.h_dst_proc;
-                             start = h.h_start;
-                           })
-                         d.d_hops;
-                     phase = None;
-                   } ))
-               !stragglers
-           in
            Engine.rewind e ~to_:!k;
            List.iter
-             (fun (v, ev) ->
-               Engine.commit e ~task:v ev;
-               Obs.Counters.replayed_task ())
-             evals;
+             (fun (v, qq) ->
+               if
+                 (not remap.(v))
+                 && List.exists
+                      (fun (c : Schedule.placement) -> c.proc = qq)
+                      kept.(v)
+               then begin
+                 let j, off = owner v in
+                 let d = Hashtbl.find frozen_tbl (j.jid, v - off) in
+                 let c =
+                   List.find (fun (c : dcopy) -> c.c_proc = qq) d.d_copies
+                 in
+                 let ev = eval_of pl.pgraph off c in
+                 (* the first surviving copy replayed becomes the primary *)
+                 if Schedule.is_placed s v then Engine.commit_copy e ~task:v ev
+                 else Engine.commit e ~task:v ev;
+                 Obs.Counters.replayed_task ()
+               end)
+             !suffix;
            let remapped =
              Repair.schedule_suffix ~params ~floor:now ~candidates:cands e
                ~todo:remap
@@ -406,33 +513,16 @@ let run ?(config = default_config) plat (events : Event.t list) =
                (fun v ->
                  match frozen_of.(v) with
                  | None -> ()
-                 | Some (d, off) ->
-                     let ev =
-                       {
-                         Engine.proc = d.d_proc;
-                         est = d.d_start;
-                         eft = d.d_finish;
-                         hops =
-                           List.map
-                             (fun h ->
-                               let edge =
-                                 Option.get
-                                   (Graph.find_edge g'
-                                      ~src:(off + h.h_src_local)
-                                      ~dst:(off + h.h_dst_local))
-                               in
-                               {
-                                 Engine.edge = edge.Graph.id;
-                                 src_proc = h.h_src_proc;
-                                 dst_proc = h.h_dst_proc;
-                                 start = h.h_start;
-                               })
-                             d.d_hops;
-                         phase = None;
-                       }
-                     in
-                     Engine.commit e' ~task:v ev;
-                     Obs.Counters.replayed_task ())
+                 | Some (d, off) -> (
+                     match d.d_copies with
+                     | [] -> ()
+                     | prim :: dups ->
+                         Engine.commit e' ~task:v (eval_of g' off prim);
+                         List.iter
+                           (fun c ->
+                             Engine.commit_copy e' ~task:v (eval_of g' off c))
+                           dups;
+                         Obs.Counters.replayed_task ()))
                (Graph.topological_order g');
              let remapped =
                Repair.schedule_suffix ~params ~floor:now ~candidates:cands e'
@@ -581,11 +671,13 @@ let run ?(config = default_config) plat (events : Event.t list) =
                  give-up) will re-plan it *)
               let blocked = ref false in
               for local = 0 to job_tasks j - 1 do
-                let q = Schedule.placement_exn pl.psched (off + local) in
-                match pstate.(q.Schedule.proc) with
-                | P_down { since; _ } when q.Schedule.finish > since ->
-                    blocked := true
-                | _ -> ()
+                List.iter
+                  (fun (c : Schedule.placement) ->
+                    match pstate.(c.proc) with
+                    | P_down { since; _ } when c.finish > since ->
+                        blocked := true
+                    | _ -> ())
+                  (Schedule.copies pl.psched (off + local))
               done;
               if (not !blocked) && fin <= now then complete_job (j, off) pl
             end)

@@ -37,10 +37,23 @@ let to_chrome_trace ?(time_unit = 1.0) s =
   let g = Schedule.graph s in
   let n = Graph.n_tasks g in
   let nc = Schedule.n_comms s in
-  let total = n + (2 * nc) in
+  (* duplicate copies (if any) pack after the task and comm tags *)
+  let dups =
+    Array.of_list
+      (List.concat_map
+         (fun v ->
+           List.map
+             (fun (c : Schedule.placement) -> (v, c))
+             (Schedule.dup_copies s v))
+         (List.init n Fun.id))
+  in
+  let nd = Array.length dups in
+  let total = n + (2 * nc) + nd in
   let ts_of tag =
     if tag < n then (Schedule.placement_exn s tag).Schedule.start
-    else (Schedule.comm_at s ((tag - n) / 2)).Schedule.start
+    else if tag < n + (2 * nc) then
+      (Schedule.comm_at s ((tag - n) / 2)).Schedule.start
+    else (snd dups.(tag - n - (2 * nc))).Schedule.start
   in
   let order = Array.init total Fun.id in
   Array.sort
@@ -80,6 +93,17 @@ let to_chrome_trace ?(time_unit = 1.0) s =
           ~args:
             (Printf.sprintf {|"task":%d,"weight":%g|} tag (Graph.weight g tag))
       end
+      else if tag >= n + (2 * nc) then begin
+        let v, pl = dups.(tag - n - (2 * nc)) in
+        add_complete_event buf
+          ~name:(Printf.sprintf "v%d'" v)
+          ~pid:pl.Schedule.proc ~tid:tid_cpu
+          ~ts:(time_unit *. pl.Schedule.start)
+          ~dur:(time_unit *. (pl.Schedule.finish -. pl.Schedule.start))
+          ~args:
+            (Printf.sprintf {|"task":%d,"weight":%g,"copy":true|} v
+               (Graph.weight g v))
+      end
       else begin
         let c = Schedule.comm_at s ((tag - n) / 2) in
         let recv = (tag - n) land 1 = 1 in
@@ -109,7 +133,11 @@ let to_csv s =
   for v = 0 to Graph.n_tasks g - 1 do
     let pl = Schedule.placement_exn s v in
     row "task" (Printf.sprintf "v%d" v) pl.Schedule.proc "cpu" pl.Schedule.start
-      pl.Schedule.finish
+      pl.Schedule.finish;
+    List.iter
+      (fun (c : Schedule.placement) ->
+        row "copy" (Printf.sprintf "v%d" v) c.proc "cpu" c.start c.finish)
+      (Schedule.dup_copies s v)
   done;
   Schedule.iter_comms s ~f:(fun (c : Schedule.comm) ->
       let name = Printf.sprintf "e%d" c.edge in
@@ -137,6 +165,17 @@ let fingerprint s =
           (Printf.sprintf ";t%d=%d:%h:%h" v pl.Schedule.proc pl.Schedule.start
              pl.Schedule.finish)
   done;
+  (* copy lines appear only on duplicated schedules, so single-copy
+     fingerprints are bit-identical to the pre-duplication era *)
+  if Schedule.has_dups s then
+    for v = 0 to Graph.n_tasks g - 1 do
+      List.iter
+        (fun (c : Schedule.placement) ->
+          Buffer.add_string buf
+            (Printf.sprintf ";d%d=%d:%h:%h" v c.Schedule.proc c.Schedule.start
+               c.Schedule.finish))
+        (Schedule.dup_copies s v)
+    done;
   Schedule.iter_comms s ~f:(fun (c : Schedule.comm) ->
       Buffer.add_string buf
         (Printf.sprintf ";c%d=%d>%d:%h:%h" c.Schedule.edge c.Schedule.src_proc

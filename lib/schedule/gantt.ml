@@ -34,12 +34,20 @@ let render ?(width = 72) ?show_ports s =
   let p = Platform.p plat in
   let cpu_rows = Array.init p (fun _ -> Bytes.make width '.') in
   for v = 0 to Graph.n_tasks (Schedule.graph s) - 1 do
-    match Schedule.placement s v with
+    (match Schedule.placement s v with
     | Some pl when pl.finish > pl.start ->
         paint cpu_rows.(pl.proc) (col pl.start)
           (max (col pl.finish) (col pl.start + 1))
           (string_of_int v)
-    | Some _ | None -> ()
+    | Some _ | None -> ());
+    (* duplicate copies are labelled with a trailing prime *)
+    List.iter
+      (fun (c : Schedule.placement) ->
+        if c.finish > c.start then
+          paint cpu_rows.(c.proc) (col c.start)
+            (max (col c.finish) (col c.start + 1))
+            (string_of_int v ^ "'"))
+      (Schedule.dup_copies s v)
   done;
   let send_rows, recv_rows =
     if not show_ports then ([||], [||])
@@ -73,7 +81,23 @@ let render ?(width = 72) ?show_ports s =
 let listing s =
   let n = Graph.n_tasks (Schedule.graph s) in
   let nc = Schedule.n_comms s in
-  let events = Array.make (n + nc) (0., "") in
+  let dups =
+    List.concat_map
+      (fun v ->
+        List.map
+          (fun (c : Schedule.placement) -> (v, c))
+          (Schedule.dup_copies s v))
+      (List.init n Fun.id)
+  in
+  let nd = List.length dups in
+  let events = Array.make (n + nc + nd) (0., "") in
+  List.iteri
+    (fun i ((v : int), (c : Schedule.placement)) ->
+      events.(n + nc + i) <-
+        ( c.start,
+          Printf.sprintf "[%10.3f, %10.3f) P%d  exec v%d (copy)" c.start
+            c.finish c.proc v ))
+    dups;
   for v = 0 to n - 1 do
     events.(v) <-
       (match Schedule.placement s v with

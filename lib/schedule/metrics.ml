@@ -11,6 +11,8 @@ type t = {
   total_comm_time : float;
   n_phases : int;
   total_phase_time : float;
+  n_duplicates : int;
+  total_dup_time : float;
   total_busy_time : float;
   mean_utilization : float;
   proc_loads : float array;
@@ -24,9 +26,18 @@ let compute s =
   let makespan = Schedule.makespan s in
   let sequential_time = Graph.total_weight g *. Platform.min_cycle_time plat in
   let proc_loads = Array.make p 0. in
+  let n_duplicates = ref 0 in
+  let total_dup_time = ref 0. in
   for v = 0 to Graph.n_tasks g - 1 do
     let pl = Schedule.placement_exn s v in
-    proc_loads.(pl.proc) <- proc_loads.(pl.proc) +. (pl.finish -. pl.start)
+    proc_loads.(pl.proc) <- proc_loads.(pl.proc) +. (pl.finish -. pl.start);
+    (* duplicate copies burn real processor time too *)
+    List.iter
+      (fun (c : Schedule.placement) ->
+        incr n_duplicates;
+        total_dup_time := !total_dup_time +. (c.finish -. c.start);
+        proc_loads.(c.proc) <- proc_loads.(c.proc) +. (c.finish -. c.start))
+      (Schedule.dup_copies s v)
   done;
   let total_busy_time = Array.fold_left ( +. ) 0. proc_loads in
   let speedup = if makespan > 0. then sequential_time /. makespan else 0. in
@@ -53,6 +64,8 @@ let compute s =
     total_comm_time = Schedule.total_comm_time s;
     n_phases = Schedule.n_phases s;
     total_phase_time = Schedule.total_phase_time s;
+    n_duplicates = !n_duplicates;
+    total_dup_time = !total_dup_time;
     total_busy_time;
     mean_utilization =
       (if makespan > 0. then total_busy_time /. (float_of_int p *. makespan)
@@ -72,6 +85,10 @@ let pp fmt m =
   if m.n_phases > 0 then
     Format.fprintf fmt "@ comm phases: %d (total time %g)" m.n_phases
       m.total_phase_time;
+  (* like the phases line, only duplicated schedules show it *)
+  if m.n_duplicates > 0 then
+    Format.fprintf fmt "@ duplicates: %d (total time %g)" m.n_duplicates
+      m.total_dup_time;
   Format.fprintf fmt "@ mean utilization: %.1f%%@]"
     (100. *. m.mean_utilization)
 

@@ -17,7 +17,10 @@ type t = {
   total_comm_time : float;
   n_phases : int;  (** BSP comm phases (0 outside the BSP regime) *)
   total_phase_time : float;  (** sum of phase durations *)
-  total_busy_time : float;  (** sum over processors of task execution time *)
+  n_duplicates : int;  (** duplicate task copies (0 on single-copy schedules) *)
+  total_dup_time : float;  (** execution time spent on duplicate copies *)
+  total_busy_time : float;
+      (** sum over processors of task execution time, duplicates included *)
   mean_utilization : float;
       (** total_busy_time / (p * makespan) *)
   proc_loads : float array;

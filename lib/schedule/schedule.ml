@@ -23,9 +23,12 @@ type t = {
   starts : float array;
   finishes : float array;
   comms : comm Vec.t;
+  heads : bool Vec.t; (* parallel to [comms]: chain-head flags *)
   edge_comms : int list array; (* comm indices per edge, reverse order *)
   phases : (float * float) Vec.t; (* BSP comm phases, commit order *)
   mutable n_placed : int;
+  dups : placement list array; (* duplicate copies beyond the primary, newest first *)
+  mutable n_dups : int;
 }
 
 let create ?exec_time ~graph ~platform ~model () =
@@ -40,9 +43,12 @@ let create ?exec_time ~graph ~platform ~model () =
     starts = Array.make n 0.;
     finishes = Array.make n 0.;
     comms = Vec.create ();
+    heads = Vec.create ();
     edge_comms = Array.make (max (Graph.n_edges graph) 1) [];
     phases = Vec.create ();
     n_placed = 0;
+    dups = Array.make n [];
+    n_dups = 0;
   }
 
 let exec_duration t ~task ~proc =
@@ -73,18 +79,30 @@ let place_task t ~task ~proc ~start =
   t.finishes.(task) <- finish;
   t.n_placed <- t.n_placed + 1
 
-let add_comm_in_window t ~edge ~src_proc ~dst_proc ~start ~finish =
+let add_comm_in_window ?head t ~edge ~src_proc ~dst_proc ~start ~finish =
   if src_proc = dst_proc then invalid_arg "Schedule.add_comm: src = dst";
+  (* A hop starts a new provenance chain unless it extends the edge's
+     previous hop; explicit [head] overrides the inference (duplication
+     can legitimately start a chain where another one ended). *)
+  let head =
+    match head with
+    | Some h -> h
+    | None -> (
+        match t.edge_comms.(edge) with
+        | [] -> true
+        | i :: _ -> (Vec.get t.comms i).dst_proc <> src_proc)
+  in
   Resource.commit_comm t.resource ~src:src_proc ~dst:dst_proc ~start ~finish;
   Vec.push t.comms { edge; src_proc; dst_proc; start; finish };
+  Vec.push t.heads head;
   t.edge_comms.(edge) <- (Vec.length t.comms - 1) :: t.edge_comms.(edge);
   finish
 
-let add_comm t ~edge ~src_proc ~dst_proc ~start =
+let add_comm ?head t ~edge ~src_proc ~dst_proc ~start =
   let data = Graph.edge_data t.graph edge in
   let hop_cost = Platform.hop_cost t.platform ~src:src_proc ~dst:dst_proc in
   let finish = start +. Comm_model.hop_span t.model ~data ~hop_cost in
-  add_comm_in_window t ~edge ~src_proc ~dst_proc ~start ~finish
+  add_comm_in_window ?head t ~edge ~src_proc ~dst_proc ~start ~finish
 
 let add_phase t ~start ~finish =
   if finish < start then invalid_arg "Schedule.add_phase: negative duration";
@@ -119,6 +137,92 @@ let finish_of_exn t task =
   check_placed t task;
   t.finishes.(task)
 
+(* Duplication: a task may run as several copies on distinct processors.
+   The arrays above keep holding one distinguished {e primary} copy so that
+   every single-copy consumer (and the bit-pinned goldens) sees exactly the
+   historical representation; extra copies live in [dups].  Duplication is a
+   port-regime notion here — BSP/latency phase accounting has no provenance
+   story for replicated producers. *)
+
+let place_copy t ~task ~proc ~start =
+  if t.procs.(task) < 0 then place_task t ~task ~proc ~start
+  else begin
+    if t.model.Comm_model.regime <> Comm_model.Port then
+      invalid_arg "Schedule.place_copy: duplication requires a port-regime model";
+    if proc < 0 || proc >= Platform.p t.platform then
+      invalid_arg "Schedule.place_copy: bad processor";
+    if start < 0. then invalid_arg "Schedule.place_copy: negative start";
+    if
+      t.procs.(task) = proc
+      || List.exists (fun (c : placement) -> c.proc = proc) t.dups.(task)
+    then invalid_arg "Schedule.place_copy: copy already on this processor";
+    let finish = start +. exec_duration t ~task ~proc in
+    Resource.commit_task t.resource ~proc ~start ~finish;
+    t.dups.(task) <- { task; proc; start; finish } :: t.dups.(task);
+    t.n_dups <- t.n_dups + 1
+  end
+
+let has_dups t = t.n_dups > 0
+let n_dup_copies t = t.n_dups
+
+(* Extra copies of [task] in commit order (oldest first). *)
+let dup_copies t task = List.rev t.dups.(task)
+
+let copies t task =
+  match placement t task with
+  | None -> []
+  | Some pl -> pl :: dup_copies t task
+
+let copy_on t ~task ~proc =
+  if t.procs.(task) = proc then placement t task
+  else List.find_opt (fun (c : placement) -> c.proc = proc) t.dups.(task)
+
+let earliest_finish t task =
+  check_placed t task;
+  List.fold_left
+    (fun acc (c : placement) -> if c.finish < acc then c.finish else acc)
+    t.finishes.(task) t.dups.(task)
+
+let unplace_copy t ~task ~proc =
+  check_placed t task;
+  if t.procs.(task) = proc then begin
+    Resource.retract_task t.resource ~proc ~start:t.starts.(task)
+      ~finish:t.finishes.(task);
+    match t.dups.(task) with
+    | [] ->
+        t.procs.(task) <- -1;
+        t.n_placed <- t.n_placed - 1
+    | l ->
+        (* Promote the surviving copy with the earliest finish (ties to the
+           lowest processor) so [placement] stays meaningful. *)
+        let best =
+          List.fold_left
+            (fun (b : placement) (c : placement) ->
+              if c.finish < b.finish || (c.finish = b.finish && c.proc < b.proc)
+              then c
+              else b)
+            (List.hd l) (List.tl l)
+        in
+        t.procs.(task) <- best.proc;
+        t.starts.(task) <- best.start;
+        t.finishes.(task) <- best.finish;
+        t.dups.(task) <- List.filter (fun (c : placement) -> c != best) l;
+        t.n_dups <- t.n_dups - 1
+  end
+  else
+    match
+      List.find_opt (fun (c : placement) -> c.proc = proc) t.dups.(task)
+    with
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Schedule.unplace_copy: task %d has no copy on %d"
+             task proc)
+    | Some c ->
+        Resource.retract_task t.resource ~proc ~start:c.start ~finish:c.finish;
+        t.dups.(task) <-
+          List.filter (fun (d : placement) -> d != c) t.dups.(task);
+        t.n_dups <- t.n_dups - 1
+
 let n_placed t = t.n_placed
 let all_placed t = t.n_placed = Graph.n_tasks t.graph
 let comms t = Vec.to_list t.comms
@@ -129,6 +233,7 @@ let comms_of_edge t edge =
 let n_comm_events t = Vec.length t.comms
 let n_comms = n_comm_events
 let comm_at t i = Vec.get t.comms i
+let comm_head_at t i = Vec.get t.heads i
 let iter_comms t ~f = Vec.iter f t.comms
 
 let n_comms_of_edge t edge = List.length t.edge_comms.(edge)
@@ -152,7 +257,16 @@ let total_phase_time t =
 
 let makespan t =
   if not (all_placed t) then invalid_arg "Schedule.makespan: unplaced tasks";
-  Array.fold_left max 0. t.finishes
+  if t.n_dups = 0 then Array.fold_left max 0. t.finishes
+  else begin
+    (* A duplicated task completes when its earliest copy does. *)
+    let m = ref 0. in
+    for v = 0 to Array.length t.finishes - 1 do
+      let f = earliest_finish t v in
+      if f > !m then m := f
+    done;
+    !m
+  end
 
 let edge_available_at t ~edge =
   let src = Graph.edge_src t.graph edge in
@@ -164,6 +278,10 @@ let unplace_task t task =
   if task < 0 || task >= Graph.n_tasks t.graph then
     invalid_arg "Schedule.unplace_task: bad task";
   if t.procs.(task) < 0 then invalid_arg "Schedule.unplace_task: not placed";
+  if t.dups.(task) <> [] then
+    invalid_arg
+      "Schedule.unplace_task: task has duplicate copies (unplace_copy them \
+       first)";
   Resource.retract_task t.resource ~proc:t.procs.(task) ~start:t.starts.(task)
     ~finish:t.finishes.(task);
   t.procs.(task) <- -1;
@@ -173,6 +291,7 @@ let unplace_task t task =
    edge's (reverse-order) index list. *)
 let pop_comm t ~retract =
   let c = Vec.pop t.comms in
+  let (_ : bool) = Vec.pop t.heads in
   if retract then
     Resource.retract_comm t.resource ~src:c.src_proc ~dst:c.dst_proc
       ~start:c.start ~finish:c.finish;
@@ -198,25 +317,26 @@ let truncate_phases t ~down_to =
     pop_phase t ~retract:true
   done
 
-let filter_comms t ~keep =
-  let kept =
-    Vec.fold
-      (fun acc (c : comm) ->
-        if keep c then c :: acc
-        else begin
-          Resource.retract_comm t.resource ~src:c.src_proc ~dst:c.dst_proc
-            ~start:c.start ~finish:c.finish;
-          acc
-        end)
-      [] t.comms
-  in
+let filter_commsi t ~keep =
+  let kept = ref [] in
+  for i = Vec.length t.comms - 1 downto 0 do
+    let c = Vec.get t.comms i in
+    if keep i c then kept := (c, Vec.get t.heads i) :: !kept
+    else
+      Resource.retract_comm t.resource ~src:c.src_proc ~dst:c.dst_proc
+        ~start:c.start ~finish:c.finish
+  done;
   Vec.clear t.comms;
+  Vec.clear t.heads;
   Array.fill t.edge_comms 0 (Array.length t.edge_comms) [];
   List.iter
-    (fun (c : comm) ->
+    (fun ((c : comm), head) ->
       Vec.push t.comms c;
+      Vec.push t.heads head;
       t.edge_comms.(c.edge) <- (Vec.length t.comms - 1) :: t.edge_comms.(c.edge))
-    (List.rev kept)
+    !kept
+
+let filter_comms t ~keep = filter_commsi t ~keep:(fun _ c -> keep c)
 
 type snapshot = {
   res : Resource.snapshot;
@@ -226,6 +346,8 @@ type snapshot = {
   s_n_placed : int;
   s_n_comms : int;
   s_n_phases : int;
+  s_dups : placement list array;
+  s_n_dups : int;
 }
 
 let snapshot t =
@@ -237,6 +359,8 @@ let snapshot t =
     s_n_placed = t.n_placed;
     s_n_comms = Vec.length t.comms;
     s_n_phases = Vec.length t.phases;
+    s_dups = Array.copy t.dups;
+    s_n_dups = t.n_dups;
   }
 
 let restore t s =
@@ -251,6 +375,8 @@ let restore t s =
   Array.blit s.s_procs 0 t.procs 0 (Array.length t.procs);
   Array.blit s.s_starts 0 t.starts 0 (Array.length t.starts);
   Array.blit s.s_finishes 0 t.finishes 0 (Array.length t.finishes);
+  Array.blit s.s_dups 0 t.dups 0 (Array.length t.dups);
+  t.n_dups <- s.s_n_dups;
   t.n_placed <- s.s_n_placed;
   while Vec.length t.comms > s.s_n_comms do
     pop_comm t ~retract:false
@@ -268,8 +394,10 @@ let copy t =
     starts = Array.copy t.starts;
     finishes = Array.copy t.finishes;
     comms = Vec.copy t.comms;
+    heads = Vec.copy t.heads;
     edge_comms = Array.copy t.edge_comms;
     phases = Vec.copy t.phases;
+    dups = Array.copy t.dups;
   }
 
 let pp fmt t =

@@ -52,8 +52,16 @@ val place_task : t -> task:int -> proc:int -> start:float -> unit
     [Comm_model.hop_span ~data:(data edge) ~hop_cost:(hop_cost src dst)]
     — [data × hop_cost] under the port regimes.  Hops must be added in
     route order.  Marks port timelines busy per the model.  Returns the
-    hop finish time. *)
-val add_comm : t -> edge:int -> src_proc:int -> dst_proc:int -> start:float -> float
+    hop finish time.
+
+    [head] marks the hop as the first of a {e provenance chain} — one
+    route-following delivery of the edge's data from a source copy to a
+    destination processor (an edge carries several chains once tasks are
+    duplicated).  When omitted, the hop is inferred to start a chain
+    unless it extends the edge's previous hop ([prev.dst = src]); pass it
+    explicitly when a chain legitimately begins where another ended. *)
+val add_comm :
+  ?head:bool -> t -> edge:int -> src_proc:int -> dst_proc:int -> start:float -> float
 
 (** [add_comm_in_window t ~edge ~src_proc ~dst_proc ~start ~finish]
     records a communication event with an explicitly chosen window — the
@@ -61,13 +69,67 @@ val add_comm : t -> edge:int -> src_proc:int -> dst_proc:int -> start:float -> f
     comm phase rather than a per-hop price.  Occupancy is still committed
     per the model's regime ({!Resource.commit_comm}). *)
 val add_comm_in_window :
-  t -> edge:int -> src_proc:int -> dst_proc:int -> start:float -> finish:float -> float
+  ?head:bool ->
+  t ->
+  edge:int ->
+  src_proc:int ->
+  dst_proc:int ->
+  start:float ->
+  finish:float ->
+  float
 
 (** [add_phase t ~start ~finish] records a BSP communication phase and
     commits it on the phase busy set ({!Resource.commit_phase}).
     @raise Invalid_argument outside the BSP regime or on a negative
     duration. *)
 val add_phase : t -> start:float -> finish:float -> unit
+
+(** {2 Task duplication}
+
+    A task may be placed as several {e copies} on distinct processors;
+    it completes when its earliest copy does.  The classic single-copy
+    accessors ({!placement}, {!proc_of_exn}, …) keep reporting one
+    distinguished {e primary} copy — the first one committed — so
+    singleton schedules behave bit-identically to the pre-duplication
+    representation. *)
+
+(** [place_copy t ~task ~proc ~start] places a copy of [task] on [proc].
+    The first copy is exactly {!place_task}; later copies commit on the
+    processor's compute timeline and are recorded alongside the primary.
+    @raise Invalid_argument on a second copy on the same processor, or on
+    an extra copy outside the port regime (BSP/latency phase accounting
+    has no provenance rule for replicated producers). *)
+val place_copy : t -> task:int -> proc:int -> start:float -> unit
+
+(** [unplace_copy t ~task ~proc] retracts the copy of [task] on [proc] —
+    the exact inverse of {!place_copy}.  Removing the primary while
+    duplicates remain promotes the surviving copy with the earliest
+    finish (ties to the lowest processor).
+    @raise Invalid_argument if no copy of [task] runs on [proc]. *)
+val unplace_copy : t -> task:int -> proc:int -> unit
+
+(** Whether any task currently has more than one copy.  [false] on every
+    schedule built by the single-copy heuristics — the cheap dispatch all
+    copy-aware consumers use to stay on the historical code path. *)
+val has_dups : t -> bool
+
+(** Number of extra copies beyond the primaries, summed over tasks. *)
+val n_dup_copies : t -> int
+
+(** All copies of a task, primary first then duplicates in commit order;
+    [[]] if unplaced. *)
+val copies : t -> int -> placement list
+
+(** Extra copies only (commit order) — empty for single-copy tasks. *)
+val dup_copies : t -> int -> placement list
+
+(** The copy of [task] running on [proc], if any. *)
+val copy_on : t -> task:int -> proc:int -> placement option
+
+(** Earliest finish over the task's copies — the task's completion time.
+    Equals [finish_of_exn] for single-copy tasks.
+    @raise Invalid_argument when the task is not placed. *)
+val earliest_finish : t -> int -> float
 
 val is_placed : t -> int -> bool
 val placement : t -> int -> placement option
@@ -92,6 +154,11 @@ val comms : t -> comm list
 (** [comm_at t i] is the [i]-th communication event in commit order,
     [0 <= i < n_comms t]. *)
 val comm_at : t -> int -> comm
+
+(** Whether the [i]-th communication event starts a provenance chain
+    (see {!add_comm}).  Chain structure only matters to copy-aware
+    consumers; single-copy edges carry exactly one chain. *)
+val comm_head_at : t -> int -> bool
 
 (** [iter_comms t ~f] applies [f] to every communication event in commit
     order without materializing the list. *)
@@ -129,7 +196,8 @@ val n_phases : t -> int
 (** Sum of phase durations. *)
 val total_phase_time : t -> float
 
-(** Completion time of the last task (0 for an empty schedule).
+(** Completion time of the last task (0 for an empty schedule).  A
+    duplicated task completes at its {e earliest} copy's finish.
     @raise Invalid_argument if some task is unplaced. *)
 val makespan : t -> float
 
@@ -142,7 +210,8 @@ val edge_available_at : t -> edge:int -> float
     inverse of {!place_task}.  The caller is responsible for first
     retracting anything that depended on the placement (successor
     placements, outgoing communications); the schedule does not check.
-    @raise Invalid_argument if the task is not placed. *)
+    @raise Invalid_argument if the task is not placed or still has
+    duplicate copies ({!unplace_copy} them first). *)
 val unplace_task : t -> int -> unit
 
 (** [truncate_comms t ~down_to] retracts communication events newest-first
@@ -156,6 +225,11 @@ val truncate_comms : t -> down_to:int -> unit
     untouched — under BSP a phase may end up with fewer events than its
     [g·h + L] price accounts for, which the validator allows. *)
 val filter_comms : t -> keep:(comm -> bool) -> unit
+
+(** [filter_commsi] is {!filter_comms} with the commit-order index passed
+    to [keep] — lets callers drop events identified positionally (e.g. a
+    whole provenance chain) rather than by content. *)
+val filter_commsi : t -> keep:(int -> comm -> bool) -> unit
 
 (** [truncate_phases t ~down_to] retracts BSP phases newest-first until
     only the first [down_to] remain. *)

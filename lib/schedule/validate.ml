@@ -61,7 +61,277 @@ let sweep ~n_res ~emit ~start_of ~finish_of ~on_overlap =
     end
   end
 
+(* Sorted-interval disjointness on labelled lists — shared by the
+   copy-aware checker and the list-based [Reference]. *)
+module Reference_disjoint = struct
+  (* Check that sorted-by-start intervals are pairwise disjoint; report via
+     [on_overlap a b] with both full intervals. *)
+  let check_disjoint intervals ~on_overlap =
+    let sorted =
+      List.sort (fun (s1, _, _) (s2, _, _) -> compare s1 s2) intervals
+    in
+    let rec walk = function
+      | (s1, f1, l1) :: ((s2, f2, l2) :: _ as rest) ->
+          if s2 < f1 -. eps then on_overlap (s1, f1, l1) (s2, f2, l2);
+          walk rest
+      | [ _ ] | [] -> ()
+    in
+    walk sorted
+end
+
+(* ------------------------------------------------------------------ *)
+(* The copy-aware checker.                                             *)
+(*                                                                     *)
+(* Once a task runs as several copies the per-edge story changes: an   *)
+(* edge may carry several provenance chains (one route-following       *)
+(* delivery per remote destination, split by the chain-head flags),    *)
+(* and the precedence rule becomes per consumer copy — every copy of   *)
+(* the destination must be fed by a local source copy, a completed     *)
+(* chain arriving at its processor, or (zero-data) any completed       *)
+(* source copy.  Duplication is port-regime only, so BSP phases never  *)
+(* mix with copies.  Both [check] and [Reference.check] dispatch here  *)
+(* when [Schedule.has_dups]; the list-based style is fine because      *)
+(* duplicated schedules are engine-built and moderate-sized.           *)
+(* ------------------------------------------------------------------ *)
+let check_copies s =
+  let g = Schedule.graph s in
+  let plat = Schedule.platform s in
+  let model = Schedule.model s in
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let n = Graph.n_tasks g in
+  (* 1. every copy of every task: placed, non-negative, right duration,
+     distinct processors *)
+  for v = 0 to n - 1 do
+    match Schedule.copies s v with
+    | [] -> err "task %d is not placed" v
+    | cs ->
+        let seen = ref [] in
+        List.iter
+          (fun (c : Schedule.placement) ->
+            if List.mem c.proc !seen then
+              err "task %d has two copies on processor %d" v c.proc;
+            seen := c.proc :: !seen;
+            if c.start < -.eps then
+              err "task %d on processor %d starts at negative time %g" v
+                c.proc c.start;
+            let expect = Schedule.exec_duration s ~task:v ~proc:c.proc in
+            if not (feq (c.finish -. c.start) expect) then
+              err
+                "task %d on processor %d has duration %g over [%g,%g), \
+                 expected %g"
+                v c.proc (c.finish -. c.start) c.start c.finish expect)
+          cs
+  done;
+  if !errors <> [] then Error (List.rev !errors)
+  else begin
+    let p_count = Platform.p plat in
+    let all_comms = Schedule.comms s in
+    if Schedule.n_phases s > 0 then
+      err "schedule records %d comm phases outside the BSP regime"
+        (Schedule.n_phases s);
+    (* 2. processor exclusivity over copies (comms join under no-overlap) *)
+    let compute_intervals = Array.make p_count [] in
+    for v = 0 to n - 1 do
+      List.iter
+        (fun (c : Schedule.placement) ->
+          if c.finish > c.start then
+            compute_intervals.(c.proc) <-
+              (c.start, c.finish, Printf.sprintf "task %d" v)
+              :: compute_intervals.(c.proc))
+        (Schedule.copies s v)
+    done;
+    if not model.Comm_model.overlap then
+      List.iter
+        (fun (c : Schedule.comm) ->
+          if c.finish > c.start then begin
+            let label = Printf.sprintf "comm e%d" c.edge in
+            compute_intervals.(c.src_proc) <-
+              (c.start, c.finish, label) :: compute_intervals.(c.src_proc);
+            compute_intervals.(c.dst_proc) <-
+              (c.start, c.finish, label) :: compute_intervals.(c.dst_proc)
+          end)
+        all_comms;
+    Array.iteri
+      (fun q intervals ->
+        Reference_disjoint.check_disjoint intervals
+          ~on_overlap:(fun (s1, f1, l1) (s2, f2, l2) ->
+            err "processor %d: %s [%g,%g) overlaps %s [%g,%g)" q l1 s1 f1 l2
+              s2 f2))
+      compute_intervals;
+    (* 3. provenance chains and per-copy precedence *)
+    let n_edges = Graph.n_edges g in
+    let per_edge = Array.make (max n_edges 1) [] in
+    for i = Schedule.n_comms s - 1 downto 0 do
+      let c = Schedule.comm_at s i in
+      per_edge.(c.Schedule.edge) <-
+        (Schedule.comm_head_at s i, c) :: per_edge.(c.Schedule.edge)
+    done;
+    for e = 0 to n_edges - 1 do
+      let u = Graph.edge_src g e and v = Graph.edge_dst g e in
+      let data = Graph.edge_data g e in
+      (* split the edge's events into chains at the head flags *)
+      let chains =
+        List.fold_left
+          (fun chains (head, (c : Schedule.comm)) ->
+            match chains with
+            | cur :: rest when not head -> (c :: cur) :: rest
+            | _ -> [ c ] :: chains)
+          [] per_edge.(e)
+        |> List.rev_map List.rev
+      in
+      (* each chain: departs a completed copy of [u], follows the
+         platform route, prices every hop, sequences hop by hop *)
+      let arrivals =
+        List.filter_map
+          (fun chain ->
+            let first = List.hd chain in
+            let last = List.nth chain (List.length chain - 1) in
+            (match
+               Schedule.copy_on s ~task:u ~proc:first.Schedule.src_proc
+             with
+            | None ->
+                err
+                  "edge %d: chain departs processor %d where task %d has no \
+                   copy"
+                  e first.Schedule.src_proc u
+            | Some cu ->
+                if not (fle cu.finish first.Schedule.start) then
+                  err
+                    "edge %d: hop %d->%d starts at %g before its source copy \
+                     finishes at %g"
+                    e first.Schedule.src_proc first.Schedule.dst_proc
+                    first.Schedule.start cu.finish);
+            let route =
+              Platform.route plat ~src:first.Schedule.src_proc
+                ~dst:last.Schedule.dst_proc
+            in
+            let hop_pairs =
+              List.map
+                (fun (c : Schedule.comm) -> (c.src_proc, c.dst_proc))
+                chain
+            in
+            if hop_pairs <> route then
+              err
+                "edge %d: communication hops [%s] do not follow the platform \
+                 route %d->%d [%s]"
+                e (pp_route hop_pairs) first.Schedule.src_proc
+                last.Schedule.dst_proc (pp_route route);
+            let arrival =
+              List.fold_left
+                (fun prev (c : Schedule.comm) ->
+                  let expect =
+                    data *. Platform.hop_cost plat ~src:c.src_proc ~dst:c.dst_proc
+                  in
+                  if not (feq (c.finish -. c.start) expect) then
+                    err
+                      "edge %d: hop %d->%d has duration %g over [%g,%g), \
+                       expected %g"
+                      e c.src_proc c.dst_proc (c.finish -. c.start) c.start
+                      c.finish expect;
+                  if not (fle prev c.start) then
+                    err
+                      "edge %d: hop %d->%d starts at %g before data is ready \
+                       at %g"
+                      e c.src_proc c.dst_proc c.start prev;
+                  c.finish)
+                first.Schedule.start chain
+            in
+            Some (last.Schedule.dst_proc, arrival))
+          chains
+      in
+      (* every copy of the consumer must be fed by something completed *)
+      List.iter
+        (fun (cv : Schedule.placement) ->
+          let fed_locally =
+            match Schedule.copy_on s ~task:u ~proc:cv.proc with
+            | Some cu -> fle cu.finish cv.start
+            | None -> false
+          in
+          let fed_zero_data =
+            data = 0.
+            && List.exists
+                 (fun (cu : Schedule.placement) -> fle cu.finish cv.start)
+                 (Schedule.copies s u)
+          in
+          let fed_by_chain =
+            List.exists
+              (fun (dst, arrival) -> dst = cv.proc && fle arrival cv.start)
+              arrivals
+          in
+          if not (fed_locally || fed_zero_data || fed_by_chain) then
+            err
+              "edge %d: copy of task %d on processor %d starts at %g but no \
+               completed copy of task %d feeds it"
+              e v cv.proc cv.start u)
+        (Schedule.copies s v)
+    done;
+    (* 4b. link contention: one message per undirected direct link *)
+    if model.Comm_model.link_contention then begin
+      let by_link = Hashtbl.create 16 in
+      List.iter
+        (fun (c : Schedule.comm) ->
+          if c.finish > c.start then begin
+            let key = (min c.src_proc c.dst_proc, max c.src_proc c.dst_proc) in
+            let label =
+              Printf.sprintf "e%d %d->%d" c.edge c.src_proc c.dst_proc
+            in
+            let old =
+              Option.value ~default:[] (Hashtbl.find_opt by_link key)
+            in
+            Hashtbl.replace by_link key ((c.start, c.finish, label) :: old)
+          end)
+        all_comms;
+      Hashtbl.iter
+        (fun (a, b) intervals ->
+          Reference_disjoint.check_disjoint intervals
+            ~on_overlap:(fun (s1, f1, l1) (s2, f2, l2) ->
+              err "link %d-%d: %s [%g,%g) overlaps %s [%g,%g)" a b l1 s1 f1 l2
+                s2 f2))
+        by_link
+    end;
+    (* 4. port discipline *)
+    (match model.Comm_model.ports with
+    | Comm_model.Unlimited -> ()
+    | Comm_model.One_port_bidirectional | Comm_model.One_port_unidirectional
+      ->
+        let sends = Array.make p_count [] in
+        let recvs = Array.make p_count [] in
+        List.iter
+          (fun (c : Schedule.comm) ->
+            if c.finish > c.start then begin
+              let label =
+                Printf.sprintf "e%d %d->%d" c.edge c.src_proc c.dst_proc
+              in
+              sends.(c.src_proc) <-
+                (c.start, c.finish, label) :: sends.(c.src_proc);
+              recvs.(c.dst_proc) <-
+                (c.start, c.finish, label) :: recvs.(c.dst_proc)
+            end)
+          all_comms;
+        let report kind q (s1, f1, l1) (s2, f2, l2) =
+          err "processor %d: %s port conflict: %s [%g,%g) overlaps %s [%g,%g)"
+            q kind l1 s1 f1 l2 s2 f2
+        in
+        for q = 0 to p_count - 1 do
+          match model.Comm_model.ports with
+          | Comm_model.One_port_bidirectional ->
+              Reference_disjoint.check_disjoint sends.(q)
+                ~on_overlap:(report "send" q);
+              Reference_disjoint.check_disjoint recvs.(q)
+                ~on_overlap:(report "recv" q)
+          | Comm_model.One_port_unidirectional ->
+              Reference_disjoint.check_disjoint
+                (sends.(q) @ recvs.(q))
+                ~on_overlap:(report "uni" q)
+          | Comm_model.Unlimited -> ()
+        done);
+    match List.rev !errors with [] -> Ok () | es -> Error es
+  end
+
 let check s =
+  if Schedule.has_dups s then check_copies s
+  else begin
   let g = Schedule.graph s in
   let plat = Schedule.platform s in
   let model = Schedule.model s in
@@ -394,6 +664,7 @@ let check s =
               (wstart t2) (wfinish t2)));
     match List.rev !errors with [] -> Ok () | es -> Error es
   end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* The original list-based checker — the executable specification the  *)
@@ -402,21 +673,11 @@ let check s =
 (* BSP, so it stays off the million-task path.                         *)
 (* ------------------------------------------------------------------ *)
 module Reference = struct
-  (* Check that sorted-by-start intervals are pairwise disjoint; report via
-     [on_overlap a b] with both full intervals. *)
-  let check_disjoint intervals ~on_overlap =
-    let sorted =
-      List.sort (fun (s1, _, _) (s2, _, _) -> compare s1 s2) intervals
-    in
-    let rec walk = function
-      | (s1, f1, l1) :: ((s2, f2, l2) :: _ as rest) ->
-          if s2 < f1 -. eps then on_overlap (s1, f1, l1) (s2, f2, l2);
-          walk rest
-      | [ _ ] | [] -> ()
-    in
-    walk sorted
+  let check_disjoint = Reference_disjoint.check_disjoint
 
   let check s =
+    if Schedule.has_dups s then check_copies s
+    else
     let g = Schedule.graph s in
     let plat = Schedule.platform s in
     let model = Schedule.model s in

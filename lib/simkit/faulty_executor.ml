@@ -17,6 +17,8 @@ type outcome =
 
 type resource = Compute of int | Send of int | Recv of int | Link of int * int
 
+let feed_eps = 1e-9
+
 (* Mirrors Executor.run event for event; the fault hooks sit exactly at
    the dispatch point, so an empty scenario replays the fault-free
    arithmetic bit for bit. *)
@@ -65,7 +67,27 @@ let run ?rng ?(task_jitter = 0.) ?(comm_jitter = 0.) ~faults s =
   let n = Graph.n_tasks g in
   let comms = Array.of_list (Schedule.comms s) in
   let k = Array.length comms in
-  let total = n + k in
+  let nd = Schedule.n_dup_copies s in
+  let copy_task = if nd = 0 then [||] else Array.make nd 0 in
+  let copy_pl = Array.make (max nd 1) { Schedule.task = 0; proc = 0; start = 0.; finish = 0. } in
+  let copy_ix = Hashtbl.create 16 in
+  if nd > 0 then begin
+    let j = ref 0 in
+    for v = 0 to n - 1 do
+      List.iter
+        (fun (c : Schedule.placement) ->
+          copy_task.(!j) <- v;
+          copy_pl.(!j) <- c;
+          Hashtbl.add copy_ix (v, c.proc) (n + k + !j);
+          incr j)
+        (Schedule.dup_copies s v)
+    done
+  end;
+  let copy_node v q =
+    if (Schedule.placement_exn s v).proc = q then v
+    else match Hashtbl.find_opt copy_ix (v, q) with Some node -> node | None -> v
+  in
+  let total = n + k + nd in
   let duration = Array.make total 0. in
   let task_proc = Array.make n 0 in
   for v = 0 to n - 1 do
@@ -74,6 +96,9 @@ let run ?rng ?(task_jitter = 0.) ?(comm_jitter = 0.) ~faults s =
     task_proc.(v) <- pl.Schedule.proc
   done;
   Array.iteri (fun i (c : Schedule.comm) -> duration.(n + i) <- c.finish -. c.start) comms;
+  for j = 0 to nd - 1 do
+    duration.(n + k + j) <- copy_pl.(j).Schedule.finish -. copy_pl.(j).Schedule.start
+  done;
   (* --- data dependencies (same wiring as Executor) --- *)
   let dependents = Array.make total [] in
   let deps_remaining = Array.make total 0 in
@@ -83,22 +108,87 @@ let run ?rng ?(task_jitter = 0.) ?(comm_jitter = 0.) ~faults s =
       deps_remaining.(b) <- deps_remaining.(b) + 1
     end
   in
-  let per_edge = Array.make (max (Graph.n_edges g) 1) [] in
-  Array.iteri (fun i (c : Schedule.comm) -> per_edge.(c.edge) <- (n + i) :: per_edge.(c.edge)) comms;
-  List.iter
-    (fun (e : Graph.edge) ->
-      match List.rev per_edge.(e.id) with
-      | [] -> add_dep e.src e.dst
-      | hops ->
-          let last =
-            List.fold_left
-              (fun prev hop ->
-                add_dep prev hop;
-                hop)
-              e.src hops
-          in
-          add_dep last e.dst)
-    (Graph.edges g);
+  if nd = 0 then begin
+    let per_edge = Array.make (max (Graph.n_edges g) 1) [] in
+    Array.iteri (fun i (c : Schedule.comm) -> per_edge.(c.edge) <- (n + i) :: per_edge.(c.edge)) comms;
+    List.iter
+      (fun (e : Graph.edge) ->
+        match List.rev per_edge.(e.id) with
+        | [] -> add_dep e.src e.dst
+        | hops ->
+            let last =
+              List.fold_left
+                (fun prev hop ->
+                  add_dep prev hop;
+                  hop)
+                e.src hops
+            in
+            add_dep last e.dst)
+      (Graph.edges g)
+  end
+  else begin
+    (* Copy-set wiring: one provenance chain per remote delivery, running
+       source copy -> hops -> destination copy; consumer copies also pick
+       up their local / zero-data feeds. *)
+    let per_edge = Array.make (max (Graph.n_edges g) 1) [] in
+    Array.iteri
+      (fun i (c : Schedule.comm) ->
+        per_edge.(c.edge) <- (n + i, Schedule.comm_head_at s i) :: per_edge.(c.edge))
+      comms;
+    let chains_of e =
+      List.fold_left
+        (fun acc (node, head) ->
+          match acc with
+          | cur :: rest when not head -> (node :: cur) :: rest
+          | _ -> [ node ] :: acc)
+        []
+        (List.rev per_edge.(e))
+      |> List.rev_map List.rev
+    in
+    List.iter
+      (fun (e : Graph.edge) ->
+        List.iter
+          (fun chain ->
+            let first = comms.(List.hd chain - n) in
+            let last_node = List.nth chain (List.length chain - 1) in
+            let last = comms.(last_node - n) in
+            add_dep (copy_node e.src first.Schedule.src_proc) (List.hd chain);
+            let rec seq = function
+              | a :: (b :: _ as rest) ->
+                  add_dep a b;
+                  seq rest
+              | [ _ ] | [] -> ()
+            in
+            seq chain;
+            add_dep last_node (copy_node e.dst last.Schedule.dst_proc))
+          (chains_of e.id);
+        let data = Graph.edge_data g e.id in
+        List.iter
+          (fun (cv : Schedule.placement) ->
+            if data = 0. then begin
+              let rep =
+                match Schedule.copies s e.src with
+                | c :: rest ->
+                    List.fold_left
+                      (fun (b : Schedule.placement) (c : Schedule.placement) ->
+                        if
+                          c.finish < b.finish
+                          || (c.finish = b.finish && c.proc < b.proc)
+                        then c
+                        else b)
+                      c rest
+                | [] -> Schedule.placement_exn s e.src
+              in
+              add_dep (copy_node e.src rep.proc) (copy_node e.dst cv.proc)
+            end
+            else
+              match Schedule.copy_on s ~task:e.src ~proc:cv.proc with
+              | Some cu when cu.finish <= cv.start +. feed_eps ->
+                  add_dep (copy_node e.src cu.proc) (copy_node e.dst cv.proc)
+              | _ -> ())
+          (Schedule.copies s e.dst))
+      (Graph.edges g)
+  end;
   (* --- resource FIFOs in recorded start order --- *)
   let streams : (resource, (float * int) list ref) Hashtbl.t = Hashtbl.create 64 in
   let occupy resource node start =
@@ -115,6 +205,9 @@ let run ?rng ?(task_jitter = 0.) ?(comm_jitter = 0.) ~faults s =
   for v = 0 to n - 1 do
     let pl = Schedule.placement_exn s v in
     occupy (Compute pl.Schedule.proc) v pl.Schedule.start
+  done;
+  for j = 0 to nd - 1 do
+    occupy (Compute copy_pl.(j).Schedule.proc) (n + k + j) copy_pl.(j).Schedule.start
   done;
   (* Mirrors Pert/Executor: only port-regime events occupy whole-span
      resources; BSP / latency+overhead events stay pure dependency
@@ -164,7 +257,9 @@ let run ?rng ?(task_jitter = 0.) ?(comm_jitter = 0.) ~faults s =
         match compare (t1 : float) t2 with 0 -> compare n1 n2 | c -> c)
   in
   let events_fired = ref 0 in
-  let task_starts = Array.make n 0. in
+  let task_starts = Array.make n (if nd = 0 then 0. else infinity) in
+  (* a duplicated task completes at its earliest surviving copy's finish *)
+  let task_fin = if nd = 0 then [||] else Array.make n infinity in
   let makespan = ref 0. in
   let retries = ref 0 in
   let backoff_time = ref 0. in
@@ -179,12 +274,24 @@ let run ?rng ?(task_jitter = 0.) ?(comm_jitter = 0.) ~faults s =
            cur < Array.length order && order.(cur) = node)
          node_resources.(node)
   in
+  let task_of node =
+    if node < n then Some node
+    else if node >= n + k then Some copy_task.(node - n - k)
+    else None
+  in
+  (* The compute element a dispatch runs on, for crash windows. *)
+  let compute_proc node =
+    if node < n then Some task_proc.(node)
+    else if node >= n + k then Some copy_pl.(node - n - k).Schedule.proc
+    else None
+  in
   (* Every processor a dispatch must find alive and out of blackout. *)
   let involved node =
-    if node < n then [ task_proc.(node) ]
-    else
-      let c = comms.(node - n) in
-      [ c.Schedule.src_proc; c.Schedule.dst_proc ]
+    match compute_proc node with
+    | Some q -> [ q ]
+    | None ->
+        let c = comms.(node - n) in
+        [ c.Schedule.src_proc; c.Schedule.dst_proc ]
   in
   (* Outage deferral to a fixpoint: escaping one window may land inside
      another (possibly on the other endpoint of a hop). *)
@@ -210,8 +317,9 @@ let run ?rng ?(task_jitter = 0.) ?(comm_jitter = 0.) ~faults s =
       let start = defer procs start0 in
       if start > start0 then incr deferred;
       (* duration under jitter and link degradation *)
+      let is_compute = compute_proc node <> None in
       let d =
-        if node < n then
+        if is_compute then
           if task_jitter > 0. then
             duration.(node) *. (1. +. Rng.float rng task_jitter)
           else duration.(node)
@@ -227,19 +335,23 @@ let run ?rng ?(task_jitter = 0.) ?(comm_jitter = 0.) ~faults s =
       in
       (* a crashed compute element kills whatever it is running when the
          crash hits and runs nothing dispatched inside a down window —
-         even if the processor later rejoins, that work stays lost *)
+         even if the processor later rejoins, that work stays lost.  A
+         duplicated task merely loses that copy; it completes as long as
+         some replica survives. *)
       let killed =
-        node < n
-        && List.exists
-             (fun (a, b) ->
-               (start >= a && start < b) || (start < a && start +. d > a))
-             down.(task_proc.(node))
+        match compute_proc node with
+        | None -> false
+        | Some q ->
+            List.exists
+              (fun (a, b) ->
+                (start >= a && start < b) || (start < a && start +. d > a))
+              down.(q)
       in
       (* flaky transmission: bounded retries with exponential backoff;
          [None] = the hop exhausted its budget and the data is lost *)
       let transmission =
         if killed then None
-        else if node >= n && duration.(node) > 0. then
+        else if (not is_compute) && duration.(node) > 0. then
           match !flaky with
           | None -> Some (d, 0, 0.)
           | Some (prob, max_retries, backoff) ->
@@ -281,10 +393,17 @@ let run ?rng ?(task_jitter = 0.) ?(comm_jitter = 0.) ~faults s =
             Obs.Counters.backoff paused
           end;
           let finish = start +. elapsed in
-          if node < n then begin
-            task_starts.(node) <- start;
-            if finish > !makespan then makespan := finish
-          end;
+          (match task_of node with
+          | None -> ()
+          | Some v ->
+              if nd = 0 then begin
+                task_starts.(v) <- start;
+                if finish > !makespan then makespan := finish
+              end
+              else begin
+                if start < task_starts.(v) then task_starts.(v) <- start;
+                if finish < task_fin.(v) then task_fin.(v) <- finish
+              end);
           List.iter
             (fun r ->
               Hashtbl.find free_at r := finish;
@@ -318,7 +437,26 @@ let run ?rng ?(task_jitter = 0.) ?(comm_jitter = 0.) ~faults s =
   let stats =
     { retries = !retries; backoff_time = !backoff_time; deferred = !deferred }
   in
-  if !events_fired = total then
+  if nd > 0 then
+    Array.iter
+      (fun f -> if f < infinity && f > !makespan then makespan := f)
+      task_fin;
+  (* A task completes when any of its copies does; on single-copy
+     schedules "every event fired live" is the same condition. *)
+  let task_completed v =
+    if nd = 0 then fired.(v) && not dead.(v) else task_fin.(v) < infinity
+  in
+  let completed =
+    if nd = 0 then !events_fired = total
+    else begin
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        if not (task_completed v) then ok := false
+      done;
+      !ok
+    end
+  in
+  if completed then
     Completed
       {
         trace =
@@ -332,7 +470,7 @@ let run ?rng ?(task_jitter = 0.) ?(comm_jitter = 0.) ~faults s =
   else begin
     let stranded = ref [] in
     for v = n - 1 downto 0 do
-      if dead.(v) || not fired.(v) then stranded := v :: !stranded
+      if not (task_completed v) then stranded := v :: !stranded
     done;
     Stranded
       {

@@ -19,13 +19,13 @@ the pool barrier; the totals and their report order are independent of
 
   $ ../../bin/schedcli.exe batch --scale 0.05 --jobs 1 --stats | grep -E "evaluations|hits|probes|hops|commits|copies" > stats1.txt
   $ cat stats1.txt
-  evaluations:      559630
-  pruned evaluations: 113549
-  route-cache hits: 1047618
+  evaluations:      748682
+  pruned evaluations: 123024
+  route-cache hits: 1354419
   gap probes:       0
-  joint gap probes: 1627826
-  tentative hops:   1068196
-  commits:          72825
+  joint gap probes: 2126751
+  tentative hops:   1378069
+  commits:          130821
   copies:           0
 
   $ ../../bin/schedcli.exe batch --scale 0.05 --jobs 4 --stats | grep -E "evaluations|hits|probes|hops|commits|copies" > stats4.txt

@@ -20,6 +20,7 @@ let () =
       ("unrelated", Test_unrelated.suite);
       ("rendering", Test_svg.suite);
       ("obs", Test_obs.suite);
+      ("duplication", Test_duplication.suite);
       ("faults", Test_faults.suite);
       ("online", Test_online.suite);
       ("pool", Test_pool.suite);

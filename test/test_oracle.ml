@@ -113,7 +113,18 @@ let heuristic_tests =
                    false
                | Ok () ->
                    let m = O.Schedule.makespan sched in
-                   if m < oracle -. eps then begin
+                   if O.Schedule.has_dups sched then begin
+                     (* duplication may legitimately beat the single-copy
+                        oracle, but must never lose to plain HEFT *)
+                     let heft = O.Heft.schedule plat g in
+                     if m > O.Schedule.makespan heft +. eps then begin
+                       Printf.printf "%s loses to plain HEFT: %g > %g\n"
+                         e.O.Registry.name m (O.Schedule.makespan heft);
+                       false
+                     end
+                     else true
+                   end
+                   else if m < oracle -. eps then begin
                      Printf.printf "%s beats the oracle: %g < %g\n"
                        e.O.Registry.name m oracle;
                      false
